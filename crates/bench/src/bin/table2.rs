@@ -1,0 +1,95 @@
+//! Regenerate **Table 2** of the paper: runtimes for deriving a `ỹ=(3,1)`
+//! sliding-window query from a materialized `x̃=(2,1)` view with the
+//! relational operator patterns — MaxOA (Fig. 10) and MinOA (Fig. 13),
+//! each as a single disjunctive-predicate join and as a UNION of
+//! simple-predicate joins (primary-key indexes present, as in the paper).
+//!
+//! ```sh
+//! cargo run -p rfv-bench --release --bin table2            # paper sizes
+//! cargo run -p rfv-bench --release --bin table2 -- --quick # ≤ 1000 only
+//! ```
+//!
+//! A fifth/sixth column shows the `union_hash` ablation: the same UNION
+//! split executed with residue-class hash joins — the kind of plan switch
+//! DB2 apparently made at n ≥ 3000, where the paper's own numbers flip in
+//! favour of the union variant.
+
+use rfv_bench::{catalog_with_view, checksum, random_values, time_secs};
+use rfv_core::patterns::{maxoa_pattern, minoa_pattern, PatternVariant};
+
+/// Paper Table 2 (seconds): (n, maxoa-disj, maxoa-union, minoa-disj,
+/// minoa-union) on DB2 V7.1 / PII-466.
+const PAPER: [(usize, f64, f64, f64, f64); 7] = [
+    (100, 0.184, 0.650, 0.288, 0.479),
+    (500, 3.290, 7.800, 6.401, 6.253),
+    (1000, 12.819, 35.883, 25.137, 28.023),
+    (1500, 28.621, 81.995, 55.823, 63.691),
+    (2000, 50.663, 149.223, 99.598, 120.739),
+    (3000, 727.998, 542.216, 576.296, 272.575),
+    (5000, 2063.054, 1561.459, 1635.215, 765.280),
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Table 2 — deriving y=(3,1) from materialized x=(2,1):");
+    println!("measured on rfv; paper columns are DB2 V7.1 / PII-466 (seconds).\n");
+    println!(
+        "| {:>5} | {:>10} {:>9} | {:>10} {:>9} | {:>10} {:>9} | {:>10} {:>9} | {:>10} {:>10} |",
+        "n",
+        "MaxOA-dis",
+        "(paper)",
+        "MaxOA-uni",
+        "(paper)",
+        "MinOA-dis",
+        "(paper)",
+        "MinOA-uni",
+        "(paper)",
+        "MaxOA-hash",
+        "MinOA-hash"
+    );
+    println!("|{}|", "-".repeat(133));
+    for (n, p_maxd, p_maxu, p_mind, p_minu) in PAPER {
+        if quick && n > 1000 {
+            break;
+        }
+        let values = random_values(n, 7);
+        let catalog = catalog_with_view(&values, 2, 1);
+        let build = |max: bool, variant: PatternVariant| {
+            let f = if max { maxoa_pattern } else { minoa_pattern };
+            f(&catalog, "mv", 2, 1, 3, 1, n as i64, variant).unwrap()
+        };
+        let plans = [
+            build(true, PatternVariant::Disjunctive),
+            build(true, PatternVariant::UnionSimple),
+            build(false, PatternVariant::Disjunctive),
+            build(false, PatternVariant::UnionSimple),
+            build(true, PatternVariant::UnionHash),
+            build(false, PatternVariant::UnionHash),
+        ];
+        let mut secs = [0.0f64; 6];
+        let mut checks = [0.0f64; 6];
+        for (i, plan) in plans.iter().enumerate() {
+            secs[i] = time_secs(|| {
+                checks[i] = checksum(&plan.execute().unwrap(), 1);
+            });
+        }
+        for c in &checks[1..] {
+            assert!(
+                (c - checks[0]).abs() < 1e-3,
+                "variants disagree: {checks:?}"
+            );
+        }
+        println!(
+            "| {:>5} | {:>10.4} {:>9.3} | {:>10.4} {:>9.3} | {:>10.4} {:>9.3} | {:>10.4} {:>9.3} | {:>10.4} {:>10.4} |",
+            n, secs[0], p_maxd, secs[1], p_maxu, secs[2], p_mind, secs[3], p_minu,
+            secs[4], secs[5],
+        );
+    }
+    println!(
+        "\nshape checks (paper §7): all variants grow superlinearly; the \
+         disjunctive predicate beats\nthe UNION split (paper: at n ≤ 2000); \
+         MaxOA vs MinOA has no clear winner. The union_hash\nablation shows \
+         what a smarter plan does — the analogue of the paper's n ≥ 3000 \
+         plan switch."
+    );
+}

@@ -1,0 +1,145 @@
+//! `rfv` — an interactive SQL shell over the reporting-function-view
+//! engine.
+//!
+//! ```sh
+//! cargo run -p rfv-core --release --bin rfv
+//! ```
+//!
+//! Meta commands:
+//!
+//! * `.help` — this list
+//! * `.tables` — catalog contents
+//! * `.views` — registered materialized sequence views
+//! * `.explain <query>` — logical + physical plan (shows whether a view
+//!   rewrite fired)
+//! * `.rewrite on|off` — toggle view-aware rewriting
+//! * `.quit`
+//!
+//! Everything else is executed as SQL (`;`-separated statements allowed).
+
+use std::io::{BufRead, Write};
+
+use rfv_core::Database;
+
+const HELP: &str = "\
+meta commands:
+  .help                 this list
+  .tables               catalog contents
+  .views                registered materialized sequence views
+  .explain <query>      show the plan (and whether a view rewrite fired)
+  .rewrite on|off       toggle answering window queries from views
+  .quit                 exit
+anything else is executed as SQL, e.g.:
+  CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL);
+  INSERT INTO seq VALUES (1, 10.0), (2, 20.0), (3, 30.0);
+  CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER
+    (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq;
+  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING
+    AND 1 FOLLOWING) AS s FROM seq;";
+
+fn main() {
+    let db = Database::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("rfv — reporting function views (ICDE 2002 reproduction)");
+    println!("type .help for commands, .quit to exit");
+    let mut buffer = String::new();
+    loop {
+        let prompt = if buffer.is_empty() { "rfv> " } else { "  -> " };
+        print!("{prompt}");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            let mut parts = trimmed.splitn(2, ' ');
+            match parts.next().unwrap_or("") {
+                ".quit" | ".exit" => break,
+                ".help" => println!("{HELP}"),
+                ".tables" => {
+                    for name in db.catalog().table_names() {
+                        let t = db.catalog().table(&name).expect("listed");
+                        let guard = t.read();
+                        println!(
+                            "  {name} {} — {} rows",
+                            guard.schema(),
+                            guard.stats().row_count
+                        );
+                    }
+                }
+                ".views" => {
+                    for name in db.registry().names() {
+                        let v = db.registry().get(&name).expect("listed");
+                        println!(
+                            "  {name}: {} over {}({}, {}) window {:?}{}",
+                            v.func,
+                            v.base_table,
+                            v.pos_column,
+                            v.val_column,
+                            v.window,
+                            if v.partition_columns.is_empty() {
+                                String::new()
+                            } else {
+                                format!(" partitioned by {}", v.partition_columns.join(", "))
+                            },
+                        );
+                    }
+                }
+                ".explain" => match parts.next() {
+                    Some(sql) => match db.explain(sql) {
+                        Ok(plan) => println!("{plan}"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("usage: .explain <query>"),
+                },
+                ".rewrite" => match parts.next() {
+                    Some("on") => {
+                        db.set_view_rewrite(true);
+                        println!("view rewrite on");
+                    }
+                    Some("off") => {
+                        db.set_view_rewrite(false);
+                        println!("view rewrite off");
+                    }
+                    _ => println!("usage: .rewrite on|off"),
+                },
+                other => println!("unknown command `{other}` — try .help"),
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        // Execute once the statement list is terminated (or a blank line
+        // after content, for statements without semicolons).
+        let ready =
+            buffer.trim_end().ends_with(';') || (trimmed.is_empty() && !buffer.trim().is_empty());
+        if !ready {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        let sql = sql.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        match db.execute_script(sql) {
+            Ok(results) => {
+                for r in results {
+                    if r.schema().is_empty() {
+                        println!("ok");
+                    } else {
+                        print!("{r}");
+                        println!("({} rows)", r.rows().len());
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

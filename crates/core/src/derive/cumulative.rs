@@ -1,0 +1,113 @@
+//! Derivations to and from cumulative sequences (§3.1, Fig. 5).
+
+use rfv_types::Result;
+
+use crate::sequence::{CompleteSequence, CumulativeSequence, WindowSpec};
+
+/// Fig. 5: derive a sliding window `(l, h)` sequence from a cumulative
+/// view: `ỹ_k = c̃_{k+h} − c̃_{k−l−1}`. The completeness convention
+/// (`c̃_m = 0` for `m ≤ 0`, totalized for `m > n`) makes the formula hold
+/// at the boundaries, exactly as the paper notes for small `k`.
+pub fn sliding_from_cumulative(view: &CumulativeSequence, l: i64, h: i64) -> Result<Vec<f64>> {
+    WindowSpec::sliding(l, h)?;
+    Ok((1..=view.n())
+        .map(|k| view.get(k + h) - view.get(k - l - 1))
+        .collect())
+}
+
+/// The converse direction, implied by MinOA's positive series with an
+/// empty negative part: a cumulative sequence from a complete sliding
+/// window view,
+///
+/// ```text
+/// c̃_k = Σ_{i≥0} x̃_{k−h−i·w},   w = l + h + 1,
+/// ```
+///
+/// because consecutive windows of `x̃` at positions `k−h, k−h−w, …` tile
+/// the prefix `(−∞, k]` exactly.
+pub fn cumulative_from_sliding(view: &CompleteSequence) -> Vec<f64> {
+    let w = view.window_size();
+    let h = view.h();
+    (1..=view.n())
+        .map(|k| {
+            let mut sum = 0.0;
+            let mut m = k - h;
+            while m >= view.first_pos() {
+                sum += view.get(m);
+                m -= w;
+            }
+            sum
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::brute_force_sum;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig5_example() {
+        // Paper Fig. 5 uses ỹ = (2, 1) from a cumulative view.
+        let raw: Vec<f64> = (1..=8).map(f64::from).collect();
+        let view = CumulativeSequence::materialize(&raw);
+        let derived = sliding_from_cumulative(&view, 2, 1).unwrap();
+        assert_eq!(derived, brute_force_sum(&raw, 2, 1));
+    }
+
+    #[test]
+    fn boundary_positions_are_correct() {
+        let raw = vec![10.0, 20.0, 30.0];
+        let view = CumulativeSequence::materialize(&raw);
+        // Large l: windows clip at the left edge.
+        let derived = sliding_from_cumulative(&view, 5, 0).unwrap();
+        assert_eq!(derived, vec![10.0, 30.0, 60.0]);
+        // Large h: windows clip at the right edge.
+        let derived = sliding_from_cumulative(&view, 0, 5).unwrap();
+        assert_eq!(derived, vec![60.0, 50.0, 30.0]);
+    }
+
+    #[test]
+    fn cumulative_round_trip() {
+        let raw = vec![1.0, -2.0, 3.0, -4.0, 5.0];
+        let sliding = CompleteSequence::materialize(&raw, 2, 1).unwrap();
+        let cum = cumulative_from_sliding(&sliding);
+        let expected = CumulativeSequence::materialize(&raw);
+        for (k, v) in cum.iter().enumerate() {
+            assert!((v - expected.get(k as i64 + 1)).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sliding_from_cumulative_matches_brute_force(
+            raw in proptest::collection::vec(-1000i32..1000, 0..50),
+            l in 0i64..6,
+            h in 0i64..6,
+        ) {
+            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
+            let view = CumulativeSequence::materialize(&raw);
+            let derived = sliding_from_cumulative(&view, l, h).unwrap();
+            let expected = brute_force_sum(&raw, l, h);
+            for (a, b) in derived.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn cumulative_from_sliding_matches(
+            raw in proptest::collection::vec(-1000i32..1000, 0..50),
+            l in 0i64..6,
+            h in 0i64..6,
+        ) {
+            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
+            let view = CompleteSequence::materialize(&raw, l, h).unwrap();
+            let cum = cumulative_from_sliding(&view);
+            let expected = CumulativeSequence::materialize(&raw);
+            for (i, v) in cum.iter().enumerate() {
+                prop_assert!((v - expected.get(i as i64 + 1)).abs() < 1e-6);
+            }
+        }
+    }
+}

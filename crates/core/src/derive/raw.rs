@@ -1,0 +1,106 @@
+//! Reconstruction of raw data values from materialized sequences (§3).
+
+use rfv_types::{Result, RfvError};
+
+use crate::sequence::{CompleteSequence, CumulativeSequence};
+
+/// §3.1: `x_k = c̃_k − c̃_{k−1}` — reconstruct all raw values from a
+/// cumulative view.
+pub fn from_cumulative(view: &CumulativeSequence) -> Vec<f64> {
+    (1..=view.n())
+        .map(|k| view.get(k) - view.get(k - 1))
+        .collect()
+}
+
+/// §3.2: reconstruct the raw value at position `k` from a complete sliding
+/// window view via the telescoping explicit form
+///
+/// ```text
+/// x_k = Σ_{i≥0} ( x̃_{k−h−i·w} − x̃_{k−h−1−i·w} ),   w = l + h + 1
+/// ```
+///
+/// The series stops at the sequence header (`x̃_m = 0` for `m ≤ −h`), which
+/// is why completeness is a prerequisite. This matches the paper's bound
+/// `i_up = ⌈k / w⌉`.
+pub fn value_from_sliding(view: &CompleteSequence, k: i64) -> Result<f64> {
+    if !(1..=view.n()).contains(&k) {
+        return Err(RfvError::derivation(format!(
+            "raw position {k} out of range 1..={}",
+            view.n()
+        )));
+    }
+    let w = view.window_size();
+    let h = view.h();
+    let mut sum = 0.0;
+    let mut m = k - h;
+    // Terms with m ≤ −h are zero; `first_pos − 1 = −h` is the last index
+    // where the difference can still be non-zero via x̃_{m}.
+    while m > -h {
+        sum += view.get(m) - view.get(m - 1);
+        m -= w;
+    }
+    Ok(sum)
+}
+
+/// Reconstruct all raw values from a complete sliding window view.
+/// `O(n²/w)` in total — the cost profile the paper's Table 2 explores.
+pub fn from_sliding(view: &CompleteSequence) -> Result<Vec<f64>> {
+    (1..=view.n())
+        .map(|k| value_from_sliding(view, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cumulative_reconstruction() {
+        let raw = vec![3.0, -1.0, 4.0, 1.0, -5.0];
+        let view = CumulativeSequence::materialize(&raw);
+        assert_eq!(from_cumulative(&view), raw);
+    }
+
+    #[test]
+    fn sliding_reconstruction_small() {
+        let raw = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let view = CompleteSequence::materialize(&raw, 2, 1).unwrap();
+        let rec = from_sliding(&view).unwrap();
+        for (a, b) in rec.iter().zip(&raw) {
+            assert!((a - b).abs() < 1e-9, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_position_errors() {
+        let view = CompleteSequence::materialize(&[1.0], 1, 1).unwrap();
+        assert!(value_from_sliding(&view, 0).is_err());
+        assert!(value_from_sliding(&view, 2).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn sliding_reconstruction_matches_raw(
+            raw in proptest::collection::vec(-1000i32..1000, 1..50),
+            l in 0i64..5,
+            h in 0i64..5,
+        ) {
+            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
+            let view = CompleteSequence::materialize(&raw, l, h).unwrap();
+            let rec = from_sliding(&view).unwrap();
+            for (i, (a, b)) in rec.iter().zip(&raw).enumerate() {
+                prop_assert!((a - b).abs() < 1e-6, "pos {}: {a} vs {b}", i + 1);
+            }
+        }
+
+        #[test]
+        fn cumulative_reconstruction_matches_raw(
+            raw in proptest::collection::vec(-1000i32..1000, 0..50),
+        ) {
+            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
+            let view = CumulativeSequence::materialize(&raw);
+            prop_assert_eq!(from_cumulative(&view), raw);
+        }
+    }
+}

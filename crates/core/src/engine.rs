@@ -1,0 +1,1343 @@
+//! The `rfv` database facade: SQL in, rows out.
+//!
+//! [`Database`] wires the whole stack together — parser, binder, optimizer,
+//! physical planner, executor — and adds the paper's two warehouse-side
+//! capabilities on top:
+//!
+//! * **materialized reporting-function views** — `CREATE MATERIALIZED VIEW
+//!   v AS SELECT pos, agg(val) OVER (ORDER BY pos ROWS …) FROM base`
+//!   recognizes the sequence-view shape, materializes the *complete*
+//!   sequence (header/trailer, §3.2), registers it, and mirrors it into a
+//!   queryable table `v(pos, val)`;
+//! * **view-aware rewriting** — subsequent reporting-function queries over
+//!   `base` are answered from the views via MinOA/MaxOA (see
+//!   [`crate::rewrite`]); toggle with [`Database::set_view_rewrite`];
+//! * **incremental view maintenance** (§2.3) — [`Database::sequence_update`],
+//!   [`Database::sequence_insert`] and [`Database::sequence_delete`] apply
+//!   base-data changes and propagate them to all dependent views with the
+//!   local update rules. Plain SQL `INSERT` of the next position
+//!   (`pos = n+1`) is maintained incrementally as well.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rfv_exec::{PhysicalPlan, WindowMode};
+use rfv_expr::AggFunc;
+use rfv_plan::{optimize, Binder, LogicalPlan, PhysicalPlanner};
+use rfv_sql::{self as ast, parse_statement, parse_statements};
+use rfv_storage::{Catalog, IndexKind};
+use rfv_types::{Result, RfvError, Row, Schema, SchemaRef, Value};
+
+use crate::maintenance;
+use crate::patterns::PatternVariant;
+use crate::rewrite::Rewriter;
+use crate::sequence::{CompleteMinMaxSequence, CompleteSequence, CumulativeSequence, WindowSpec};
+use crate::view::{SequenceView, ViewData, ViewRegistry};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    schema: SchemaRef,
+    rows: Vec<Row>,
+}
+
+impl QueryResult {
+    fn empty() -> Self {
+        QueryResult {
+            schema: SchemaRef::new(Schema::empty()),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Single-column convenience: all values of column `i` as f64
+    /// (NULL → `None`).
+    pub fn column_f64(&self, i: usize) -> Result<Vec<Option<f64>>> {
+        self.rows.iter().map(|r| r.get(i).as_f64()).collect()
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|fld| fld.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(
+                    f,
+                    " {c:>width$} |",
+                    width = widths.get(i).copied().unwrap_or(1)
+                )?;
+            }
+            writeln!(f)
+        };
+        line(f, &headers)?;
+        writeln!(
+            f,
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        )?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Engine configuration knobs (benchmark axes).
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    view_rewrite: bool,
+    window_mode: WindowMode,
+    pattern_variant: PatternVariant,
+}
+
+/// The full engine. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Database {
+    catalog: Catalog,
+    registry: ViewRegistry,
+    config: Arc<RwLock<Config>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            registry: ViewRegistry::new(),
+            config: Arc::new(RwLock::new(Config {
+                view_rewrite: true,
+                window_mode: WindowMode::Pipelined,
+                pattern_variant: PatternVariant::Disjunctive,
+            })),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// Enable/disable answering reporting-function queries from
+    /// materialized views (default on).
+    pub fn set_view_rewrite(&self, on: bool) {
+        self.config.write().view_rewrite = on;
+    }
+
+    /// Choose the native window operator's evaluation strategy
+    /// (§2.2 naive explicit form vs. pipelined).
+    pub fn set_window_mode(&self, mode: WindowMode) {
+        self.config.write().window_mode = mode;
+    }
+
+    /// Choose the Fig. 10/13 pattern variant used by the rewriter
+    /// (Table 2's disjunctive-vs-union axis).
+    pub fn set_pattern_variant(&self, variant: PatternVariant) {
+        self.config.write().pattern_variant = variant;
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<QueryResult>> {
+        parse_statements(sql)?
+            .iter()
+            .map(|s| self.execute_statement(s))
+            .collect()
+    }
+
+    /// EXPLAIN: the bound logical plan and the physical plan actually
+    /// chosen (including whether a view rewrite fired).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let ast::Statement::Query(q) = &stmt else {
+            return Err(RfvError::plan("EXPLAIN supports queries only"));
+        };
+        let (logical, physical, rewritten) = self.plan_query(q)?;
+        Ok(format!(
+            "== logical ==\n{}== physical ({}) ==\n{}",
+            logical.explain(),
+            if rewritten { "view rewrite" } else { "direct" },
+            physical.explain()
+        ))
+    }
+
+    fn execute_statement(&self, stmt: &ast::Statement) -> Result<QueryResult> {
+        match stmt {
+            ast::Statement::Query(q) => {
+                let (logical, physical, _) = self.plan_query(q)?;
+                let rows = physical.execute()?;
+                Ok(QueryResult {
+                    schema: logical.schema(),
+                    rows,
+                })
+            }
+            ast::Statement::CreateTable { name, columns } => {
+                let fields = columns
+                    .iter()
+                    .map(|c| {
+                        let mut f = if c.not_null {
+                            rfv_types::Field::not_null(c.name.clone(), c.data_type)
+                        } else {
+                            rfv_types::Field::new(c.name.clone(), c.data_type)
+                        };
+                        f.qualifier = None;
+                        f
+                    })
+                    .collect();
+                let table = self.catalog.create_table(name, Schema::new(fields))?;
+                for (i, c) in columns.iter().enumerate() {
+                    if c.primary_key {
+                        table.write().create_index(i, IndexKind::Unique)?;
+                    }
+                }
+                Ok(QueryResult::empty())
+            }
+            ast::Statement::CreateIndex {
+                table,
+                column,
+                unique,
+            } => {
+                let t = self.catalog.table(table)?;
+                let mut guard = t.write();
+                let idx = guard.schema().index_of(None, column)?;
+                guard.create_index(
+                    idx,
+                    if *unique {
+                        IndexKind::Unique
+                    } else {
+                        IndexKind::NonUnique
+                    },
+                )?;
+                Ok(QueryResult::empty())
+            }
+            ast::Statement::CreateMaterializedView { name, query } => {
+                self.create_materialized_view(name, query)?;
+                Ok(QueryResult::empty())
+            }
+            ast::Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                self.insert(table, columns, values)?;
+                Ok(QueryResult::empty())
+            }
+            ast::Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => {
+                let n = self.update(table, assignments, selection.as_ref())?;
+                let _ = n;
+                Ok(QueryResult::empty())
+            }
+            ast::Statement::Delete { table, selection } => {
+                let n = self.delete(table, selection.as_ref())?;
+                let _ = n;
+                Ok(QueryResult::empty())
+            }
+            ast::Statement::DropTable { name } => {
+                if self.registry.views_for(name).first().is_some() {
+                    return Err(RfvError::catalog(format!(
+                        "cannot drop `{name}`: materialized sequence views depend on it"
+                    )));
+                }
+                if self.registry.get(name).is_some() {
+                    self.registry.drop(&self.catalog, name)?;
+                    Ok(QueryResult::empty())
+                } else {
+                    self.catalog.drop_table(name)?;
+                    Ok(QueryResult::empty())
+                }
+            }
+        }
+    }
+
+    fn plan_query(&self, q: &ast::Query) -> Result<(LogicalPlan, PhysicalPlan, bool)> {
+        let config = *self.config.read();
+        let binder = Binder::new(&self.catalog).with_window_mode(config.window_mode);
+        let logical = optimize(binder.bind_query(q)?);
+        if config.view_rewrite {
+            let rewriter =
+                Rewriter::new(&self.catalog, &self.registry).with_variant(config.pattern_variant);
+            if let Some(physical) = rewriter.plan_with_views(&logical)? {
+                return Ok((logical, physical, true));
+            }
+        }
+        let physical = PhysicalPlanner::new(&self.catalog).plan(&logical)?;
+        Ok((logical, physical, false))
+    }
+
+    // -- INSERT -------------------------------------------------------------
+
+    fn insert(&self, table: &str, columns: &[String], values: &[Vec<ast::Expr>]) -> Result<usize> {
+        let t = self.catalog.table(table)?;
+        let schema = t.read().schema().clone();
+        let binder = Binder::new(&self.catalog);
+        let empty = Schema::empty();
+        let column_indexes: Vec<usize> = if columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| schema.index_of(None, c))
+                .collect::<Result<_>>()?
+        };
+        let dependents = self.registry.views_for(table);
+        let mut inserted = 0;
+        for tuple in values {
+            if tuple.len() != column_indexes.len() {
+                return Err(RfvError::schema(format!(
+                    "INSERT expects {} values, got {}",
+                    column_indexes.len(),
+                    tuple.len()
+                )));
+            }
+            let mut row_values = vec![Value::Null; schema.len()];
+            for (expr, &idx) in tuple.iter().zip(&column_indexes) {
+                let bound = binder.bind_scalar(expr, &empty)?;
+                row_values[idx] = bound.eval(&Row::empty())?;
+            }
+            if dependents.is_empty() {
+                t.write().insert(Row::new(row_values))?;
+            } else if dependents.iter().all(|v| v.is_partitioned()) {
+                // §6 partitioned reporting functions: positions are local
+                // to partitions, so any insert is accepted and the views
+                // are rematerialized from the new base state.
+                t.write().insert(Row::new(row_values))?;
+                self.refresh_partitioned_views(table)?;
+            } else {
+                // Base of materialized sequence views: only appends at
+                // position n+1 can be maintained through plain INSERT.
+                let view = dependents
+                    .iter()
+                    .find(|v| !v.is_partitioned())
+                    .expect("checked above");
+                let pos_idx = schema.index_of(None, &view.pos_column)?;
+                let val_idx = schema.index_of(None, &view.val_column)?;
+                let pos = row_values[pos_idx].as_int()?.ok_or_else(|| {
+                    RfvError::execution("NULL position inserted into sequence table")
+                })?;
+                let n = view.n();
+                if pos != n + 1 {
+                    return Err(RfvError::execution(format!(
+                        "table `{table}` backs materialized sequence views; plain \
+                         INSERT must append position {} (got {pos}) — use \
+                         Database::sequence_insert for mid-sequence inserts",
+                        n + 1
+                    )));
+                }
+                let val = row_values[val_idx].as_f64()?.ok_or_else(|| {
+                    RfvError::execution("NULL value inserted into sequence table")
+                })?;
+                t.write().insert(Row::new(row_values))?;
+                self.maintain_views(table, MaintOp::Insert { k: n + 1, val })?;
+            }
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Guard shared by UPDATE/DELETE: simple sequence views need the §2.3
+    /// positional rules (SQL row-level DML can't express them), partitioned
+    /// views can be rematerialized afterwards.
+    fn dml_view_guard(&self, table: &str) -> Result<bool> {
+        let dependents = self.registry.views_for(table);
+        if dependents.iter().any(|v| !v.is_partitioned()) {
+            return Err(RfvError::execution(format!(
+                "table `{table}` backs simple materialized sequence views; use \
+                 Database::sequence_update / sequence_delete so the §2.3 \
+                 incremental rules can be applied"
+            )));
+        }
+        Ok(!dependents.is_empty())
+    }
+
+    /// `UPDATE table SET … [WHERE …]`. Returns the number of updated rows.
+    pub fn update(
+        &self,
+        table: &str,
+        assignments: &[(String, ast::Expr)],
+        selection: Option<&ast::Expr>,
+    ) -> Result<usize> {
+        let has_partitioned = self.dml_view_guard(table)?;
+        let t = self.catalog.table(table)?;
+        let binder = Binder::new(&self.catalog);
+        let updated = {
+            let schema = t.read().schema().as_ref().clone();
+            let bound_assignments: Vec<(usize, rfv_expr::Expr)> = assignments
+                .iter()
+                .map(|(col, e)| Ok((schema.index_of(None, col)?, binder.bind_scalar(e, &schema)?)))
+                .collect::<Result<_>>()?;
+            let predicate = selection
+                .map(|e| binder.bind_scalar(e, &schema))
+                .transpose()?;
+            let mut guard = t.write();
+            let targets: Vec<(usize, Row)> =
+                guard.scan().map(|(rid, r)| (rid, r.clone())).collect();
+            let mut updated = 0usize;
+            for (rid, row) in targets {
+                let keep = match &predicate {
+                    None => true,
+                    Some(p) => p.eval(&row)?.as_bool()? == Some(true),
+                };
+                if !keep {
+                    continue;
+                }
+                let mut new_row = row.clone();
+                for (idx, expr) in &bound_assignments {
+                    new_row.set(*idx, expr.eval(&row)?);
+                }
+                guard.update(rid, new_row)?;
+                updated += 1;
+            }
+            updated
+        };
+        if has_partitioned {
+            self.refresh_partitioned_views(table)?;
+        }
+        Ok(updated)
+    }
+
+    /// `DELETE FROM table [WHERE …]`. Returns the number of deleted rows.
+    pub fn delete(&self, table: &str, selection: Option<&ast::Expr>) -> Result<usize> {
+        let has_partitioned = self.dml_view_guard(table)?;
+        let t = self.catalog.table(table)?;
+        let binder = Binder::new(&self.catalog);
+        let deleted = {
+            let schema = t.read().schema().as_ref().clone();
+            let predicate = selection
+                .map(|e| binder.bind_scalar(e, &schema))
+                .transpose()?;
+            let mut guard = t.write();
+            let targets: Vec<(usize, Row)> =
+                guard.scan().map(|(rid, r)| (rid, r.clone())).collect();
+            let mut deleted = 0usize;
+            for (rid, row) in targets {
+                let keep = match &predicate {
+                    None => true,
+                    Some(p) => p.eval(&row)?.as_bool()? == Some(true),
+                };
+                if keep {
+                    guard.delete(rid)?;
+                    deleted += 1;
+                }
+            }
+            deleted
+        };
+        if has_partitioned {
+            self.refresh_partitioned_views(table)?;
+        }
+        Ok(deleted)
+    }
+
+    // -- materialized views ---------------------------------------------------
+
+    /// Recognize `SELECT pos, agg(val) OVER (ORDER BY pos ROWS …) FROM base`
+    /// and register a sequence view; any other query is materialized as a
+    /// plain snapshot table (documented fallback).
+    fn create_materialized_view(&self, name: &str, query: &ast::Query) -> Result<()> {
+        let config = *self.config.read();
+        let binder = Binder::new(&self.catalog).with_window_mode(config.window_mode);
+        let logical = binder.bind_query(query)?;
+        if let Some(spec) = recognize_sequence_view(&logical) {
+            if !spec.partition.is_empty() {
+                // §6: a partitioned reporting function — one complete
+                // sequence per partition-key tuple.
+                let (WindowSpec::Sliding { l, h }, AggFunc::Sum) = (spec.window, spec.func) else {
+                    return Err(RfvError::plan(
+                        "partitioned sequence views currently support SUM over \
+                         sliding windows",
+                    ));
+                };
+                let part_cols: Vec<String> =
+                    spec.partition.iter().map(|(c, _)| c.clone()).collect();
+                let part_types: Vec<rfv_types::DataType> =
+                    spec.partition.iter().map(|(_, t)| *t).collect();
+                let grouped = self.read_partitioned_sequence_table(
+                    &spec.base_table,
+                    &part_cols,
+                    &spec.pos_column,
+                    &spec.val_column,
+                )?;
+                let mut parts = std::collections::BTreeMap::new();
+                for (key, raw) in grouped {
+                    parts.insert(key, CompleteSequence::materialize(&raw, l, h)?);
+                }
+                self.registry.register(
+                    &self.catalog,
+                    SequenceView {
+                        name: name.to_string(),
+                        base_table: spec.base_table,
+                        pos_column: spec.pos_column,
+                        val_column: spec.val_column,
+                        partition_columns: part_cols,
+                        partition_types: part_types,
+                        func: spec.func,
+                        window: spec.window,
+                        data: ViewData::PartitionedSum(parts),
+                    },
+                )?;
+                return Ok(());
+            }
+            let (raw, _) =
+                self.read_sequence_table(&spec.base_table, &spec.pos_column, &spec.val_column)?;
+            let data = match (spec.func, spec.window) {
+                (AggFunc::Sum, WindowSpec::Sliding { l, h }) => {
+                    ViewData::Sum(CompleteSequence::materialize(&raw, l, h)?)
+                }
+                (AggFunc::Sum, WindowSpec::Cumulative) => {
+                    ViewData::CumulativeSum(CumulativeSequence::materialize(&raw))
+                }
+                (AggFunc::Min, WindowSpec::Sliding { l, h }) => {
+                    ViewData::MinMax(CompleteMinMaxSequence::materialize(&raw, l, h, false)?)
+                }
+                (AggFunc::Max, WindowSpec::Sliding { l, h }) => {
+                    ViewData::MinMax(CompleteMinMaxSequence::materialize(&raw, l, h, true)?)
+                }
+                (func, window) => {
+                    return Err(RfvError::plan(format!(
+                        "materialized sequence views support SUM/MIN/MAX over \
+                         sliding windows and cumulative SUM; got {func} over {window:?}"
+                    )))
+                }
+            };
+            self.registry.register(
+                &self.catalog,
+                SequenceView {
+                    name: name.to_string(),
+                    base_table: spec.base_table,
+                    pos_column: spec.pos_column,
+                    val_column: spec.val_column,
+                    partition_columns: vec![],
+                    partition_types: vec![],
+                    func: spec.func,
+                    window: spec.window,
+                    data,
+                },
+            )?;
+            return Ok(());
+        }
+        // Fallback: CTAS-style snapshot.
+        let (logical, physical, _) = self.plan_query(query)?;
+        let rows = physical.execute()?;
+        let fields = logical
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| {
+                let mut f = f.clone();
+                f.qualifier = None;
+                f
+            })
+            .collect();
+        let t = self.catalog.create_table(name, Schema::new(fields))?;
+        let mut guard = t.write();
+        for r in rows {
+            guard.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Read a dense sequence table `(pos 1..=n, val)` into raw values.
+    fn read_sequence_table(
+        &self,
+        table: &str,
+        pos_column: &str,
+        val_column: &str,
+    ) -> Result<(Vec<f64>, usize)> {
+        let t = self.catalog.table(table)?;
+        let guard = t.read();
+        let pos_idx = guard.schema().index_of(None, pos_column)?;
+        let val_idx = guard.schema().index_of(None, val_column)?;
+        let mut rows: Vec<(i64, f64)> = guard
+            .scan()
+            .map(|(_, r)| {
+                let pos = r
+                    .get(pos_idx)
+                    .as_int()?
+                    .ok_or_else(|| RfvError::derivation(format!("NULL position in `{table}`")))?;
+                let val = r.get(val_idx).as_f64()?.ok_or_else(|| {
+                    RfvError::derivation(format!(
+                        "NULL value at position {pos} of `{table}`: sequence \
+                         views require a dense non-null value column"
+                    ))
+                })?;
+                Ok((pos, val))
+            })
+            .collect::<Result<_>>()?;
+        rows.sort_by_key(|(p, _)| *p);
+        for (i, (p, _)) in rows.iter().enumerate() {
+            if *p != i as i64 + 1 {
+                return Err(RfvError::derivation(format!(
+                    "`{table}` must have dense positions 1..=n (found {p} at rank {})",
+                    i + 1
+                )));
+            }
+        }
+        let n = rows.len();
+        Ok((rows.into_iter().map(|(_, v)| v).collect(), n))
+    }
+
+    /// Read a partitioned sequence table into per-partition raw vectors
+    /// (each partition must have dense positions `1..=n_p`), in partition
+    /// key order.
+    fn read_partitioned_sequence_table(
+        &self,
+        table: &str,
+        part_columns: &[String],
+        pos_column: &str,
+        val_column: &str,
+    ) -> Result<std::collections::BTreeMap<Vec<Value>, Vec<f64>>> {
+        let t = self.catalog.table(table)?;
+        let guard = t.read();
+        let part_idxs: Vec<usize> = part_columns
+            .iter()
+            .map(|c| guard.schema().index_of(None, c))
+            .collect::<Result<_>>()?;
+        let pos_idx = guard.schema().index_of(None, pos_column)?;
+        let val_idx = guard.schema().index_of(None, val_column)?;
+        let mut grouped: std::collections::BTreeMap<Vec<Value>, Vec<(i64, f64)>> =
+            std::collections::BTreeMap::new();
+        for (_, r) in guard.scan() {
+            let part: Vec<Value> = part_idxs.iter().map(|&i| r.get(i).clone()).collect();
+            if part.iter().any(Value::is_null) {
+                return Err(RfvError::derivation(format!(
+                    "NULL partition key in `{table}`"
+                )));
+            }
+            let pos = r
+                .get(pos_idx)
+                .as_int()?
+                .ok_or_else(|| RfvError::derivation(format!("NULL position in `{table}`")))?;
+            let val = r.get(val_idx).as_f64()?.ok_or_else(|| {
+                RfvError::derivation(format!("NULL value at ({part:?}, {pos}) of `{table}`"))
+            })?;
+            grouped.entry(part).or_default().push((pos, val));
+        }
+        grouped
+            .into_iter()
+            .map(|(key, mut rows)| {
+                rows.sort_by_key(|(p, _)| *p);
+                for (i, (p, _)) in rows.iter().enumerate() {
+                    if *p != i as i64 + 1 {
+                        return Err(RfvError::derivation(format!(
+                            "partition {key:?} of `{table}` must have dense \
+                             positions 1..=n (found {p} at rank {})",
+                            i + 1
+                        )));
+                    }
+                }
+                Ok((key, rows.into_iter().map(|(_, v)| v).collect()))
+            })
+            .collect()
+    }
+
+    // -- sequence maintenance (§2.3) ------------------------------------------
+
+    /// Update the raw value at position `pos` of sequence table `table`,
+    /// incrementally maintaining all dependent views.
+    pub fn sequence_update(&self, table: &str, pos: i64, val: f64) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        let (pos_idx, val_idx) = self.sequence_columns(table)?;
+        {
+            let guard = t.read();
+            let rids = guard.index_lookup(pos_idx, &Value::Int(pos))?;
+            let rid = *rids.first().ok_or_else(|| {
+                RfvError::execution(format!("position {pos} not found in `{table}`"))
+            })?;
+            let mut new = guard.get(rid).expect("rid from index").clone();
+            drop(guard);
+            new.set(val_idx, Value::Float(val));
+            t.write().update(rid, new)?;
+        }
+        self.maintain_views(table, MaintOp::Update { k: pos, val })
+    }
+
+    /// Insert a raw value *at* position `pos` (shifting later positions),
+    /// incrementally maintaining all dependent views.
+    pub fn sequence_insert(&self, table: &str, pos: i64, val: f64) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        let (pos_idx, val_idx) = self.sequence_columns(table)?;
+        {
+            let mut guard = t.write();
+            // Validate the position *before* mutating anything: the base
+            // insert and the view maintenance must succeed or fail together.
+            let n = guard.stats().row_count as i64;
+            if !(1..=n + 1).contains(&pos) {
+                return Err(RfvError::execution(format!(
+                    "insert position {pos} out of range 1..={}",
+                    n + 1
+                )));
+            }
+            // Shift positions ≥ pos upwards, highest first (unique index).
+            let mut to_shift: Vec<(usize, Row)> = guard
+                .scan()
+                .filter(|(_, r)| {
+                    r.get(pos_idx)
+                        .as_int()
+                        .ok()
+                        .flatten()
+                        .is_some_and(|p| p >= pos)
+                })
+                .map(|(rid, r)| (rid, r.clone()))
+                .collect();
+            to_shift
+                .sort_by_key(|(_, r)| std::cmp::Reverse(r.get(pos_idx).as_int().unwrap().unwrap()));
+            for (rid, mut r) in to_shift {
+                let p = r.get(pos_idx).as_int()?.expect("filtered non-null");
+                r.set(pos_idx, Value::Int(p + 1));
+                guard.update(rid, r)?;
+            }
+            let mut values = vec![Value::Null; guard.schema().len()];
+            values[pos_idx] = Value::Int(pos);
+            values[val_idx] = Value::Float(val);
+            guard.insert(Row::new(values))?;
+        }
+        self.maintain_views(table, MaintOp::Insert { k: pos, val })
+    }
+
+    /// Delete the raw value at position `pos` (shifting later positions),
+    /// incrementally maintaining all dependent views.
+    pub fn sequence_delete(&self, table: &str, pos: i64) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        let (pos_idx, _) = self.sequence_columns(table)?;
+        {
+            let mut guard = t.write();
+            let rids = guard.index_lookup(pos_idx, &Value::Int(pos))?;
+            let rid = *rids.first().ok_or_else(|| {
+                RfvError::execution(format!("position {pos} not found in `{table}`"))
+            })?;
+            guard.delete(rid)?;
+            // Shift positions > pos downwards, lowest first.
+            let mut to_shift: Vec<(usize, Row)> = guard
+                .scan()
+                .filter(|(_, r)| {
+                    r.get(pos_idx)
+                        .as_int()
+                        .ok()
+                        .flatten()
+                        .is_some_and(|p| p > pos)
+                })
+                .map(|(rid, r)| (rid, r.clone()))
+                .collect();
+            to_shift.sort_by_key(|(_, r)| r.get(pos_idx).as_int().unwrap().unwrap());
+            for (rid, mut r) in to_shift {
+                let p = r.get(pos_idx).as_int()?.expect("filtered non-null");
+                r.set(pos_idx, Value::Int(p - 1));
+                guard.update(rid, r)?;
+            }
+        }
+        self.maintain_views(table, MaintOp::Delete { k: pos })
+    }
+
+    /// The (pos, val) column indexes of a sequence table, taken from its
+    /// first dependent view (or defaulting to columns 0/1).
+    fn sequence_columns(&self, table: &str) -> Result<(usize, usize)> {
+        let t = self.catalog.table(table)?;
+        let guard = t.read();
+        match self.registry.views_for(table).first() {
+            Some(v) => Ok((
+                guard.schema().index_of(None, &v.pos_column)?,
+                guard.schema().index_of(None, &v.val_column)?,
+            )),
+            None => {
+                if guard.schema().len() < 2 {
+                    return Err(RfvError::schema(format!(
+                        "`{table}` is not a (pos, val) sequence table"
+                    )));
+                }
+                Ok((0, 1))
+            }
+        }
+    }
+
+    /// Rematerialize **all** views over `table` from its current contents —
+    /// the full-recomputation path the paper contrasts the §2.3 incremental
+    /// rules against. Useful after bulk loads performed directly through
+    /// the catalog.
+    pub fn refresh_views(&self, table: &str) -> Result<()> {
+        self.refresh_partitioned_views(table)?;
+        for view in self.registry.views_for(table) {
+            if view.is_partitioned() {
+                continue;
+            }
+            let (raw, _) =
+                self.read_sequence_table(table, &view.pos_column, &view.val_column)?;
+            let data = match (&view.data, view.window) {
+                (ViewData::Sum(_), WindowSpec::Sliding { l, h }) => {
+                    ViewData::Sum(CompleteSequence::materialize(&raw, l, h)?)
+                }
+                (ViewData::CumulativeSum(_), _) => {
+                    ViewData::CumulativeSum(CumulativeSequence::materialize(&raw))
+                }
+                (ViewData::MinMax(seq), WindowSpec::Sliding { .. }) => {
+                    ViewData::MinMax(CompleteMinMaxSequence::materialize(
+                        &raw,
+                        seq.l(),
+                        seq.h(),
+                        seq.is_max(),
+                    )?)
+                }
+                _ => {
+                    return Err(RfvError::internal(
+                        "inconsistent view data/window combination",
+                    ))
+                }
+            };
+            self.registry.refresh(&self.catalog, &view.name, data)?;
+        }
+        Ok(())
+    }
+
+    /// Rematerialize all §6 partitioned views over `table` from the
+    /// current base state (their positions are partition-local, so the
+    /// simple-sequence §2.3 rules don't apply).
+    fn refresh_partitioned_views(&self, table: &str) -> Result<()> {
+        for view in self.registry.views_for(table) {
+            if !view.is_partitioned() {
+                continue;
+            }
+            if view.partition_columns.is_empty() {
+                return Err(RfvError::internal(
+                    "partitioned view without partition columns",
+                ));
+            }
+            let WindowSpec::Sliding { l, h } = view.window else {
+                return Err(RfvError::internal(
+                    "partitioned cumulative views are not registered",
+                ));
+            };
+            let grouped = self.read_partitioned_sequence_table(
+                table,
+                &view.partition_columns,
+                &view.pos_column,
+                &view.val_column,
+            )?;
+            let mut new_parts = std::collections::BTreeMap::new();
+            for (key, raw) in grouped {
+                new_parts.insert(key, CompleteSequence::materialize(&raw, l, h)?);
+            }
+            self.registry.refresh(
+                &self.catalog,
+                &view.name,
+                ViewData::PartitionedSum(new_parts),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn maintain_views(&self, table: &str, op: MaintOp) -> Result<()> {
+        let views = self.registry.views_for(table);
+        if views.is_empty() {
+            return Ok(());
+        }
+        // The §2.3 rules need the *pre-image* raw data, which each view can
+        // reproduce from its own body; the cheapest correct source here is
+        // the base table *post-image*, from which we rebuild the pre-image.
+        // Partitioned reporting functions (§6): positions are local to
+        // partitions, so the simple-sequence rules don't apply —
+        // rematerialize those from the (already changed) base.
+        self.refresh_partitioned_views(table)?;
+        for view in views {
+            if view.is_partitioned() {
+                continue;
+            }
+            let (raw_after, _) =
+                self.read_sequence_table(table, &view.pos_column, &view.val_column)?;
+            let new_data = match &view.data {
+                ViewData::PartitionedSum(_) => unreachable!("handled above"),
+                ViewData::Sum(seq) => {
+                    let mut seq = seq.clone();
+                    // Reconstruct the pre-image raw vector for the rule.
+                    let mut raw_before = raw_after.clone();
+                    match op {
+                        MaintOp::Update { k, val } => {
+                            // pre-image: same, except position k held old value.
+                            // The update rule only needs the delta, which we
+                            // can recover from the view itself: feed it the
+                            // *old* value read from the sequence.
+                            let old = old_value_from_view(&seq, &raw_after, k);
+                            raw_before[(k - 1) as usize] = old;
+                            maintenance::update(&mut seq, &mut raw_before, k, val)?;
+                        }
+                        MaintOp::Insert { k, val } => {
+                            raw_before.remove((k - 1) as usize);
+                            maintenance::insert(&mut seq, &mut raw_before, k, val)?;
+                        }
+                        MaintOp::Delete { k } => {
+                            let old = deleted_value_from_view(&seq, &raw_after, k);
+                            raw_before.insert((k - 1) as usize, old);
+                            maintenance::delete(&mut seq, &mut raw_before, k)?;
+                        }
+                    }
+                    ViewData::Sum(seq)
+                }
+                ViewData::CumulativeSum(_) => {
+                    ViewData::CumulativeSum(CumulativeSequence::materialize(&raw_after))
+                }
+                ViewData::MinMax(seq) => {
+                    // MIN/MAX are only incrementally updateable in special
+                    // cases (§2.3 footnote); rematerialize.
+                    ViewData::MinMax(CompleteMinMaxSequence::materialize(
+                        &raw_after,
+                        seq.l(),
+                        seq.h(),
+                        seq.is_max(),
+                    )?)
+                }
+            };
+            self.registry.refresh(&self.catalog, &view.name, new_data)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MaintOp {
+    Update { k: i64, val: f64 },
+    Insert { k: i64, val: f64 },
+    Delete { k: i64 },
+}
+
+/// Recover the pre-update raw value at `k` from the view itself
+/// (§3.2 reconstruction): `x_k = x̃ window sum minus the other raw values`,
+/// here simply via the stored sequence and the post-image neighbours.
+fn old_value_from_view(seq: &CompleteSequence, raw_after: &[f64], k: i64) -> f64 {
+    // x̃ at position k+h (whose window ends at k+h+h?) — simplest correct
+    // recovery: the window [k−l, k+h] at position k sums old raw values;
+    // all of them except x_k are unchanged in raw_after.
+    let (l, h) = (seq.l(), seq.h());
+    let mut others = 0.0;
+    for p in (k - l)..=(k + h) {
+        if p != k && p >= 1 && p <= raw_after.len() as i64 {
+            others += raw_after[(p - 1) as usize];
+        }
+    }
+    seq.get(k) - others
+}
+
+/// Recover the deleted raw value: before deletion the window of position
+/// `k` summed the old neighbourhood; after deletion positions ≥ k shifted
+/// left by one.
+fn deleted_value_from_view(seq: &CompleteSequence, raw_after: &[f64], k: i64) -> f64 {
+    let (l, h) = (seq.l(), seq.h());
+    let mut others = 0.0;
+    for p in (k - l)..=(k + h) {
+        if p == k {
+            continue;
+        }
+        // Pre-image position p maps to post-image p (p < k) or p−1 (p > k).
+        let q = if p < k { p } else { p - 1 };
+        if q >= 1 && q <= raw_after.len() as i64 {
+            others += raw_after[(q - 1) as usize];
+        }
+    }
+    seq.get(k) - others
+}
+
+/// What `recognize_sequence_view` extracts from a bound view definition.
+struct SequenceViewSpec {
+    base_table: String,
+    pos_column: String,
+    val_column: String,
+    /// `(column name, type)` of each §6 partitioning column, in order.
+    partition: Vec<(String, rfv_types::DataType)>,
+    func: AggFunc,
+    window: WindowSpec,
+}
+
+/// Match `Project([…, pos, w], Window(Scan(base)))` with a single window
+/// expression ordered ascending by `pos`, with either no partitioning
+/// (projection `[pos, w]`) or one plain partition column (projection
+/// `[part, pos, w]`).
+fn recognize_sequence_view(plan: &LogicalPlan) -> Option<SequenceViewSpec> {
+    let LogicalPlan::Project { input, exprs, .. } = plan else {
+        return None;
+    };
+    let LogicalPlan::Window {
+        input: win_input,
+        partition_by,
+        order_by,
+        window_exprs,
+        ..
+    } = input.as_ref()
+    else {
+        return None;
+    };
+    let LogicalPlan::Scan { table, schema } = win_input.as_ref() else {
+        return None;
+    };
+    if window_exprs.len() != 1 {
+        return None;
+    }
+    let [rfv_exec::SortKey {
+        expr: rfv_expr::Expr::Column(pos_idx),
+        desc: false,
+    }] = order_by.as_slice()
+    else {
+        return None;
+    };
+    let spec = &window_exprs[0];
+    let rfv_exec::WindowFuncKind::Agg(func) = spec.func else {
+        return None;
+    };
+    let Some(rfv_expr::Expr::Column(val_idx)) = &spec.arg else {
+        return None;
+    };
+    let base_len = schema.len();
+    // Partition columns must all be plain column references…
+    let mut part_idxs: Vec<usize> = Vec::new();
+    for p in partition_by {
+        let rfv_expr::Expr::Column(i) = p else {
+            return None;
+        };
+        part_idxs.push(*i);
+    }
+    // …and the projection must be exactly [p_1 … p_m, pos, window-column].
+    if exprs.len() != part_idxs.len() + 2 {
+        return None;
+    }
+    for (e, want) in exprs
+        .iter()
+        .zip(part_idxs.iter().copied().chain([*pos_idx, base_len]))
+    {
+        let rfv_expr::Expr::Column(i) = e else {
+            return None;
+        };
+        if *i != want {
+            return None;
+        }
+    }
+    let partition: Vec<(String, rfv_types::DataType)> = part_idxs
+        .iter()
+        .map(|&i| {
+            let f = schema.field(i);
+            (f.name.clone(), f.data_type)
+        })
+        .collect();
+    let window = match (spec.frame.start(), spec.frame.end()) {
+        (rfv_exec::FrameBound::UnboundedPreceding, rfv_exec::FrameBound::Offset(0)) => {
+            WindowSpec::Cumulative
+        }
+        (rfv_exec::FrameBound::Offset(s), rfv_exec::FrameBound::Offset(e)) if s <= 0 && e >= 0 => {
+            WindowSpec::Sliding { l: -s, h: e }
+        }
+        _ => return None,
+    };
+    Some(SequenceViewSpec {
+        base_table: table.clone(),
+        pos_column: schema.field(*pos_idx).name.clone(),
+        val_column: schema.field(*val_idx).name.clone(),
+        partition,
+        func,
+        window,
+    })
+}
+
+// Re-export for the doc example's convenience.
+pub use crate::patterns::PatternVariant as RewriteVariant;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_seq(n: i64) -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+            .unwrap();
+        for i in 1..=n {
+            db.execute(&format!("INSERT INTO seq VALUES ({i}, {})", i as f64))
+                .unwrap();
+        }
+        db
+    }
+
+    fn vals(r: &QueryResult, col: usize) -> Vec<f64> {
+        r.column_f64(col)
+            .unwrap()
+            .into_iter()
+            .map(|v| v.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ddl_dml_query_round_trip() {
+        let db = db_with_seq(5);
+        let r = db.execute("SELECT pos, val FROM seq ORDER BY pos").unwrap();
+        assert_eq!(r.rows().len(), 5);
+        assert_eq!(vals(&r, 1), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn window_query_without_views() {
+        let db = db_with_seq(5);
+        db.set_view_rewrite(false);
+        let r = db
+            .execute(
+                "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+                 AND 1 FOLLOWING) AS s FROM seq",
+            )
+            .unwrap();
+        assert_eq!(vals(&r, 1), vec![3.0, 6.0, 9.0, 12.0, 9.0]);
+    }
+
+    #[test]
+    fn materialized_view_is_recognized_and_mirrored() {
+        let db = db_with_seq(6);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        assert!(db.registry().get("mv").is_some());
+        // Mirror table queryable, includes header/trailer rows.
+        let r = db.execute("SELECT pos, val FROM mv ORDER BY pos").unwrap();
+        assert_eq!(r.rows().len(), 6 + 2 + 1); // body + l trailer + h header
+    }
+
+    #[test]
+    fn query_answered_from_view_matches_direct() {
+        let db = db_with_seq(30);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING \
+                   AND 1 FOLLOWING) AS s FROM seq";
+        let rewritten = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        assert_eq!(vals(&rewritten, 1), vals(&direct, 1));
+        db.set_view_rewrite(true);
+        let explain = db.explain(sql).unwrap();
+        assert!(explain.contains("view rewrite"), "{explain}");
+    }
+
+    #[test]
+    fn exact_match_reads_view_body() {
+        let db = db_with_seq(10);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING \
+                   AND 1 FOLLOWING) AS s FROM seq";
+        let r = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        assert_eq!(vals(&r, 1), vals(&direct, 1));
+    }
+
+    #[test]
+    fn cumulative_view_answers_sliding_queries() {
+        let db = db_with_seq(12);
+        db.execute(
+            "CREATE MATERIALIZED VIEW cv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s FROM seq",
+        )
+        .unwrap();
+        let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING \
+                   AND 2 FOLLOWING) AS s FROM seq";
+        let rewritten = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        assert_eq!(vals(&rewritten, 1), vals(&direct, 1));
+    }
+
+    #[test]
+    fn minmax_views() {
+        let db = Database::new();
+        db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+            .unwrap();
+        for (i, v) in [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0].iter().enumerate() {
+            db.execute(&format!("INSERT INTO seq VALUES ({}, {v})", i + 1))
+                .unwrap();
+        }
+        db.execute(
+            "CREATE MATERIALIZED VIEW mx AS SELECT pos, MAX(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS m FROM seq",
+        )
+        .unwrap();
+        let sql = "SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING \
+                   AND 2 FOLLOWING) AS m FROM seq";
+        let rewritten = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        assert_eq!(vals(&rewritten, 1), vals(&direct, 1));
+    }
+
+    #[test]
+    fn avg_from_sum_view() {
+        let db = db_with_seq(15);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        let sql = "SELECT pos, AVG(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING \
+                   AND 1 FOLLOWING) AS a FROM seq";
+        let rewritten = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        let (a, b) = (vals(&rewritten, 1), vals(&direct, 1));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_maintenance_keeps_views_fresh() {
+        let db = db_with_seq(10);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        db.sequence_update("seq", 5, 50.0).unwrap();
+        db.sequence_insert("seq", 3, 30.0).unwrap();
+        db.sequence_delete("seq", 1).unwrap();
+        // Append through SQL is also maintained.
+        db.execute("INSERT INTO seq VALUES (11, 110.0)").unwrap();
+
+        let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING \
+                   AND 1 FOLLOWING) AS s FROM seq";
+        let from_view = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        assert_eq!(vals(&from_view, 1), vals(&direct, 1));
+    }
+
+    #[test]
+    fn sql_mid_insert_on_viewed_table_is_rejected() {
+        let db = db_with_seq(5);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        let err = db.execute("INSERT INTO seq VALUES (3, 9.0)").unwrap_err();
+        assert!(err.to_string().contains("sequence_insert"), "{err}");
+    }
+
+    #[test]
+    fn drop_protection_and_view_drop() {
+        let db = db_with_seq(3);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        assert!(db.execute("DROP TABLE seq").is_err());
+        db.execute("DROP TABLE mv").unwrap();
+        assert!(db.registry().get("mv").is_none());
+        db.execute("DROP TABLE seq").unwrap();
+    }
+
+    #[test]
+    fn non_sequence_view_falls_back_to_snapshot() {
+        let db = db_with_seq(4);
+        db.execute("CREATE MATERIALIZED VIEW snap AS SELECT pos FROM seq WHERE pos > 2")
+            .unwrap();
+        assert!(db.registry().get("snap").is_none());
+        let r = db.execute("SELECT pos FROM snap ORDER BY pos").unwrap();
+        assert_eq!(r.rows().len(), 2);
+    }
+
+    #[test]
+    fn pattern_variants_agree() {
+        let db = db_with_seq(40);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 4 PRECEDING \
+                   AND 2 FOLLOWING) AS s FROM seq";
+        let mut results = Vec::new();
+        for variant in [
+            PatternVariant::Disjunctive,
+            PatternVariant::UnionSimple,
+            PatternVariant::UnionHash,
+        ] {
+            db.set_pattern_variant(variant);
+            results.push(vals(&db.execute(sql).unwrap(), 1));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn query_result_display_renders_table() {
+        let db = db_with_seq(2);
+        let out = db
+            .execute("SELECT pos, val FROM seq ORDER BY pos")
+            .unwrap()
+            .to_string();
+        assert!(out.contains("pos"), "{out}");
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn execute_script_runs_all() {
+        let db = Database::new();
+        let results = db
+            .execute_script(
+                "CREATE TABLE t (a BIGINT); INSERT INTO t VALUES (1), (2); \
+                 SELECT a FROM t ORDER BY a;",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[2].rows().len(), 2);
+    }
+}

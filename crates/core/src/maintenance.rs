@@ -1,0 +1,280 @@
+//! Incremental maintenance of materialized sequence data (§2.3).
+//!
+//! A materialized sliding-window view must be synchronized when the base
+//! sequence changes. The paper gives per-operation rules showing that the
+//! changes stay *local*: with window size `w = l + h + 1`,
+//!
+//! * **update** at `k` touches the `w` positions `k−h ..= k+l`
+//!   (`x̃_i' = x̃_i − x_k + x_k'`);
+//! * **insert** at `k` shifts positions `> k` right by one and recomputes
+//!   only a `w`-sized neighbourhood around `k`;
+//! * **delete** at `k` shifts positions `> k` left and recomputes the same
+//!   neighbourhood.
+//!
+//! Every rule is property-tested against full rematerialization. The
+//! functions return [`MaintenanceStats`] so callers (and the ablation
+//! bench) can verify the locality claim quantitatively.
+
+use rfv_types::{Result, RfvError};
+
+use crate::sequence::{window_sum, CompleteSequence};
+
+/// How much work a maintenance operation performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceStats {
+    /// Positions whose value was recomputed or adjusted arithmetically.
+    pub recomputed: usize,
+    /// Positions whose value was only *moved* (insert/delete shifts).
+    pub shifted: usize,
+}
+
+/// Apply the §2.3 **update rule**: raw value at position `k` becomes
+/// `new_val`. Both the raw data and the materialized view are updated.
+pub fn update(
+    seq: &mut CompleteSequence,
+    raw: &mut [f64],
+    k: i64,
+    new_val: f64,
+) -> Result<MaintenanceStats> {
+    let n = raw.len() as i64;
+    if !(1..=n).contains(&k) {
+        return Err(RfvError::execution(format!(
+            "update position {k} out of range 1..={n}"
+        )));
+    }
+    let old = raw[(k - 1) as usize];
+    raw[(k - 1) as usize] = new_val;
+    let delta = new_val - old;
+    let (l, h) = (seq.l(), seq.h());
+    // Affected view positions: those whose window [i−l, i+h] contains k,
+    // i.e. i ∈ [k−h, k+l] — clipped to the stored range.
+    let lo = (k - h).max(seq.first_pos());
+    let hi = (k + l).min(seq.last_pos());
+    let first = seq.first_pos();
+    let values = seq.values_mut();
+    for i in lo..=hi {
+        values[(i - first) as usize] += delta;
+    }
+    Ok(MaintenanceStats {
+        recomputed: (hi - lo + 1).max(0) as usize,
+        shifted: 0,
+    })
+}
+
+/// Apply the §2.3 **insert rule**: a new raw value is inserted *at*
+/// position `k` (`1 ≤ k ≤ n+1`); existing positions `≥ k` shift right.
+pub fn insert(
+    seq: &mut CompleteSequence,
+    raw: &mut Vec<f64>,
+    k: i64,
+    val: f64,
+) -> Result<MaintenanceStats> {
+    let n = raw.len() as i64;
+    if !(1..=n + 1).contains(&k) {
+        return Err(RfvError::execution(format!(
+            "insert position {k} out of range 1..={}",
+            n + 1
+        )));
+    }
+    raw.insert((k - 1) as usize, val);
+    let new_n = n + 1;
+    let (l, h) = (seq.l(), seq.h());
+    let first = seq.first_pos(); // unchanged: 1 − h
+    let new_last = new_n + l;
+
+    // Build the new value vector:
+    //   i < k−h      : x̃_i unchanged,
+    //   k−h ≤ i ≤ k+l : recomputed locally over the new raw data,
+    //   i > k+l      : x̃'_i = x̃_{i−1} (pure shift).
+    let mut values = Vec::with_capacity((new_last - first + 1) as usize);
+    let mut stats = MaintenanceStats::default();
+    for i in first..=new_last {
+        if i < k - h {
+            values.push(seq.get(i));
+        } else if i <= k + l {
+            values.push(window_sum(raw, i - l, i + h));
+            stats.recomputed += 1;
+        } else {
+            values.push(seq.get(i - 1));
+            stats.shifted += 1;
+        }
+    }
+    seq.replace(new_n, values);
+    Ok(stats)
+}
+
+/// Apply the §2.3 **delete rule**: the raw value at position `k` is
+/// removed; positions `> k` shift left. Returns the removed value.
+pub fn delete(
+    seq: &mut CompleteSequence,
+    raw: &mut Vec<f64>,
+    k: i64,
+) -> Result<(f64, MaintenanceStats)> {
+    let n = raw.len() as i64;
+    if !(1..=n).contains(&k) {
+        return Err(RfvError::execution(format!(
+            "delete position {k} out of range 1..={n}"
+        )));
+    }
+    let removed = raw.remove((k - 1) as usize);
+    let new_n = n - 1;
+    let (l, h) = (seq.l(), seq.h());
+    let first = seq.first_pos();
+    let new_last = new_n + l;
+
+    let mut values = Vec::with_capacity((new_last - first + 1).max(0) as usize);
+    let mut stats = MaintenanceStats::default();
+    for i in first..=new_last {
+        if i < k - h {
+            values.push(seq.get(i));
+        } else if i <= k + l {
+            values.push(window_sum(raw, i - l, i + h));
+            stats.recomputed += 1;
+        } else {
+            values.push(seq.get(i + 1));
+            stats.shifted += 1;
+        }
+    }
+    seq.replace(new_n, values);
+    Ok((removed, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_consistent(seq: &CompleteSequence, raw: &[f64]) {
+        let fresh = CompleteSequence::materialize(raw, seq.l(), seq.h()).unwrap();
+        for k in seq.first_pos()..=seq.last_pos() {
+            assert!(
+                (seq.get(k) - fresh.get(k)).abs() < 1e-6,
+                "position {k}: incremental {} vs recomputed {}",
+                seq.get(k),
+                fresh.get(k)
+            );
+        }
+        assert_eq!(seq.n(), fresh.n());
+        assert_eq!(seq.last_pos(), fresh.last_pos());
+    }
+
+    #[test]
+    fn update_is_local_and_correct() {
+        let mut raw = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut seq = CompleteSequence::materialize(&raw, 2, 1).unwrap();
+        let stats = update(&mut seq, &mut raw, 3, 10.0).unwrap();
+        assert_consistent(&seq, &raw);
+        // w = l + h + 1 = 4 positions touched.
+        assert_eq!(stats.recomputed, 4);
+        assert_eq!(stats.shifted, 0);
+    }
+
+    #[test]
+    fn update_at_boundaries() {
+        let mut raw = vec![1.0, 2.0, 3.0];
+        let mut seq = CompleteSequence::materialize(&raw, 1, 1).unwrap();
+        update(&mut seq, &mut raw, 1, -5.0).unwrap();
+        assert_consistent(&seq, &raw);
+        update(&mut seq, &mut raw, 3, 7.0).unwrap();
+        assert_consistent(&seq, &raw);
+    }
+
+    #[test]
+    fn update_out_of_range_errors() {
+        let mut raw = vec![1.0];
+        let mut seq = CompleteSequence::materialize(&raw, 1, 1).unwrap();
+        assert!(update(&mut seq, &mut raw, 0, 1.0).is_err());
+        assert!(update(&mut seq, &mut raw, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn insert_in_middle() {
+        let mut raw = vec![1.0, 2.0, 3.0, 4.0];
+        let mut seq = CompleteSequence::materialize(&raw, 2, 1).unwrap();
+        let stats = insert(&mut seq, &mut raw, 3, 99.0).unwrap();
+        assert_eq!(raw, vec![1.0, 2.0, 99.0, 3.0, 4.0]);
+        assert_consistent(&seq, &raw);
+        assert_eq!(stats.recomputed as i64, seq.window_size());
+    }
+
+    #[test]
+    fn insert_at_both_ends() {
+        let mut raw = vec![5.0, 6.0];
+        let mut seq = CompleteSequence::materialize(&raw, 1, 2).unwrap();
+        insert(&mut seq, &mut raw, 1, 4.0).unwrap();
+        assert_consistent(&seq, &raw);
+        insert(&mut seq, &mut raw, 4, 7.0).unwrap();
+        assert_eq!(raw, vec![4.0, 5.0, 6.0, 7.0]);
+        assert_consistent(&seq, &raw);
+    }
+
+    #[test]
+    fn delete_returns_removed_value() {
+        let mut raw = vec![1.0, 2.0, 3.0];
+        let mut seq = CompleteSequence::materialize(&raw, 1, 1).unwrap();
+        let (removed, _) = delete(&mut seq, &mut raw, 2).unwrap();
+        assert_eq!(removed, 2.0);
+        assert_eq!(raw, vec![1.0, 3.0]);
+        assert_consistent(&seq, &raw);
+    }
+
+    #[test]
+    fn delete_until_empty() {
+        let mut raw = vec![1.0, 2.0];
+        let mut seq = CompleteSequence::materialize(&raw, 1, 1).unwrap();
+        delete(&mut seq, &mut raw, 1).unwrap();
+        delete(&mut seq, &mut raw, 1).unwrap();
+        assert_eq!(seq.n(), 0);
+        assert_consistent(&seq, &raw);
+        assert!(delete(&mut seq, &mut raw, 1).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn random_operation_sequences_stay_consistent(
+            initial in proptest::collection::vec(-100i32..100, 1..20),
+            ops in proptest::collection::vec((0u8..3, 0usize..30, -100i32..100), 0..25),
+            l in 0i64..5,
+            h in 0i64..5,
+        ) {
+            let mut raw: Vec<f64> = initial.into_iter().map(f64::from).collect();
+            let mut seq = CompleteSequence::materialize(&raw, l, h).unwrap();
+            for (op, pos_seed, val) in ops {
+                let n = raw.len() as i64;
+                let val = f64::from(val);
+                match op {
+                    0 if n > 0 => {
+                        let k = 1 + (pos_seed as i64 % n);
+                        update(&mut seq, &mut raw, k, val).unwrap();
+                    }
+                    1 => {
+                        let k = 1 + (pos_seed as i64 % (n + 1));
+                        insert(&mut seq, &mut raw, k, val).unwrap();
+                    }
+                    2 if n > 0 => {
+                        let k = 1 + (pos_seed as i64 % n);
+                        delete(&mut seq, &mut raw, k).unwrap();
+                    }
+                    _ => {}
+                }
+                assert_consistent(&seq, &raw);
+            }
+        }
+
+        /// The locality claim: update touches exactly
+        /// min(k+l, n+l) − max(k−h, 1−h) + 1 ≤ w positions.
+        #[test]
+        fn update_work_is_bounded_by_window_size(
+            n in 1i64..30,
+            k_seed in 0i64..30,
+            l in 0i64..5,
+            h in 0i64..5,
+        ) {
+            let mut raw: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut seq = CompleteSequence::materialize(&raw, l, h).unwrap();
+            let k = 1 + (k_seed % n);
+            let stats = update(&mut seq, &mut raw, k, 42.0).unwrap();
+            prop_assert!(stats.recomputed as i64 <= seq.window_size());
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! View-aware query rewriting.
+//!
+//! The paper's framing (§1, §3): a warehouse holds materialized reporting
+//! function views; incoming reporting-function queries should be answered
+//! *from the views* — by the relational operator patterns of Figs. 10/13 —
+//! "directly after parsing the query". This module implements that hook
+//! for the `rfv` engine: given the bound logical plan of a query, it
+//! recognizes the reporting-function shape
+//!
+//! ```text
+//! Project( [Sort(] Window( Scan(base) ) [)] )
+//!   with PARTITION BY ∅, ORDER BY pos ASC, frame ROWS …
+//! ```
+//!
+//! and, when a registered [`SequenceView`] over the same base/columns can
+//! derive each window expression, emits a physical plan that never touches
+//! the raw table:
+//!
+//! * SUM, exact window match → read the view body;
+//! * SUM, sliding → sliding: the **MinOA relational pattern** (Fig. 13);
+//! * SUM, cumulative view or cumulative target: two-point difference /
+//!   prefix tiling, evaluated directly (§3.1 — the paper gives no operator
+//!   pattern for these, the formulas are closed-form);
+//! * MIN/MAX: **MaxOA coverage** (§4.2), evaluated directly;
+//! * AVG over a NOT NULL column: derived SUM divided by the closed-form
+//!   window cardinality `LEAST(pos+h, n) − GREATEST(pos−l, 1) + 1`.
+//!
+//! Anything else returns `None` and the caller falls back to the native
+//! window operator.
+
+use rfv_exec::{FrameBound, JoinType, PhysicalPlan, SortKey, WindowExprSpec, WindowFuncKind};
+use rfv_expr::{AggFunc, Expr, ScalarFn};
+use rfv_plan::LogicalPlan;
+use rfv_storage::Catalog;
+use rfv_types::{Result, Row, Schema, SchemaRef, Value};
+
+use crate::derive;
+use crate::patterns::{self, PatternVariant};
+use crate::sequence::WindowSpec;
+use crate::view::{SequenceView, ViewData, ViewRegistry};
+
+/// Rewrites reporting-function queries against materialized sequence views.
+pub struct Rewriter<'a> {
+    catalog: &'a Catalog,
+    registry: &'a ViewRegistry,
+    /// Which Fig. 10/13 variant to emit for SUM derivations.
+    variant: PatternVariant,
+}
+
+impl<'a> Rewriter<'a> {
+    pub fn new(catalog: &'a Catalog, registry: &'a ViewRegistry) -> Self {
+        Rewriter {
+            catalog,
+            registry,
+            variant: PatternVariant::Disjunctive,
+        }
+    }
+
+    /// Use a different relational pattern variant (Table 2's axis).
+    pub fn with_variant(mut self, variant: PatternVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Try to plan `logical` using materialized views. `Ok(None)` means
+    /// "no rewrite applies — plan normally".
+    pub fn plan_with_views(&self, logical: &LogicalPlan) -> Result<Option<PhysicalPlan>> {
+        match logical {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => Ok(self
+                .plan_with_views(input)?
+                .map(|inner| PhysicalPlan::Project {
+                    input: Box::new(inner),
+                    exprs: exprs.clone(),
+                    schema: schema.clone(),
+                })),
+            LogicalPlan::Sort { input, keys } => {
+                Ok(self
+                    .plan_with_views(input)?
+                    .map(|inner| PhysicalPlan::Sort {
+                        input: Box::new(inner),
+                        keys: keys.clone(),
+                    }))
+            }
+            LogicalPlan::Limit { input, n } => {
+                Ok(self
+                    .plan_with_views(input)?
+                    .map(|inner| PhysicalPlan::Limit {
+                        input: Box::new(inner),
+                        n: *n,
+                    }))
+            }
+            LogicalPlan::Window {
+                input,
+                partition_by,
+                order_by,
+                window_exprs,
+                schema,
+                ..
+            } => self.rewrite_window(input, partition_by, order_by, window_exprs, schema),
+            _ => Ok(None),
+        }
+    }
+
+    fn rewrite_window(
+        &self,
+        input: &LogicalPlan,
+        partition_by: &[Expr],
+        order_by: &[SortKey],
+        window_exprs: &[WindowExprSpec],
+        out_schema: &SchemaRef,
+    ) -> Result<Option<PhysicalPlan>> {
+        let LogicalPlan::Scan {
+            table: base,
+            schema: base_schema,
+        } = input
+        else {
+            return Ok(None);
+        };
+
+        // Classify the query's partitioning/ordering shape. All of the
+        // paper's derivable shapes are captured by one pattern: the query
+        // partitions by plain columns `q_parts` and orders ascending by
+        // plain columns whose last element is the position column. The
+        // columns ordered *before* the position are partition columns of
+        // the view that the query has *reduced away* (§6.2); `q_parts`
+        // must be a prefix of the view's partitioning scheme.
+        //
+        //   simple        — PARTITION BY ∅,        ORDER BY pos
+        //   partitioned   — PARTITION BY p1…pm,    ORDER BY pos        (§6)
+        //   reduction     — PARTITION BY p1…pk,    ORDER BY p(k+1)…pm, pos
+        let mut q_parts: Vec<usize> = Vec::new();
+        for p in partition_by {
+            let Expr::Column(i) = p else { return Ok(None) };
+            q_parts.push(*i);
+        }
+        let mut order_idxs: Vec<usize> = Vec::new();
+        for k in order_by {
+            let SortKey {
+                expr: Expr::Column(i),
+                desc: false,
+            } = k
+            else {
+                return Ok(None);
+            };
+            order_idxs.push(*i);
+        }
+        let Some((&pos_idx, dropped_parts)) = order_idxs.split_last() else {
+            return Ok(None);
+        };
+        let is_simple = q_parts.is_empty() && dropped_parts.is_empty();
+        // Full key the derived relations carry and the base joins on:
+        // (kept partition cols, dropped partition cols, pos).
+        let base_keys: Vec<usize> = q_parts
+            .iter()
+            .chain(dropped_parts.iter())
+            .copied()
+            .chain(std::iter::once(pos_idx))
+            .collect();
+        let key_arity = base_keys.len();
+        let mut derived_rels: Vec<PhysicalPlan> = Vec::new();
+        for spec in window_exprs {
+            let Some(target) = frame_to_window(spec) else {
+                return Ok(None);
+            };
+            // COUNT over the dense position structure needs no value
+            // column: its result is the closed-form window cardinality,
+            // provided a registered view vouches for the density invariant.
+            let count_like = matches!(
+                spec.func,
+                WindowFuncKind::Agg(AggFunc::CountStar) | WindowFuncKind::Agg(AggFunc::Count)
+            );
+            let val_idx = match spec.arg.as_ref() {
+                Some(Expr::Column(i)) => Some(*i),
+                None if count_like => None,
+                _ => return Ok(None),
+            };
+            // COUNT(expr) over a nullable column counts non-nulls — the
+            // closed form only holds for NOT NULL columns.
+            if let (WindowFuncKind::Agg(AggFunc::Count), Some(i)) = (spec.func, val_idx) {
+                if base_schema.field(i).nullable {
+                    return Ok(None);
+                }
+            }
+            let val_field = base_schema.field(val_idx.unwrap_or(0));
+            let pos_name = &base_schema.field(pos_idx).name;
+            let candidates: Vec<SequenceView> = self
+                .registry
+                .views_for(base)
+                .into_iter()
+                .filter(|v| {
+                    v.pos_column.eq_ignore_ascii_case(pos_name)
+                        && (count_like || v.val_column.eq_ignore_ascii_case(&val_field.name))
+                })
+                .collect();
+            let rel = if is_simple {
+                match spec.func {
+                    WindowFuncKind::Agg(AggFunc::Sum) => {
+                        self.derive_sum_rel(&candidates, target)?
+                    }
+                    WindowFuncKind::Agg(AggFunc::Count | AggFunc::CountStar) => {
+                        self.derive_count_rel(&candidates, target)?
+                    }
+                    WindowFuncKind::Agg(AggFunc::Avg) => {
+                        if val_field.nullable {
+                            // The closed-form window cardinality assumes a
+                            // dense, non-null value column.
+                            None
+                        } else {
+                            self.derive_avg_rel(&candidates, target)?
+                        }
+                    }
+                    WindowFuncKind::Agg(agg @ (AggFunc::Min | AggFunc::Max)) => {
+                        self.derive_minmax_rel(&candidates, target, agg == AggFunc::Max)?
+                    }
+                    _ => None,
+                }
+            } else if spec.func == WindowFuncKind::Agg(AggFunc::Sum) {
+                // §6: the view's partitioning scheme must be exactly the
+                // query's kept partition columns followed by the reduced
+                // (now ordering) columns.
+                let scheme: Vec<&str> = q_parts
+                    .iter()
+                    .chain(dropped_parts.iter())
+                    .map(|&i| base_schema.field(i).name.as_str())
+                    .collect();
+                self.derive_partition_scheme_rel(&candidates, &scheme, q_parts.len(), target)?
+            } else {
+                None
+            };
+            match rel {
+                Some(r) => derived_rels.push(r),
+                None => return Ok(None),
+            }
+        }
+
+        // Assemble: base scan ⋈ derived relations on the key columns,
+        // one derived column at a time.
+        let base_table = self.catalog.table(base)?;
+        let mut current = PhysicalPlan::TableScan {
+            table: base_table,
+            schema: base_schema.clone(),
+        };
+        let mut width = base_schema.len();
+        for (i, rel) in derived_rels.into_iter().enumerate() {
+            let joined = PhysicalPlan::HashJoin {
+                left: Box::new(current),
+                right: Box::new(rel),
+                left_keys: base_keys.iter().map(|&k| Expr::col(k)).collect(),
+                right_keys: (0..key_arity).map(Expr::col).collect(),
+                residual: None,
+                join_type: JoinType::Inner,
+            };
+            // Drop the duplicated key columns of the derived relation.
+            let mut exprs: Vec<Expr> = (0..width).map(Expr::col).collect();
+            exprs.push(Expr::col(width + key_arity));
+            let schema = SchemaRef::new(Schema::new(out_schema.fields()[..width + i + 1].to_vec()));
+            current = PhysicalPlan::Project {
+                input: Box::new(joined),
+                exprs,
+                schema,
+            };
+            width += 1;
+        }
+        // Window output order: sorted by (partition keys, order keys).
+        Ok(Some(PhysicalPlan::Sort {
+            input: Box::new(current),
+            keys: base_keys
+                .iter()
+                .map(|&k| SortKey::asc(Expr::col(k)))
+                .collect(),
+        }))
+    }
+
+    /// §6 derivation against a partitioned view whose partitioning
+    /// *scheme* (ordered column list) equals `scheme`. The first `keep`
+    /// columns remain partitioning in the query; the rest were reduced to
+    /// ordering columns (§6.2's partitioning reduction; `keep = m` is the
+    /// same-partitioning case, `keep = 0` the full reduction).
+    ///
+    /// Returns a `(p_1 … p_m, pos, val)` relation:
+    ///
+    /// * `keep = m`: each partition derives independently via MinOA;
+    /// * `keep < m`: partitions agreeing on the kept prefix are merged in
+    ///   dropped-key order — completeness lets us reconstruct each
+    ///   partition's raw values (§3.2) — and the target window runs over
+    ///   the merged sequence.
+    fn derive_partition_scheme_rel(
+        &self,
+        candidates: &[SequenceView],
+        scheme: &[&str],
+        keep: usize,
+        target: WindowSpec,
+    ) -> Result<Option<PhysicalPlan>> {
+        let WindowSpec::Sliding { l: ly, h: hy } = target else {
+            return Ok(None);
+        };
+        for v in candidates {
+            if v.partition_columns.len() != scheme.len()
+                || !v
+                    .partition_columns
+                    .iter()
+                    .zip(scheme)
+                    .all(|(a, b)| a.eq_ignore_ascii_case(b))
+            {
+                continue;
+            }
+            let ViewData::PartitionedSum(parts) = &v.data else {
+                continue;
+            };
+            let mut rows: Vec<Row> = Vec::new();
+            if keep == v.partition_columns.len() {
+                // Same partitioning: derive within each partition.
+                for (key, seq) in parts {
+                    let vals = derive::minoa::derive_sum(seq, ly, hy)?;
+                    for (i, val) in vals.into_iter().enumerate() {
+                        let mut values = key.clone();
+                        values.push(Value::Int(i as i64 + 1));
+                        values.push(Value::Float(val));
+                        rows.push(Row::new(values));
+                    }
+                }
+            } else {
+                // Partitioning reduction: group by the kept prefix; the
+                // BTreeMap iterates partitions in key order, so within a
+                // group the dropped columns provide the merge order.
+                let mut groups: std::collections::BTreeMap<
+                    Vec<Value>,
+                    Vec<(&Vec<Value>, &crate::sequence::CompleteSequence)>,
+                > = std::collections::BTreeMap::new();
+                for (key, seq) in parts {
+                    groups
+                        .entry(key[..keep].to_vec())
+                        .or_default()
+                        .push((key, seq));
+                }
+                for (_, members) in groups {
+                    let mut merged: Vec<f64> = Vec::new();
+                    let mut keys: Vec<(Vec<Value>, i64)> = Vec::new();
+                    for (key, seq) in members {
+                        // Completeness (§6.2) enables raw reconstruction.
+                        let raw = derive::raw::from_sliding(seq)?;
+                        for i in 0..raw.len() {
+                            keys.push((key.clone(), i as i64 + 1));
+                        }
+                        merged.extend(raw);
+                    }
+                    let vals = derive::brute_force_sum(&merged, ly, hy);
+                    for ((key, pos), val) in keys.into_iter().zip(vals) {
+                        let mut values = key;
+                        values.push(Value::Int(pos));
+                        values.push(Value::Float(val));
+                        rows.push(Row::new(values));
+                    }
+                }
+            }
+            return Ok(Some(PhysicalPlan::Values {
+                schema: part_rel_schema(v)?,
+                rows,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// A `(pos, val)` relation deriving a SUM target from the best view.
+    fn derive_sum_rel(
+        &self,
+        candidates: &[SequenceView],
+        target: WindowSpec,
+    ) -> Result<Option<PhysicalPlan>> {
+        let sum_views: Vec<&SequenceView> = candidates
+            .iter()
+            .filter(|v| v.func == AggFunc::Sum && !v.is_partitioned())
+            .collect();
+        // 1. Exact match.
+        if let Some(v) = sum_views.iter().find(|v| v.window == target) {
+            return Ok(Some(self.view_body_rel(v)?));
+        }
+        // 2. Cumulative view → closed-form difference.
+        if let Some(v) = sum_views
+            .iter()
+            .find(|v| matches!(v.window, WindowSpec::Cumulative))
+        {
+            if let (ViewData::CumulativeSum(c), WindowSpec::Sliding { l, h }) = (&v.data, target) {
+                let vals = derive::cumulative::sliding_from_cumulative(c, l, h)?;
+                return Ok(Some(values_rel(&vals)));
+            }
+        }
+        // 3. Sliding view: widest window first (fewest MinOA terms).
+        let mut sliding: Vec<&&SequenceView> = sum_views
+            .iter()
+            .filter(|v| matches!(v.window, WindowSpec::Sliding { .. }))
+            .collect();
+        sliding.sort_by_key(|v| std::cmp::Reverse(v.window.window_size().unwrap_or(0)));
+        if let Some(v) = sliding.first() {
+            let WindowSpec::Sliding { l: lx, h: hx } = v.window else {
+                unreachable!("filtered to sliding")
+            };
+            match target {
+                WindowSpec::Sliding { l: ly, h: hy } => {
+                    let plan = patterns::minoa_pattern(
+                        self.catalog,
+                        &v.name,
+                        lx,
+                        hx,
+                        ly,
+                        hy,
+                        v.n(),
+                        self.variant,
+                    )?;
+                    return Ok(Some(plan));
+                }
+                WindowSpec::Cumulative => {
+                    if let ViewData::Sum(seq) = &v.data {
+                        let vals = derive::cumulative::cumulative_from_sliding(seq);
+                        return Ok(Some(values_rel(&vals)));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// COUNT over a dense, NOT NULL sequence is pure position arithmetic:
+    /// `min(k+h, n) − max(k−l, 1) + 1` for sliding windows, `k` for
+    /// cumulative ones. Any registered (unpartitioned) view over the same
+    /// position column certifies density and supplies `n`.
+    fn derive_count_rel(
+        &self,
+        candidates: &[SequenceView],
+        target: WindowSpec,
+    ) -> Result<Option<PhysicalPlan>> {
+        let Some(v) = candidates.iter().find(|v| !v.is_partitioned()) else {
+            return Ok(None);
+        };
+        let n = v.n();
+        let count_at = |k: i64| -> i64 {
+            match target {
+                WindowSpec::Cumulative => k,
+                WindowSpec::Sliding { l, h } => (k + h).min(n) - (k - l).max(1) + 1,
+            }
+        };
+        let rows = (1..=n)
+            .map(|k| Row::new(vec![Value::Int(k), Value::Int(count_at(k))]))
+            .collect();
+        Ok(Some(PhysicalPlan::Values {
+            schema: rel_schema(),
+            rows,
+        }))
+    }
+
+    /// AVG = derived SUM / closed-form window cardinality.
+    fn derive_avg_rel(
+        &self,
+        candidates: &[SequenceView],
+        target: WindowSpec,
+    ) -> Result<Option<PhysicalPlan>> {
+        let Some(sum_rel) = self.derive_sum_rel(candidates, target)? else {
+            return Ok(None);
+        };
+        let n = match candidates.first() {
+            Some(v) => v.n(),
+            None => return Ok(None),
+        };
+        let count_expr = match target {
+            WindowSpec::Cumulative => Expr::col(0),
+            WindowSpec::Sliding { l, h } => {
+                // LEAST(pos+h, n) − GREATEST(pos−l, 1) + 1
+                let upper = Expr::Function {
+                    func: ScalarFn::Least,
+                    args: vec![Expr::col(0).add(Expr::lit(h)), Expr::lit(n)],
+                };
+                let lower = Expr::Function {
+                    func: ScalarFn::Greatest,
+                    args: vec![Expr::col(0).sub(Expr::lit(l)), Expr::lit(1i64)],
+                };
+                upper.sub(lower).add(Expr::lit(1i64))
+            }
+        };
+        Ok(Some(PhysicalPlan::Project {
+            input: Box::new(sum_rel),
+            exprs: vec![
+                Expr::col(0),
+                Expr::col(1).mul(Expr::lit(1.0f64)).div(count_expr),
+            ],
+            schema: rel_schema(),
+        }))
+    }
+
+    /// MIN/MAX derivation via MaxOA coverage, evaluated directly.
+    fn derive_minmax_rel(
+        &self,
+        candidates: &[SequenceView],
+        target: WindowSpec,
+        max: bool,
+    ) -> Result<Option<PhysicalPlan>> {
+        let func = if max { AggFunc::Max } else { AggFunc::Min };
+        let WindowSpec::Sliding { l: ly, h: hy } = target else {
+            return Ok(None);
+        };
+        for v in candidates.iter().filter(|v| v.func == func) {
+            // Exact match short-circuits.
+            if v.window == target {
+                return Ok(Some(self.view_body_rel(v)?));
+            }
+            if let ViewData::MinMax(seq) = &v.data {
+                if derive::maxoa::factors(seq.l(), seq.h(), ly, hy).is_ok() {
+                    let vals = derive::maxoa::derive_minmax(seq, ly, hy)?;
+                    let rows = vals
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            Row::new(vec![
+                                Value::Int(i as i64 + 1),
+                                v.map_or(Value::Null, Value::Float),
+                            ])
+                        })
+                        .collect();
+                    return Ok(Some(PhysicalPlan::Values {
+                        schema: rel_schema(),
+                        rows,
+                    }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Read a view's body (`pos ∈ [1, n]`) as a `(pos, val)` relation.
+    fn view_body_rel(&self, view: &SequenceView) -> Result<PhysicalPlan> {
+        let table = self.catalog.table(&view.name)?;
+        let schema = SchemaRef::new(table.read().schema().qualified("v"));
+        Ok(PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::TableScan { table, schema }),
+            predicate: Expr::col(0).between(Expr::lit(1i64), Expr::lit(view.n())),
+        })
+    }
+}
+
+fn rel_schema() -> SchemaRef {
+    SchemaRef::new(Schema::new(vec![
+        rfv_types::Field::not_null("pos", rfv_types::DataType::Int),
+        rfv_types::Field::new("val", rfv_types::DataType::Float),
+    ]))
+}
+
+/// Inline `(pos, val)` relation from derived values.
+fn values_rel(vals: &[f64]) -> PhysicalPlan {
+    PhysicalPlan::Values {
+        schema: rel_schema(),
+        rows: vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Row::new(vec![Value::Int(i as i64 + 1), Value::Float(v)]))
+            .collect(),
+    }
+}
+
+/// Map an executor frame onto the paper's window model. `None` for frames
+/// outside the model (e.g. purely-following windows or whole-partition).
+fn frame_to_window(spec: &WindowExprSpec) -> Option<WindowSpec> {
+    match (spec.frame.start(), spec.frame.end()) {
+        (FrameBound::UnboundedPreceding, FrameBound::Offset(0)) => Some(WindowSpec::Cumulative),
+        (FrameBound::Offset(s), FrameBound::Offset(e)) if s <= 0 && e >= 0 => {
+            Some(WindowSpec::Sliding { l: -s, h: e })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_exec::WindowFrame;
+
+    #[test]
+    fn frame_mapping() {
+        let mk = |start, end| WindowExprSpec {
+            func: WindowFuncKind::Agg(AggFunc::Sum),
+            arg: Some(Expr::col(1)),
+            frame: WindowFrame::new(start, end).unwrap(),
+        };
+        assert_eq!(
+            frame_to_window(&mk(FrameBound::UnboundedPreceding, FrameBound::Offset(0))),
+            Some(WindowSpec::Cumulative)
+        );
+        assert_eq!(
+            frame_to_window(&mk(FrameBound::Offset(-2), FrameBound::Offset(1))),
+            Some(WindowSpec::Sliding { l: 2, h: 1 })
+        );
+        // Purely-following window: outside the paper's model.
+        assert_eq!(
+            frame_to_window(&mk(FrameBound::Offset(1), FrameBound::Offset(3))),
+            None
+        );
+        assert_eq!(
+            frame_to_window(&mk(
+                FrameBound::UnboundedPreceding,
+                FrameBound::UnboundedFollowing
+            )),
+            None
+        );
+    }
+}
+
+/// Schema of a partitioned derived relation: `(p_1 … p_m, pos, val)`.
+fn part_rel_schema(view: &SequenceView) -> Result<SchemaRef> {
+    if view.partition_columns.is_empty()
+        || view.partition_columns.len() != view.partition_types.len()
+    {
+        return Err(rfv_types::RfvError::internal(
+            "partitioned view without partition metadata",
+        ));
+    }
+    let mut fields: Vec<rfv_types::Field> = view
+        .partition_columns
+        .iter()
+        .zip(&view.partition_types)
+        .map(|(name, &dt)| rfv_types::Field::not_null(name.clone(), dt))
+        .collect();
+    fields.push(rfv_types::Field::not_null("pos", rfv_types::DataType::Int));
+    fields.push(rfv_types::Field::new("val", rfv_types::DataType::Float));
+    Ok(SchemaRef::new(Schema::new(fields)))
+}

@@ -1,0 +1,415 @@
+//! The formal sequence model of §2 of the paper.
+//!
+//! A *simple sequence* `(S, W, F_A)` assigns every position `k ∈ [1, n]`
+//! the aggregate `F_A` of the raw values inside a window `[w_L(k), w_H(k)]`.
+//! Raw values outside `[1, n]` are defined to be 0 (the paper's convention),
+//! which makes SUM-class math total. Two window shapes exist:
+//!
+//! * **cumulative** — `w_L(k) = start`, `w_H(k) = k` (Year-To-Date style);
+//! * **sliding `(l, h)`** — `w_L(k) = k − l`, `w_H(k) = k + h` with
+//!   constant `l, h ≥ 0`; window size `W(k) = l + h + 1`.
+//!
+//! A sequence is **complete** (§3.2) if header and trailer values are also
+//! stored: positions `1−h … 0` and `n+1 … n+l`, where raw values of `[1,n]`
+//! still contribute. Completeness is the prerequisite for every derivation
+//! algorithm in [`crate::derive`].
+
+use rfv_types::{Result, RfvError};
+
+/// Window shape of a simple sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowSpec {
+    /// `ROWS UNBOUNDED PRECEDING`: at position `k` the window is `[1, k]`.
+    Cumulative,
+    /// `ROWS BETWEEN l PRECEDING AND h FOLLOWING`.
+    Sliding { l: i64, h: i64 },
+}
+
+impl WindowSpec {
+    /// A sliding window, validating `l, h ≥ 0` and `l + h > 0` is *not*
+    /// required (the paper's footnote assumes `l+h>0` for convenience, but
+    /// the degenerate `(0,0)` window — the identity sequence — is useful
+    /// and all algorithms handle it).
+    pub fn sliding(l: i64, h: i64) -> Result<WindowSpec> {
+        if l < 0 || h < 0 {
+            return Err(RfvError::derivation(format!(
+                "sliding window ({l},{h}) must have l ≥ 0 and h ≥ 0"
+            )));
+        }
+        Ok(WindowSpec::Sliding { l, h })
+    }
+
+    /// Window size `W(k)` for sliding windows (`None` for cumulative,
+    /// whose size grows with `k`).
+    pub fn window_size(&self) -> Option<i64> {
+        match self {
+            WindowSpec::Cumulative => None,
+            WindowSpec::Sliding { l, h } => Some(l + h + 1),
+        }
+    }
+
+    /// Window bounds `[w_L(k), w_H(k)]` at position `k`.
+    pub fn bounds(&self, k: i64) -> (i64, i64) {
+        match self {
+            WindowSpec::Cumulative => (i64::MIN / 4, k),
+            WindowSpec::Sliding { l, h } => (k - l, k + h),
+        }
+    }
+}
+
+/// A full sequence specification: window shape plus positions `1..=n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequenceSpec {
+    pub window: WindowSpec,
+    /// Cardinality of the underlying raw data.
+    pub n: i64,
+}
+
+impl SequenceSpec {
+    pub fn new(window: WindowSpec, n: i64) -> Self {
+        SequenceSpec { window, n }
+    }
+}
+
+/// A materialized **complete** sliding-window sequence: the sequence values
+/// for positions `1−h … n+l` (header + body + trailer), SUM semantics.
+///
+/// This is the in-memory form of the paper's materialized reporting
+/// function view (Fig. 7). Positions outside the stored range read as 0 —
+/// exactly the paper's convention `x̃_k = 0 for k ≤ −h, k > n+l`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompleteSequence {
+    l: i64,
+    h: i64,
+    n: i64,
+    /// Values for positions `1−h ..= n+l`, in order.
+    values: Vec<f64>,
+}
+
+impl CompleteSequence {
+    /// Materialize the complete sequence over `raw` (positions `1..=n`)
+    /// with a `(l, h)` sliding window and SUM aggregation.
+    ///
+    /// Runs in `O(n + l + h)` using the pipelined recursion of §2.2.
+    pub fn materialize(raw: &[f64], l: i64, h: i64) -> Result<Self> {
+        WindowSpec::sliding(l, h)?;
+        let n = raw.len() as i64;
+        let lo = 1 - h;
+        let hi = n + l;
+        let mut values = Vec::with_capacity((hi - lo + 1).max(0) as usize);
+        // Running sum over the clipped window.
+        let get_raw = |p: i64| -> f64 {
+            if (1..=n).contains(&p) {
+                raw[(p - 1) as usize]
+            } else {
+                0.0
+            }
+        };
+        let mut sum: f64 = (lo - l..=lo + h).map(get_raw).sum();
+        for k in lo..=hi {
+            if k > lo {
+                // x̃_k = x̃_{k−1} + x_{k+h} − x_{k−l−1}
+                sum += get_raw(k + h) - get_raw(k - l - 1);
+            }
+            values.push(sum);
+        }
+        Ok(CompleteSequence { l, h, n, values })
+    }
+
+    /// Construct directly from stored values (e.g. read back from a view
+    /// table). `values` must cover positions `1−h ..= n+l`.
+    pub fn from_values(l: i64, h: i64, n: i64, values: Vec<f64>) -> Result<Self> {
+        WindowSpec::sliding(l, h)?;
+        let expected = (n + l - (1 - h) + 1).max(0) as usize;
+        if values.len() != expected {
+            return Err(RfvError::derivation(format!(
+                "complete ({l},{h}) sequence over n={n} needs {expected} values \
+                 (positions {}..={}), got {}",
+                1 - h,
+                n + l,
+                values.len()
+            )));
+        }
+        Ok(CompleteSequence { l, h, n, values })
+    }
+
+    pub fn l(&self) -> i64 {
+        self.l
+    }
+
+    pub fn h(&self) -> i64 {
+        self.h
+    }
+
+    pub fn n(&self) -> i64 {
+        self.n
+    }
+
+    /// Window size `w = l + h + 1`.
+    pub fn window_size(&self) -> i64 {
+        self.l + self.h + 1
+    }
+
+    /// Sequence value at position `k`; 0 outside the stored range.
+    pub fn get(&self, k: i64) -> f64 {
+        let lo = 1 - self.h;
+        if k < lo || k > self.n + self.l {
+            0.0
+        } else {
+            self.values[(k - lo) as usize]
+        }
+    }
+
+    /// The body values (positions `1..=n`).
+    pub fn body(&self) -> Vec<f64> {
+        (1..=self.n).map(|k| self.get(k)).collect()
+    }
+
+    /// All stored `(position, value)` pairs, header and trailer included.
+    pub fn entries(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        let lo = 1 - self.h;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (lo + i as i64, v))
+    }
+
+    /// First stored position (`1 − h`).
+    pub fn first_pos(&self) -> i64 {
+        1 - self.h
+    }
+
+    /// Last stored position (`n + l`).
+    pub fn last_pos(&self) -> i64 {
+        self.n + self.l
+    }
+}
+
+/// Brute-force SUM of `raw` over window `[lo, hi]` (clipped to `[1, n]`).
+/// The ground truth every algorithm in this crate is tested against.
+pub fn window_sum(raw: &[f64], lo: i64, hi: i64) -> f64 {
+    let n = raw.len() as i64;
+    let lo = lo.max(1);
+    let hi = hi.min(n);
+    if lo > hi {
+        return 0.0;
+    }
+    raw[(lo - 1) as usize..=(hi - 1) as usize].iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn window_spec_validation() {
+        assert!(WindowSpec::sliding(-1, 0).is_err());
+        assert!(WindowSpec::sliding(0, -2).is_err());
+        assert!(WindowSpec::sliding(0, 0).is_ok());
+        assert_eq!(WindowSpec::sliding(2, 1).unwrap().window_size(), Some(4));
+        assert_eq!(WindowSpec::Cumulative.window_size(), None);
+    }
+
+    #[test]
+    fn bounds() {
+        assert_eq!(WindowSpec::sliding(2, 1).unwrap().bounds(5), (3, 6));
+        let (_, hi) = WindowSpec::Cumulative.bounds(5);
+        assert_eq!(hi, 5);
+    }
+
+    #[test]
+    fn materialize_small_example() {
+        // raw = [1, 2, 3, 4], (l, h) = (1, 1).
+        let seq = CompleteSequence::materialize(&[1.0, 2.0, 3.0, 4.0], 1, 1).unwrap();
+        assert_eq!(seq.first_pos(), 0);
+        assert_eq!(seq.last_pos(), 5);
+        // header: x̃_0 = x_{-1..1} = 1
+        assert_eq!(seq.get(0), 1.0);
+        assert_eq!(seq.get(1), 3.0);
+        assert_eq!(seq.get(2), 6.0);
+        assert_eq!(seq.get(3), 9.0);
+        assert_eq!(seq.get(4), 7.0);
+        // trailer: x̃_5 = x_{4..6} = 4
+        assert_eq!(seq.get(5), 4.0);
+        // outside: zero
+        assert_eq!(seq.get(-1), 0.0);
+        assert_eq!(seq.get(6), 0.0);
+        assert_eq!(seq.body(), vec![3.0, 6.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn degenerate_identity_window() {
+        let seq = CompleteSequence::materialize(&[5.0, 7.0], 0, 0).unwrap();
+        assert_eq!(seq.body(), vec![5.0, 7.0]);
+        assert_eq!(seq.first_pos(), 1);
+        assert_eq!(seq.last_pos(), 2);
+    }
+
+    #[test]
+    fn empty_raw_data() {
+        let seq = CompleteSequence::materialize(&[], 2, 1).unwrap();
+        assert_eq!(seq.n(), 0);
+        assert!(seq.body().is_empty());
+        assert_eq!(seq.get(0), 0.0);
+    }
+
+    #[test]
+    fn from_values_arity_check() {
+        assert!(CompleteSequence::from_values(1, 1, 4, vec![0.0; 6]).is_ok());
+        assert!(CompleteSequence::from_values(1, 1, 4, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn entries_cover_header_to_trailer() {
+        let seq = CompleteSequence::materialize(&[1.0, 2.0], 1, 2).unwrap();
+        let positions: Vec<i64> = seq.entries().map(|(p, _)| p).collect();
+        assert_eq!(positions, vec![-1, 0, 1, 2, 3]);
+    }
+
+    proptest! {
+        /// Materialized values match the brute-force window sum everywhere,
+        /// header and trailer included.
+        #[test]
+        fn materialize_matches_brute_force(
+            raw in proptest::collection::vec(-100.0f64..100.0, 0..40),
+            l in 0i64..6,
+            h in 0i64..6,
+        ) {
+            let seq = CompleteSequence::materialize(&raw, l, h).unwrap();
+            for k in (1 - h - 2)..=(raw.len() as i64 + l + 2) {
+                let expected = window_sum(&raw, k - l, k + h);
+                prop_assert!(
+                    (seq.get(k) - expected).abs() < 1e-6,
+                    "k={k}: {} vs {}", seq.get(k), expected
+                );
+            }
+        }
+    }
+}
+
+// Crate-internal mutable access for the incremental maintenance rules
+// (`crate::maintenance`). Not part of the public API.
+impl CompleteSequence {
+    pub(crate) fn values_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.values
+    }
+
+    pub(crate) fn replace(&mut self, n: i64, values: Vec<f64>) {
+        debug_assert_eq!(values.len() as i64, (n + self.l) - (1 - self.h) + 1);
+        self.n = n;
+        self.values = values;
+    }
+}
+
+/// A materialized complete **cumulative** sequence: running sums
+/// `c̃_k = x_1 + … + x_k`. Header positions (`k ≤ 0`) read 0; trailer
+/// positions (`k > n`) read the grand total — both follow from the window
+/// `[1, k]` clipped to the existing raw data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeSequence {
+    values: Vec<f64>,
+}
+
+impl CumulativeSequence {
+    /// Materialize from raw data in `O(n)`.
+    pub fn materialize(raw: &[f64]) -> Self {
+        let mut values = Vec::with_capacity(raw.len());
+        let mut sum = 0.0;
+        for &v in raw {
+            sum += v;
+            values.push(sum);
+        }
+        CumulativeSequence { values }
+    }
+
+    /// Construct from stored running sums (positions `1..=n`).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        CumulativeSequence { values }
+    }
+
+    pub fn n(&self) -> i64 {
+        self.values.len() as i64
+    }
+
+    /// `c̃_k`, totalized outside `[1, n]`.
+    pub fn get(&self, k: i64) -> f64 {
+        if k < 1 || self.values.is_empty() {
+            0.0
+        } else {
+            self.values[((k.min(self.n())) - 1) as usize]
+        }
+    }
+
+    /// Body values (positions `1..=n`).
+    pub fn body(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A materialized complete **MIN/MAX** sliding-window sequence. Unlike the
+/// SUM case there is no neutral element in the data domain, so positions
+/// whose clipped window is empty store `None` (SQL NULL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompleteMinMaxSequence {
+    l: i64,
+    h: i64,
+    n: i64,
+    /// `true` for MAX, `false` for MIN.
+    max: bool,
+    values: Vec<Option<f64>>,
+}
+
+impl CompleteMinMaxSequence {
+    /// Materialize over `raw` with a `(l, h)` window.
+    pub fn materialize(raw: &[f64], l: i64, h: i64, max: bool) -> Result<Self> {
+        let window = WindowSpec::sliding(l, h)?;
+        let n = raw.len() as i64;
+        let values = ((1 - h)..=(n + l))
+            .map(|k| crate::compute::compute_minmax_at(raw, window, k, max))
+            .collect();
+        Ok(CompleteMinMaxSequence {
+            l,
+            h,
+            n,
+            max,
+            values,
+        })
+    }
+
+    pub fn l(&self) -> i64 {
+        self.l
+    }
+
+    pub fn h(&self) -> i64 {
+        self.h
+    }
+
+    pub fn n(&self) -> i64 {
+        self.n
+    }
+
+    pub fn is_max(&self) -> bool {
+        self.max
+    }
+
+    pub fn window_size(&self) -> i64 {
+        self.l + self.h + 1
+    }
+
+    /// Value at `k`; `None` outside the stored range or where the window
+    /// was empty.
+    pub fn get(&self, k: i64) -> Option<f64> {
+        let lo = 1 - self.h;
+        if k < lo || k > self.n + self.l {
+            None
+        } else {
+            self.values[(k - lo) as usize]
+        }
+    }
+
+    /// Body values (positions `1..=n`).
+    pub fn body(&self) -> Vec<Option<f64>> {
+        (1..=self.n).map(|k| self.get(k)).collect()
+    }
+}

@@ -1,0 +1,361 @@
+//! The materialized sequence-view catalog.
+//!
+//! A [`SequenceView`] records everything the rewriter (§3–§6) needs about
+//! one materialized reporting-function view: which base table and columns
+//! it windows over, the window spec, the aggregate, the optional partition
+//! column (§6), and the *complete* sequence data itself (header/trailer
+//! included, §3.2). The registry keeps the in-memory sequences as the
+//! authoritative copy and mirrors them into a catalog table —
+//! `name(pos, val)` for simple views, `name(part, pos, val)` for
+//! partitioned reporting functions — so the relational operator patterns
+//! (Figs. 10/13) can run against them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rfv_expr::AggFunc;
+use rfv_storage::{Catalog, IndexKind, Table};
+use rfv_types::{row, DataType, Field, Result, RfvError, Row, Schema, Value};
+
+use crate::sequence::{CompleteMinMaxSequence, CompleteSequence, CumulativeSequence, WindowSpec};
+
+/// The sequence payload of a view, by aggregate class and partitioning.
+#[derive(Debug, Clone)]
+pub enum ViewData {
+    /// SUM (and the bases of COUNT/AVG): complete sliding sequence.
+    Sum(CompleteSequence),
+    /// Cumulative SUM view.
+    CumulativeSum(CumulativeSequence),
+    /// MIN/MAX: complete semi-algebraic sequence.
+    MinMax(CompleteMinMaxSequence),
+    /// §6: a *complete reporting function* — one complete sequence per
+    /// partition-key tuple, each with its own header/trailer. Keys are
+    /// multi-column (the paper's partitioning *scheme*).
+    PartitionedSum(BTreeMap<Vec<Value>, CompleteSequence>),
+}
+
+/// Metadata + data of one materialized reporting-function view.
+#[derive(Debug, Clone)]
+pub struct SequenceView {
+    /// Catalog table name the view is mirrored into.
+    pub name: String,
+    /// Base table the view was defined over.
+    pub base_table: String,
+    /// Ordering (position) column of the base table.
+    pub pos_column: String,
+    /// Aggregated value column of the base table.
+    pub val_column: String,
+    /// §6 partitioning columns (empty for simple sequences).
+    pub partition_columns: Vec<String>,
+    /// Static types of the partition columns, for the mirror table schema.
+    pub partition_types: Vec<DataType>,
+    pub func: AggFunc,
+    pub window: WindowSpec,
+    pub data: ViewData,
+}
+
+impl SequenceView {
+    /// Body length `n`. For partitioned views, the *total* across
+    /// partitions.
+    pub fn n(&self) -> i64 {
+        match &self.data {
+            ViewData::Sum(s) => s.n(),
+            ViewData::CumulativeSum(s) => s.n(),
+            ViewData::MinMax(s) => s.n(),
+            ViewData::PartitionedSum(parts) => parts.values().map(|s| s.n()).sum(),
+        }
+    }
+
+    /// Whether this is a §6 partitioned reporting function.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self.data, ViewData::PartitionedSum(_))
+    }
+
+    fn mirror_schema(&self) -> Schema {
+        let mut fields: Vec<Field> = self
+            .partition_columns
+            .iter()
+            .zip(&self.partition_types)
+            .map(|(name, &dt)| Field::not_null(name.clone(), dt))
+            .collect();
+        fields.push(Field::not_null("pos", DataType::Int));
+        fields.push(Field::new("val", DataType::Float));
+        Schema::new(fields)
+    }
+
+    fn fill_mirror(&self, guard: &mut Table) -> Result<()> {
+        match &self.data {
+            ViewData::Sum(seq) => {
+                for (pos, val) in seq.entries() {
+                    guard.insert(row![pos, val])?;
+                }
+            }
+            ViewData::CumulativeSum(seq) => {
+                for pos in 1..=seq.n() {
+                    guard.insert(row![pos, seq.get(pos)])?;
+                }
+            }
+            ViewData::MinMax(seq) => {
+                for pos in (1 - seq.h())..=(seq.n() + seq.l()) {
+                    match seq.get(pos) {
+                        Some(v) => guard.insert(row![pos, v])?,
+                        None => guard.insert(Row::new(vec![Value::Int(pos), Value::Null]))?,
+                    };
+                }
+            }
+            ViewData::PartitionedSum(parts) => {
+                for (key, seq) in parts {
+                    for (pos, val) in seq.entries() {
+                        let mut values = key.clone();
+                        values.push(Value::Int(pos));
+                        values.push(Value::Float(val));
+                        guard.insert(Row::new(values))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Thread-safe registry of sequence views, shared by the engine and the
+/// rewriter.
+#[derive(Debug, Clone, Default)]
+pub struct ViewRegistry {
+    views: Arc<RwLock<Vec<SequenceView>>>,
+}
+
+impl ViewRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a view, creating and filling its mirror table in `catalog`
+    /// (with a unique position index for simple views).
+    pub fn register(&self, catalog: &Catalog, view: SequenceView) -> Result<()> {
+        if self
+            .views
+            .read()
+            .iter()
+            .any(|v| v.name.eq_ignore_ascii_case(&view.name))
+        {
+            return Err(RfvError::catalog(format!(
+                "sequence view `{}` already registered",
+                view.name
+            )));
+        }
+        if view.is_partitioned() != !view.partition_columns.is_empty()
+            || view.partition_columns.len() != view.partition_types.len()
+        {
+            return Err(RfvError::internal(
+                "partitioned view data requires matching partition columns/types",
+            ));
+        }
+        let table = catalog.create_table(&view.name, view.mirror_schema())?;
+        {
+            let mut guard = table.write();
+            view.fill_mirror(&mut guard)?;
+            if !view.is_partitioned() {
+                guard.create_index(0, IndexKind::Unique)?;
+            }
+        }
+        self.views.write().push(view);
+        Ok(())
+    }
+
+    /// All views over `base_table`.
+    pub fn views_for(&self, base_table: &str) -> Vec<SequenceView> {
+        self.views
+            .read()
+            .iter()
+            .filter(|v| v.base_table.eq_ignore_ascii_case(base_table))
+            .cloned()
+            .collect()
+    }
+
+    /// Look a view up by name.
+    pub fn get(&self, name: &str) -> Option<SequenceView> {
+        self.views
+            .read()
+            .iter()
+            .find(|v| v.name.eq_ignore_ascii_case(name))
+            .cloned()
+    }
+
+    /// Names of all registered views.
+    pub fn names(&self) -> Vec<String> {
+        self.views.read().iter().map(|v| v.name.clone()).collect()
+    }
+
+    /// Drop a view (metadata + mirror table).
+    pub fn drop(&self, catalog: &Catalog, name: &str) -> Result<()> {
+        let mut views = self.views.write();
+        let before = views.len();
+        views.retain(|v| !v.name.eq_ignore_ascii_case(name));
+        if views.len() == before {
+            return Err(RfvError::catalog(format!(
+                "sequence view `{name}` not found"
+            )));
+        }
+        catalog.drop_table(name)
+    }
+
+    /// Replace the data of view `name` (after incremental maintenance) and
+    /// rewrite the mirror table.
+    pub fn refresh(&self, catalog: &Catalog, name: &str, data: ViewData) -> Result<()> {
+        let mut views = self.views.write();
+        let view = views
+            .iter_mut()
+            .find(|v| v.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| RfvError::catalog(format!("sequence view `{name}` not found")))?;
+        view.data = data;
+        let table = catalog.table(name)?;
+        let mut guard = table.write();
+        guard.truncate();
+        view.fill_mirror(&mut guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_view(name: &str, raw: &[f64], l: i64, h: i64) -> SequenceView {
+        SequenceView {
+            name: name.into(),
+            base_table: "seq".into(),
+            pos_column: "pos".into(),
+            val_column: "val".into(),
+            partition_columns: vec![],
+            partition_types: vec![],
+            func: AggFunc::Sum,
+            window: WindowSpec::sliding(l, h).unwrap(),
+            data: ViewData::Sum(CompleteSequence::materialize(raw, l, h).unwrap()),
+        }
+    }
+
+    fn partitioned_view(name: &str) -> SequenceView {
+        let mut parts = BTreeMap::new();
+        parts.insert(
+            vec![Value::str("a")],
+            CompleteSequence::materialize(&[1.0, 2.0], 1, 1).unwrap(),
+        );
+        parts.insert(
+            vec![Value::str("b")],
+            CompleteSequence::materialize(&[10.0, 20.0, 30.0], 1, 1).unwrap(),
+        );
+        SequenceView {
+            name: name.into(),
+            base_table: "seq".into(),
+            pos_column: "pos".into(),
+            val_column: "val".into(),
+            partition_columns: vec!["grp".into()],
+            partition_types: vec![DataType::Str],
+            func: AggFunc::Sum,
+            window: WindowSpec::sliding(1, 1).unwrap(),
+            data: ViewData::PartitionedSum(parts),
+        }
+    }
+
+    #[test]
+    fn register_creates_mirror_table() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        reg.register(&catalog, sum_view("mv", &[1.0, 2.0, 3.0], 1, 1))
+            .unwrap();
+        let t = catalog.table("mv").unwrap();
+        // Positions 0..=4 → 5 rows.
+        assert_eq!(t.read().stats().row_count, 5);
+        assert_eq!(
+            reg.views_for("SEQ").len(),
+            1,
+            "case-insensitive base lookup"
+        );
+        assert!(reg.get("MV").is_some());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        reg.register(&catalog, sum_view("mv", &[1.0], 1, 1))
+            .unwrap();
+        assert!(reg
+            .register(&catalog, sum_view("mv", &[1.0], 1, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn drop_removes_table_and_metadata() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        reg.register(&catalog, sum_view("mv", &[1.0], 1, 1))
+            .unwrap();
+        reg.drop(&catalog, "mv").unwrap();
+        assert!(reg.get("mv").is_none());
+        assert!(!catalog.contains("mv"));
+        assert!(reg.drop(&catalog, "mv").is_err());
+    }
+
+    #[test]
+    fn refresh_rewrites_mirror() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        reg.register(&catalog, sum_view("mv", &[1.0, 2.0], 0, 0))
+            .unwrap();
+        let new_seq = CompleteSequence::materialize(&[5.0, 6.0, 7.0], 0, 0).unwrap();
+        reg.refresh(&catalog, "mv", ViewData::Sum(new_seq)).unwrap();
+        let t = catalog.table("mv").unwrap();
+        assert_eq!(t.read().stats().row_count, 3);
+        assert_eq!(reg.get("mv").unwrap().n(), 3);
+    }
+
+    #[test]
+    fn minmax_views_store_nulls_for_empty_windows() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        let seq = CompleteMinMaxSequence::materialize(&[2.0, 9.0], 1, 2, true).unwrap();
+        let view = SequenceView {
+            name: "mx".into(),
+            base_table: "seq".into(),
+            pos_column: "pos".into(),
+            val_column: "val".into(),
+            partition_columns: vec![],
+            partition_types: vec![],
+            func: AggFunc::Max,
+            window: WindowSpec::sliding(1, 2).unwrap(),
+            data: ViewData::MinMax(seq),
+        };
+        reg.register(&catalog, view).unwrap();
+        let t = catalog.table("mx").unwrap();
+        // Position −1's window [−2, 1] clips to [1,1] → 2.0; all stored.
+        assert_eq!(t.read().stats().row_count, 5);
+    }
+
+    #[test]
+    fn partitioned_view_mirror_has_three_columns() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        let view = partitioned_view("pv");
+        reg.register(&catalog, view).unwrap();
+        let t = catalog.table("pv").unwrap();
+        let guard = t.read();
+        assert_eq!(guard.schema().len(), 3);
+        // Partition 'a': positions 0..=3 (4 rows); 'b': 0..=4 (5 rows).
+        assert_eq!(guard.stats().row_count, 9);
+        let v = reg.get("pv").unwrap();
+        assert!(v.is_partitioned());
+        assert_eq!(v.n(), 5, "total body length across partitions");
+    }
+
+    #[test]
+    fn partition_metadata_consistency_enforced() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        let mut bad = partitioned_view("bad");
+        bad.partition_columns = vec![];
+        bad.partition_types = vec![];
+        assert!(reg.register(&catalog, bad).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Hash aggregation.
+
+use std::collections::HashMap;
+
+use rfv_expr::{Accumulator, AggFunc, Expr};
+use rfv_types::{Result, Row, Value};
+
+/// Hash aggregate: group rows by `group_exprs`, fold `aggregates`.
+///
+/// Output rows consist of the group values followed by the aggregate
+/// results. Groups are emitted in first-seen order so results are
+/// deterministic. With an empty `group_exprs`, exactly one row is produced
+/// even for empty input (SQL global aggregate semantics).
+pub fn hash_aggregate(
+    rows: Vec<Row>,
+    group_exprs: &[Expr],
+    aggregates: &[(AggFunc, Option<Expr>)],
+) -> Result<Vec<Row>> {
+    let make_accs = || -> Vec<Box<dyn Accumulator>> {
+        aggregates.iter().map(|(f, _)| f.accumulator()).collect()
+    };
+
+    // group key -> index into `states`
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut states: Vec<(Vec<Value>, Vec<Box<dyn Accumulator>>)> = Vec::new();
+
+    if group_exprs.is_empty() {
+        states.push((Vec::new(), make_accs()));
+        index.insert(Vec::new(), 0);
+    }
+
+    for row in &rows {
+        let key: Vec<Value> = group_exprs
+            .iter()
+            .map(|e| e.eval(row))
+            .collect::<Result<_>>()?;
+        let slot = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                states.push((key.clone(), make_accs()));
+                index.insert(key, states.len() - 1);
+                states.len() - 1
+            }
+        };
+        let accs = &mut states[slot].1;
+        for ((_, arg), acc) in aggregates.iter().zip(accs.iter_mut()) {
+            let v = match arg {
+                Some(e) => e.eval(row)?,
+                // COUNT(*): the value is irrelevant, any non-null works;
+                // CountStar counts rows regardless.
+                None => Value::Int(1),
+            };
+            acc.update(&v)?;
+        }
+    }
+
+    Ok(states
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.iter().map(|a| a.finish()));
+            Row::new(key)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::row;
+
+    fn sample() -> Vec<Row> {
+        vec![
+            row!["a", 1i64],
+            row!["b", 10i64],
+            row!["a", 2i64],
+            row!["b", 20i64],
+            row!["a", 3i64],
+        ]
+    }
+
+    #[test]
+    fn groups_in_first_seen_order() {
+        let out = hash_aggregate(
+            sample(),
+            &[Expr::col(0)],
+            &[(AggFunc::Sum, Some(Expr::col(1)))],
+        )
+        .unwrap();
+        assert_eq!(out, vec![row!["a", 6i64], row!["b", 30i64]]);
+    }
+
+    #[test]
+    fn multiple_aggregates() {
+        let out = hash_aggregate(
+            sample(),
+            &[Expr::col(0)],
+            &[
+                (AggFunc::CountStar, None),
+                (AggFunc::Min, Some(Expr::col(1))),
+                (AggFunc::Max, Some(Expr::col(1))),
+                (AggFunc::Avg, Some(Expr::col(1))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0], row!["a", 3i64, 1i64, 3i64, 2.0f64]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let out = hash_aggregate(
+            vec![],
+            &[],
+            &[
+                (AggFunc::CountStar, None),
+                (AggFunc::Sum, Some(Expr::col(0))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], Row::new(vec![Value::Int(0), Value::Null]));
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let out = hash_aggregate(vec![], &[Expr::col(0)], &[(AggFunc::CountStar, None)]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn null_group_keys_form_a_group() {
+        let rows = vec![
+            Row::new(vec![Value::Null, Value::Int(1)]),
+            Row::new(vec![Value::Null, Value::Int(2)]),
+        ];
+        let out =
+            hash_aggregate(rows, &[Expr::col(0)], &[(AggFunc::Sum, Some(Expr::col(1)))]).unwrap();
+        assert_eq!(out.len(), 1, "NULLs group together in GROUP BY");
+        assert_eq!(out[0].get(1), &Value::Int(3));
+    }
+
+    #[test]
+    fn grouping_by_expression() {
+        let rows: Vec<Row> = (1..=6i64).map(|i| row![i, 1i64]).collect();
+        let out = hash_aggregate(
+            rows,
+            &[Expr::col(0).modulo(Expr::lit(2i64))],
+            &[(AggFunc::CountStar, None)],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], row![1i64, 3i64]);
+        assert_eq!(out[1], row![0i64, 3i64]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Row-level operators: filter, project, sort.
+
+use std::cmp::Ordering;
+
+use rfv_expr::Expr;
+use rfv_types::{Result, Row, Value};
+
+use crate::physical::SortKey;
+
+/// Keep rows for which `predicate` is TRUE (NULL/unknown drops the row).
+pub fn filter(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in rows {
+        if predicate.eval(&row)?.as_bool()? == Some(true) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate one expression per output column.
+pub fn project(rows: Vec<Row>, exprs: &[Expr]) -> Result<Vec<Row>> {
+    rows.iter()
+        .map(|row| {
+            exprs
+                .iter()
+                .map(|e| e.eval(row))
+                .collect::<Result<Vec<Value>>>()
+                .map(Row::new)
+        })
+        .collect()
+}
+
+/// Evaluate the sort keys for a row.
+fn key_values(row: &Row, keys: &[SortKey]) -> Result<Vec<Value>> {
+    keys.iter().map(|k| k.expr.eval(row)).collect()
+}
+
+/// Compare two key vectors under the per-key direction flags.
+pub(crate) fn compare_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+    for ((av, bv), key) in a.iter().zip(b).zip(keys) {
+        let ord = av.total_cmp(bv);
+        let ord = if key.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Stable sort by the given keys.
+pub fn sort(rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>> {
+    let mut decorated: Vec<(Vec<Value>, Row)> = rows
+        .into_iter()
+        .map(|r| key_values(&r, keys).map(|k| (k, r)))
+        .collect::<Result<_>>()?;
+    decorated.sort_by(|(a, _), (b, _)| compare_keys(a, b, keys));
+    Ok(decorated.into_iter().map(|(_, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::row;
+
+    #[test]
+    fn filter_drops_false_and_null() {
+        let rows = vec![row![1i64], row![2i64], Row::new(vec![Value::Null])];
+        let pred = Expr::col(0).gt(Expr::lit(1i64));
+        let out = filter(rows, &pred).unwrap();
+        assert_eq!(out, vec![row![2i64]], "NULL > 1 is unknown, dropped");
+    }
+
+    #[test]
+    fn project_computes_columns() {
+        let rows = vec![row![2i64, 3i64]];
+        let out = project(rows, &[Expr::col(1), Expr::col(0).add(Expr::col(1))]).unwrap();
+        assert_eq!(out, vec![row![3i64, 5i64]]);
+    }
+
+    #[test]
+    fn sort_multi_key_directions() {
+        let rows = vec![row![1i64, "b"], row![2i64, "a"], row![1i64, "a"]];
+        let keys = [SortKey::asc(Expr::col(0)), SortKey::desc(Expr::col(1))];
+        let out = sort(rows, &keys).unwrap();
+        assert_eq!(out, vec![row![1i64, "b"], row![1i64, "a"], row![2i64, "a"]]);
+    }
+
+    #[test]
+    fn sort_nulls_first_on_asc() {
+        let rows = vec![row![1i64], Row::new(vec![Value::Null])];
+        let out = sort(rows, &[SortKey::asc(Expr::col(0))]).unwrap();
+        assert!(out[0].get(0).is_null());
+        let rows = vec![Row::new(vec![Value::Null]), row![1i64]];
+        let out = sort(rows, &[SortKey::desc(Expr::col(0))]).unwrap();
+        assert!(out[1].get(0).is_null(), "NULLs last on DESC");
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let rows = vec![row![1i64, 1i64], row![1i64, 2i64], row![1i64, 3i64]];
+        let out = sort(rows.clone(), &[SortKey::asc(Expr::col(0))]).unwrap();
+        assert_eq!(out, rows);
+    }
+}

@@ -1,0 +1,450 @@
+//! The physical plan algebra.
+
+use std::fmt::Write as _;
+
+use rfv_expr::{AggFunc, Expr};
+use rfv_storage::TableRef;
+use rfv_types::{Result, Row, SchemaRef, Value};
+
+use crate::window::{WindowExprSpec, WindowMode};
+use crate::{aggregate, filter, join, scan, window};
+
+/// Join semantics supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    /// Every left row survives; unmatched rows get NULL right columns.
+    LeftOuter,
+}
+
+/// One sort key: expression over the input row plus direction.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+impl SortKey {
+    pub fn asc(expr: Expr) -> Self {
+        SortKey { expr, desc: false }
+    }
+
+    pub fn desc(expr: Expr) -> Self {
+        SortKey { expr, desc: true }
+    }
+}
+
+/// A fully bound physical plan. Expressions reference columns positionally
+/// in the input of the node they belong to; join predicates see
+/// `left ++ right`.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Full scan over a stored table.
+    TableScan { table: TableRef, schema: SchemaRef },
+    /// Ordered range scan via an index: `lo <= col <= hi` (inclusive,
+    /// `None` = unbounded). Output is in index-key order.
+    IndexRangeScan {
+        table: TableRef,
+        schema: SchemaRef,
+        column: usize,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    },
+    /// Literal rows (VALUES lists, tests, constant inputs).
+    Values { schema: SchemaRef, rows: Vec<Row> },
+    /// Keep rows whose predicate evaluates to TRUE.
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    /// Compute one output column per expression.
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<Expr>,
+        schema: SchemaRef,
+    },
+    /// Tuple-at-a-time nested loop join; `on` sees `left ++ right`.
+    /// This is the plan shape the paper's "self join method without index"
+    /// measurements exercise.
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        on: Option<Expr>,
+        join_type: JoinType,
+    },
+    /// For each left row, probe the index of the stored right table with a
+    /// computed key range (`lo_expr ..= hi_expr`, evaluated over the left
+    /// row), then apply the residual predicate over `left ++ right`.
+    /// This is the "self join method with primary key index" shape.
+    IndexNestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right_table: TableRef,
+        right_schema: SchemaRef,
+        right_column: usize,
+        lo_expr: Expr,
+        hi_expr: Expr,
+        residual: Option<Expr>,
+        join_type: JoinType,
+    },
+    /// Build a hash table on the right equi-key, probe with the left.
+    /// NULL keys never match. Residual sees `left ++ right`.
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        residual: Option<Expr>,
+        join_type: JoinType,
+    },
+    /// Stable sort by the given keys (NULLs first on ASC, last on DESC).
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    /// Hash aggregation. Output row = group exprs then aggregates.
+    /// With no group exprs, produces exactly one row (global aggregate).
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group_exprs: Vec<Expr>,
+        /// `(func, arg)`; `None` arg only for `COUNT(*)`.
+        aggregates: Vec<(AggFunc, Option<Expr>)>,
+        schema: SchemaRef,
+    },
+    /// Concatenation of same-schema inputs.
+    UnionAll { inputs: Vec<PhysicalPlan> },
+    /// First `n` rows.
+    Limit { input: Box<PhysicalPlan>, n: usize },
+    /// Reporting-function (window) operator. Output = input columns
+    /// followed by one column per window expression. Rows come out sorted
+    /// by (partition keys, order keys).
+    Window {
+        input: Box<PhysicalPlan>,
+        partition_by: Vec<Expr>,
+        order_by: Vec<SortKey>,
+        window_exprs: Vec<WindowExprSpec>,
+        mode: WindowMode,
+        schema: SchemaRef,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            PhysicalPlan::TableScan { schema, .. }
+            | PhysicalPlan::IndexRangeScan { schema, .. }
+            | PhysicalPlan::Values { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::HashAggregate { schema, .. }
+            | PhysicalPlan::Window { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.schema(),
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                ..
+            }
+            | PhysicalPlan::HashJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                let r = right.schema();
+                let right_schema = match join_type {
+                    JoinType::Inner => (*r).clone(),
+                    JoinType::LeftOuter => r.nullable(),
+                };
+                SchemaRef::new(left.schema().join(&right_schema))
+            }
+            PhysicalPlan::IndexNestedLoopJoin {
+                left,
+                right_schema,
+                join_type,
+                ..
+            } => {
+                let right = match join_type {
+                    JoinType::Inner => (**right_schema).clone(),
+                    JoinType::LeftOuter => right_schema.nullable(),
+                };
+                SchemaRef::new(left.schema().join(&right))
+            }
+            PhysicalPlan::UnionAll { inputs } => inputs
+                .first()
+                .map(|p| p.schema())
+                .unwrap_or_else(|| SchemaRef::new(rfv_types::Schema::empty())),
+        }
+    }
+
+    /// Execute to completion.
+    pub fn execute(&self) -> Result<Vec<Row>> {
+        match self {
+            PhysicalPlan::TableScan { table, .. } => scan::table_scan(table),
+            PhysicalPlan::IndexRangeScan {
+                table,
+                column,
+                lo,
+                hi,
+                ..
+            } => scan::index_range_scan(table, *column, lo.as_ref(), hi.as_ref()),
+            PhysicalPlan::Values { rows, .. } => Ok(rows.clone()),
+            PhysicalPlan::Filter { input, predicate } => {
+                filter::filter(input.execute()?, predicate)
+            }
+            PhysicalPlan::Project { input, exprs, .. } => filter::project(input.execute()?, exprs),
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                on,
+                join_type,
+            } => join::nested_loop_join(
+                left.execute()?,
+                right.execute()?,
+                on.as_ref(),
+                *join_type,
+                right.schema().len(),
+            ),
+            PhysicalPlan::IndexNestedLoopJoin {
+                left,
+                right_table,
+                right_schema,
+                right_column,
+                lo_expr,
+                hi_expr,
+                residual,
+                join_type,
+            } => join::index_nested_loop_join(
+                left.execute()?,
+                right_table,
+                *right_column,
+                lo_expr,
+                hi_expr,
+                residual.as_ref(),
+                *join_type,
+                right_schema.len(),
+            ),
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                join_type,
+            } => join::hash_join(
+                left.execute()?,
+                right.execute()?,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                *join_type,
+                right.schema().len(),
+            ),
+            PhysicalPlan::Sort { input, keys } => filter::sort(input.execute()?, keys),
+            PhysicalPlan::HashAggregate {
+                input,
+                group_exprs,
+                aggregates,
+                ..
+            } => aggregate::hash_aggregate(input.execute()?, group_exprs, aggregates),
+            PhysicalPlan::UnionAll { inputs } => {
+                let mut out = Vec::new();
+                for p in inputs {
+                    out.extend(p.execute()?);
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Limit { input, n } => {
+                let mut rows = input.execute()?;
+                rows.truncate(*n);
+                Ok(rows)
+            }
+            PhysicalPlan::Window {
+                input,
+                partition_by,
+                order_by,
+                window_exprs,
+                mode,
+                ..
+            } => window::execute_window(
+                input.execute()?,
+                partition_by,
+                order_by,
+                window_exprs,
+                *mode,
+            ),
+        }
+    }
+
+    /// Multi-line explain string (one node per line, children indented).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            PhysicalPlan::TableScan { table, .. } => {
+                let _ = writeln!(out, "{pad}TableScan: {}", table.read().name());
+            }
+            PhysicalPlan::IndexRangeScan {
+                table,
+                column,
+                lo,
+                hi,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexRangeScan: {} col#{column} [{} .. {}]",
+                    table.read().name(),
+                    lo.as_ref().map_or("-inf".into(), |v| v.to_string()),
+                    hi.as_ref().map_or("+inf".into(), |v| v.to_string()),
+                );
+            }
+            PhysicalPlan::Values { rows, .. } => {
+                let _ = writeln!(out, "{pad}Values: {} rows", rows.len());
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter: {predicate}");
+                input.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .zip(schema.fields())
+                    .map(|(e, f)| format!("{e} AS {}", f.name))
+                    .collect();
+                let _ = writeln!(out, "{pad}Project: {}", cols.join(", "));
+                input.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}NestedLoopJoin({join_type:?}): {}",
+                    on.as_ref().map_or("true".into(), |e| e.to_string())
+                );
+                left.explain_into(out, indent + 1);
+                right.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::IndexNestedLoopJoin {
+                left,
+                right_table,
+                lo_expr,
+                hi_expr,
+                residual,
+                join_type,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexNestedLoopJoin({join_type:?}): {} key in [{lo_expr} .. {hi_expr}]{}",
+                    right_table.read().name(),
+                    residual
+                        .as_ref()
+                        .map_or(String::new(), |e| format!(" residual {e}")),
+                );
+                left.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                join_type,
+            } => {
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin({join_type:?}): {}{}",
+                    keys.join(" AND "),
+                    residual
+                        .as_ref()
+                        .map_or(String::new(), |e| format!(" residual {e}")),
+                );
+                left.explain_into(out, indent + 1);
+                right.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort: {}", ks.join(", "));
+                input.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_exprs,
+                aggregates,
+                ..
+            } => {
+                let gs: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|(f, a)| match a {
+                        Some(e) => format!("{f}({e})"),
+                        None => f.to_string(),
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAggregate: group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    aggs.join(", ")
+                );
+                input.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::UnionAll { inputs } => {
+                let _ = writeln!(out, "{pad}UnionAll");
+                for p in inputs {
+                    p.explain_into(out, indent + 1);
+                }
+            }
+            PhysicalPlan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit: {n}");
+                input.explain_into(out, indent + 1);
+            }
+            PhysicalPlan::Window {
+                input,
+                partition_by,
+                order_by,
+                window_exprs,
+                mode,
+                ..
+            } => {
+                let ps: Vec<String> = partition_by.iter().map(|e| e.to_string()).collect();
+                let os: Vec<String> = order_by
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                let ws: Vec<String> = window_exprs.iter().map(|w| w.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Window({mode:?}): partition=[{}] order=[{}] exprs=[{}]",
+                    ps.join(", "),
+                    os.join(", "),
+                    ws.join(", ")
+                );
+                input.explain_into(out, indent + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Scan operators.
+
+use rfv_storage::TableRef;
+use rfv_types::{Result, Row, Value};
+
+/// Full table scan in slot order.
+pub fn table_scan(table: &TableRef) -> Result<Vec<Row>> {
+    let guard = table.read();
+    Ok(guard.scan().map(|(_, r)| r.clone()).collect())
+}
+
+/// Ordered range scan through the index on `column`.
+pub fn index_range_scan(
+    table: &TableRef,
+    column: usize,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+) -> Result<Vec<Row>> {
+    let guard = table.read();
+    let rids = guard.index_range(column, lo, hi)?;
+    Ok(rids
+        .into_iter()
+        .map(|rid| {
+            guard
+                .get(rid)
+                .cloned()
+                .expect("index returned a live row id")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_storage::{Catalog, IndexKind};
+    use rfv_types::{row, DataType, Field, Schema};
+
+    fn setup() -> TableRef {
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "seq",
+                Schema::new(vec![
+                    Field::not_null("pos", DataType::Int),
+                    Field::new("val", DataType::Float),
+                ]),
+            )
+            .unwrap();
+        {
+            let mut g = t.write();
+            for i in [3i64, 1, 2] {
+                g.insert(row![i, (i * 10) as f64]).unwrap();
+            }
+            g.create_index(0, IndexKind::Unique).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn table_scan_returns_all_rows() {
+        let t = setup();
+        assert_eq!(table_scan(&t).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn index_range_scan_is_ordered_and_bounded() {
+        let t = setup();
+        let rows = index_range_scan(&t, 0, Some(&Value::Int(1)), Some(&Value::Int(2))).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Value::Int(1));
+        assert_eq!(rows[1].get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn index_range_scan_without_index_errors() {
+        let t = setup();
+        assert!(index_range_scan(&t, 1, None, None).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! Aggregate functions and accumulators.
+//!
+//! The paper (§2.1) fixes the window aggregate `F_A` to SUM, COUNT, AVG,
+//! MIN, MAX, and leans on SUM because COUNT is trivial and AVG derives from
+//! SUM/COUNT. We implement all five. SUM/COUNT/AVG additionally implement
+//! [`RetractAccumulator`], which the pipelined sliding-window evaluator
+//! (§2.2: `x̃_k = x̃_{k−1} + x_{k+h} − x_{k−l−1}`) needs; MIN/MAX are
+//! *semi-algebraic* (the paper's term) and cannot retract.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rfv_types::{DataType, Result, RfvError, Value};
+
+/// The aggregate functions supported in group-by and OVER() contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    /// `COUNT(*)` — counts rows, not non-null values.
+    CountStar,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn from_name(name: &str, star: bool) -> Option<AggFunc> {
+        match (name.to_ascii_uppercase().as_str(), star) {
+            ("COUNT", true) => Some(AggFunc::CountStar),
+            ("COUNT", false) => Some(AggFunc::Count),
+            ("SUM", false) => Some(AggFunc::Sum),
+            ("AVG", false) => Some(AggFunc::Avg),
+            ("MIN", false) => Some(AggFunc::Min),
+            ("MAX", false) => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Result type given the input type.
+    pub fn result_type(self, input: DataType) -> DataType {
+        match self {
+            AggFunc::Count | AggFunc::CountStar => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => input,
+        }
+    }
+
+    /// Whether values can be *removed* from a running state
+    /// (the algebraic aggregates, in the paper's classification).
+    pub fn is_retractable(self) -> bool {
+        !matches!(self, AggFunc::Min | AggFunc::Max)
+    }
+
+    /// Build a fresh accumulator.
+    pub fn accumulator(self) -> Box<dyn Accumulator> {
+        match self {
+            AggFunc::Sum => Box::new(SumAcc::default()),
+            AggFunc::Count => Box::new(CountAcc {
+                count_star: false,
+                count: 0,
+            }),
+            AggFunc::CountStar => Box::new(CountAcc {
+                count_star: true,
+                count: 0,
+            }),
+            AggFunc::Avg => Box::new(AvgAcc::default()),
+            AggFunc::Min => Box::new(MinMaxAcc {
+                want: Ordering::Less,
+                best: None,
+            }),
+            AggFunc::Max => Box::new(MinMaxAcc {
+                want: Ordering::Greater,
+                best: None,
+            }),
+        }
+    }
+
+    /// Build a retractable accumulator, erroring for MIN/MAX.
+    pub fn retract_accumulator(self) -> Result<Box<dyn RetractAccumulator>> {
+        match self {
+            AggFunc::Sum => Ok(Box::new(SumAcc::default())),
+            AggFunc::Count => Ok(Box::new(CountAcc {
+                count_star: false,
+                count: 0,
+            })),
+            AggFunc::CountStar => Ok(Box::new(CountAcc {
+                count_star: true,
+                count: 0,
+            })),
+            AggFunc::Avg => Ok(Box::new(AvgAcc::default())),
+            AggFunc::Min | AggFunc::Max => Err(RfvError::execution(format!(
+                "{self} does not support retraction"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Incremental aggregate state.
+pub trait Accumulator: fmt::Debug + Send {
+    /// Fold one value into the state. NULLs are ignored (SQL semantics)
+    /// except for COUNT(*) which counts rows regardless.
+    fn update(&mut self, value: &Value) -> Result<()>;
+    /// Current result. Empty SUM/AVG/MIN/MAX yield NULL, COUNT yields 0.
+    fn finish(&self) -> Value;
+    /// Reset to the initial state.
+    fn reset(&mut self);
+}
+
+/// An accumulator that can also *remove* a previously added value —
+/// the engine-side mirror of the paper's pipelined window computation.
+pub trait RetractAccumulator: Accumulator {
+    fn retract(&mut self, value: &Value) -> Result<()>;
+}
+
+/// SUM over ints stays exact (i128 internally to dodge transient overflow);
+/// any float input switches the state to float.
+#[derive(Debug, Default)]
+struct SumAcc {
+    int_sum: i128,
+    float_sum: f64,
+    saw_float: bool,
+    non_null: u64,
+}
+
+impl Accumulator for SumAcc {
+    fn update(&mut self, value: &Value) -> Result<()> {
+        match value {
+            Value::Null => {}
+            Value::Int(i) => {
+                self.int_sum += *i as i128;
+                self.non_null += 1;
+            }
+            Value::Float(f) => {
+                self.float_sum += f;
+                self.saw_float = true;
+                self.non_null += 1;
+            }
+            other => {
+                return Err(RfvError::execution(format!(
+                    "SUM over non-numeric {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        if self.non_null == 0 {
+            Value::Null
+        } else if self.saw_float {
+            Value::Float(self.float_sum + self.int_sum as f64)
+        } else if let Ok(v) = i64::try_from(self.int_sum) {
+            Value::Int(v)
+        } else {
+            Value::Float(self.int_sum as f64)
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = SumAcc::default();
+    }
+}
+
+impl RetractAccumulator for SumAcc {
+    fn retract(&mut self, value: &Value) -> Result<()> {
+        match value {
+            Value::Null => {}
+            Value::Int(i) => {
+                self.int_sum -= *i as i128;
+                self.non_null -= 1;
+            }
+            Value::Float(f) => {
+                self.float_sum -= f;
+                self.non_null -= 1;
+            }
+            other => {
+                return Err(RfvError::execution(format!(
+                    "SUM over non-numeric {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct CountAcc {
+    count_star: bool,
+    count: i64,
+}
+
+impl Accumulator for CountAcc {
+    fn update(&mut self, value: &Value) -> Result<()> {
+        if self.count_star || !value.is_null() {
+            self.count += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        Value::Int(self.count)
+    }
+
+    fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+impl RetractAccumulator for CountAcc {
+    fn retract(&mut self, value: &Value) -> Result<()> {
+        if self.count_star || !value.is_null() {
+            self.count -= 1;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct AvgAcc {
+    sum: SumAcc,
+}
+
+impl Accumulator for AvgAcc {
+    fn update(&mut self, value: &Value) -> Result<()> {
+        self.sum.update(value)
+    }
+
+    fn finish(&self) -> Value {
+        if self.sum.non_null == 0 {
+            return Value::Null;
+        }
+        let total = match self.sum.finish() {
+            Value::Int(i) => i as f64,
+            Value::Float(f) => f,
+            _ => return Value::Null,
+        };
+        Value::Float(total / self.sum.non_null as f64)
+    }
+
+    fn reset(&mut self) {
+        self.sum.reset();
+    }
+}
+
+impl RetractAccumulator for AvgAcc {
+    fn retract(&mut self, value: &Value) -> Result<()> {
+        self.sum.retract(value)
+    }
+}
+
+#[derive(Debug)]
+struct MinMaxAcc {
+    want: Ordering,
+    best: Option<Value>,
+}
+
+impl Accumulator for MinMaxAcc {
+    fn update(&mut self, value: &Value) -> Result<()> {
+        if value.is_null() {
+            return Ok(());
+        }
+        match &self.best {
+            None => self.best = Some(value.clone()),
+            Some(b) => {
+                if value.sql_cmp(b)? == Some(self.want) {
+                    self.best = Some(value.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        self.best.clone().unwrap_or(Value::Null)
+    }
+
+    fn reset(&mut self) {
+        self.best = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut acc = func.accumulator();
+        for v in vals {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn sum_ignores_nulls_and_is_null_when_empty() {
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Sum, &[Value::Null]), Value::Null);
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Null, Value::Int(2)]),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn sum_mixed_types_goes_float() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn sum_survives_transient_i64_overflow() {
+        let vals = [
+            Value::Int(i64::MAX),
+            Value::Int(i64::MAX),
+            Value::Int(-i64::MAX),
+        ];
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn count_vs_count_star() {
+        let vals = [Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::CountStar, &vals), Value::Int(3));
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn avg_is_float() {
+        let vals = [Value::Int(1), Value::Int(2)];
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Float(1.5));
+        assert_eq!(run(AggFunc::Avg, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn min_max() {
+        let vals = [Value::Int(3), Value::Null, Value::Int(1), Value::Int(2)];
+        assert_eq!(run(AggFunc::Min, &vals), Value::Int(1));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Int(3));
+        assert_eq!(run(AggFunc::Min, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let vals = [Value::str("b"), Value::str("a")];
+        assert_eq!(run(AggFunc::Min, &vals), Value::str("a"));
+        assert_eq!(run(AggFunc::Max, &vals), Value::str("b"));
+    }
+
+    #[test]
+    fn retraction_matches_fresh_state() {
+        let mut acc = AggFunc::Sum.retract_accumulator().unwrap();
+        for i in 1..=5i64 {
+            acc.update(&Value::Int(i)).unwrap();
+        }
+        acc.retract(&Value::Int(1)).unwrap();
+        acc.retract(&Value::Int(2)).unwrap();
+        assert_eq!(acc.finish(), Value::Int(12));
+        // Retracting everything returns to the empty (NULL) state.
+        for i in 3..=5i64 {
+            acc.retract(&Value::Int(i)).unwrap();
+        }
+        assert_eq!(acc.finish(), Value::Null);
+    }
+
+    #[test]
+    fn retract_null_is_noop_for_count() {
+        let mut acc = AggFunc::Count.retract_accumulator().unwrap();
+        acc.update(&Value::Int(1)).unwrap();
+        acc.retract(&Value::Null).unwrap();
+        assert_eq!(acc.finish(), Value::Int(1));
+    }
+
+    #[test]
+    fn min_max_cannot_retract() {
+        assert!(AggFunc::Min.retract_accumulator().is_err());
+        assert!(AggFunc::Max.retract_accumulator().is_err());
+        assert!(!AggFunc::Min.is_retractable());
+        assert!(AggFunc::Sum.is_retractable());
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut acc = AggFunc::Sum.accumulator();
+        assert!(acc.update(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn from_name_parses() {
+        assert_eq!(AggFunc::from_name("sum", false), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("COUNT", true), Some(AggFunc::CountStar));
+        assert_eq!(AggFunc::from_name("sum", true), None);
+        assert_eq!(AggFunc::from_name("median", false), None);
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(AggFunc::Sum.result_type(DataType::Int), DataType::Int);
+        assert_eq!(AggFunc::Avg.result_type(DataType::Int), DataType::Float);
+        assert_eq!(AggFunc::Count.result_type(DataType::Str), DataType::Int);
+        assert_eq!(AggFunc::Min.result_type(DataType::Str), DataType::Str);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut acc = AggFunc::Sum.accumulator();
+        acc.update(&Value::Int(5)).unwrap();
+        acc.reset();
+        assert_eq!(acc.finish(), Value::Null);
+    }
+}

@@ -1,0 +1,1379 @@
+//! Bound expression tree and its evaluator.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rfv_types::{days_to_ymd, DataType, Result, RfvError, Row, Schema, Value};
+
+/// Binary operators. Comparison operators return BOOLEAN (or NULL),
+/// arithmetic returns numeric, AND/OR implement Kleene three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT (three-valued).
+    Not,
+}
+
+/// Scalar functions available to queries. `MOD` also exists as a binary
+/// operator; the function form mirrors the SQL the paper writes
+/// (`MOD(s1.pos, Δl+Δp)` in Fig. 10/13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFn {
+    Abs,
+    Mod,
+    /// Extract year from a DATE.
+    Year,
+    /// Extract month (1–12) from a DATE.
+    Month,
+    /// Extract day-of-month from a DATE.
+    Day,
+    /// Smallest argument (row-wise), NULL if any argument is NULL.
+    Least,
+    /// Largest argument (row-wise), NULL if any argument is NULL.
+    Greatest,
+    /// Largest integer ≤ x.
+    Floor,
+    /// Smallest integer ≥ x.
+    Ceil,
+    /// Round half away from zero.
+    Round,
+    /// −1 / 0 / +1 of a numeric argument.
+    Sign,
+    /// Square root; negative input is an execution error.
+    Sqrt,
+    /// `POWER(base, exponent)`.
+    Power,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm; non-positive input is an execution error.
+    Ln,
+    /// ASCII uppercase.
+    Upper,
+    /// ASCII lowercase.
+    Lower,
+    /// Character count of a string.
+    Length,
+    /// `SUBSTR(s, start [, len])`, 1-based start, SQL semantics.
+    Substr,
+    /// Concatenate string representations of all arguments.
+    Concat,
+}
+
+impl ScalarFn {
+    /// Parse a function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ScalarFn> {
+        match name.to_ascii_uppercase().as_str() {
+            "ABS" => Some(ScalarFn::Abs),
+            "MOD" => Some(ScalarFn::Mod),
+            "YEAR" => Some(ScalarFn::Year),
+            "MONTH" => Some(ScalarFn::Month),
+            "DAY" => Some(ScalarFn::Day),
+            "LEAST" => Some(ScalarFn::Least),
+            "GREATEST" => Some(ScalarFn::Greatest),
+            "FLOOR" => Some(ScalarFn::Floor),
+            "CEIL" | "CEILING" => Some(ScalarFn::Ceil),
+            "ROUND" => Some(ScalarFn::Round),
+            "SIGN" => Some(ScalarFn::Sign),
+            "SQRT" => Some(ScalarFn::Sqrt),
+            "POWER" | "POW" => Some(ScalarFn::Power),
+            "EXP" => Some(ScalarFn::Exp),
+            "LN" => Some(ScalarFn::Ln),
+            "UPPER" => Some(ScalarFn::Upper),
+            "LOWER" => Some(ScalarFn::Lower),
+            "LENGTH" => Some(ScalarFn::Length),
+            "SUBSTR" | "SUBSTRING" => Some(ScalarFn::Substr),
+            "CONCAT" => Some(ScalarFn::Concat),
+            _ => None,
+        }
+    }
+
+    /// Expected argument count (`None` = variadic with at least one arg).
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            ScalarFn::Abs
+            | ScalarFn::Year
+            | ScalarFn::Month
+            | ScalarFn::Day
+            | ScalarFn::Floor
+            | ScalarFn::Ceil
+            | ScalarFn::Round
+            | ScalarFn::Sign
+            | ScalarFn::Sqrt
+            | ScalarFn::Exp
+            | ScalarFn::Ln
+            | ScalarFn::Upper
+            | ScalarFn::Lower
+            | ScalarFn::Length => Some(1),
+            ScalarFn::Mod | ScalarFn::Power => Some(2),
+            // SUBSTR takes 2 or 3 arguments; CONCAT/LEAST/GREATEST are
+            // variadic. Checked at evaluation time.
+            ScalarFn::Least | ScalarFn::Greatest | ScalarFn::Substr | ScalarFn::Concat => None,
+        }
+    }
+}
+
+impl fmt::Display for ScalarFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarFn::Abs => "ABS",
+            ScalarFn::Mod => "MOD",
+            ScalarFn::Year => "YEAR",
+            ScalarFn::Month => "MONTH",
+            ScalarFn::Day => "DAY",
+            ScalarFn::Least => "LEAST",
+            ScalarFn::Greatest => "GREATEST",
+            ScalarFn::Floor => "FLOOR",
+            ScalarFn::Ceil => "CEIL",
+            ScalarFn::Round => "ROUND",
+            ScalarFn::Sign => "SIGN",
+            ScalarFn::Sqrt => "SQRT",
+            ScalarFn::Power => "POWER",
+            ScalarFn::Exp => "EXP",
+            ScalarFn::Ln => "LN",
+            ScalarFn::Upper => "UPPER",
+            ScalarFn::Lower => "LOWER",
+            ScalarFn::Length => "LENGTH",
+            ScalarFn::Substr => "SUBSTR",
+            ScalarFn::Concat => "CONCAT",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A bound (physical) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Positional reference into the input row.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    /// Searched CASE: `CASE WHEN c1 THEN r1 ... ELSE e END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// First non-NULL argument.
+    Coalesce(Vec<Expr>),
+    /// `expr [NOT] IN (list…)` with SQL NULL semantics.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high` (inclusive).
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// Scalar function call.
+    Function {
+        func: ScalarFn,
+        args: Vec<Expr>,
+    },
+}
+
+// The builder methods below intentionally mirror SQL operator names
+// (`add`, `div`, `not`, …) rather than implementing the std operator
+// traits: `Expr` construction is fallible-free DSL building, not value
+// arithmetic, and trait impls would force `Output = Expr` on `&Expr`.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Shorthand constructors used pervasively by the planner and by the
+    /// relational operator patterns in `rfv-core`.
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Eq, other)
+    }
+
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Lt, other)
+    }
+
+    pub fn lt_eq(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::LtEq, other)
+    }
+
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Gt, other)
+    }
+
+    pub fn gt_eq(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::GtEq, other)
+    }
+
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::And, other)
+    }
+
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Or, other)
+    }
+
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Add, other)
+    }
+
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Sub, other)
+    }
+
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Mul, other)
+    }
+
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Div, other)
+    }
+
+    pub fn modulo(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::Mod, other)
+    }
+
+    pub fn neg(self) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(self),
+        }
+    }
+
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(self),
+        }
+    }
+
+    pub fn between(self, low: Expr, high: Expr) -> Expr {
+        Expr::Between {
+            expr: Box::new(self),
+            low: Box::new(low),
+            high: Box::new(high),
+            negated: false,
+        }
+    }
+
+    pub fn in_list(self, list: Vec<Expr>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Column(i) => row.values().get(*i).cloned().ok_or_else(|| {
+                RfvError::internal(format!(
+                    "column index {i} out of bounds for row of arity {}",
+                    row.len()
+                ))
+            }),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { left, op, right } => match op {
+                BinaryOp::And => {
+                    // Kleene AND with short-circuit: FALSE AND x = FALSE
+                    // even when x errors or is NULL.
+                    match left.eval(row)?.as_bool()? {
+                        Some(false) => Ok(Value::Bool(false)),
+                        l => match right.eval(row)?.as_bool()? {
+                            Some(false) => Ok(Value::Bool(false)),
+                            Some(true) => match l {
+                                Some(true) => Ok(Value::Bool(true)),
+                                _ => Ok(Value::Null),
+                            },
+                            None => Ok(Value::Null),
+                        },
+                    }
+                }
+                BinaryOp::Or => match left.eval(row)?.as_bool()? {
+                    Some(true) => Ok(Value::Bool(true)),
+                    l => match right.eval(row)?.as_bool()? {
+                        Some(true) => Ok(Value::Bool(true)),
+                        Some(false) => match l {
+                            Some(false) => Ok(Value::Bool(false)),
+                            _ => Ok(Value::Null),
+                        },
+                        None => Ok(Value::Null),
+                    },
+                },
+                _ => {
+                    let l = left.eval(row)?;
+                    let r = right.eval(row)?;
+                    match op {
+                        BinaryOp::Add => l.add(&r),
+                        BinaryOp::Sub => l.sub(&r),
+                        BinaryOp::Mul => l.mul(&r),
+                        BinaryOp::Div => l.div(&r),
+                        BinaryOp::Mod => l.modulo(&r),
+                        cmp => {
+                            let ord = l.sql_cmp(&r)?;
+                            Ok(match ord {
+                                None => Value::Null,
+                                Some(o) => Value::Bool(match cmp {
+                                    BinaryOp::Eq => o == Ordering::Equal,
+                                    BinaryOp::NotEq => o != Ordering::Equal,
+                                    BinaryOp::Lt => o == Ordering::Less,
+                                    BinaryOp::LtEq => o != Ordering::Greater,
+                                    BinaryOp::Gt => o == Ordering::Greater,
+                                    BinaryOp::GtEq => o != Ordering::Less,
+                                    _ => unreachable!("logical ops handled above"),
+                                }),
+                            })
+                        }
+                    }
+                }
+            },
+            Expr::Unary { op, expr } => {
+                let v = expr.eval(row)?;
+                match op {
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::Not => Ok(match v.as_bool()? {
+                        None => Value::Null,
+                        Some(b) => Value::Bool(!b),
+                    }),
+                }
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (cond, result) in branches {
+                    if cond.eval(row)?.as_bool()? == Some(true) {
+                        return result.eval(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Coalesce(args) => {
+                for a in args {
+                    let v = a.eval(row)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let needle = expr.eval(row)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match needle.sql_eq(&item.eval(row)?)? {
+                        Some(true) => return Ok(Value::Bool(!negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                let ge_lo = match v.sql_cmp(&lo)? {
+                    None => None,
+                    Some(o) => Some(o != Ordering::Less),
+                };
+                let le_hi = match v.sql_cmp(&hi)? {
+                    None => None,
+                    Some(o) => Some(o != Ordering::Greater),
+                };
+                let both = match (ge_lo, le_hi) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                };
+                Ok(match both {
+                    None => Value::Null,
+                    Some(b) => Value::Bool(b != *negated),
+                })
+            }
+            Expr::Function { func, args } => {
+                if let Some(arity) = func.arity() {
+                    if args.len() != arity {
+                        return Err(RfvError::execution(format!(
+                            "{func} expects {arity} arguments, got {}",
+                            args.len()
+                        )));
+                    }
+                } else if args.is_empty() {
+                    return Err(RfvError::execution(format!("{func} needs arguments")));
+                }
+                match func {
+                    ScalarFn::Abs => {
+                        let v = args[0].eval(row)?;
+                        match v {
+                            Value::Null => Ok(Value::Null),
+                            Value::Int(i) => i
+                                .checked_abs()
+                                .map(Value::Int)
+                                .ok_or_else(|| RfvError::execution("overflow in ABS")),
+                            Value::Float(f) => Ok(Value::Float(f.abs())),
+                            other => Err(RfvError::execution(format!(
+                                "ABS expects a numeric argument, got {other:?}"
+                            ))),
+                        }
+                    }
+                    ScalarFn::Mod => args[0].eval(row)?.modulo(&args[1].eval(row)?),
+                    ScalarFn::Year | ScalarFn::Month | ScalarFn::Day => {
+                        let v = args[0].eval(row)?;
+                        match v {
+                            Value::Null => Ok(Value::Null),
+                            Value::Date(d) => {
+                                let (y, m, day) = days_to_ymd(d);
+                                Ok(Value::Int(match func {
+                                    ScalarFn::Year => y as i64,
+                                    ScalarFn::Month => m as i64,
+                                    _ => day as i64,
+                                }))
+                            }
+                            other => Err(RfvError::execution(format!(
+                                "{func} expects a DATE argument, got {other:?}"
+                            ))),
+                        }
+                    }
+                    ScalarFn::Least | ScalarFn::Greatest => {
+                        let mut best: Option<Value> = None;
+                        for a in args {
+                            let v = a.eval(row)?;
+                            if v.is_null() {
+                                return Ok(Value::Null);
+                            }
+                            best = Some(match best {
+                                None => v,
+                                Some(b) => {
+                                    let keep_new = match b.sql_cmp(&v)? {
+                                        Some(Ordering::Greater) => *func == ScalarFn::Least,
+                                        Some(Ordering::Less) => *func == ScalarFn::Greatest,
+                                        _ => false,
+                                    };
+                                    if keep_new {
+                                        v
+                                    } else {
+                                        b
+                                    }
+                                }
+                            });
+                        }
+                        Ok(best.expect("arity checked"))
+                    }
+                    ScalarFn::Floor | ScalarFn::Ceil | ScalarFn::Round | ScalarFn::Sign => {
+                        let v = args[0].eval(row)?;
+                        match v {
+                            Value::Null => Ok(Value::Null),
+                            Value::Int(i) => Ok(Value::Int(match func {
+                                ScalarFn::Sign => i.signum(),
+                                _ => i,
+                            })),
+                            Value::Float(x) => Ok(match func {
+                                ScalarFn::Floor => Value::Float(x.floor()),
+                                ScalarFn::Ceil => Value::Float(x.ceil()),
+                                ScalarFn::Round => {
+                                    // Round half away from zero (SQL).
+                                    Value::Float(x.signum() * x.abs().round())
+                                }
+                                _ => Value::Int(if x > 0.0 {
+                                    1
+                                } else if x < 0.0 {
+                                    -1
+                                } else {
+                                    0
+                                }),
+                            }),
+                            other => Err(RfvError::execution(format!(
+                                "{func} expects a numeric argument, got {other:?}"
+                            ))),
+                        }
+                    }
+                    ScalarFn::Sqrt | ScalarFn::Exp | ScalarFn::Ln => {
+                        let v = args[0].eval(row)?;
+                        let Some(x) = v.as_f64()? else {
+                            return Ok(Value::Null);
+                        };
+                        match func {
+                            ScalarFn::Sqrt if x < 0.0 => {
+                                Err(RfvError::execution(format!("SQRT of negative value {x}")))
+                            }
+                            ScalarFn::Ln if x <= 0.0 => {
+                                Err(RfvError::execution(format!("LN of non-positive value {x}")))
+                            }
+                            ScalarFn::Sqrt => Ok(Value::Float(x.sqrt())),
+                            ScalarFn::Exp => Ok(Value::Float(x.exp())),
+                            _ => Ok(Value::Float(x.ln())),
+                        }
+                    }
+                    ScalarFn::Power => {
+                        let base = args[0].eval(row)?;
+                        let exponent = args[1].eval(row)?;
+                        match (base.as_f64()?, exponent.as_f64()?) {
+                            (Some(b), Some(e)) => {
+                                let r = b.powf(e);
+                                if r.is_finite() {
+                                    Ok(Value::Float(r))
+                                } else {
+                                    Err(RfvError::execution(format!(
+                                        "POWER({b}, {e}) is not finite"
+                                    )))
+                                }
+                            }
+                            _ => Ok(Value::Null),
+                        }
+                    }
+                    ScalarFn::Upper | ScalarFn::Lower => {
+                        let v = args[0].eval(row)?;
+                        match v.as_str()? {
+                            None => Ok(Value::Null),
+                            Some(t) => Ok(Value::str(if *func == ScalarFn::Upper {
+                                t.to_uppercase()
+                            } else {
+                                t.to_lowercase()
+                            })),
+                        }
+                    }
+                    ScalarFn::Length => {
+                        let v = args[0].eval(row)?;
+                        match v.as_str()? {
+                            None => Ok(Value::Null),
+                            Some(t) => Ok(Value::Int(t.chars().count() as i64)),
+                        }
+                    }
+                    ScalarFn::Substr => {
+                        if !(2..=3).contains(&args.len()) {
+                            return Err(RfvError::execution("SUBSTR expects 2 or 3 arguments"));
+                        }
+                        let v = args[0].eval(row)?;
+                        let start = args[1].eval(row)?;
+                        let len = match args.get(2) {
+                            Some(a) => Some(a.eval(row)?),
+                            None => None,
+                        };
+                        let (Some(t), Some(start)) = (v.as_str()?, start.as_int()?) else {
+                            return Ok(Value::Null);
+                        };
+                        let chars: Vec<char> = t.chars().collect();
+                        // SQL 1-based start; start ≤ 0 shifts into the string
+                        // and eats into the length, per the standard.
+                        let (skip, take_adjust) = if start > 0 {
+                            ((start - 1) as usize, 0i64)
+                        } else {
+                            (0, start - 1)
+                        };
+                        let take = match len {
+                            None => chars.len() as i64,
+                            Some(l) => match l.as_int()? {
+                                None => return Ok(Value::Null),
+                                Some(l) if l < 0 => {
+                                    return Err(RfvError::execution("negative length in SUBSTR"))
+                                }
+                                Some(l) => l + take_adjust,
+                            },
+                        };
+                        let out: String =
+                            chars.iter().skip(skip).take(take.max(0) as usize).collect();
+                        Ok(Value::str(out))
+                    }
+                    ScalarFn::Concat => {
+                        let mut out = String::new();
+                        for a in args {
+                            let v = a.eval(row)?;
+                            if v.is_null() {
+                                return Ok(Value::Null);
+                            }
+                            out.push_str(&v.to_string());
+                        }
+                        Ok(Value::str(out))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Static result type against an input schema; drives output schemas in
+    /// the planner. Comparison/logic → Bool; arithmetic → Float unless both
+    /// sides are Int.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            Expr::Column(i) => {
+                if *i >= schema.len() {
+                    return Err(RfvError::internal(format!(
+                        "column index {i} out of bounds for schema of arity {}",
+                        schema.len()
+                    )));
+                }
+                Ok(schema.field(*i).data_type)
+            }
+            Expr::Literal(v) => Ok(v.data_type().unwrap_or(DataType::Int)),
+            Expr::Binary { left, op, right } => {
+                if op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or) {
+                    Ok(DataType::Bool)
+                } else {
+                    let l = left.data_type(schema)?;
+                    let r = right.data_type(schema)?;
+                    if l == DataType::Int && r == DataType::Int {
+                        Ok(DataType::Int)
+                    } else {
+                        Ok(DataType::Float)
+                    }
+                }
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => expr.data_type(schema),
+                UnaryOp::Not => Ok(DataType::Bool),
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                if let Some((_, r)) = branches.first() {
+                    r.data_type(schema)
+                } else if let Some(e) = else_expr {
+                    e.data_type(schema)
+                } else {
+                    Ok(DataType::Int)
+                }
+            }
+            Expr::Coalesce(args) => args
+                .first()
+                .map(|a| a.data_type(schema))
+                .unwrap_or(Ok(DataType::Int)),
+            Expr::InList { .. } | Expr::IsNull { .. } | Expr::Between { .. } => Ok(DataType::Bool),
+            Expr::Function { func, args } => match func {
+                ScalarFn::Abs
+                | ScalarFn::Floor
+                | ScalarFn::Ceil
+                | ScalarFn::Round
+                | ScalarFn::Sign
+                | ScalarFn::Least
+                | ScalarFn::Greatest => args
+                    .first()
+                    .map(|a| a.data_type(schema))
+                    .unwrap_or(Ok(DataType::Int)),
+                ScalarFn::Mod
+                | ScalarFn::Year
+                | ScalarFn::Month
+                | ScalarFn::Day
+                | ScalarFn::Length => Ok(DataType::Int),
+                ScalarFn::Sqrt | ScalarFn::Power | ScalarFn::Exp | ScalarFn::Ln => {
+                    Ok(DataType::Float)
+                }
+                ScalarFn::Upper | ScalarFn::Lower | ScalarFn::Substr | ScalarFn::Concat => {
+                    Ok(DataType::Str)
+                }
+            },
+        }
+    }
+
+    /// All column indexes referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column(i) = e {
+                cols.push(*i);
+            }
+        });
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Unary { expr, .. } => expr.visit(f),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.visit(f);
+                    r.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+            Expr::Coalesce(args) => args.iter().for_each(|a| a.visit(f)),
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                list.iter().for_each(|a| a.visit(f));
+            }
+            Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::Function { args, .. } => args.iter().for_each(|a| a.visit(f)),
+        }
+    }
+
+    /// Rewrite every column index through `f` (used when expressions move
+    /// across projections or join sides).
+    pub fn remap_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Column(i) => Expr::Column(f(*i)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(left.remap_columns(f)),
+                op: *op,
+                right: Box::new(right.remap_columns(f)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.remap_columns(f)),
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.remap_columns(f), r.remap_columns(f)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.remap_columns(f))),
+            },
+            Expr::Coalesce(args) => {
+                Expr::Coalesce(args.iter().map(|a| a.remap_columns(f)).collect())
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.remap_columns(f)),
+                list: list.iter().map(|a| a.remap_columns(f)).collect(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.remap_columns(f)),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.remap_columns(f)),
+                low: Box::new(low.remap_columns(f)),
+                high: Box::new(high.remap_columns(f)),
+                negated: *negated,
+            },
+            Expr::Function { func, args } => Expr::Function {
+                func: *func,
+                args: args.iter().map(|a| a.remap_columns(f)).collect(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Coalesce(args) => {
+                write!(f, "COALESCE(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, a) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Function { func, args } => {
+                write!(f, "{func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::{row, ymd_to_days};
+
+    fn r() -> Row {
+        row![10i64, 2.5f64, "abc"]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(Expr::col(0).eval(&r()).unwrap(), Value::Int(10));
+        assert_eq!(Expr::lit(7i64).eval(&r()).unwrap(), Value::Int(7));
+        assert!(Expr::col(9).eval(&r()).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::col(0).add(Expr::lit(5i64));
+        assert_eq!(e.eval(&r()).unwrap(), Value::Int(15));
+        let c = Expr::col(0).gt(Expr::lit(3i64));
+        assert_eq!(c.eval(&r()).unwrap(), Value::Bool(true));
+        let m = Expr::col(0).modulo(Expr::lit(3i64));
+        assert_eq!(m.eval(&r()).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        let n = Expr::Literal(Value::Null);
+        assert_eq!(
+            f.clone().and(n.clone()).eval(&r()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            n.clone().and(f.clone()).eval(&r()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(t.clone().and(n.clone()).eval(&r()).unwrap(), Value::Null);
+        assert_eq!(
+            t.clone().or(n.clone()).eval(&r()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            n.clone().or(t.clone()).eval(&r()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(f.clone().or(n.clone()).eval(&r()).unwrap(), Value::Null);
+        assert_eq!(n.clone().not().eval(&r()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn and_short_circuits_errors_on_false() {
+        // (FALSE AND 1/0-style error) — right side errors, left is FALSE.
+        let bad = Expr::lit(1i64).eq(Expr::lit("x"));
+        let e = Expr::lit(false).and(bad);
+        assert_eq!(e.eval(&r()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn case_expression() {
+        // CASE WHEN #0 = 10 THEN 'ten' ELSE 'other' END
+        let e = Expr::Case {
+            branches: vec![(Expr::col(0).eq(Expr::lit(10i64)), Expr::lit("ten"))],
+            else_expr: Some(Box::new(Expr::lit("other"))),
+        };
+        assert_eq!(e.eval(&r()).unwrap(), Value::str("ten"));
+        let e2 = Expr::Case {
+            branches: vec![(Expr::col(0).eq(Expr::lit(11i64)), Expr::lit("ten"))],
+            else_expr: None,
+        };
+        assert_eq!(e2.eval(&r()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        let e = Expr::Coalesce(vec![
+            Expr::Literal(Value::Null),
+            Expr::lit(3i64),
+            Expr::lit(4i64),
+        ]);
+        assert_eq!(e.eval(&r()).unwrap(), Value::Int(3));
+        assert_eq!(
+            Expr::Coalesce(vec![Expr::Literal(Value::Null)])
+                .eval(&r())
+                .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let e = Expr::col(0).in_list(vec![Expr::lit(1i64), Expr::lit(10i64)]);
+        assert_eq!(e.eval(&r()).unwrap(), Value::Bool(true));
+        // 10 IN (1, NULL) is unknown; 10 IN (10, NULL) is true.
+        let e2 = Expr::col(0).in_list(vec![Expr::lit(1i64), Expr::Literal(Value::Null)]);
+        assert_eq!(e2.eval(&r()).unwrap(), Value::Null);
+        let e3 = Expr::col(0).in_list(vec![Expr::lit(10i64), Expr::Literal(Value::Null)]);
+        assert_eq!(e3.eval(&r()).unwrap(), Value::Bool(true));
+        // NULL IN (...) is unknown.
+        let e4 = Expr::Literal(Value::Null).in_list(vec![Expr::lit(1i64)]);
+        assert_eq!(e4.eval(&r()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_inclusive_and_null() {
+        let e = Expr::col(0).between(Expr::lit(10i64), Expr::lit(12i64));
+        assert_eq!(e.eval(&r()).unwrap(), Value::Bool(true));
+        let e2 = Expr::col(0).between(Expr::Literal(Value::Null), Expr::lit(12i64));
+        assert_eq!(e2.eval(&r()).unwrap(), Value::Null);
+        // Definitely out of range even with a NULL bound on the other side.
+        let e3 = Expr::col(0).between(Expr::lit(11i64), Expr::Literal(Value::Null));
+        assert_eq!(e3.eval(&r()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn is_null() {
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::Literal(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(e.eval(&r()).unwrap(), Value::Bool(true));
+        let e2 = Expr::IsNull {
+            expr: Box::new(Expr::col(0)),
+            negated: true,
+        };
+        assert_eq!(e2.eval(&r()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn date_extraction() {
+        let d = Value::Date(ymd_to_days(2001, 7, 15));
+        let row = Row::new(vec![d]);
+        for (func, want) in [
+            (ScalarFn::Year, 2001i64),
+            (ScalarFn::Month, 7),
+            (ScalarFn::Day, 15),
+        ] {
+            let e = Expr::Function {
+                func,
+                args: vec![Expr::col(0)],
+            };
+            assert_eq!(e.eval(&row).unwrap(), Value::Int(want));
+        }
+    }
+
+    #[test]
+    fn scalar_fns() {
+        let e = Expr::Function {
+            func: ScalarFn::Abs,
+            args: vec![Expr::lit(-3i64)],
+        };
+        assert_eq!(e.eval(&r()).unwrap(), Value::Int(3));
+        let e = Expr::Function {
+            func: ScalarFn::Mod,
+            args: vec![Expr::lit(7i64), Expr::lit(4i64)],
+        };
+        assert_eq!(e.eval(&r()).unwrap(), Value::Int(3));
+        let e = Expr::Function {
+            func: ScalarFn::Least,
+            args: vec![Expr::lit(7i64), Expr::lit(4i64), Expr::lit(9i64)],
+        };
+        assert_eq!(e.eval(&r()).unwrap(), Value::Int(4));
+        let e = Expr::Function {
+            func: ScalarFn::Greatest,
+            args: vec![Expr::lit(7i64), Expr::Literal(Value::Null)],
+        };
+        assert_eq!(e.eval(&r()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let e = Expr::Function {
+            func: ScalarFn::Mod,
+            args: vec![Expr::lit(7i64)],
+        };
+        assert!(e.eval(&r()).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_dedup_sorted() {
+        let e = Expr::col(3).add(Expr::col(1)).mul(Expr::col(3));
+        assert_eq!(e.referenced_columns(), vec![1, 3]);
+    }
+
+    #[test]
+    fn remap_columns_rewrites_all() {
+        let e = Expr::col(0).add(Expr::col(1));
+        let m = e.remap_columns(&|i| i + 10);
+        assert_eq!(m.referenced_columns(), vec![10, 11]);
+    }
+
+    #[test]
+    fn data_type_inference() {
+        use rfv_types::Field;
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+        ]);
+        assert_eq!(
+            Expr::col(0).add(Expr::col(0)).data_type(&schema).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            Expr::col(0).add(Expr::col(1)).data_type(&schema).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::col(0).eq(Expr::col(1)).data_type(&schema).unwrap(),
+            DataType::Bool
+        );
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let e = Expr::col(0).add(Expr::lit(1i64)).gt(Expr::lit(5i64));
+        assert_eq!(e.to_string(), "((#0 + 1) > 5)");
+    }
+}
+
+#[cfg(test)]
+mod scalar_fn_tests {
+    use super::*;
+    use rfv_types::row;
+
+    fn call(func: ScalarFn, args: Vec<Expr>) -> Result<Value> {
+        Expr::Function { func, args }.eval(&Row::empty())
+    }
+
+    #[test]
+    fn floor_ceil_round_sign() {
+        assert_eq!(
+            call(ScalarFn::Floor, vec![Expr::lit(2.7f64)]).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            call(ScalarFn::Floor, vec![Expr::lit(-2.1f64)]).unwrap(),
+            Value::Float(-3.0)
+        );
+        assert_eq!(
+            call(ScalarFn::Ceil, vec![Expr::lit(2.1f64)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            call(ScalarFn::Round, vec![Expr::lit(2.5f64)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            call(ScalarFn::Round, vec![Expr::lit(-2.5f64)]).unwrap(),
+            Value::Float(-3.0)
+        );
+        assert_eq!(
+            call(ScalarFn::Sign, vec![Expr::lit(-7.5f64)]).unwrap(),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            call(ScalarFn::Sign, vec![Expr::lit(0i64)]).unwrap(),
+            Value::Int(0)
+        );
+        // Integers pass through FLOOR/CEIL unchanged.
+        assert_eq!(
+            call(ScalarFn::Floor, vec![Expr::lit(5i64)]).unwrap(),
+            Value::Int(5)
+        );
+        assert!(call(ScalarFn::Floor, vec![Expr::lit("x")]).is_err());
+    }
+
+    #[test]
+    fn sqrt_power_exp_ln() {
+        assert_eq!(
+            call(ScalarFn::Sqrt, vec![Expr::lit(9.0f64)]).unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(call(ScalarFn::Sqrt, vec![Expr::lit(-1.0f64)]).is_err());
+        assert_eq!(
+            call(ScalarFn::Power, vec![Expr::lit(2i64), Expr::lit(10i64)]).unwrap(),
+            Value::Float(1024.0)
+        );
+        assert!(call(ScalarFn::Power, vec![Expr::lit(0i64), Expr::lit(-1i64)]).is_err());
+        assert!(call(ScalarFn::Ln, vec![Expr::lit(0.0f64)]).is_err());
+        let e = call(ScalarFn::Exp, vec![Expr::lit(1.0f64)]).unwrap();
+        let Value::Float(x) = e else { panic!() };
+        assert!((x - std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            call(ScalarFn::Upper, vec![Expr::lit("aBc")]).unwrap(),
+            Value::str("ABC")
+        );
+        assert_eq!(
+            call(ScalarFn::Lower, vec![Expr::lit("aBc")]).unwrap(),
+            Value::str("abc")
+        );
+        assert_eq!(
+            call(ScalarFn::Length, vec![Expr::lit("héllo")]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            call(
+                ScalarFn::Concat,
+                vec![Expr::lit("a"), Expr::lit(1i64), Expr::lit("b")]
+            )
+            .unwrap(),
+            Value::str("a1b")
+        );
+        assert_eq!(
+            call(
+                ScalarFn::Concat,
+                vec![Expr::lit("a"), Expr::Literal(Value::Null)]
+            )
+            .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn substr_sql_semantics() {
+        let sub = |start: i64, len: Option<i64>| {
+            let mut args = vec![Expr::lit("abcdef"), Expr::lit(start)];
+            if let Some(l) = len {
+                args.push(Expr::lit(l));
+            }
+            call(ScalarFn::Substr, args).unwrap()
+        };
+        assert_eq!(sub(2, None), Value::str("bcdef"));
+        assert_eq!(sub(2, Some(3)), Value::str("bcd"));
+        assert_eq!(sub(1, Some(0)), Value::str(""));
+        // start ≤ 0 eats into the length (SQL standard).
+        assert_eq!(sub(0, Some(3)), Value::str("ab"));
+        assert_eq!(sub(-1, Some(4)), Value::str("ab"));
+        assert_eq!(sub(10, Some(3)), Value::str(""));
+        assert!(call(
+            ScalarFn::Substr,
+            vec![Expr::lit("x"), Expr::lit(1i64), Expr::lit(-1i64)]
+        )
+        .is_err());
+        assert!(
+            call(ScalarFn::Substr, vec![Expr::lit("x")]).is_err(),
+            "too few args"
+        );
+    }
+
+    #[test]
+    fn nulls_propagate() {
+        for func in [
+            ScalarFn::Floor,
+            ScalarFn::Sqrt,
+            ScalarFn::Upper,
+            ScalarFn::Length,
+        ] {
+            assert_eq!(
+                call(func, vec![Expr::Literal(Value::Null)]).unwrap(),
+                Value::Null,
+                "{func}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_types_of_new_functions() {
+        let schema = Schema::new(vec![]);
+        assert_eq!(
+            Expr::Function {
+                func: ScalarFn::Sqrt,
+                args: vec![Expr::lit(1i64)]
+            }
+            .data_type(&schema)
+            .unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::Function {
+                func: ScalarFn::Concat,
+                args: vec![Expr::lit("a")]
+            }
+            .data_type(&schema)
+            .unwrap(),
+            DataType::Str
+        );
+        assert_eq!(
+            Expr::Function {
+                func: ScalarFn::Length,
+                args: vec![Expr::lit("a")]
+            }
+            .data_type(&schema)
+            .unwrap(),
+            DataType::Int
+        );
+    }
+
+    #[test]
+    fn from_name_aliases() {
+        assert_eq!(ScalarFn::from_name("ceiling"), Some(ScalarFn::Ceil));
+        assert_eq!(ScalarFn::from_name("pow"), Some(ScalarFn::Power));
+        assert_eq!(ScalarFn::from_name("substring"), Some(ScalarFn::Substr));
+    }
+
+    #[test]
+    fn usable_through_rows() {
+        let r = row!["text", 2i64];
+        let e = Expr::Function {
+            func: ScalarFn::Substr,
+            args: vec![Expr::col(0), Expr::col(1)],
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::str("ext"));
+    }
+}

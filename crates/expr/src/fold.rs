@@ -1,0 +1,129 @@
+//! Constant folding.
+//!
+//! The relational operator patterns of the paper (Figs. 10, 13) are built
+//! programmatically with literal window parameters (`Δl`, `Δp`, …); folding
+//! collapses the arithmetic over those literals so the executed predicates
+//! compare against precomputed constants.
+
+use rfv_types::Row;
+
+use crate::expr::Expr;
+
+/// Recursively replace constant subtrees by their value.
+///
+/// Only subtrees whose evaluation *succeeds* on the empty row are replaced;
+/// anything that errors (overflow, division by zero, type mismatch) is kept
+/// verbatim so the error still surfaces at execution time with full context.
+pub fn fold_constants(expr: &Expr) -> Expr {
+    let folded = match expr {
+        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(fold_constants(left)),
+            op: *op,
+            right: Box::new(fold_constants(right)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(fold_constants(expr)),
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| (fold_constants(c), fold_constants(r)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(fold_constants(e))),
+        },
+        Expr::Coalesce(args) => Expr::Coalesce(args.iter().map(fold_constants).collect()),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(fold_constants(expr)),
+            list: list.iter().map(fold_constants).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(fold_constants(expr)),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(fold_constants(expr)),
+            low: Box::new(fold_constants(low)),
+            high: Box::new(fold_constants(high)),
+            negated: *negated,
+        },
+        Expr::Function { func, args } => Expr::Function {
+            func: *func,
+            args: args.iter().map(fold_constants).collect(),
+        },
+    };
+    if matches!(folded, Expr::Literal(_)) {
+        return folded;
+    }
+    if folded.referenced_columns().is_empty() {
+        if let Ok(v) = folded.eval(&Row::empty()) {
+            return Expr::Literal(v);
+        }
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::Value;
+
+    #[test]
+    fn folds_pure_arithmetic() {
+        let e = Expr::lit(2i64).add(Expr::lit(3i64)).mul(Expr::lit(4i64));
+        assert_eq!(fold_constants(&e), Expr::Literal(Value::Int(20)));
+    }
+
+    #[test]
+    fn folds_inside_non_constant_trees() {
+        let e = Expr::col(0).add(Expr::lit(2i64).add(Expr::lit(3i64)));
+        let f = fold_constants(&e);
+        assert_eq!(f, Expr::col(0).add(Expr::lit(5i64)));
+    }
+
+    #[test]
+    fn keeps_erroring_subtrees() {
+        let e = Expr::lit(1i64).div(Expr::lit(0i64));
+        let f = fold_constants(&e);
+        assert!(
+            matches!(f, Expr::Binary { .. }),
+            "division by zero not folded away"
+        );
+        assert!(f.eval(&Row::empty()).is_err());
+    }
+
+    #[test]
+    fn folds_comparisons_and_logic() {
+        let e = Expr::lit(1i64).lt(Expr::lit(2i64)).and(Expr::lit(true));
+        assert_eq!(fold_constants(&e), Expr::Literal(Value::Bool(true)));
+    }
+
+    #[test]
+    fn folds_case_and_functions() {
+        let e = Expr::Function {
+            func: crate::expr::ScalarFn::Mod,
+            args: vec![Expr::lit(7i64), Expr::lit(4i64)],
+        };
+        assert_eq!(fold_constants(&e), Expr::Literal(Value::Int(3)));
+    }
+
+    #[test]
+    fn column_refs_survive() {
+        let e = Expr::col(2);
+        assert_eq!(fold_constants(&e), Expr::col(2));
+    }
+}

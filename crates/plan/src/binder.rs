@@ -1,0 +1,1346 @@
+//! Name resolution: AST → bound logical plan.
+//!
+//! Binding a SELECT proceeds in the order the paper describes for
+//! evaluating reporting functions (§1, "overall processing strategy"):
+//! joins and selections first, then the optional global GROUP BY, then the
+//! column-wise partitioning/ordering/windowing of the reporting functions,
+//! and finally the projection.
+
+use rfv_exec::{
+    FrameBound as ExecFrameBound, SortKey, WindowExprSpec, WindowFrame, WindowFuncKind, WindowMode,
+};
+use rfv_expr::{AggFunc, BinaryOp, Expr, ScalarFn, UnaryOp};
+use rfv_sql as ast;
+use rfv_storage::Catalog;
+use rfv_types::{ymd_to_days, DataType, Field, Result, RfvError, Row, Schema, SchemaRef, Value};
+
+use crate::logical::{LogicalJoinType, LogicalPlan};
+
+/// Binds parsed queries against a catalog.
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+    window_mode: WindowMode,
+}
+
+/// What an AST subtree was replaced with during aggregate/window planning.
+struct Replacement {
+    pattern: ast::Expr,
+    column: usize,
+}
+
+/// Binding context for one expression: the current schema, the replacement
+/// table (group expressions, aggregate calls, window functions that have
+/// already been planned into columns), and whether raw column references
+/// are still legal (they are not above an aggregation).
+struct ExprContext<'a> {
+    schema: &'a Schema,
+    replacements: &'a [Replacement],
+    allow_raw_columns: bool,
+    /// Human-readable description for error messages.
+    scope: &'a str,
+}
+
+impl<'a> Binder<'a> {
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Binder {
+            catalog,
+            window_mode: WindowMode::Pipelined,
+        }
+    }
+
+    /// Override the window evaluation strategy (benches compare the naive
+    /// explicit form against the pipelined form of §2.2).
+    pub fn with_window_mode(mut self, mode: WindowMode) -> Self {
+        self.window_mode = mode;
+        self
+    }
+
+    /// Bind a full query.
+    pub fn bind_query(&self, query: &ast::Query) -> Result<LogicalPlan> {
+        let mut plan = match &query.body {
+            // Plain SELECT: hand ORDER BY down so keys can reference
+            // pre-projection columns (`ORDER BY s1.pos` below the SELECT
+            // list) as SQL requires.
+            ast::SetExpr::Select(select) => self.bind_select(select, &query.order_by)?,
+            union => {
+                let mut plan = self.bind_set_expr(union)?;
+                if !query.order_by.is_empty() {
+                    let schema = plan.schema();
+                    let keys = query
+                        .order_by
+                        .iter()
+                        .map(|item| {
+                            let expr = self.bind_order_key(&item.expr, &schema)?;
+                            Ok(SortKey {
+                                expr,
+                                desc: item.desc,
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    plan = LogicalPlan::Sort {
+                        input: Box::new(plan),
+                        keys,
+                    };
+                }
+                plan
+            }
+        };
+        if let Some(n) = query.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n: n as usize,
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Bind a scalar expression over a plain schema (no aggregates, no
+    /// window functions). Public for reuse by the engine (INSERT values,
+    /// view predicates).
+    pub fn bind_scalar(&self, expr: &ast::Expr, schema: &Schema) -> Result<Expr> {
+        let ctx = ExprContext {
+            schema,
+            replacements: &[],
+            allow_raw_columns: true,
+            scope: "scalar expression",
+        };
+        self.bind_expr(expr, &ctx)
+    }
+
+    fn bind_set_expr(&self, set: &ast::SetExpr) -> Result<LogicalPlan> {
+        match set {
+            ast::SetExpr::Select(select) => self.bind_select(select, &[]),
+            ast::SetExpr::Union { left, right, all } => {
+                let l = self.bind_set_expr(left)?;
+                let r = self.bind_set_expr(right)?;
+                if l.schema().len() != r.schema().len() {
+                    return Err(RfvError::plan(format!(
+                        "UNION inputs have different arities ({} vs {})",
+                        l.schema().len(),
+                        r.schema().len()
+                    )));
+                }
+                let union = LogicalPlan::UnionAll { inputs: vec![l, r] };
+                if *all {
+                    Ok(union)
+                } else {
+                    // UNION DISTINCT: aggregate on all columns.
+                    let schema = union.schema();
+                    let group_exprs: Vec<Expr> = (0..schema.len()).map(Expr::col).collect();
+                    Ok(LogicalPlan::Aggregate {
+                        input: Box::new(union),
+                        group_exprs,
+                        aggregates: vec![],
+                        schema,
+                    })
+                }
+            }
+        }
+    }
+
+    fn bind_select(
+        &self,
+        select: &ast::Select,
+        order_by: &[ast::OrderByItem],
+    ) -> Result<LogicalPlan> {
+        // 1. FROM (joins) ---------------------------------------------------
+        let mut plan = match &select.from {
+            Some(from) => self.bind_from(from)?,
+            // SELECT without FROM: a single empty row to project literals over.
+            None => LogicalPlan::Values {
+                schema: SchemaRef::new(Schema::empty()),
+                rows: vec![Row::empty()],
+            },
+        };
+
+        // 2. WHERE ----------------------------------------------------------
+        if let Some(selection) = &select.selection {
+            let schema = plan.schema();
+            let ctx = ExprContext {
+                schema: &schema,
+                replacements: &[],
+                allow_raw_columns: true,
+                scope: "WHERE clause",
+            };
+            let predicate = self.bind_expr(selection, &ctx)?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+
+        // 3. GROUP BY / aggregates -------------------------------------------
+        let mut agg_calls: Vec<ast::Expr> = Vec::new();
+        for item in &select.projection {
+            if let ast::SelectItem::Expr { expr, .. } = item {
+                collect_aggregates(expr, &mut agg_calls);
+            }
+        }
+        if let Some(h) = &select.having {
+            collect_aggregates(h, &mut agg_calls);
+        }
+        let has_aggregation = !select.group_by.is_empty() || !agg_calls.is_empty();
+
+        let mut replacements: Vec<Replacement> = Vec::new();
+        if has_aggregation {
+            let input_schema = plan.schema();
+            let input_ctx = ExprContext {
+                schema: &input_schema,
+                replacements: &[],
+                allow_raw_columns: true,
+                scope: "GROUP BY clause",
+            };
+            let mut fields = Vec::new();
+            let mut group_exprs = Vec::new();
+            for (i, g) in select.group_by.iter().enumerate() {
+                let bound = self.bind_expr(g, &input_ctx)?;
+                let name = match normalize(g) {
+                    ast::Expr::Column { name, .. } => name,
+                    _ => format!("group_{i}"),
+                };
+                fields.push(Field::new(name, bound.data_type(&input_schema)?));
+                replacements.push(Replacement {
+                    pattern: normalize(g),
+                    column: i,
+                });
+                group_exprs.push(bound);
+            }
+            let n_groups = group_exprs.len();
+            let mut aggregates = Vec::new();
+            for (i, call) in agg_calls.iter().enumerate() {
+                let (func, arg_ast) = destructure_agg(call).expect("collected as aggregate");
+                let bound_arg = match arg_ast {
+                    Some(a) => Some(self.bind_expr(
+                        a,
+                        &ExprContext {
+                            schema: &input_schema,
+                            replacements: &[],
+                            allow_raw_columns: true,
+                            scope: "aggregate argument",
+                        },
+                    )?),
+                    None => None,
+                };
+                let in_type = match &bound_arg {
+                    Some(e) => e.data_type(&input_schema)?,
+                    None => DataType::Int,
+                };
+                fields.push(Field::new(format!("agg_{i}"), func.result_type(in_type)));
+                replacements.push(Replacement {
+                    pattern: normalize(call),
+                    column: n_groups + i,
+                });
+                aggregates.push((func, bound_arg));
+            }
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_exprs,
+                aggregates,
+                schema: SchemaRef::new(Schema::new(fields)),
+            };
+        }
+
+        // 4. HAVING ----------------------------------------------------------
+        if let Some(having) = &select.having {
+            let schema = plan.schema();
+            let ctx = ExprContext {
+                schema: &schema,
+                replacements: &replacements,
+                allow_raw_columns: !has_aggregation,
+                scope: "HAVING clause",
+            };
+            let predicate = self.bind_expr(having, &ctx)?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+
+        // 5. Window functions (reporting functions) ---------------------------
+        let mut window_calls: Vec<ast::Expr> = Vec::new();
+        for item in &select.projection {
+            if let ast::SelectItem::Expr { expr, .. } = item {
+                collect_window_functions(expr, &mut window_calls);
+            }
+        }
+        if !window_calls.is_empty() {
+            plan = self.plan_windows(plan, &window_calls, &mut replacements, has_aggregation)?;
+        }
+
+        // 6. Projection -------------------------------------------------------
+        let schema = plan.schema();
+        let ctx = ExprContext {
+            schema: &schema,
+            replacements: &replacements,
+            allow_raw_columns: !has_aggregation,
+            scope: "SELECT list",
+        };
+        let mut exprs = Vec::new();
+        let mut fields = Vec::new();
+        for (i, item) in select.projection.iter().enumerate() {
+            match item {
+                ast::SelectItem::Wildcard => {
+                    if has_aggregation {
+                        return Err(RfvError::plan(
+                            "SELECT * is not allowed with GROUP BY or aggregates",
+                        ));
+                    }
+                    // `*` expands to the FROM columns (window columns are
+                    // internal until explicitly selected).
+                    let base_len = wildcard_width(&plan);
+                    for (j, f) in schema.fields().iter().take(base_len).enumerate() {
+                        exprs.push(Expr::col(j));
+                        let mut f = f.clone();
+                        f.qualifier = None;
+                        fields.push(f);
+                    }
+                }
+                ast::SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_expr(expr, &ctx)?;
+                    let name = alias.clone().unwrap_or_else(|| match normalize(expr) {
+                        ast::Expr::Column { name, .. } => name,
+                        _ => format!("col{i}"),
+                    });
+                    fields.push(Field::new(name, bound.data_type(&schema)?));
+                    exprs.push(bound);
+                }
+            }
+        }
+        // 7. ORDER BY ----------------------------------------------------------
+        // Sort below the projection so keys can reference pre-projection
+        // columns, aliases, or positions; the projection preserves order.
+        if !order_by.is_empty() {
+            let mut keys = Vec::new();
+            for item in order_by {
+                let normalized = normalize(&item.expr);
+                // Positional reference → the projection expression itself.
+                let key = if let ast::Expr::Literal(ast::Literal::Int(k)) = normalized {
+                    let idx = usize::try_from(k - 1).ok().filter(|i| *i < exprs.len());
+                    match idx {
+                        Some(i) => exprs[i].clone(),
+                        None => {
+                            return Err(RfvError::plan(format!(
+                                "ORDER BY position {k} out of range (output has {} columns)",
+                                exprs.len()
+                            )))
+                        }
+                    }
+                } else if let ast::Expr::Column {
+                    qualifier: None,
+                    name,
+                } = &normalized
+                {
+                    // Output alias takes precedence over input columns.
+                    match fields
+                        .iter()
+                        .position(|f| f.name.eq_ignore_ascii_case(name))
+                    {
+                        Some(i) => exprs[i].clone(),
+                        None => self.bind_expr(&item.expr, &ctx)?,
+                    }
+                } else {
+                    self.bind_expr(&item.expr, &ctx)?
+                };
+                keys.push(SortKey {
+                    expr: key,
+                    desc: item.desc,
+                });
+            }
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+
+        Ok(LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            schema: SchemaRef::new(Schema::new(fields)),
+        })
+    }
+
+    /// Plan all window functions, grouping those with identical
+    /// (partition, order) specs into shared Window nodes.
+    fn plan_windows(
+        &self,
+        mut plan: LogicalPlan,
+        window_calls: &[ast::Expr],
+        replacements: &mut Vec<Replacement>,
+        after_aggregation: bool,
+    ) -> Result<LogicalPlan> {
+        // Bind each call's pieces against the current schema.
+        struct BoundCall {
+            pattern: ast::Expr,
+            partition: Vec<Expr>,
+            order: Vec<SortKey>,
+            spec: WindowExprSpec,
+        }
+        let schema = plan.schema();
+        let ctx = ExprContext {
+            schema: &schema,
+            replacements,
+            allow_raw_columns: !after_aggregation,
+            scope: "OVER clause",
+        };
+        let mut bound_calls: Vec<BoundCall> = Vec::new();
+        for call in window_calls {
+            let ast::Expr::WindowFunction { name, arg, spec } = call else {
+                return Err(RfvError::internal("non-window call collected"));
+            };
+            let (func, bound_arg) = match arg.as_deref() {
+                None => {
+                    let func = WindowFuncKind::ranking_from_name(name).ok_or_else(|| {
+                        RfvError::plan(format!(
+                            "`{name}()` is not a known window function \
+                             (ROW_NUMBER/RANK/DENSE_RANK)"
+                        ))
+                    })?;
+                    (func, None)
+                }
+                Some(ast::FunctionArg::Star) => {
+                    let func = AggFunc::from_name(name, true).ok_or_else(|| {
+                        RfvError::plan(format!("`{name}(*)` is not an aggregate function"))
+                    })?;
+                    (WindowFuncKind::Agg(func), None)
+                }
+                Some(ast::FunctionArg::Expr(e)) => {
+                    let func = AggFunc::from_name(name, false).ok_or_else(|| {
+                        RfvError::plan(format!(
+                            "`{name}` is not an aggregate function usable with OVER"
+                        ))
+                    })?;
+                    (WindowFuncKind::Agg(func), Some(self.bind_expr(e, &ctx)?))
+                }
+            };
+            let partition = spec
+                .partition_by
+                .iter()
+                .map(|e| self.bind_expr(e, &ctx))
+                .collect::<Result<Vec<_>>>()?;
+            let order = spec
+                .order_by
+                .iter()
+                .map(|o| {
+                    Ok(SortKey {
+                        expr: self.bind_expr(&o.expr, &ctx)?,
+                        desc: o.desc,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            if func.is_ranking() {
+                if spec.frame.is_some() {
+                    return Err(RfvError::plan(format!(
+                        "{func} does not accept a window frame"
+                    )));
+                }
+                if order.is_empty() && !matches!(func, WindowFuncKind::RowNumber) {
+                    return Err(RfvError::plan(format!(
+                        "{func} requires ORDER BY in its OVER clause"
+                    )));
+                }
+            }
+            let frame = match &spec.frame {
+                Some(f) => WindowFrame::new(convert_bound(f.start)?, convert_bound(f.end)?)?,
+                // SQL default frame (in ROWS terms).
+                None if !order.is_empty() => WindowFrame::cumulative(),
+                None => WindowFrame::unbounded(),
+            };
+            bound_calls.push(BoundCall {
+                pattern: normalize(call),
+                partition,
+                order,
+                spec: WindowExprSpec {
+                    func,
+                    arg: bound_arg,
+                    frame,
+                },
+            });
+        }
+
+        // Group by identical (partition, order).
+        while !bound_calls.is_empty() {
+            let partition = bound_calls[0].partition.clone();
+            let order = bound_calls[0].order.clone();
+            let same_spec = |c: &BoundCall| {
+                c.partition == partition
+                    && c.order.len() == order.len()
+                    && c.order
+                        .iter()
+                        .zip(&order)
+                        .all(|(a, b)| a.expr == b.expr && a.desc == b.desc)
+            };
+            let (batch, rest): (Vec<BoundCall>, Vec<BoundCall>) =
+                bound_calls.into_iter().partition(same_spec);
+            bound_calls = rest;
+
+            let input_schema = plan.schema();
+            let base = input_schema.len();
+            let mut fields = input_schema.fields().to_vec();
+            let mut window_exprs = Vec::new();
+            for (i, call) in batch.iter().enumerate() {
+                let in_type = match &call.spec.arg {
+                    Some(e) => e.data_type(&input_schema)?,
+                    None => DataType::Int,
+                };
+                fields.push(Field::new(
+                    format!("w{}", base + i),
+                    call.spec.func.result_type(in_type),
+                ));
+                replacements.push(Replacement {
+                    pattern: call.pattern.clone(),
+                    column: base + i,
+                });
+                window_exprs.push(call.spec.clone());
+            }
+            plan = LogicalPlan::Window {
+                input: Box::new(plan),
+                partition_by: partition,
+                order_by: order,
+                window_exprs,
+                mode: self.window_mode,
+                schema: SchemaRef::new(Schema::new(fields)),
+            };
+        }
+        Ok(plan)
+    }
+
+    fn bind_from(&self, from: &ast::TableWithJoins) -> Result<LogicalPlan> {
+        let mut plan = self.bind_table_factor(&from.base)?;
+        for join in &from.joins {
+            let right = self.bind_table_factor(&join.factor)?;
+            let join_type = match join.kind {
+                ast::JoinKind::Inner => LogicalJoinType::Inner,
+                ast::JoinKind::LeftOuter => LogicalJoinType::LeftOuter,
+                ast::JoinKind::Cross => LogicalJoinType::Cross,
+            };
+            let combined = plan.schema().join(&right.schema());
+            let on = match &join.on {
+                Some(e) => {
+                    let ctx = ExprContext {
+                        schema: &combined,
+                        replacements: &[],
+                        allow_raw_columns: true,
+                        scope: "JOIN condition",
+                    };
+                    Some(self.bind_expr(e, &ctx)?)
+                }
+                None => None,
+            };
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(right),
+                join_type,
+                on,
+            };
+        }
+        Ok(plan)
+    }
+
+    fn bind_table_factor(&self, factor: &ast::TableFactor) -> Result<LogicalPlan> {
+        match factor {
+            ast::TableFactor::Table { name, alias } => {
+                let table = self.catalog.table(name)?;
+                let binding = alias.as_deref().unwrap_or(name);
+                let schema = SchemaRef::new(table.read().schema().qualified(binding));
+                Ok(LogicalPlan::Scan {
+                    table: name.clone(),
+                    schema,
+                })
+            }
+            ast::TableFactor::Derived { subquery, alias } => {
+                let sub = self.bind_query(subquery)?;
+                // Re-expose the subquery's columns under the alias.
+                let schema = SchemaRef::new(sub.schema().qualified(alias));
+                let exprs = (0..schema.len()).map(Expr::col).collect();
+                Ok(LogicalPlan::Project {
+                    input: Box::new(sub),
+                    exprs,
+                    schema,
+                })
+            }
+        }
+    }
+
+    /// Bind a global ORDER BY key: positional integer, output column name,
+    /// or any expression over the output schema.
+    fn bind_order_key(&self, expr: &ast::Expr, schema: &Schema) -> Result<Expr> {
+        if let ast::Expr::Literal(ast::Literal::Int(k)) = normalize(expr) {
+            let idx = usize::try_from(k - 1)
+                .map_err(|_| RfvError::plan(format!("ORDER BY position {k} out of range")))?;
+            if idx >= schema.len() {
+                return Err(RfvError::plan(format!(
+                    "ORDER BY position {k} out of range (output has {} columns)",
+                    schema.len()
+                )));
+            }
+            return Ok(Expr::col(idx));
+        }
+        let ctx = ExprContext {
+            schema,
+            replacements: &[],
+            allow_raw_columns: true,
+            scope: "ORDER BY clause",
+        };
+        self.bind_expr(expr, &ctx)
+    }
+
+    /// The workhorse: bind one expression in a context.
+    fn bind_expr(&self, expr: &ast::Expr, ctx: &ExprContext<'_>) -> Result<Expr> {
+        // A planned aggregate / group expression / window function is
+        // replaced by its output column wholesale.
+        let normalized = normalize(expr);
+        for rep in ctx.replacements {
+            if rep.pattern == normalized {
+                return Ok(Expr::col(rep.column));
+            }
+        }
+        match &normalized {
+            ast::Expr::Column { qualifier, name } => {
+                if !ctx.allow_raw_columns {
+                    return Err(RfvError::plan(format!(
+                        "column `{name}` must appear in GROUP BY or inside an \
+                         aggregate to be used in the {}",
+                        ctx.scope
+                    )));
+                }
+                let idx = ctx.schema.index_of(qualifier.as_deref(), name)?;
+                Ok(Expr::col(idx))
+            }
+            ast::Expr::Literal(lit) => Ok(Expr::Literal(bind_literal(lit)?)),
+            ast::Expr::Binary { left, op, right } => {
+                let l = self.bind_expr(left, ctx)?;
+                let r = self.bind_expr(right, ctx)?;
+                Ok(Expr::binary(l, convert_binop(*op), r))
+            }
+            ast::Expr::Unary { negated, not, expr } => {
+                let inner = self.bind_expr(expr, ctx)?;
+                if *not {
+                    Ok(inner.not())
+                } else if *negated {
+                    Ok(Expr::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(inner),
+                    })
+                } else {
+                    // `+expr` — identity.
+                    Ok(inner)
+                }
+            }
+            ast::Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                let bound_branches = branches
+                    .iter()
+                    .map(|(c, r)| {
+                        let cond = match operand {
+                            // Operand form: CASE x WHEN v THEN … == x = v.
+                            Some(op_expr) => {
+                                let x = self.bind_expr(op_expr, ctx)?;
+                                let v = self.bind_expr(c, ctx)?;
+                                x.eq(v)
+                            }
+                            None => self.bind_expr(c, ctx)?,
+                        };
+                        Ok((cond, self.bind_expr(r, ctx)?))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let else_bound = match else_expr {
+                    Some(e) => Some(Box::new(self.bind_expr(e, ctx)?)),
+                    None => None,
+                };
+                Ok(Expr::Case {
+                    branches: bound_branches,
+                    else_expr: else_bound,
+                })
+            }
+            ast::Expr::Function { name, args } => {
+                if name.eq_ignore_ascii_case("COALESCE") {
+                    let bound = args
+                        .iter()
+                        .map(|a| match a {
+                            ast::FunctionArg::Expr(e) => self.bind_expr(e, ctx),
+                            ast::FunctionArg::Star => {
+                                Err(RfvError::plan("COALESCE(*) is not valid"))
+                            }
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    if bound.is_empty() {
+                        return Err(RfvError::plan("COALESCE needs arguments"));
+                    }
+                    return Ok(Expr::Coalesce(bound));
+                }
+                if let Some(func) = ScalarFn::from_name(name) {
+                    let bound = args
+                        .iter()
+                        .map(|a| match a {
+                            ast::FunctionArg::Expr(e) => self.bind_expr(e, ctx),
+                            ast::FunctionArg::Star => {
+                                Err(RfvError::plan(format!("{name}(*) is not valid")))
+                            }
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    if let Some(arity) = func.arity() {
+                        if bound.len() != arity {
+                            return Err(RfvError::plan(format!(
+                                "{name} expects {arity} arguments, got {}",
+                                bound.len()
+                            )));
+                        }
+                    }
+                    return Ok(Expr::Function { func, args: bound });
+                }
+                if AggFunc::from_name(name, matches!(args[..], [ast::FunctionArg::Star])).is_some()
+                {
+                    // An aggregate call that was not planned into a column:
+                    // it appears somewhere aggregates are not allowed.
+                    return Err(RfvError::plan(format!(
+                        "aggregate `{name}` is not allowed in the {}",
+                        ctx.scope
+                    )));
+                }
+                Err(RfvError::plan(format!("unknown function `{name}`")))
+            }
+            ast::Expr::WindowFunction { name, .. } => Err(RfvError::plan(format!(
+                "window function `{name}` is not allowed in the {}",
+                ctx.scope
+            ))),
+            ast::Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let bound = self.bind_expr(expr, ctx)?;
+                let bound_list = list
+                    .iter()
+                    .map(|e| self.bind_expr(e, ctx))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Expr::InList {
+                    expr: Box::new(bound),
+                    list: bound_list,
+                    negated: *negated,
+                })
+            }
+            ast::Expr::IsNull { expr, negated } => Ok(Expr::IsNull {
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+                negated: *negated,
+            }),
+            ast::Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Ok(Expr::Between {
+                expr: Box::new(self.bind_expr(expr, ctx)?),
+                low: Box::new(self.bind_expr(low, ctx)?),
+                high: Box::new(self.bind_expr(high, ctx)?),
+                negated: *negated,
+            }),
+            ast::Expr::Nested(_) => unreachable!("normalize() strips Nested"),
+        }
+    }
+}
+
+/// Width of the pre-window schema for `*` expansion: window nodes append
+/// columns, so walk below them.
+fn wildcard_width(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Window { input, .. } => wildcard_width(input),
+        other => other.schema().len(),
+    }
+}
+
+/// Strip `Nested` (explicit parentheses) recursively so structural
+/// comparison of expressions ignores grouping.
+fn normalize(expr: &ast::Expr) -> ast::Expr {
+    match expr {
+        ast::Expr::Nested(e) => normalize(e),
+        ast::Expr::Binary { left, op, right } => ast::Expr::Binary {
+            left: Box::new(normalize(left)),
+            op: *op,
+            right: Box::new(normalize(right)),
+        },
+        ast::Expr::Unary { negated, not, expr } => ast::Expr::Unary {
+            negated: *negated,
+            not: *not,
+            expr: Box::new(normalize(expr)),
+        },
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => ast::Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(normalize(o))),
+            branches: branches
+                .iter()
+                .map(|(c, r)| (normalize(c), normalize(r)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(normalize(e))),
+        },
+        ast::Expr::Function { name, args } => ast::Expr::Function {
+            name: name.to_ascii_uppercase(),
+            args: args.iter().map(normalize_arg).collect(),
+        },
+        ast::Expr::WindowFunction { name, arg, spec } => ast::Expr::WindowFunction {
+            name: name.to_ascii_uppercase(),
+            arg: arg.as_deref().map(|a| Box::new(normalize_arg(a))),
+            spec: ast::WindowSpec {
+                partition_by: spec.partition_by.iter().map(normalize).collect(),
+                order_by: spec
+                    .order_by
+                    .iter()
+                    .map(|o| ast::OrderByItem {
+                        expr: normalize(&o.expr),
+                        desc: o.desc,
+                    })
+                    .collect(),
+                frame: spec.frame,
+            },
+        },
+        ast::Expr::InList {
+            expr,
+            list,
+            negated,
+        } => ast::Expr::InList {
+            expr: Box::new(normalize(expr)),
+            list: list.iter().map(normalize).collect(),
+            negated: *negated,
+        },
+        ast::Expr::IsNull { expr, negated } => ast::Expr::IsNull {
+            expr: Box::new(normalize(expr)),
+            negated: *negated,
+        },
+        ast::Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => ast::Expr::Between {
+            expr: Box::new(normalize(expr)),
+            low: Box::new(normalize(low)),
+            high: Box::new(normalize(high)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+fn normalize_arg(arg: &ast::FunctionArg) -> ast::FunctionArg {
+    match arg {
+        ast::FunctionArg::Expr(e) => ast::FunctionArg::Expr(normalize(e)),
+        ast::FunctionArg::Star => ast::FunctionArg::Star,
+    }
+}
+
+/// Is this AST node an aggregate function call (not a window function)?
+fn destructure_agg(expr: &ast::Expr) -> Option<(AggFunc, Option<&ast::Expr>)> {
+    if let ast::Expr::Function { name, args } = expr {
+        match args.as_slice() {
+            [ast::FunctionArg::Star] => AggFunc::from_name(name, true).map(|f| (f, None)),
+            [ast::FunctionArg::Expr(e)] => AggFunc::from_name(name, false).map(|f| (f, Some(e))),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// Collect distinct aggregate calls (normalized) in pre-order, not
+/// descending into window functions (their aggregates are window-level).
+fn collect_aggregates(expr: &ast::Expr, out: &mut Vec<ast::Expr>) {
+    if let ast::Expr::WindowFunction { arg, spec, .. } = expr {
+        // The window call itself is not a group aggregate, but aggregates
+        // *inside* it (`SUM(SUM(x)) OVER …`) are evaluated by the GROUP BY
+        // level first.
+        if let Some(ast::FunctionArg::Expr(e)) = arg.as_deref() {
+            collect_aggregates(e, out);
+        }
+        for p in &spec.partition_by {
+            collect_aggregates(p, out);
+        }
+        for o in &spec.order_by {
+            collect_aggregates(&o.expr, out);
+        }
+        return;
+    }
+    if destructure_agg(expr).is_some() {
+        let n = normalize(expr);
+        if !out.contains(&n) {
+            out.push(n);
+        }
+        return;
+    }
+    // Recurse manually (visit would descend into window functions).
+    match expr {
+        ast::Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        ast::Expr::Unary { expr, .. } | ast::Expr::Nested(expr) => collect_aggregates(expr, out),
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregates(o, out);
+            }
+            for (c, r) in branches {
+                collect_aggregates(c, out);
+                collect_aggregates(r, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggregates(e, out);
+            }
+        }
+        ast::Expr::Function { args, .. } => {
+            for a in args {
+                if let ast::FunctionArg::Expr(e) = a {
+                    collect_aggregates(e, out);
+                }
+            }
+        }
+        ast::Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for e in list {
+                collect_aggregates(e, out);
+            }
+        }
+        ast::Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        ast::Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        _ => {}
+    }
+}
+
+/// Collect distinct window function calls (normalized).
+fn collect_window_functions(expr: &ast::Expr, out: &mut Vec<ast::Expr>) {
+    expr.visit(&mut |e| {
+        if matches!(e, ast::Expr::WindowFunction { .. }) {
+            let n = normalize(e);
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+    });
+}
+
+fn bind_literal(lit: &ast::Literal) -> Result<Value> {
+    Ok(match lit {
+        ast::Literal::Int(i) => Value::Int(*i),
+        ast::Literal::Float(f) => Value::Float(*f),
+        ast::Literal::Str(s) => Value::str(s.as_str()),
+        ast::Literal::Bool(b) => Value::Bool(*b),
+        ast::Literal::Null => Value::Null,
+        ast::Literal::Date(s) => Value::Date(parse_date(s)?),
+    })
+}
+
+/// Parse `YYYY-MM-DD` into days-since-epoch.
+fn parse_date(s: &str) -> Result<i32> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let err = || RfvError::plan(format!("invalid date literal '{s}' (expected YYYY-MM-DD)"));
+    if parts.len() != 3 {
+        return Err(err());
+    }
+    let y: i32 = parts[0].parse().map_err(|_| err())?;
+    let m: u32 = parts[1].parse().map_err(|_| err())?;
+    let d: u32 = parts[2].parse().map_err(|_| err())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(err());
+    }
+    Ok(ymd_to_days(y, m, d))
+}
+
+fn convert_binop(op: ast::BinOp) -> BinaryOp {
+    match op {
+        ast::BinOp::Add => BinaryOp::Add,
+        ast::BinOp::Sub => BinaryOp::Sub,
+        ast::BinOp::Mul => BinaryOp::Mul,
+        ast::BinOp::Div => BinaryOp::Div,
+        ast::BinOp::Mod => BinaryOp::Mod,
+        ast::BinOp::Eq => BinaryOp::Eq,
+        ast::BinOp::NotEq => BinaryOp::NotEq,
+        ast::BinOp::Lt => BinaryOp::Lt,
+        ast::BinOp::LtEq => BinaryOp::LtEq,
+        ast::BinOp::Gt => BinaryOp::Gt,
+        ast::BinOp::GtEq => BinaryOp::GtEq,
+        ast::BinOp::And => BinaryOp::And,
+        ast::BinOp::Or => BinaryOp::Or,
+    }
+}
+
+fn convert_bound(b: ast::FrameBound) -> Result<ExecFrameBound> {
+    Ok(match b {
+        ast::FrameBound::UnboundedPreceding => ExecFrameBound::UnboundedPreceding,
+        ast::FrameBound::Preceding(n) => ExecFrameBound::Offset(
+            -(i64::try_from(n)
+                .map_err(|_| RfvError::plan(format!("frame offset {n} too large")))?),
+        ),
+        ast::FrameBound::CurrentRow => ExecFrameBound::Offset(0),
+        ast::FrameBound::Following(n) => ExecFrameBound::Offset(
+            i64::try_from(n).map_err(|_| RfvError::plan(format!("frame offset {n} too large")))?,
+        ),
+        ast::FrameBound::UnboundedFollowing => ExecFrameBound::UnboundedFollowing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, plan_physical};
+    use rfv_storage::IndexKind;
+    use rfv_types::row;
+
+    /// Full pipeline helper: parse → bind → optimize → physical → execute.
+    fn run(catalog: &Catalog, sql: &str) -> Result<Vec<Row>> {
+        let stmt = ast::parse_statement(sql)?;
+        let ast::Statement::Query(q) = stmt else {
+            return Err(RfvError::plan("expected a query"));
+        };
+        let logical = Binder::new(catalog).bind_query(&q)?;
+        let optimized = optimize(logical);
+        plan_physical(&optimized, catalog)?.execute()
+    }
+
+    fn setup() -> Catalog {
+        let catalog = Catalog::new();
+        let t = catalog
+            .create_table(
+                "seq",
+                Schema::new(vec![
+                    Field::not_null("pos", DataType::Int),
+                    Field::new("val", DataType::Int),
+                    Field::new("grp", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        {
+            let mut g = t.write();
+            for (i, grp) in [(1i64, "a"), (2, "b"), (3, "a"), (4, "b"), (5, "a")] {
+                g.insert(row![i, i * 10, grp]).unwrap();
+            }
+            g.create_index(0, IndexKind::Unique).unwrap();
+        }
+        catalog
+    }
+
+    #[test]
+    fn select_star_and_where() {
+        let c = setup();
+        let rows = run(&c, "SELECT * FROM seq WHERE pos > 3").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], row![4i64, 40i64, "b"]);
+    }
+
+    #[test]
+    fn projection_expressions_and_aliases() {
+        let c = setup();
+        let rows = run(&c, "SELECT pos + 1 AS p1, val * 2 FROM seq WHERE pos = 1").unwrap();
+        assert_eq!(rows, vec![row![2i64, 20i64]]);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let c = Catalog::new();
+        let rows = run(&c, "SELECT 1 + 2, 'x'").unwrap();
+        assert_eq!(rows, vec![row![3i64, "x"]]);
+    }
+
+    #[test]
+    fn group_by_with_having_and_order() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT grp, SUM(val), COUNT(*) FROM seq GROUP BY grp \
+             HAVING COUNT(*) >= 2 ORDER BY grp",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row!["a", 90i64, 3i64], row!["b", 60i64, 2i64]]);
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let c = setup();
+        let rows = run(&c, "SELECT SUM(val), MIN(pos), MAX(pos), AVG(val) FROM seq").unwrap();
+        assert_eq!(rows, vec![row![150i64, 1i64, 5i64, 30.0f64]]);
+    }
+
+    #[test]
+    fn raw_column_outside_group_by_is_rejected() {
+        let c = setup();
+        let err = run(&c, "SELECT pos, SUM(val) FROM seq GROUP BY grp").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn expression_group_keys_are_matched_structurally() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT pos % 2, SUM(val) FROM seq GROUP BY pos % 2 ORDER BY 1",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row![0i64, 60i64], row![1i64, 90i64]]);
+    }
+
+    #[test]
+    fn window_function_cumulative() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) FROM seq",
+        )
+        .unwrap();
+        let sums: Vec<_> = rows.iter().map(|r| r.get(1).clone()).collect();
+        assert_eq!(
+            sums,
+            vec![
+                Value::Int(10),
+                Value::Int(30),
+                Value::Int(60),
+                Value::Int(100),
+                Value::Int(150)
+            ]
+        );
+    }
+
+    #[test]
+    fn window_function_partitioned() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos \
+             ROWS UNBOUNDED PRECEDING) AS s FROM seq",
+        )
+        .unwrap();
+        // Output sorted by (grp, pos): a:1,3,5 then b:2,4.
+        let sums: Vec<_> = rows.iter().map(|r| r.get(2).clone()).collect();
+        assert_eq!(
+            sums,
+            vec![
+                Value::Int(10),
+                Value::Int(40),
+                Value::Int(90),
+                Value::Int(20),
+                Value::Int(60)
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_window_specs_stack() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT pos, \
+             SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS cum, \
+             SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS mv, \
+             COUNT(*) OVER (PARTITION BY grp ORDER BY pos ROWS UNBOUNDED PRECEDING) AS cnt \
+             FROM seq ORDER BY pos",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 5);
+        // pos=3: cum = 60, mv = 20+30+40 = 90, cnt (within grp a ordered by pos) = 2.
+        let r3 = rows.iter().find(|r| r.get(0) == &Value::Int(3)).unwrap();
+        assert_eq!(r3.get(1), &Value::Int(60));
+        assert_eq!(r3.get(2), &Value::Int(90));
+        assert_eq!(r3.get(3), &Value::Int(2));
+    }
+
+    #[test]
+    fn identical_window_functions_are_shared() {
+        let c = setup();
+        // The same window function used twice must bind to one column.
+        let rows = run(
+            &c,
+            "SELECT SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) + 1, \
+             SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) FROM seq",
+        )
+        .unwrap();
+        assert_eq!(rows[4], row![151i64, 150i64]);
+    }
+
+    #[test]
+    fn window_over_aggregate_output() {
+        let c = setup();
+        // SUM(SUM(val)) OVER …: window over the group-by result.
+        let rows = run(
+            &c,
+            "SELECT grp, SUM(SUM(val)) OVER (ORDER BY grp ROWS UNBOUNDED PRECEDING) \
+             FROM seq GROUP BY grp ORDER BY grp",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row!["a", 90i64], row!["b", 150i64]]);
+    }
+
+    #[test]
+    fn window_in_where_is_rejected() {
+        let c = setup();
+        let err = run(
+            &c,
+            "SELECT pos FROM seq WHERE SUM(val) OVER (ORDER BY pos) > 10",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("window"), "{err}");
+    }
+
+    #[test]
+    fn join_with_qualified_columns() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT s1.pos, s2.val FROM seq s1 JOIN seq s2 ON s2.pos = s1.pos + 1 \
+             ORDER BY s1.pos",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], row![1i64, 20i64]);
+    }
+
+    #[test]
+    fn comma_join_with_where_behaves_like_inner_join() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT s1.pos FROM seq s1, seq s2 WHERE s1.pos = s2.pos AND s2.val > 30",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn left_outer_join_pads() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT s1.pos, s2.pos FROM seq s1 LEFT OUTER JOIN seq s2 \
+             ON s2.pos = s1.pos + 10 ORDER BY s1.pos",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.get(1).is_null()));
+    }
+
+    #[test]
+    fn union_all_and_distinct() {
+        let c = setup();
+        let all = run(&c, "SELECT grp FROM seq UNION ALL SELECT grp FROM seq").unwrap();
+        assert_eq!(all.len(), 10);
+        let distinct = run(&c, "SELECT grp FROM seq UNION SELECT grp FROM seq").unwrap();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn derived_table_with_alias() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT d.s FROM (SELECT grp, SUM(val) AS s FROM seq GROUP BY grp) d \
+             WHERE d.s > 70",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row![90i64]]);
+    }
+
+    #[test]
+    fn order_by_positional_and_desc() {
+        let c = setup();
+        let rows = run(&c, "SELECT pos, val FROM seq ORDER BY 1 DESC LIMIT 2").unwrap();
+        assert_eq!(rows, vec![row![5i64, 50i64], row![4i64, 40i64]]);
+        assert!(run(&c, "SELECT pos FROM seq ORDER BY 7").is_err());
+    }
+
+    #[test]
+    fn case_and_scalar_functions_bind() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT CASE WHEN pos % 2 = 0 THEN 'even' ELSE 'odd' END, \
+             MOD(pos, 3), COALESCE(NULL, val) FROM seq WHERE pos = 4",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row!["even", 1i64, 40i64]]);
+    }
+
+    #[test]
+    fn operand_case_binds_as_equality() {
+        let c = setup();
+        let rows = run(
+            &c,
+            "SELECT CASE grp WHEN 'a' THEN 1 ELSE 0 END FROM seq ORDER BY pos",
+        )
+        .unwrap();
+        let flags: Vec<_> = rows.iter().map(|r| r.get(0).clone()).collect();
+        assert_eq!(
+            flags,
+            vec![
+                Value::Int(1),
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(0),
+                Value::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn date_literals_bind() {
+        let c = Catalog::new();
+        let rows = run(
+            &c,
+            "SELECT MONTH(DATE '2001-07-15'), YEAR(DATE '2001-07-15')",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row![7i64, 2001i64]]);
+        assert!(run(&c, "SELECT DATE 'not-a-date'").is_err());
+        assert!(run(&c, "SELECT DATE '2001-13-01'").is_err());
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let c = setup();
+        assert!(run(&c, "SELECT x FROM nope").is_err());
+        assert!(run(&c, "SELECT nope FROM seq").is_err());
+        assert!(run(&c, "SELECT s9.pos FROM seq s1").is_err());
+    }
+
+    #[test]
+    fn ambiguous_column_in_self_join_errors() {
+        let c = setup();
+        let err = run(&c, "SELECT pos FROM seq s1, seq s2").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        let c = setup();
+        assert!(run(&c, "SELECT pos FROM seq UNION ALL SELECT pos, val FROM seq").is_err());
+    }
+
+    #[test]
+    fn default_frame_is_cumulative_with_order_by() {
+        let c = setup();
+        let rows = run(&c, "SELECT SUM(val) OVER (ORDER BY pos) FROM seq").unwrap();
+        assert_eq!(rows[4], row![150i64]);
+        // Without ORDER BY the frame is the whole partition.
+        let rows = run(&c, "SELECT SUM(val) OVER (PARTITION BY grp) FROM seq").unwrap();
+        let all: Vec<_> = rows.iter().map(|r| r.get(0).clone()).collect();
+        assert_eq!(
+            all,
+            vec![
+                Value::Int(90),
+                Value::Int(90),
+                Value::Int(90),
+                Value::Int(60),
+                Value::Int(60)
+            ]
+        );
+    }
+}

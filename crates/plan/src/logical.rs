@@ -1,0 +1,222 @@
+//! The logical plan algebra.
+//!
+//! Logical plans are *bound*: all expressions are `rfv_expr::Expr` with
+//! positional column references into the child's output schema. The window
+//! node mirrors the executor's window operator one-to-one.
+
+use std::fmt::Write as _;
+
+use rfv_exec::{SortKey, WindowExprSpec, WindowMode};
+use rfv_expr::{AggFunc, Expr};
+use rfv_types::{Row, SchemaRef};
+
+/// Join semantics at the logical level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicalJoinType {
+    Inner,
+    LeftOuter,
+    Cross,
+}
+
+/// A bound logical plan node.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Scan of a catalog table. `schema` is alias-qualified.
+    Scan {
+        table: String,
+        schema: SchemaRef,
+    },
+    /// Literal rows.
+    Values {
+        schema: SchemaRef,
+        rows: Vec<Row>,
+    },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<Expr>,
+        schema: SchemaRef,
+    },
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        join_type: LogicalJoinType,
+        /// Predicate over `left ++ right`; `None` for cross joins.
+        on: Option<Expr>,
+    },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_exprs: Vec<Expr>,
+        aggregates: Vec<(AggFunc, Option<Expr>)>,
+        schema: SchemaRef,
+    },
+    /// Reporting-function node: appends one column per window expression.
+    Window {
+        input: Box<LogicalPlan>,
+        partition_by: Vec<Expr>,
+        order_by: Vec<SortKey>,
+        window_exprs: Vec<WindowExprSpec>,
+        mode: WindowMode,
+        schema: SchemaRef,
+    },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    UnionAll {
+        inputs: Vec<LogicalPlan>,
+    },
+    Limit {
+        input: Box<LogicalPlan>,
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            LogicalPlan::Scan { schema, .. }
+            | LogicalPlan::Values { schema, .. }
+            | LogicalPlan::Project { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. }
+            | LogicalPlan::Window { schema, .. } => schema.clone(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                let r = right.schema();
+                let right_schema = match join_type {
+                    LogicalJoinType::LeftOuter => r.nullable(),
+                    _ => (*r).clone(),
+                };
+                SchemaRef::new(left.schema().join(&right_schema))
+            }
+            LogicalPlan::UnionAll { inputs } => inputs
+                .first()
+                .map(|p| p.schema())
+                .unwrap_or_else(|| SchemaRef::new(rfv_types::Schema::empty())),
+        }
+    }
+
+    /// Multi-line explain string.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan { table, .. } => {
+                let _ = writeln!(out, "{pad}Scan: {table}");
+            }
+            LogicalPlan::Values { rows, .. } => {
+                let _ = writeln!(out, "{pad}Values: {} rows", rows.len());
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter: {predicate}");
+                input.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .zip(schema.fields())
+                    .map(|(e, f)| format!("{e} AS {}", f.name))
+                    .collect();
+                let _ = writeln!(out, "{pad}Project: {}", cols.join(", "));
+                input.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                on,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Join({join_type:?}): {}",
+                    on.as_ref().map_or("true".into(), |e| e.to_string())
+                );
+                left.explain_into(out, indent + 1);
+                right.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                aggregates,
+                ..
+            } => {
+                let gs: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|(f, a)| match a {
+                        Some(e) => format!("{f}({e})"),
+                        None => f.to_string(),
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate: group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    aggs.join(", ")
+                );
+                input.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Window {
+                input,
+                partition_by,
+                order_by,
+                window_exprs,
+                mode,
+                ..
+            } => {
+                let ps: Vec<String> = partition_by.iter().map(|e| e.to_string()).collect();
+                let os: Vec<String> = order_by
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                let ws: Vec<String> = window_exprs.iter().map(|w| w.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Window({mode:?}): partition=[{}] order=[{}] exprs=[{}]",
+                    ps.join(", "),
+                    os.join(", "),
+                    ws.join(", ")
+                );
+                input.explain_into(out, indent + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort: {}", ks.join(", "));
+                input.explain_into(out, indent + 1);
+            }
+            LogicalPlan::UnionAll { inputs } => {
+                let _ = writeln!(out, "{pad}UnionAll");
+                for p in inputs {
+                    p.explain_into(out, indent + 1);
+                }
+            }
+            LogicalPlan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit: {n}");
+                input.explain_into(out, indent + 1);
+            }
+        }
+    }
+}

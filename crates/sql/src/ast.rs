@@ -1,0 +1,715 @@
+//! Unbound SQL abstract syntax tree.
+//!
+//! Every node has a `Display` implementation that prints valid SQL in this
+//! dialect; the parser/printer pair round-trips, which the test-suite uses
+//! heavily.
+
+use std::fmt;
+
+use rfv_types::DataType;
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE [UNIQUE] INDEX ON table (column)`.
+    CreateIndex {
+        table: String,
+        column: String,
+        unique: bool,
+    },
+    /// `CREATE MATERIALIZED VIEW name AS query`.
+    CreateMaterializedView {
+        name: String,
+        query: Query,
+    },
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        /// Each inner vec is one `(…)` tuple of the VALUES list.
+        values: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE table SET col = expr, … [WHERE pred]`.
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        selection: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE pred]`.
+    Delete {
+        table: String,
+        selection: Option<Expr>,
+    },
+    DropTable {
+        name: String,
+    },
+}
+
+/// One column in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+}
+
+/// A query: set expression plus optional global ORDER BY / LIMIT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub body: SetExpr,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<u64>,
+}
+
+/// Select or a UNION \[ALL\] chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    Union {
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+        all: bool,
+    },
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub projection: Vec<SelectItem>,
+    pub from: Option<TableWithJoins>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// An item of the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// FROM clause: a base relation plus joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableWithJoins {
+    pub base: TableFactor,
+    pub joins: Vec<Join>,
+}
+
+/// A relation in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableFactor {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    /// Parenthesized subquery with a mandatory alias.
+    Derived {
+        subquery: Box<Query>,
+        alias: String,
+    },
+}
+
+impl TableFactor {
+    /// The name this relation is reachable under in the enclosing scope.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableFactor::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableFactor::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// One JOIN element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub factor: TableFactor,
+    pub kind: JoinKind,
+    /// `None` only for CROSS joins and comma-joins.
+    pub on: Option<Expr>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    Cross,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Window frame bound (ROWS mode only — the paper's reporting functions are
+/// defined over physical row offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameBound {
+    UnboundedPreceding,
+    Preceding(u64),
+    CurrentRow,
+    Following(u64),
+    UnboundedFollowing,
+}
+
+impl fmt::Display for FrameBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameBound::UnboundedPreceding => write!(f, "UNBOUNDED PRECEDING"),
+            FrameBound::Preceding(n) => write!(f, "{n} PRECEDING"),
+            FrameBound::CurrentRow => write!(f, "CURRENT ROW"),
+            FrameBound::Following(n) => write!(f, "{n} FOLLOWING"),
+            FrameBound::UnboundedFollowing => write!(f, "UNBOUNDED FOLLOWING"),
+        }
+    }
+}
+
+/// `ROWS BETWEEN start AND end` (or the single-bound shorthand, which the
+/// parser normalizes to `BETWEEN bound AND CURRENT ROW`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowFrame {
+    pub start: FrameBound,
+    pub end: FrameBound,
+}
+
+/// The `OVER (…)` specification of a reporting function (paper Fig. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    pub partition_by: Vec<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    /// `None` means the SQL default: if ORDER BY is present,
+    /// `ROWS UNBOUNDED PRECEDING`; else the whole partition.
+    pub frame: Option<WindowFrame>,
+}
+
+/// Literal values at the syntax level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// `DATE 'YYYY-MM-DD'`.
+    Date(String),
+}
+
+/// Binary operators at the syntax level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The argument of an aggregate: an expression or `*`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionArg {
+    Expr(Expr),
+    Star,
+}
+
+/// Unbound expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `name` or `qualifier.name`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Literal),
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    Unary {
+        negated: bool,
+        not: bool,
+        expr: Box<Expr>,
+    },
+    Case {
+        /// `CASE operand WHEN v THEN r …` — operand form; `None` = searched.
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Function call: scalar (`MOD(a,b)`) or aggregate (`SUM(x)`) —
+    /// disambiguated at bind time. COALESCE is parsed as a plain function.
+    Function {
+        name: String,
+        args: Vec<FunctionArg>,
+    },
+    /// `agg(arg) OVER (window-spec)` — a reporting function, or a
+    /// zero-argument ranking function (`ROW_NUMBER() OVER (…)`).
+    WindowFunction {
+        name: String,
+        /// `None` for zero-argument window functions.
+        arg: Option<Box<FunctionArg>>,
+        spec: WindowSpec,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// Explicit parentheses; kept so printing round-trips precedence.
+    Nested(Box<Expr>),
+}
+
+impl Expr {
+    /// Unqualified column shorthand.
+    pub fn column(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified column shorthand.
+    pub fn qcolumn(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Does any window function occur in this tree?
+    pub fn contains_window_function(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::WindowFunction { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column { .. } | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Unary { expr, .. } => expr.visit(f),
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.visit(f);
+                }
+                for (c, r) in branches {
+                    c.visit(f);
+                    r.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    if let FunctionArg::Expr(e) = a {
+                        e.visit(f);
+                    }
+                }
+            }
+            Expr::WindowFunction { arg, spec, .. } => {
+                if let Some(FunctionArg::Expr(e)) = arg.as_deref() {
+                    e.visit(f);
+                }
+                for p in &spec.partition_by {
+                    p.visit(f);
+                }
+                for o in &spec.order_by {
+                    o.expr.visit(f);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::Nested(e) => e.visit(f),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: print valid SQL.
+// ---------------------------------------------------------------------------
+
+fn comma_sep<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+            Literal::Date(d) => write!(f, "DATE '{d}'"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Binary { left, op, right } => write!(f, "{left} {op} {right}"),
+            Expr::Unary { negated, not, expr } => {
+                if *not {
+                    write!(f, "NOT {expr}")
+                } else if *negated {
+                    write!(f, "-{expr}")
+                } else {
+                    write!(f, "{expr}")
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Function { name, args } => {
+                write!(f, "{name}(")?;
+                comma_sep(f, args)?;
+                write!(f, ")")
+            }
+            Expr::WindowFunction { name, arg, spec } => match arg {
+                Some(a) => write!(f, "{name}({a}) OVER ({spec})"),
+                None => write!(f, "{name}() OVER ({spec})"),
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                comma_sep(f, list)?;
+                write!(f, ")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Nested(e) => write!(f, "({e})"),
+        }
+    }
+}
+
+impl fmt::Display for FunctionArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionArg::Expr(e) => write!(f, "{e}"),
+            FunctionArg::Star => write!(f, "*"),
+        }
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut need_space = false;
+        if !self.partition_by.is_empty() {
+            write!(f, "PARTITION BY ")?;
+            comma_sep(f, &self.partition_by)?;
+            need_space = true;
+        }
+        if !self.order_by.is_empty() {
+            if need_space {
+                write!(f, " ")?;
+            }
+            write!(f, "ORDER BY ")?;
+            comma_sep(f, &self.order_by)?;
+            need_space = true;
+        }
+        if let Some(frame) = &self.frame {
+            if need_space {
+                write!(f, " ")?;
+            }
+            write!(f, "ROWS BETWEEN {} AND {}", frame.start, frame.end)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.expr, if self.desc { " DESC" } else { "" })
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => write!(f, "{expr} AS {a}"),
+                None => write!(f, "{expr}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for TableFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableFactor::Table { name, alias } => match alias {
+                Some(a) => write!(f, "{name} {a}"),
+                None => write!(f, "{name}"),
+            },
+            TableFactor::Derived { subquery, alias } => write!(f, "({subquery}) {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for TableWithJoins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for join in &self.joins {
+            match join.kind {
+                JoinKind::Cross => write!(f, " CROSS JOIN {}", join.factor)?,
+                JoinKind::Inner => write!(f, " JOIN {}", join.factor)?,
+                JoinKind::LeftOuter => write!(f, " LEFT OUTER JOIN {}", join.factor)?,
+            }
+            if let Some(on) = &join.on {
+                write!(f, " ON {on}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        comma_sep(f, &self.projection)?;
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            comma_sep(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::Union { left, right, all } => {
+                write!(f, "{left} UNION {}{right}", if *all { "ALL " } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            comma_sep(f, &self.order_by)?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        if self.primary_key {
+            write!(f, " PRIMARY KEY")?;
+        } else if self.not_null {
+            write!(f, " NOT NULL")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                comma_sep(f, columns)?;
+                write!(f, ")")
+            }
+            Statement::CreateIndex {
+                table,
+                column,
+                unique,
+            } => write!(
+                f,
+                "CREATE {}INDEX ON {table} ({column})",
+                if *unique { "UNIQUE " } else { "" }
+            ),
+            Statement::CreateMaterializedView { name, query } => {
+                write!(f, "CREATE MATERIALIZED VIEW {name} AS {query}")
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                write!(f, "INSERT INTO {table}")?;
+                if !columns.is_empty() {
+                    write!(f, " (")?;
+                    comma_sep(f, columns)?;
+                    write!(f, ")")?;
+                }
+                write!(f, " VALUES ")?;
+                for (i, tuple) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    comma_sep(f, tuple)?;
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (col, e)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} = {e}")?;
+                }
+                if let Some(w) = selection {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, selection } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(w) = selection {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::DropTable { name } => write!(f, "DROP TABLE {name}"),
+        }
+    }
+}

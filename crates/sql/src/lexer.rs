@@ -1,0 +1,362 @@
+//! Hand-written SQL lexer.
+
+use rfv_types::{Result, RfvError};
+
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Converts SQL text into a token stream. Supports `--` line comments,
+/// `/* */` block comments, single-quoted strings with `''` escapes, and
+/// double-quoted identifiers.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenize the whole input (the final token is always [`TokenKind::Eof`]).
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            tokens.push(tok);
+            if eof {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> RfvError {
+        RfvError::parse(msg, self.line, self.column)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (l, c) = (self.line, self.column);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(RfvError::parse("unterminated block comment", l, c))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let (line, column) = (self.line, self.column);
+        let tok = |kind| Ok(Token::new(kind, line, column));
+        let Some(c) = self.peek() else {
+            return tok(TokenKind::Eof);
+        };
+        match c {
+            b'0'..=b'9' => {
+                let kind = self.lex_number()?;
+                Ok(Token::new(kind, line, column))
+            }
+            b'\'' => {
+                let kind = self.lex_string()?;
+                Ok(Token::new(kind, line, column))
+            }
+            b'"' => {
+                let kind = self.lex_quoted_ident()?;
+                Ok(Token::new(kind, line, column))
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let kind = self.lex_word();
+                Ok(Token::new(kind, line, column))
+            }
+            _ => {
+                self.bump();
+                match c {
+                    b'+' => tok(TokenKind::Plus),
+                    b'-' => tok(TokenKind::Minus),
+                    b'*' => tok(TokenKind::Star),
+                    b'/' => tok(TokenKind::Slash),
+                    b'%' => tok(TokenKind::Percent),
+                    b'(' => tok(TokenKind::LParen),
+                    b')' => tok(TokenKind::RParen),
+                    b',' => tok(TokenKind::Comma),
+                    b'.' => tok(TokenKind::Dot),
+                    b';' => tok(TokenKind::Semicolon),
+                    b'=' => tok(TokenKind::Eq),
+                    b'<' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            tok(TokenKind::LtEq)
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            tok(TokenKind::NotEq)
+                        }
+                        _ => tok(TokenKind::Lt),
+                    },
+                    b'>' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            tok(TokenKind::GtEq)
+                        }
+                        _ => tok(TokenKind::Gt),
+                    },
+                    b'!' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            tok(TokenKind::NotEq)
+                        }
+                        _ => Err(RfvError::parse("unexpected character `!`", line, column)),
+                    },
+                    other => Err(RfvError::parse(
+                        format!("unexpected character `{}`", other as char),
+                        line,
+                        column,
+                    )),
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // Fractional part — but `1.` followed by an identifier char would be
+        // a qualified reference on a weird name, which we don't support;
+        // digits are required after the dot.
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E'))
+            && (self.peek2().is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek2(), Some(b'+' | b'-'))
+                    && self
+                        .src
+                        .get(self.pos + 2)
+                        .is_some_and(|c| c.is_ascii_digit())))
+        {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.error("invalid UTF-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.error(format!("invalid float literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| self.error(format!("invalid integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind> {
+        let (l, c) = (self.line, self.column);
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(out));
+                    }
+                }
+                Some(ch) => out.push(ch as char),
+                None => return Err(RfvError::parse("unterminated string literal", l, c)),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<TokenKind> {
+        let (l, c) = (self.line, self.column);
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::Ident(out)),
+                Some(ch) => out.push(ch as char),
+                None => return Err(RfvError::parse("unterminated quoted identifier", l, c)),
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("word bytes are ASCII")
+            .to_string();
+        match Keyword::from_str(&text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_select_with_window() {
+        let ks = kinds("SELECT SUM(val) OVER (ORDER BY pos) FROM seq;");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Select));
+        assert!(ks.contains(&TokenKind::Keyword(Keyword::Over)));
+        assert!(ks.contains(&TokenKind::Ident("val".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Float(4.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5E-1")[0], TokenKind::Float(0.25));
+        // `1.x` is Int Dot Ident (qualified column on table named 1? parser rejects)
+        assert_eq!(
+            kinds("1.e")[..3],
+            [
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("e".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(Lexer::new("'open").tokenize().is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT -- a comment\n 1 /* block\n comment */ , 2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+        assert!(Lexer::new("/* open").tokenize().is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a <= b <> c >= d != e < f > g = h");
+        assert!(ks.contains(&TokenKind::LtEq));
+        assert!(ks.contains(&TokenKind::GtEq));
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::NotEq).count(), 2);
+    }
+
+    #[test]
+    fn keywords_case_insensitive_idents_preserved() {
+        let ks = kinds("select MyCol from T");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(ks[1], TokenKind::Ident("MyCol".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds("\"select\"")[0], TokenKind::Ident("select".into()));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(Lexer::new("a ? b").tokenize().is_err());
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+}

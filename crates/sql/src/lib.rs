@@ -1,0 +1,18 @@
+//! SQL frontend: lexer, AST, and recursive-descent parser for the dialect
+//! used throughout the paper — plain SELECT blocks with joins, grouping,
+//! UNION ALL, and most importantly **reporting functions**
+//! (`agg(expr) OVER (PARTITION BY … ORDER BY … ROWS …)`, Fig. 1 of the
+//! paper), plus the DDL/DML needed to drive a warehouse scenario
+//! (CREATE TABLE / CREATE INDEX / CREATE MATERIALIZED VIEW / INSERT).
+//!
+//! The AST is unbound: names are resolved later by `rfv-plan`.
+
+mod ast;
+mod lexer;
+mod parser;
+mod token;
+
+pub use ast::*;
+pub use lexer::Lexer;
+pub use parser::{parse_expression, parse_statement, parse_statements, Parser};
+pub use token::{Keyword, Token, TokenKind};

@@ -1,0 +1,1285 @@
+//! Recursive-descent parser.
+
+use rfv_types::{DataType, Result, RfvError};
+
+use crate::ast::*;
+use crate::lexer::Lexer;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse a single statement (optionally `;`-terminated).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.parse_statement()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect(&TokenKind::Eof)?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.check(&TokenKind::Eof) {
+            return Ok(out);
+        }
+        out.push(p.parse_statement()?);
+        if !p.check(&TokenKind::Eof) && !p.check(&TokenKind::Semicolon) {
+            return Err(p.unexpected("`;` or end of input"));
+        }
+    }
+}
+
+/// Parse a standalone scalar expression (used by tests and the REPL-style
+/// examples).
+pub fn parse_expression(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let e = p.parse_expr()?;
+    p.expect(&TokenKind::Eof)?;
+    Ok(e)
+}
+
+/// Token-stream parser. Construct with [`Parser::new`], then call
+/// [`Parser::parse_statement`] repeatedly.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(sql: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: Lexer::new(sql).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    // -- token plumbing -----------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn check_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek_kind(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.check_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if self.check(kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.unexpected(&format!("`{kind}`")))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword {kw:?}")))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> RfvError {
+        let t = self.peek();
+        RfvError::parse(
+            format!("expected {wanted}, found `{}`", t.kind),
+            t.line,
+            t.column,
+        )
+    }
+
+    /// An identifier; soft keywords that commonly double as names
+    /// (e.g. `key`, `row`) are accepted.
+    fn ident(&mut self) -> Result<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            TokenKind::Keyword(Keyword::Key) => {
+                self.advance();
+                Ok("key".to_string())
+            }
+            TokenKind::Keyword(Keyword::Row) => {
+                self.advance();
+                Ok("row".to_string())
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn unsigned(&mut self) -> Result<u64> {
+        match self.peek_kind() {
+            TokenKind::Int(i) if *i >= 0 => {
+                let v = *i as u64;
+                self.advance();
+                Ok(v)
+            }
+            _ => Err(self.unexpected("non-negative integer")),
+        }
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Select) | TokenKind::LParen => {
+                Ok(Statement::Query(self.parse_query()?))
+            }
+            TokenKind::Keyword(Keyword::Create) => self.parse_create(),
+            TokenKind::Keyword(Keyword::Insert) => self.parse_insert(),
+            TokenKind::Keyword(Keyword::Update) => self.parse_update(),
+            TokenKind::Keyword(Keyword::Delete) => self.parse_delete(),
+            TokenKind::Keyword(Keyword::Drop) => {
+                self.advance();
+                self.expect_kw(Keyword::Table)?;
+                Ok(Statement::DropTable {
+                    name: self.ident()?,
+                })
+            }
+            _ => Err(self.unexpected("statement (SELECT/CREATE/INSERT/UPDATE/DELETE/DROP)")),
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Create)?;
+        if self.eat_kw(Keyword::Table) {
+            return self.parse_create_table();
+        }
+        if self.eat_kw(Keyword::Materialized) {
+            self.expect_kw(Keyword::View)?;
+            let name = self.ident()?;
+            self.expect_kw(Keyword::As)?;
+            let query = self.parse_query()?;
+            return Ok(Statement::CreateMaterializedView { name, query });
+        }
+        let unique = self.eat_kw(Keyword::Unique);
+        if self.eat_kw(Keyword::Index) {
+            // Optional index name (ignored — indexes are addressed by column).
+            if matches!(self.peek_kind(), TokenKind::Ident(_)) && !self.check_kw(Keyword::On) {
+                self.ident()?;
+            }
+            self.expect_kw(Keyword::On)?;
+            let table = self.ident()?;
+            self.expect(&TokenKind::LParen)?;
+            let column = self.ident()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Statement::CreateIndex {
+                table,
+                column,
+                unique,
+            });
+        }
+        Err(self.unexpected("TABLE, [UNIQUE] INDEX, or MATERIALIZED VIEW"))
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let data_type = self.parse_data_type()?;
+            let mut not_null = false;
+            let mut primary_key = false;
+            loop {
+                if self.eat_kw(Keyword::Not) {
+                    self.expect_kw(Keyword::Null)?;
+                    not_null = true;
+                } else if self.eat_kw(Keyword::Primary) {
+                    self.expect_kw(Keyword::Key)?;
+                    primary_key = true;
+                    not_null = true;
+                } else {
+                    break;
+                }
+            }
+            columns.push(ColumnDef {
+                name: col_name,
+                data_type,
+                not_null,
+                primary_key,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType> {
+        let dt = match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Bigint) => DataType::Int,
+            TokenKind::Keyword(Keyword::Double) => DataType::Float,
+            TokenKind::Keyword(Keyword::Boolean) => DataType::Bool,
+            TokenKind::Keyword(Keyword::Varchar) => DataType::Str,
+            TokenKind::Keyword(Keyword::Date) => DataType::Date,
+            _ => return Err(self.unexpected("data type")),
+        };
+        self.advance();
+        // Optional length, e.g. VARCHAR(30) — accepted and ignored.
+        if self.eat(&TokenKind::LParen) {
+            self.unsigned()?;
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(dt)
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect_kw(Keyword::Values)?;
+        let mut values = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut tuple = Vec::new();
+            loop {
+                tuple.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            values.push(tuple);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            assignments.push((col, self.parse_expr()?));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            selection,
+        })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, selection })
+    }
+
+    // -- queries ---------------------------------------------------------
+
+    pub fn parse_query(&mut self) -> Result<Query> {
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            order_by = self.parse_order_by_list()?;
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            Some(self.unsigned()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_term()?;
+        while self.eat_kw(Keyword::Union) {
+            let all = self.eat_kw(Keyword::All);
+            let right = self.parse_set_term()?;
+            left = SetExpr::Union {
+                left: Box::new(left),
+                right: Box::new(right),
+                all,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_term(&mut self) -> Result<SetExpr> {
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.parse_set_expr()?;
+            self.expect(&TokenKind::RParen)?;
+            Ok(inner)
+        } else {
+            Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw(Keyword::Select)?;
+        let mut projection = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                projection.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw(Keyword::As) {
+                    Some(self.ident()?)
+                } else if matches!(self.peek_kind(), TokenKind::Ident(_))
+                    && !self.is_clause_boundary()
+                {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                projection.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw(Keyword::From) {
+            Some(self.parse_table_with_joins()?)
+        } else {
+            None
+        };
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn is_clause_boundary(&self) -> bool {
+        // Identifiers never start a clause; only keywords do, and those are
+        // already distinct TokenKinds. This hook exists for symmetry /
+        // future soft keywords.
+        false
+    }
+
+    fn parse_table_with_joins(&mut self) -> Result<TableWithJoins> {
+        let base = self.parse_table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Comma) {
+                // Comma join == CROSS JOIN (the paper's FROM c_transactions, l_locations).
+                let factor = self.parse_table_factor()?;
+                joins.push(Join {
+                    factor,
+                    kind: JoinKind::Cross,
+                    on: None,
+                });
+            } else if self.eat_kw(Keyword::Cross) {
+                self.expect_kw(Keyword::Join)?;
+                let factor = self.parse_table_factor()?;
+                joins.push(Join {
+                    factor,
+                    kind: JoinKind::Cross,
+                    on: None,
+                });
+            } else if self.check_kw(Keyword::Join)
+                || self.check_kw(Keyword::Inner)
+                || self.check_kw(Keyword::Left)
+            {
+                let kind = if self.eat_kw(Keyword::Left) {
+                    self.eat_kw(Keyword::Outer);
+                    JoinKind::LeftOuter
+                } else {
+                    self.eat_kw(Keyword::Inner);
+                    JoinKind::Inner
+                };
+                self.expect_kw(Keyword::Join)?;
+                let factor = self.parse_table_factor()?;
+                self.expect_kw(Keyword::On)?;
+                let on = self.parse_expr()?;
+                joins.push(Join {
+                    factor,
+                    kind,
+                    on: Some(on),
+                });
+            } else {
+                break;
+            }
+        }
+        Ok(TableWithJoins { base, joins })
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableFactor> {
+        if self.eat(&TokenKind::LParen) {
+            let subquery = self.parse_query()?;
+            self.expect(&TokenKind::RParen)?;
+            self.eat_kw(Keyword::As);
+            let alias = self.ident()?;
+            return Ok(TableFactor::Derived {
+                subquery: Box::new(subquery),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    fn parse_order_by_list(&mut self) -> Result<Vec<OrderByItem>> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            let desc = if self.eat_kw(Keyword::Desc) {
+                true
+            } else {
+                self.eat_kw(Keyword::Asc);
+                false
+            };
+            items.push(OrderByItem { expr, desc });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // -- expressions -------------------------------------------------------
+    //
+    // Precedence (low → high): OR, AND, NOT, {comparison, IS, IN, BETWEEN},
+    // {+,-}, {*,/,%}, unary minus, primary.
+
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.parse_not()?;
+            Ok(Expr::Unary {
+                negated: false,
+                not: true,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN / [NOT] IN
+        let negated = if self.check_kw(Keyword::Not)
+            && matches!(
+                self.peek_ahead(1),
+                TokenKind::Keyword(Keyword::Between) | TokenKind::Keyword(Keyword::In)
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw(Keyword::Between) {
+            let low = self.parse_additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("BETWEEN or IN after NOT"));
+        }
+        let op = match self.peek_kind() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            // Fold a leading minus into numeric literals directly so
+            // `-1` prints back as `-1` rather than `-(1)`.
+            match self.peek_kind().clone() {
+                TokenKind::Int(i) => {
+                    self.advance();
+                    return Ok(Expr::Literal(Literal::Int(-i)));
+                }
+                TokenKind::Float(v) => {
+                    self.advance();
+                    return Ok(Expr::Literal(Literal::Float(-v)));
+                }
+                _ => {
+                    let inner = self.parse_unary()?;
+                    return Ok(Expr::Unary {
+                        negated: true,
+                        not: false,
+                        expr: Box::new(inner),
+                    });
+                }
+            }
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::Date) => {
+                self.advance();
+                match self.peek_kind().clone() {
+                    TokenKind::Str(s) => {
+                        self.advance();
+                        Ok(Expr::Literal(Literal::Date(s)))
+                    }
+                    _ => Err(self.unexpected("date string after DATE")),
+                }
+            }
+            TokenKind::Keyword(Keyword::Case) => self.parse_case(),
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Nested(Box::new(inner)))
+            }
+            TokenKind::Ident(_)
+            | TokenKind::Keyword(Keyword::Left)
+            | TokenKind::Keyword(Keyword::Right)
+            | TokenKind::Keyword(Keyword::Key)
+            | TokenKind::Keyword(Keyword::Row) => self.parse_identifier_expr(),
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_kw(Keyword::Case)?;
+        let operand = if self.check_kw(Keyword::When) {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw(Keyword::When) {
+            let cond = self.parse_expr()?;
+            self.expect_kw(Keyword::Then)?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.unexpected("WHEN"));
+        }
+        let else_expr = if self.eat_kw(Keyword::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+
+    /// Identifier-led expression: column reference, qualified column,
+    /// function call, or window function.
+    fn parse_identifier_expr(&mut self) -> Result<Expr> {
+        let name = match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                s
+            }
+            // LEFT/RIGHT/KEY/ROW are soft keywords usable as function or
+            // column names (e.g. a column named `row`).
+            TokenKind::Keyword(Keyword::Left) => {
+                self.advance();
+                "left".to_string()
+            }
+            TokenKind::Keyword(Keyword::Right) => {
+                self.advance();
+                "right".to_string()
+            }
+            TokenKind::Keyword(Keyword::Key) => {
+                self.advance();
+                "key".to_string()
+            }
+            TokenKind::Keyword(Keyword::Row) => {
+                self.advance();
+                "row".to_string()
+            }
+            _ => return Err(self.unexpected("identifier")),
+        };
+        // Function call?
+        if self.check(&TokenKind::LParen) {
+            self.advance();
+            let mut args = Vec::new();
+            if self.eat(&TokenKind::Star) {
+                args.push(FunctionArg::Star);
+            } else if !self.check(&TokenKind::RParen) {
+                loop {
+                    args.push(FunctionArg::Expr(self.parse_expr()?));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            // OVER clause => window function.
+            if self.eat_kw(Keyword::Over) {
+                if args.len() > 1 {
+                    return Err(self.unexpected("at most one argument before OVER"));
+                }
+                self.expect(&TokenKind::LParen)?;
+                let spec = self.parse_window_spec()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(Expr::WindowFunction {
+                    name,
+                    arg: args.into_iter().next().map(Box::new),
+                    spec,
+                });
+            }
+            return Ok(Expr::Function { name, args });
+        }
+        // Qualified column?
+        if self.check(&TokenKind::Dot) {
+            self.advance();
+            let col = self.ident()?;
+            return Ok(Expr::qcolumn(name, col));
+        }
+        Ok(Expr::column(name))
+    }
+
+    fn parse_window_spec(&mut self) -> Result<WindowSpec> {
+        let mut partition_by = Vec::new();
+        if self.eat_kw(Keyword::Partition) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                partition_by.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            order_by = self.parse_order_by_list()?;
+        }
+        let frame = if self.eat_kw(Keyword::Rows) {
+            Some(self.parse_frame()?)
+        } else {
+            None
+        };
+        Ok(WindowSpec {
+            partition_by,
+            order_by,
+            frame,
+        })
+    }
+
+    fn parse_frame(&mut self) -> Result<WindowFrame> {
+        if self.eat_kw(Keyword::Between) {
+            let start = self.parse_frame_bound()?;
+            self.expect_kw(Keyword::And)?;
+            let end = self.parse_frame_bound()?;
+            Ok(WindowFrame { start, end })
+        } else {
+            // Single-bound shorthand: `ROWS <bound>` == BETWEEN bound AND CURRENT ROW.
+            let start = self.parse_frame_bound()?;
+            Ok(WindowFrame {
+                start,
+                end: FrameBound::CurrentRow,
+            })
+        }
+    }
+
+    fn parse_frame_bound(&mut self) -> Result<FrameBound> {
+        if self.eat_kw(Keyword::Unbounded) {
+            if self.eat_kw(Keyword::Preceding) {
+                return Ok(FrameBound::UnboundedPreceding);
+            }
+            self.expect_kw(Keyword::Following)?;
+            return Ok(FrameBound::UnboundedFollowing);
+        }
+        if self.eat_kw(Keyword::Current) {
+            self.expect_kw(Keyword::Row)?;
+            return Ok(FrameBound::CurrentRow);
+        }
+        let n = self.unsigned()?;
+        if self.eat_kw(Keyword::Preceding) {
+            Ok(FrameBound::Preceding(n))
+        } else {
+            self.expect_kw(Keyword::Following)?;
+            Ok(FrameBound::Following(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) {
+        let ast = parse_statement(sql).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(ast, reparsed, "printed: {printed}");
+    }
+
+    #[test]
+    fn parses_simple_select() {
+        let stmt = parse_statement("SELECT a, b FROM t WHERE a > 1").unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.projection.len(), 2);
+        assert!(s.selection.is_some());
+    }
+
+    #[test]
+    fn parses_paper_intro_query() {
+        // The credit-card example from §1 of the paper (without the
+        // month() shorthand — MONTH(c_date) is the dialect's spelling).
+        let sql = "SELECT c_date, c_transaction, \
+            SUM(c_transaction) OVER (ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS cum_sum_total, \
+            SUM(c_transaction) OVER (PARTITION BY MONTH(c_date) ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS cum_sum_month, \
+            AVG(c_transaction) OVER (PARTITION BY MONTH(c_date), l_region ORDER BY c_date ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS c_3mvg_avg, \
+            AVG(c_transaction) OVER (ORDER BY c_date ROWS BETWEEN CURRENT ROW AND 6 FOLLOWING) AS c_7mvg_avg \
+            FROM c_transactions, l_locations \
+            WHERE c_locid = l_locid AND c_custid = 4711";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = &stmt else { panic!() };
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.projection.len(), 6);
+        // Third item: cumulative frame normalized.
+        let SelectItem::Expr { expr, alias } = &s.projection[2] else {
+            panic!()
+        };
+        assert_eq!(alias.as_deref(), Some("cum_sum_total"));
+        let Expr::WindowFunction { spec, .. } = expr else {
+            panic!("{expr:?}")
+        };
+        assert_eq!(
+            spec.frame,
+            Some(WindowFrame {
+                start: FrameBound::UnboundedPreceding,
+                end: FrameBound::CurrentRow
+            })
+        );
+        roundtrip(sql);
+    }
+
+    #[test]
+    fn window_frames() {
+        for (sql, start, end) in [
+            (
+                "SELECT SUM(v) OVER (ORDER BY p ROWS BETWEEN 2 PRECEDING AND 3 FOLLOWING) FROM t",
+                FrameBound::Preceding(2),
+                FrameBound::Following(3),
+            ),
+            (
+                "SELECT SUM(v) OVER (ORDER BY p ROWS BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING) FROM t",
+                FrameBound::UnboundedPreceding,
+                FrameBound::UnboundedFollowing,
+            ),
+            (
+                "SELECT SUM(v) OVER (ORDER BY p ROWS 2 PRECEDING) FROM t",
+                FrameBound::Preceding(2),
+                FrameBound::CurrentRow,
+            ),
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            let Statement::Query(q) = stmt else { panic!() };
+            let SetExpr::Select(s) = q.body else { panic!() };
+            let SelectItem::Expr { expr, .. } = &s.projection[0] else { panic!() };
+            let Expr::WindowFunction { spec, .. } = expr else { panic!() };
+            assert_eq!(spec.frame, Some(WindowFrame { start, end }));
+        }
+    }
+
+    #[test]
+    fn joins_and_aliases() {
+        let sql = "SELECT s1.pos, s2.val FROM seq s1 JOIN seq AS s2 ON s1.pos = s2.pos \
+                   LEFT OUTER JOIN other o ON o.k = s1.pos";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = &stmt else { panic!() };
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let from = s.from.as_ref().unwrap();
+        assert_eq!(from.base.binding_name(), "s1");
+        assert_eq!(from.joins.len(), 2);
+        assert_eq!(from.joins[1].kind, JoinKind::LeftOuter);
+        roundtrip(sql);
+    }
+
+    #[test]
+    fn comma_join_is_cross() {
+        let stmt = parse_statement("SELECT 1 FROM a, b WHERE a.x = b.y").unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        let SetExpr::Select(s) = q.body else { panic!() };
+        assert_eq!(s.from.unwrap().joins[0].kind, JoinKind::Cross);
+    }
+
+    #[test]
+    fn union_all_chain() {
+        let stmt =
+            parse_statement("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3 ORDER BY 1").unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        assert_eq!(q.order_by.len(), 1);
+        let SetExpr::Union { all, left, .. } = q.body else {
+            panic!()
+        };
+        assert!(!all, "outer union is distinct");
+        assert!(matches!(*left, SetExpr::Union { all: true, .. }));
+    }
+
+    #[test]
+    fn derived_tables() {
+        let sql = "SELECT x.a FROM (SELECT a FROM t) x";
+        roundtrip(sql);
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        let SetExpr::Select(s) = q.body else { panic!() };
+        assert!(matches!(s.from.unwrap().base, TableFactor::Derived { .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = &e
+        else {
+            panic!()
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+
+        let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
+        let Expr::Binary {
+            op: BinOp::Or,
+            right,
+            ..
+        } = &e
+        else {
+            panic!("{e:?}")
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::And, .. }));
+
+        let e = parse_expression("NOT a = 1").unwrap();
+        assert!(matches!(e, Expr::Unary { not: true, .. }));
+    }
+
+    #[test]
+    fn case_both_forms() {
+        let searched =
+            parse_expression("CASE WHEN a = 1 THEN 'x' WHEN a = 2 THEN 'y' ELSE 'z' END").unwrap();
+        let Expr::Case {
+            operand: None,
+            branches,
+            else_expr,
+        } = &searched
+        else {
+            panic!()
+        };
+        assert_eq!(branches.len(), 2);
+        assert!(else_expr.is_some());
+        let operand = parse_expression("CASE a WHEN 1 THEN 'x' END").unwrap();
+        assert!(matches!(
+            operand,
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
+        ));
+        assert!(parse_expression("CASE END").is_err());
+    }
+
+    #[test]
+    fn between_in_isnull() {
+        roundtrip("SELECT a FROM t WHERE a BETWEEN 1 AND 2");
+        roundtrip("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2");
+        roundtrip("SELECT a FROM t WHERE a IN (1, 2, 3)");
+        roundtrip("SELECT a FROM t WHERE a NOT IN (1)");
+        roundtrip("SELECT a FROM t WHERE a IS NULL");
+        roundtrip("SELECT a FROM t WHERE a IS NOT NULL");
+        // BETWEEN binds tighter than AND:
+        let e = parse_expression("a BETWEEN 1 AND 2 AND b = 3").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn ddl_and_insert() {
+        let stmt = parse_statement(
+            "CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL, tag VARCHAR(10))",
+        )
+        .unwrap();
+        let Statement::CreateTable { columns, .. } = &stmt else {
+            panic!()
+        };
+        assert!(columns[0].primary_key && columns[0].not_null);
+        assert!(columns[1].not_null && !columns[1].primary_key);
+        assert_eq!(columns[2].data_type, DataType::Str);
+
+        let stmt = parse_statement("CREATE UNIQUE INDEX ON seq (pos)").unwrap();
+        assert!(matches!(stmt, Statement::CreateIndex { unique: true, .. }));
+
+        let stmt = parse_statement("INSERT INTO seq (pos, val) VALUES (1, 1.5), (2, 2.5)").unwrap();
+        let Statement::Insert { values, .. } = &stmt else {
+            panic!()
+        };
+        assert_eq!(values.len(), 2);
+
+        roundtrip("CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS sval FROM seq");
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a BIGINT); INSERT INTO t VALUES (1);; SELECT a FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(parse_statements("SELECT 1 SELECT 2").is_err());
+    }
+
+    #[test]
+    fn date_literal() {
+        let e = parse_expression("DATE '2001-07-15'").unwrap();
+        assert_eq!(e, Expr::Literal(Literal::Date("2001-07-15".into())));
+    }
+
+    #[test]
+    fn negative_numbers_fold_into_literal() {
+        assert_eq!(
+            parse_expression("-5").unwrap(),
+            Expr::Literal(Literal::Int(-5))
+        );
+        assert!(matches!(
+            parse_expression("-a").unwrap(),
+            Expr::Unary { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_statement("SELECT FROM").unwrap_err();
+        assert!(matches!(err, RfvError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn count_star_and_over() {
+        let sql = "SELECT COUNT(*) OVER (ORDER BY p ROWS UNBOUNDED PRECEDING) FROM t";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        let SetExpr::Select(s) = q.body else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            expr,
+            Expr::WindowFunction { arg, .. } if matches!(arg.as_deref(), Some(FunctionArg::Star))
+        ));
+    }
+
+    #[test]
+    fn group_by_having_limit() {
+        roundtrip("SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 10 ORDER BY a DESC LIMIT 5");
+    }
+}
+
+#[cfg(test)]
+mod dml_tests {
+    use super::*;
+
+    #[test]
+    fn parses_update() {
+        let stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE a > 2").unwrap();
+        let Statement::Update {
+            table,
+            assignments,
+            selection,
+        } = &stmt
+        else {
+            panic!("{stmt:?}")
+        };
+        assert_eq!(table, "t");
+        assert_eq!(assignments.len(), 2);
+        assert!(selection.is_some());
+        // Round-trip.
+        let printed = stmt.to_string();
+        assert_eq!(parse_statement(&printed).unwrap(), stmt);
+    }
+
+    #[test]
+    fn parses_delete() {
+        let stmt = parse_statement("DELETE FROM t WHERE a IS NULL").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Delete {
+                selection: Some(_),
+                ..
+            }
+        ));
+        let stmt = parse_statement("DELETE FROM t").unwrap();
+        let printed = stmt.to_string();
+        assert_eq!(parse_statement(&printed).unwrap(), stmt);
+    }
+
+    #[test]
+    fn parses_zero_arg_window_functions() {
+        let stmt =
+            parse_statement("SELECT ROW_NUMBER() OVER (PARTITION BY g ORDER BY v DESC) FROM t")
+                .unwrap();
+        let Statement::Query(q) = &stmt else { panic!() };
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
+        let Expr::WindowFunction { name, arg, spec } = expr else {
+            panic!("{expr:?}")
+        };
+        assert_eq!(name, "ROW_NUMBER");
+        assert!(arg.is_none());
+        assert_eq!(spec.partition_by.len(), 1);
+        assert!(spec.order_by[0].desc);
+        let printed = stmt.to_string();
+        assert_eq!(parse_statement(&printed).unwrap(), stmt);
+    }
+
+    #[test]
+    fn two_args_before_over_rejected() {
+        assert!(parse_statement("SELECT f(a, b) OVER (ORDER BY a) FROM t").is_err());
+    }
+}

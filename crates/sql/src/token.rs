@@ -1,0 +1,221 @@
+//! Token types produced by the lexer.
+
+use std::fmt;
+
+/// SQL keywords recognized by the dialect. Identifiers are matched
+/// case-insensitively against this list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    All,
+    And,
+    As,
+    Asc,
+    Between,
+    Bigint,
+    Boolean,
+    By,
+    Case,
+    Create,
+    Cross,
+    Current,
+    Date,
+    Delete,
+    Desc,
+    Distinct,
+    Double,
+    Drop,
+    Else,
+    End,
+    False,
+    Following,
+    From,
+    Group,
+    Having,
+    In,
+    Index,
+    Inner,
+    Insert,
+    Into,
+    Is,
+    Join,
+    Key,
+    Left,
+    Limit,
+    Materialized,
+    Not,
+    Null,
+    On,
+    Or,
+    Order,
+    Outer,
+    Over,
+    Partition,
+    Preceding,
+    Primary,
+    Right,
+    Row,
+    Rows,
+    Select,
+    Set,
+    Table,
+    Then,
+    True,
+    Unbounded,
+    Union,
+    Unique,
+    Update,
+    Values,
+    Varchar,
+    View,
+    When,
+    Where,
+}
+
+impl Keyword {
+    /// Try to match an identifier (case-insensitive).
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        let kw = match s.to_ascii_uppercase().as_str() {
+            "ALL" => All,
+            "AND" => And,
+            "AS" => As,
+            "ASC" => Asc,
+            "BETWEEN" => Between,
+            "BIGINT" | "INT" | "INTEGER" => Bigint,
+            "BOOLEAN" | "BOOL" => Boolean,
+            "BY" => By,
+            "CASE" => Case,
+            "CREATE" => Create,
+            "CROSS" => Cross,
+            "CURRENT" => Current,
+            "DATE" => Date,
+            "DELETE" => Delete,
+            "DESC" => Desc,
+            "DISTINCT" => Distinct,
+            "DOUBLE" | "FLOAT" | "REAL" => Double,
+            "DROP" => Drop,
+            "ELSE" => Else,
+            "END" => End,
+            "FALSE" => False,
+            "FOLLOWING" => Following,
+            "FROM" => From,
+            "GROUP" => Group,
+            "HAVING" => Having,
+            "IN" => In,
+            "INDEX" => Index,
+            "INNER" => Inner,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "IS" => Is,
+            "JOIN" => Join,
+            "KEY" => Key,
+            "LEFT" => Left,
+            "LIMIT" => Limit,
+            "MATERIALIZED" => Materialized,
+            "NOT" => Not,
+            "NULL" => Null,
+            "ON" => On,
+            "OR" => Or,
+            "ORDER" => Order,
+            "OUTER" => Outer,
+            "OVER" => Over,
+            "PARTITION" => Partition,
+            "PRECEDING" => Preceding,
+            "PRIMARY" => Primary,
+            "RIGHT" => Right,
+            "ROW" => Row,
+            "ROWS" => Rows,
+            "SELECT" => Select,
+            "SET" => Set,
+            "TABLE" => Table,
+            "THEN" => Then,
+            "TRUE" => True,
+            "UNBOUNDED" => Unbounded,
+            "UNION" => Union,
+            "UNIQUE" => Unique,
+            "UPDATE" => Update,
+            "VALUES" => Values,
+            "VARCHAR" | "TEXT" | "STRING" => Varchar,
+            "VIEW" => View,
+            "WHEN" => When,
+            "WHERE" => Where,
+            _ => return None,
+        };
+        Some(kw)
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Keyword),
+    /// Non-keyword identifier, original case preserved.
+    Ident(String),
+    /// Integer literal (sign is a separate token).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string, with `''` unescaped.
+    Str(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position (1-based), for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, line: u32, column: u32) -> Self {
+        Token { kind, line, column }
+    }
+}

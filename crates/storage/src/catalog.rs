@@ -1,0 +1,133 @@
+//! Thread-safe table catalog.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rfv_types::{Result, RfvError, Schema};
+
+use crate::table::Table;
+
+/// Shared, lockable handle to a table. Readers (scans) take the read lock;
+/// DML takes the write lock.
+pub type TableRef = Arc<RwLock<Table>>;
+
+/// A named collection of tables.
+///
+/// The catalog itself is cheap to clone (`Arc` inside) so the engine,
+/// planner and executor can all hold it.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Arc<RwLock<BTreeMap<String, TableRef>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Create a table. Fails if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableRef> {
+        let mut tables = self.tables.write();
+        let key = Self::key(name);
+        if tables.contains_key(&key) {
+            return Err(RfvError::catalog(format!("table `{name}` already exists")));
+        }
+        let table = Arc::new(RwLock::new(Table::new(name, schema)));
+        tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Register an existing table under its own name.
+    pub fn register(&self, table: Table) -> Result<TableRef> {
+        let mut tables = self.tables.write();
+        let key = Self::key(table.name());
+        if tables.contains_key(&key) {
+            return Err(RfvError::catalog(format!(
+                "table `{}` already exists",
+                table.name()
+            )));
+        }
+        let name = table.name().to_string();
+        let table = Arc::new(RwLock::new(table));
+        tables.insert(Self::key(&name), Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Look a table up by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Result<TableRef> {
+        self.tables
+            .read()
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| RfvError::catalog(format!("table `{name}` not found")))
+    }
+
+    /// Whether `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&Self::key(name))
+    }
+
+    /// Drop a table by name.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&Self::key(name))
+            .map(|_| ())
+            .ok_or_else(|| RfvError::catalog(format!("table `{name}` not found")))
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::{row, DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::not_null("id", DataType::Int)])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        assert!(cat.contains("T"), "case-insensitive");
+        cat.table("t").unwrap().write().insert(row![1i64]).unwrap();
+        assert_eq!(cat.table("t").unwrap().read().stats().row_count, 1);
+        cat.drop_table("t").unwrap();
+        assert!(cat.table("t").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        assert!(cat.create_table("T", schema()).is_err());
+        assert!(cat.register(Table::new("t", schema())).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cat = Catalog::new();
+        let cat2 = cat.clone();
+        cat.create_table("t", schema()).unwrap();
+        assert!(cat2.contains("t"));
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let cat = Catalog::new();
+        cat.create_table("b", schema()).unwrap();
+        cat.create_table("a", schema()).unwrap();
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

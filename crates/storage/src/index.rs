@@ -1,0 +1,191 @@
+//! Ordered (B-tree) index over one column.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use rfv_types::{Result, RfvError, Value};
+
+use crate::table::RowId;
+
+/// Whether an index enforces key uniqueness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Primary-key style index: at most one row per key.
+    Unique,
+    /// Secondary index: any number of rows per key.
+    NonUnique,
+}
+
+/// An ordered index mapping column values to row ids.
+///
+/// Backed by `std::collections::BTreeMap`, giving `O(log n)` point lookups
+/// and `O(log n + k)` range scans — the same asymptotics the paper's
+/// "with primary key index" configurations rely on. NULL keys are stored
+/// (they sort first per [`Value::total_cmp`]) but equality lookups for NULL
+/// return nothing, matching SQL `NULL = NULL` being unknown.
+#[derive(Debug, Clone)]
+pub struct OrderedIndex {
+    column: usize,
+    kind: IndexKind,
+    entries: BTreeMap<Value, Vec<RowId>>,
+}
+
+impl OrderedIndex {
+    pub fn new(column: usize, kind: IndexKind) -> Self {
+        OrderedIndex {
+            column,
+            kind,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Which column of the owning table this index covers.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Pre-flight check used by `Table` so multi-index inserts are atomic.
+    pub fn check_insertable(&self, key: &Value) -> Result<()> {
+        if self.kind == IndexKind::Unique
+            && !key.is_null()
+            && self.entries.get(key).is_some_and(|v| !v.is_empty())
+        {
+            return Err(RfvError::execution(format!(
+                "duplicate key {key} in unique index on column {}",
+                self.column
+            )));
+        }
+        Ok(())
+    }
+
+    /// Insert a `(key, rid)` pair.
+    pub fn insert(&mut self, key: Value, rid: RowId) -> Result<()> {
+        self.check_insertable(&key)?;
+        self.entries.entry(key).or_default().push(rid);
+        Ok(())
+    }
+
+    /// Remove a `(key, rid)` pair if present.
+    pub fn remove(&mut self, key: &Value, rid: RowId) {
+        if let Some(rids) = self.entries.get_mut(key) {
+            rids.retain(|&r| r != rid);
+            if rids.is_empty() {
+                self.entries.remove(key);
+            }
+        }
+    }
+
+    /// Row ids with column equal to `key`. NULL finds nothing.
+    pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        if key.is_null() {
+            return Vec::new();
+        }
+        self.entries.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Row ids with key in `[lo, hi]` (inclusive; `None` = unbounded),
+    /// in ascending key order. NULL keys are never returned: SQL range
+    /// predicates are unknown for NULL.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        let lower = match lo {
+            Some(v) => Bound::Included(v.clone()),
+            // Exclude NULLs, which sort before every non-null value.
+            None => Bound::Excluded(Value::Null),
+        };
+        let upper = match hi {
+            Some(v) => Bound::Included(v.clone()),
+            None => Bound::Unbounded,
+        };
+        if let (Bound::Included(a), Bound::Included(b)) = (&lower, &upper) {
+            if a.total_cmp(b) == std::cmp::Ordering::Greater {
+                return Vec::new();
+            }
+        }
+        self.entries
+            .range((lower, upper))
+            .filter(|(k, _)| !k.is_null())
+            .flat_map(|(_, rids)| rids.iter().copied())
+            .collect()
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn lookup_finds_all_rids_for_key() {
+        let mut ix = OrderedIndex::new(0, IndexKind::NonUnique);
+        ix.insert(v(1), 10).unwrap();
+        ix.insert(v(1), 11).unwrap();
+        ix.insert(v(2), 12).unwrap();
+        assert_eq!(ix.lookup(&v(1)), vec![10, 11]);
+        assert_eq!(ix.lookup(&v(3)), Vec::<RowId>::new());
+    }
+
+    #[test]
+    fn unique_index_rejects_second_key() {
+        let mut ix = OrderedIndex::new(0, IndexKind::Unique);
+        ix.insert(v(1), 0).unwrap();
+        assert!(ix.insert(v(1), 1).is_err());
+        // Null keys are exempt from uniqueness (SQL semantics).
+        ix.insert(Value::Null, 2).unwrap();
+        ix.insert(Value::Null, 3).unwrap();
+    }
+
+    #[test]
+    fn null_lookup_returns_nothing() {
+        let mut ix = OrderedIndex::new(0, IndexKind::NonUnique);
+        ix.insert(Value::Null, 0).unwrap();
+        assert!(ix.lookup(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn range_is_inclusive_and_ordered() {
+        let mut ix = OrderedIndex::new(0, IndexKind::NonUnique);
+        for (i, k) in [5i64, 1, 3, 9, 7].into_iter().enumerate() {
+            ix.insert(v(k), i).unwrap();
+        }
+        assert_eq!(ix.range(Some(&v(3)), Some(&v(7))), vec![2, 0, 4]);
+        assert_eq!(ix.range(None, Some(&v(1))), vec![1]);
+        assert_eq!(ix.range(Some(&v(8)), None), vec![3]);
+        assert!(ix.range(Some(&v(7)), Some(&v(3))).is_empty(), "empty range");
+    }
+
+    #[test]
+    fn unbounded_range_skips_nulls() {
+        let mut ix = OrderedIndex::new(0, IndexKind::NonUnique);
+        ix.insert(Value::Null, 0).unwrap();
+        ix.insert(v(1), 1).unwrap();
+        assert_eq!(ix.range(None, None), vec![1]);
+    }
+
+    #[test]
+    fn remove_drops_only_that_rid() {
+        let mut ix = OrderedIndex::new(0, IndexKind::NonUnique);
+        ix.insert(v(1), 10).unwrap();
+        ix.insert(v(1), 11).unwrap();
+        ix.remove(&v(1), 10);
+        assert_eq!(ix.lookup(&v(1)), vec![11]);
+        ix.remove(&v(1), 11);
+        assert_eq!(ix.key_count(), 0);
+    }
+}

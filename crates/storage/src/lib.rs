@@ -1,0 +1,15 @@
+//! In-memory storage layer: tables, ordered indexes, and a catalog.
+//!
+//! This is the substrate standing in for the DB2 storage engine the paper
+//! measured against: a row store with optional ordered (B-tree) indexes.
+//! Table 1 of the paper hinges on the presence/absence of a position index,
+//! so indexes here support exact lookups and range scans with the same
+//! asymptotics (`O(log n + k)`).
+
+mod catalog;
+mod index;
+mod table;
+
+pub use catalog::{Catalog, TableRef};
+pub use index::{IndexKind, OrderedIndex};
+pub use table::{RowId, Table, TableStats};

@@ -1,0 +1,466 @@
+//! Slotted in-memory row store.
+
+use std::collections::HashMap;
+
+use rfv_types::{Result, RfvError, Row, Schema, SchemaRef, Value};
+
+use crate::index::{IndexKind, OrderedIndex};
+
+/// Stable identifier of a row inside one table. Row ids survive unrelated
+/// deletes (slots are tombstoned, not compacted), which keeps index entries
+/// valid without rewrites.
+pub type RowId = usize;
+
+/// Basic statistics, used by the planner for join-side selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Live rows.
+    pub row_count: usize,
+    /// Total slots including tombstones.
+    pub slot_count: usize,
+}
+
+/// An in-memory table: schema, slotted rows, and any number of ordered
+/// secondary indexes plus at most one unique primary-key index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    slots: Vec<Option<Row>>,
+    live: usize,
+    indexes: HashMap<usize, OrderedIndex>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema: SchemaRef::new(schema),
+            slots: Vec::new(),
+            live: 0,
+            indexes: HashMap::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            row_count: self.live,
+            slot_count: self.slots.len(),
+        }
+    }
+
+    /// Create an ordered index over column `col`.
+    ///
+    /// `IndexKind::Unique` enforces key uniqueness (a primary key); the build
+    /// fails if existing data violates it. Indexing the same column twice
+    /// is an error.
+    pub fn create_index(&mut self, col: usize, kind: IndexKind) -> Result<()> {
+        if col >= self.schema.len() {
+            return Err(RfvError::schema(format!(
+                "cannot index column {col}: table `{}` has {} columns",
+                self.name,
+                self.schema.len()
+            )));
+        }
+        if self.indexes.contains_key(&col) {
+            return Err(RfvError::catalog(format!(
+                "column `{}` of `{}` is already indexed",
+                self.schema.field(col).name,
+                self.name
+            )));
+        }
+        let mut index = OrderedIndex::new(col, kind);
+        for (rid, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                index.insert(row.get(col).clone(), rid)?;
+            }
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// The index on `col`, if one exists.
+    pub fn index_on(&self, col: usize) -> Option<&OrderedIndex> {
+        self.indexes.get(&col)
+    }
+
+    /// Columns that currently have an index.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    fn check_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(RfvError::schema(format!(
+                "row arity {} does not match schema arity {} of `{}`",
+                row.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        for (i, field) in self.schema.fields().iter().enumerate() {
+            let v = row.get(i);
+            if v.is_null() && !field.nullable {
+                return Err(RfvError::schema(format!(
+                    "NULL in NOT NULL column `{}` of `{}`",
+                    field.name, self.name
+                )));
+            }
+            if !field.data_type.admits(v) {
+                return Err(RfvError::schema(format!(
+                    "value {v:?} not admissible in column `{}` ({}) of `{}`",
+                    field.name, field.data_type, self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row, updating all indexes. Returns the new row id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.check_row(&row)?;
+        let rid = self.slots.len();
+        // Probe unique indexes before mutating anything so a duplicate key
+        // leaves the table untouched.
+        for index in self.indexes.values() {
+            index.check_insertable(row.get(index.column()))?;
+        }
+        for index in self.indexes.values_mut() {
+            index.insert(row.get(index.column()).clone(), rid)?;
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Fetch a row by id (`None` if deleted / never existed).
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.slots.get(rid).and_then(|s| s.as_ref())
+    }
+
+    /// Delete a row by id. Returns the old row.
+    pub fn delete(&mut self, rid: RowId) -> Result<Row> {
+        let slot = self
+            .slots
+            .get_mut(rid)
+            .ok_or_else(|| RfvError::execution(format!("row id {rid} out of range")))?;
+        let row = slot
+            .take()
+            .ok_or_else(|| RfvError::execution(format!("row id {rid} already deleted")))?;
+        self.live -= 1;
+        for index in self.indexes.values_mut() {
+            index.remove(row.get(index.column()), rid);
+        }
+        Ok(row)
+    }
+
+    /// Replace the row at `rid`, keeping indexes consistent.
+    pub fn update(&mut self, rid: RowId, new: Row) -> Result<Row> {
+        self.check_row(&new)?;
+        let old = self
+            .get(rid)
+            .cloned()
+            .ok_or_else(|| RfvError::execution(format!("row id {rid} not found")))?;
+        for index in self.indexes.values() {
+            let col = index.column();
+            if old.get(col) != new.get(col) {
+                index.check_insertable(new.get(col))?;
+            }
+        }
+        for index in self.indexes.values_mut() {
+            let col = index.column();
+            if old.get(col) != new.get(col) {
+                index.remove(old.get(col), rid);
+                index
+                    .insert(new.get(col).clone(), rid)
+                    .expect("uniqueness pre-checked");
+            }
+        }
+        self.slots[rid] = Some(new);
+        Ok(old)
+    }
+
+    /// Iterate over `(RowId, &Row)` pairs of live rows in slot order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(rid, slot)| slot.as_ref().map(|r| (rid, r)))
+    }
+
+    /// Row ids whose indexed column equals `key`, via the index on `col`.
+    pub fn index_lookup(&self, col: usize, key: &Value) -> Result<Vec<RowId>> {
+        let index = self.indexes.get(&col).ok_or_else(|| {
+            RfvError::execution(format!("no index on column {col} of `{}`", self.name))
+        })?;
+        Ok(index.lookup(key))
+    }
+
+    /// Row ids whose indexed column lies in `[lo, hi]` (inclusive bounds,
+    /// `None` = unbounded), in key order.
+    pub fn index_range(
+        &self,
+        col: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<RowId>> {
+        let index = self.indexes.get(&col).ok_or_else(|| {
+            RfvError::execution(format!("no index on column {col} of `{}`", self.name))
+        })?;
+        Ok(index.range(lo, hi))
+    }
+
+    /// Remove all rows but keep schema and (now empty) indexes.
+    pub fn truncate(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::{row, DataType, Field};
+
+    fn seq_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::not_null("pos", DataType::Int),
+            Field::new("val", DataType::Float),
+        ]);
+        Table::new("seq", schema)
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = seq_table();
+        t.insert(row![1i64, 10.0]).unwrap();
+        t.insert(row![2i64, 20.0]).unwrap();
+        let rows: Vec<_> = t.scan().map(|(_, r)| r.clone()).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], row![2i64, 20.0]);
+        assert_eq!(t.stats().row_count, 2);
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut t = seq_table();
+        assert!(t.insert(row![1i64]).is_err(), "arity");
+        assert!(t.insert(row!["x", 1.0]).is_err(), "type");
+        assert!(
+            t.insert(Row::new(vec![Value::Null, Value::Float(1.0)]))
+                .is_err(),
+            "not null"
+        );
+        // Int into Float column is fine.
+        t.insert(row![1i64, 2i64]).unwrap();
+    }
+
+    #[test]
+    fn delete_tombstones_and_preserves_ids() {
+        let mut t = seq_table();
+        let a = t.insert(row![1i64, 10.0]).unwrap();
+        let b = t.insert(row![2i64, 20.0]).unwrap();
+        t.delete(a).unwrap();
+        assert!(t.get(a).is_none());
+        assert_eq!(t.get(b).unwrap(), &row![2i64, 20.0]);
+        assert_eq!(t.stats().row_count, 1);
+        assert_eq!(t.stats().slot_count, 2);
+        assert!(t.delete(a).is_err(), "double delete");
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut t = seq_table();
+        t.create_index(0, IndexKind::Unique).unwrap();
+        t.insert(row![1i64, 10.0]).unwrap();
+        let err = t.insert(row![1i64, 99.0]).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // Failed insert must not leave residue.
+        assert_eq!(t.stats().row_count, 1);
+        t.insert(row![2i64, 20.0]).unwrap();
+    }
+
+    #[test]
+    fn index_build_on_existing_data_and_lookup() {
+        let mut t = seq_table();
+        for i in 0..10i64 {
+            t.insert(row![i, (i * 10) as f64]).unwrap();
+        }
+        t.create_index(0, IndexKind::Unique).unwrap();
+        let hits = t.index_lookup(0, &Value::Int(7)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.get(hits[0]).unwrap().get(1), &Value::Float(70.0));
+    }
+
+    #[test]
+    fn index_range_scan_is_ordered() {
+        let mut t = seq_table();
+        for i in [5i64, 1, 9, 3, 7] {
+            t.insert(row![i, i as f64]).unwrap();
+        }
+        t.create_index(0, IndexKind::NonUnique).unwrap();
+        let rids = t
+            .index_range(0, Some(&Value::Int(3)), Some(&Value::Int(7)))
+            .unwrap();
+        let keys: Vec<_> = rids
+            .iter()
+            .map(|&r| t.get(r).unwrap().get(0).clone())
+            .collect();
+        assert_eq!(keys, vec![Value::Int(3), Value::Int(5), Value::Int(7)]);
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = seq_table();
+        t.create_index(0, IndexKind::Unique).unwrap();
+        let rid = t.insert(row![1i64, 10.0]).unwrap();
+        t.insert(row![2i64, 20.0]).unwrap();
+        // Key change.
+        t.update(rid, row![5i64, 50.0]).unwrap();
+        assert!(t.index_lookup(0, &Value::Int(1)).unwrap().is_empty());
+        assert_eq!(t.index_lookup(0, &Value::Int(5)).unwrap(), vec![rid]);
+        // Key collision on update is rejected and leaves state intact.
+        assert!(t.update(rid, row![2i64, 0.0]).is_err());
+        assert_eq!(t.index_lookup(0, &Value::Int(5)).unwrap(), vec![rid]);
+    }
+
+    #[test]
+    fn duplicate_index_creation_fails() {
+        let mut t = seq_table();
+        t.create_index(0, IndexKind::Unique).unwrap();
+        assert!(t.create_index(0, IndexKind::NonUnique).is_err());
+        assert!(
+            t.create_index(5, IndexKind::NonUnique).is_err(),
+            "out of range column"
+        );
+    }
+
+    #[test]
+    fn truncate_empties_table_and_indexes() {
+        let mut t = seq_table();
+        t.create_index(0, IndexKind::Unique).unwrap();
+        t.insert(row![1i64, 1.0]).unwrap();
+        t.truncate();
+        assert_eq!(t.stats().row_count, 0);
+        assert!(t.index_lookup(0, &Value::Int(1)).unwrap().is_empty());
+        // Same key can be inserted again after truncate.
+        t.insert(row![1i64, 1.0]).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    //! Model-based property tests: a `Table` with a unique index must
+    //! behave exactly like a `BTreeMap<i64, f64>` under arbitrary
+    //! interleavings of insert / update / delete / lookup / range.
+
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+
+    use super::*;
+    use rfv_types::{row, DataType, Field};
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(i64, i64),
+        UpdateVal(i64, i64),
+        Delete(i64),
+        Lookup(i64),
+        Range(i64, i64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0i64..50, -100i64..100).prop_map(|(k, v)| Op::Insert(k, v)),
+            (0i64..50, -100i64..100).prop_map(|(k, v)| Op::UpdateVal(k, v)),
+            (0i64..50).prop_map(Op::Delete),
+            (0i64..50).prop_map(Op::Lookup),
+            (0i64..50, 0i64..50).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn table_with_unique_index_matches_btreemap(
+            ops in proptest::collection::vec(op_strategy(), 1..80),
+        ) {
+            let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+            // key -> rid, maintained through the model.
+            let mut rids: std::collections::HashMap<i64, RowId> =
+                std::collections::HashMap::new();
+            let schema = Schema::new(vec![
+                Field::not_null("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]);
+            let mut table = Table::new("t", schema);
+            table.create_index(0, IndexKind::Unique).unwrap();
+
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        let result = table.insert(row![k, v]);
+                        if model.contains_key(&k) {
+                            prop_assert!(result.is_err(), "duplicate key {k} accepted");
+                        } else {
+                            model.insert(k, v);
+                            rids.insert(k, result.unwrap());
+                        }
+                    }
+                    Op::UpdateVal(k, v) => {
+                        if let Some(&rid) = rids.get(&k) {
+                            table.update(rid, row![k, v]).unwrap();
+                            model.insert(k, v);
+                        }
+                    }
+                    Op::Delete(k) => {
+                        if let Some(rid) = rids.remove(&k) {
+                            table.delete(rid).unwrap();
+                            model.remove(&k);
+                        }
+                    }
+                    Op::Lookup(k) => {
+                        let hits = table.index_lookup(0, &Value::Int(k)).unwrap();
+                        match model.get(&k) {
+                            Some(&v) => {
+                                prop_assert_eq!(hits.len(), 1);
+                                prop_assert_eq!(
+                                    table.get(hits[0]).unwrap().get(1),
+                                    &Value::Int(v)
+                                );
+                            }
+                            None => prop_assert!(hits.is_empty()),
+                        }
+                    }
+                    Op::Range(lo, hi) => {
+                        let got: Vec<i64> = table
+                            .index_range(0, Some(&Value::Int(lo)), Some(&Value::Int(hi)))
+                            .unwrap()
+                            .into_iter()
+                            .map(|rid| {
+                                table.get(rid).unwrap().get(0).as_int().unwrap().unwrap()
+                            })
+                            .collect();
+                        let expected: Vec<i64> =
+                            model.range(lo..=hi).map(|(&k, _)| k).collect();
+                        prop_assert_eq!(got, expected, "range [{}, {}]", lo, hi);
+                    }
+                }
+                prop_assert_eq!(table.stats().row_count, model.len());
+            }
+        }
+    }
+}

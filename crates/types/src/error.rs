@@ -1,0 +1,133 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `rfv` crates.
+pub type Result<T, E = RfvError> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the `rfv` stack.
+///
+/// A single enum is used across the workspace so errors compose without a
+/// conversion layer per crate; the variant encodes which stage failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RfvError {
+    /// Lexer / parser failure with a message and 1-based line/column.
+    Parse {
+        message: String,
+        line: u32,
+        column: u32,
+    },
+    /// Name resolution or type checking failure while binding a query.
+    Plan(String),
+    /// Schema violation (arity/type mismatch, unknown column, …).
+    Schema(String),
+    /// Catalog failure (unknown/duplicate table or view).
+    Catalog(String),
+    /// Runtime evaluation failure (type error at runtime, division by zero).
+    Execution(String),
+    /// A derivation from a materialized view is not possible
+    /// (precondition violated, incomplete sequence, unsupported aggregate).
+    Derivation(String),
+    /// Internal invariant violation; indicates a bug in rfv itself.
+    Internal(String),
+}
+
+impl RfvError {
+    /// Build a parse error at a concrete source location.
+    pub fn parse(message: impl Into<String>, line: u32, column: u32) -> Self {
+        RfvError::Parse {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// Build a planning error.
+    pub fn plan(message: impl Into<String>) -> Self {
+        RfvError::Plan(message.into())
+    }
+
+    /// Build a schema error.
+    pub fn schema(message: impl Into<String>) -> Self {
+        RfvError::Schema(message.into())
+    }
+
+    /// Build a catalog error.
+    pub fn catalog(message: impl Into<String>) -> Self {
+        RfvError::Catalog(message.into())
+    }
+
+    /// Build an execution error.
+    pub fn execution(message: impl Into<String>) -> Self {
+        RfvError::Execution(message.into())
+    }
+
+    /// Build a derivation error.
+    pub fn derivation(message: impl Into<String>) -> Self {
+        RfvError::Derivation(message.into())
+    }
+
+    /// Build an internal error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        RfvError::Internal(message.into())
+    }
+}
+
+impl fmt::Display for RfvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RfvError::Parse {
+                message,
+                line,
+                column,
+            } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            RfvError::Plan(m) => write!(f, "plan error: {m}"),
+            RfvError::Schema(m) => write!(f, "schema error: {m}"),
+            RfvError::Catalog(m) => write!(f, "catalog error: {m}"),
+            RfvError::Execution(m) => write!(f, "execution error: {m}"),
+            RfvError::Derivation(m) => write!(f, "derivation error: {m}"),
+            RfvError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RfvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_for_parse_errors() {
+        let e = RfvError::parse("unexpected token", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token");
+    }
+
+    #[test]
+    fn display_prefixes_stage() {
+        assert!(RfvError::plan("x").to_string().starts_with("plan error"));
+        assert!(RfvError::schema("x")
+            .to_string()
+            .starts_with("schema error"));
+        assert!(RfvError::catalog("x")
+            .to_string()
+            .starts_with("catalog error"));
+        assert!(RfvError::execution("x")
+            .to_string()
+            .starts_with("execution error"));
+        assert!(RfvError::derivation("x")
+            .to_string()
+            .starts_with("derivation error"));
+        assert!(RfvError::internal("x")
+            .to_string()
+            .starts_with("internal error"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RfvError::plan("a"), RfvError::plan("a"));
+        assert_ne!(RfvError::plan("a"), RfvError::schema("a"));
+    }
+}

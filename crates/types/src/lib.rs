@@ -1,0 +1,20 @@
+//! Shared value, schema and error types for the `rfv` workspace.
+//!
+//! `rfv` is a reproduction of *Lehner, Hümmer, Schlesinger: Processing
+//! Reporting Function Views in a Data Warehouse Environment* (ICDE 2002).
+//! This crate holds the vocabulary types every other crate speaks:
+//!
+//! * [`Value`] — a dynamically typed SQL value with NULL semantics,
+//! * [`DataType`] / [`Field`] / [`Schema`] — relational schemas,
+//! * [`Row`] — a materialized tuple,
+//! * [`RfvError`] / [`Result`] — the workspace error type.
+
+mod error;
+mod row;
+mod schema;
+mod value;
+
+pub use error::{Result, RfvError};
+pub use row::Row;
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use value::{days_to_ymd, ymd_to_days, Value};

@@ -1,0 +1,139 @@
+//! Materialized tuples.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A materialized tuple. Rows are the unit of data flow between physical
+/// operators; values are cheap to clone (strings are `Arc<str>`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    pub fn empty() -> Self {
+        Row { values: Vec::new() }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.values[i] = v;
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row { values }
+    }
+
+    /// This row followed by `n` NULLs (left outer join without a match).
+    pub fn concat_nulls(&self, n: usize) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + n);
+        values.extend_from_slice(&self.values);
+        values.resize(values.len() + n, Value::Null);
+        Row { values }
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Build a [`Row`] from a list of expressions convertible to [`Value`].
+///
+/// ```
+/// use rfv_types::{row, Value};
+/// let r = row![1i64, 2.5f64, "x"];
+/// assert_eq!(r.get(0), &Value::Int(1));
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_joins_values() {
+        let a = row![1i64, "x"];
+        let b = row![2i64];
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), &Value::Int(2));
+    }
+
+    #[test]
+    fn concat_nulls_pads() {
+        let a = row![1i64];
+        let c = a.concat_nulls(2);
+        assert_eq!(c.len(), 3);
+        assert!(c.get(1).is_null() && c.get(2).is_null());
+    }
+
+    #[test]
+    fn display_renders_values() {
+        assert_eq!(row![1i64, "a"].to_string(), "[1, a]");
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut r = row![1i64, 2i64];
+        r.set(0, Value::Int(9));
+        assert_eq!(r.get(0), &Value::Int(9));
+    }
+}

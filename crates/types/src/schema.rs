@@ -1,0 +1,302 @@
+//! Relational schema types.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, RfvError};
+use crate::value::Value;
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Date,
+}
+
+impl DataType {
+    /// Whether a value of this type participates in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Whether `value` is admissible in a column of this type
+    /// (NULL is admissible everywhere; Int is admissible in Float columns).
+    pub fn admits(self, value: &Value) -> bool {
+        match value.data_type() {
+            None => true,
+            Some(t) if t == self => true,
+            Some(DataType::Int) if self == DataType::Float => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::Str => "VARCHAR",
+            DataType::Date => "DATE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed column of a schema.
+///
+/// `qualifier` carries the table alias the column is reachable under during
+/// planning (`s1.pos` vs `s2.pos` in a self join); storage-level schemas
+/// usually leave it empty.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+    pub qualifier: Option<String>,
+}
+
+impl Field {
+    /// A nullable, unqualified field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+            qualifier: None,
+        }
+    }
+
+    /// A NOT NULL field.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+            qualifier: None,
+        }
+    }
+
+    /// Attach a table qualifier.
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Self {
+        self.qualifier = Some(qualifier.into());
+        self
+    }
+
+    /// Make the field nullable (used when the field crosses the null-producing
+    /// side of an outer join).
+    pub fn as_nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+
+    /// `qualifier.name` or just `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether this field answers to `qualifier`/`name`.
+    /// A `None` qualifier in the request matches any qualifier.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+/// An ordered list of fields describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle; operators pass these around without copying.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Find the unique field matching `qualifier`/`name`.
+    ///
+    /// Errors on no match and on ambiguity (two unqualified matches).
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut matches = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.matches(qualifier, name));
+        match (matches.next(), matches.next()) {
+            (Some((i, _)), None) => Ok(i),
+            (None, _) => Err(RfvError::schema(format!(
+                "column `{}` not found",
+                match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                }
+            ))),
+            (Some(_), Some(_)) => Err(RfvError::schema(format!(
+                "column reference `{name}` is ambiguous"
+            ))),
+        }
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Re-qualify every field with a new table alias, dropping old qualifiers.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.clone().with_qualifier(alias))
+                .collect(),
+        }
+    }
+
+    /// Same fields, all nullable (null-producing side of outer joins).
+    pub fn nullable(&self) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.clone().as_nullable())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.qualified_name(), field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::not_null("pos", DataType::Int).with_qualifier("s1"),
+            Field::new("val", DataType::Float).with_qualifier("s1"),
+            Field::not_null("pos", DataType::Int).with_qualifier("s2"),
+        ])
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of(Some("s2"), "pos").unwrap(), 2);
+        assert_eq!(s.index_of(Some("s1"), "val").unwrap(), 1);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of(Some("S1"), "POS").unwrap(), 0);
+    }
+
+    #[test]
+    fn unqualified_ambiguity_is_an_error() {
+        let s = sample();
+        assert!(matches!(
+            s.index_of(None, "pos"),
+            Err(RfvError::Schema(m)) if m.contains("ambiguous")
+        ));
+    }
+
+    #[test]
+    fn unqualified_unique_lookup_succeeds() {
+        let s = sample();
+        assert_eq!(s.index_of(None, "val").unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let s = sample();
+        assert!(s.index_of(None, "nope").is_err());
+        assert!(s.index_of(Some("s3"), "pos").is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let b = Schema::new(vec![Field::new("b", DataType::Str)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.field(1).name, "b");
+    }
+
+    #[test]
+    fn requalify_overwrites() {
+        let s = sample().qualified("t");
+        assert!(s
+            .fields()
+            .iter()
+            .all(|f| f.qualifier.as_deref() == Some("t")));
+    }
+
+    #[test]
+    fn float_column_admits_ints_and_nulls() {
+        assert!(DataType::Float.admits(&Value::Int(3)));
+        assert!(DataType::Float.admits(&Value::Null));
+        assert!(!DataType::Int.admits(&Value::Float(3.0)));
+        assert!(!DataType::Str.admits(&Value::Int(3)));
+    }
+
+    #[test]
+    fn nullable_marks_all_fields() {
+        let s = sample().nullable();
+        assert!(s.fields().iter().all(|f| f.nullable));
+    }
+}

@@ -1,0 +1,532 @@
+//! Dynamically typed SQL values with three-valued NULL semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, RfvError};
+use crate::schema::DataType;
+
+/// A single SQL value.
+///
+/// Arithmetic follows SQL semantics: any operation involving [`Value::Null`]
+/// yields NULL, integer/float operands are coerced to float, and integer
+/// overflow is reported as an [`RfvError::Execution`] rather than wrapping.
+///
+/// `Value` implements a *total* order (used by sort and B-tree indexes) in
+/// which NULL sorts first and numeric values compare across the
+/// integer/float divide. `PartialEq`/`Hash` agree with that order so values
+/// can be used as grouping and join keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float. NaN is normalized to NULL on construction paths
+    /// that can produce it (division), so stored floats are never NaN.
+    Float(f64),
+    /// UTF-8 string. Reference counted so rows can be cloned cheaply.
+    Str(Arc<str>),
+    /// Date as days since 1970-01-01 (can be negative).
+    Date(i32),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Whether this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The dynamic type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Interpret the value as a boolean for WHERE/CASE evaluation.
+    /// NULL maps to `None` (unknown).
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(RfvError::execution(format!(
+                "expected BOOLEAN, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Integer accessor; errors on non-integer non-null values.
+    pub fn as_int(&self) -> Result<Option<i64>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Int(i) => Ok(Some(*i)),
+            other => Err(RfvError::execution(format!("expected INT, got {other:?}"))),
+        }
+    }
+
+    /// Numeric accessor used by arithmetic: ints widen to f64.
+    pub fn as_f64(&self) -> Result<Option<f64>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Int(i) => Ok(Some(*i as f64)),
+            Value::Float(f) => Ok(Some(*f)),
+            other => Err(RfvError::execution(format!(
+                "expected numeric value, got {other:?}"
+            ))),
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Result<Option<&str>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Str(s) => Ok(Some(s)),
+            other => Err(RfvError::execution(format!(
+                "expected STRING, got {other:?}"
+            ))),
+        }
+    }
+
+    fn numeric_pair(&self, other: &Value) -> Option<NumPair> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(NumPair::Ints(*a, *b)),
+            (Value::Int(a), Value::Float(b)) => Some(NumPair::Floats(*a as f64, *b)),
+            (Value::Float(a), Value::Int(b)) => Some(NumPair::Floats(*a, *b as f64)),
+            (Value::Float(a), Value::Float(b)) => Some(NumPair::Floats(*a, *b)),
+            _ => None,
+        }
+    }
+
+    fn arith(&self, other: &Value, op: &str) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let pair = self.numeric_pair(other).ok_or_else(|| {
+            RfvError::execution(format!("cannot apply `{op}` to {self:?} and {other:?}"))
+        })?;
+        match (pair, op) {
+            (NumPair::Ints(a, b), "+") => a
+                .checked_add(b)
+                .map(Value::Int)
+                .ok_or_else(|| RfvError::execution("integer overflow in `+`")),
+            (NumPair::Ints(a, b), "-") => a
+                .checked_sub(b)
+                .map(Value::Int)
+                .ok_or_else(|| RfvError::execution("integer overflow in `-`")),
+            (NumPair::Ints(a, b), "*") => a
+                .checked_mul(b)
+                .map(Value::Int)
+                .ok_or_else(|| RfvError::execution("integer overflow in `*`")),
+            (NumPair::Ints(a, b), "/") => {
+                if b == 0 {
+                    Err(RfvError::execution("division by zero"))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            (NumPair::Ints(a, b), "%") => {
+                if b == 0 {
+                    Err(RfvError::execution("modulo by zero"))
+                } else {
+                    // SQL MOD: result takes the sign of the dividend
+                    // (matches `i64::%` which is what DB2's MOD does too).
+                    Ok(Value::Int(a % b))
+                }
+            }
+            (NumPair::Floats(a, b), "+") => Ok(Value::Float(a + b)),
+            (NumPair::Floats(a, b), "-") => Ok(Value::Float(a - b)),
+            (NumPair::Floats(a, b), "*") => Ok(Value::Float(a * b)),
+            (NumPair::Floats(a, b), "/") => {
+                if b == 0.0 {
+                    Err(RfvError::execution("division by zero"))
+                } else {
+                    Ok(Value::Float(a / b))
+                }
+            }
+            (NumPair::Floats(a, b), "%") => {
+                if b == 0.0 {
+                    Err(RfvError::execution("modulo by zero"))
+                } else {
+                    Ok(Value::Float(a % b))
+                }
+            }
+            _ => Err(RfvError::internal(format!("unknown arithmetic op `{op}`"))),
+        }
+    }
+
+    /// SQL `+`.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "+")
+    }
+
+    /// SQL `-`.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "-")
+    }
+
+    /// SQL `*`.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "*")
+    }
+
+    /// SQL `/` (integer division for two ints, float otherwise).
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "/")
+    }
+
+    /// SQL `MOD`.
+    pub fn modulo(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "%")
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| RfvError::execution("integer overflow in negation")),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(RfvError::execution(format!("cannot negate {other:?}"))),
+        }
+    }
+
+    /// SQL comparison with three-valued logic: returns `None` if either
+    /// side is NULL, errors when the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Result<Option<Ordering>> {
+        if self.is_null() || other.is_null() {
+            return Ok(None);
+        }
+        if let Some(pair) = self.numeric_pair(other) {
+            return Ok(Some(match pair {
+                NumPair::Ints(a, b) => a.cmp(&b),
+                NumPair::Floats(a, b) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+            }));
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => Ok(Some(a.cmp(b))),
+            (Value::Str(a), Value::Str(b)) => Ok(Some(a.cmp(b))),
+            (Value::Date(a), Value::Date(b)) => Ok(Some(a.cmp(b))),
+            _ => Err(RfvError::execution(format!(
+                "cannot compare {self:?} with {other:?}"
+            ))),
+        }
+    }
+
+    /// SQL equality with three-valued logic (`NULL = x` is unknown).
+    pub fn sql_eq(&self, other: &Value) -> Result<Option<bool>> {
+        Ok(self.sql_cmp(other)?.map(|o| o == Ordering::Equal))
+    }
+
+    /// Total-order comparison used by ORDER BY and index keys:
+    /// NULL sorts before everything; distinct types sort by a fixed
+    /// type rank so the order is total even for heterogeneous columns.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Date(_) => 3,
+                Value::Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+enum NumPair {
+    Ints(i64, i64),
+    Floats(f64, f64),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats that compare equal must hash equally,
+            // so hash every numeric through its f64 bit pattern.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                // Normalize -0.0 to 0.0 so equal keys hash equally.
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => {
+                let (y, m, day) = days_to_ymd(*d);
+                write!(f, "{y:04}-{m:02}-{day:02}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v.into())
+    }
+}
+
+/// Convert days-since-epoch to a (year, month, day) triple (proleptic
+/// Gregorian). Used only for display; the engine works on day numbers.
+pub fn days_to_ymd(days: i32) -> (i32, u32, u32) {
+    // Algorithm from Howard Hinnant's `civil_from_days`.
+    let z = days as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+/// Convert (year, month, day) to days-since-epoch (proleptic Gregorian).
+pub fn ymd_to_days(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y as i64 - 1 } else { y as i64 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146_097 + doe as i64 - 719_468) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let n = Value::Null;
+        let x = Value::Int(5);
+        assert_eq!(n.add(&x).unwrap(), Value::Null);
+        assert_eq!(x.sub(&n).unwrap(), Value::Null);
+        assert_eq!(n.mul(&n).unwrap(), Value::Null);
+        assert_eq!(n.neg().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn int_arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)).unwrap(), Value::Int(-1));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(7).modulo(&Value::Int(3)).unwrap(), Value::Int(1));
+        assert_eq!(
+            Value::Int(-7).modulo(&Value::Int(3)).unwrap(),
+            Value::Int(-1),
+            "MOD takes the sign of the dividend"
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_widens_to_float() {
+        assert_eq!(
+            Value::Int(1).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert!(Value::Float(1.0).div(&Value::Float(0.0)).is_err());
+        assert!(Value::Int(1).modulo(&Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MIN).neg().is_err());
+    }
+
+    #[test]
+    fn sql_cmp_is_unknown_with_null() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)).unwrap(), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn sql_cmp_across_numeric_types() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)).unwrap(),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)).unwrap(),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        assert!(Value::Int(1).sql_cmp(&Value::str("a")).is_err());
+        assert!(Value::Bool(true).sql_cmp(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn total_order_puts_null_first() {
+        let mut vals = vec![Value::Int(1), Value::Null, Value::Int(-3)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(-3));
+    }
+
+    #[test]
+    fn equal_int_float_hash_equally() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+        assert_eq!(Value::Date(0).to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn date_round_trip_known_values() {
+        assert_eq!(ymd_to_days(1970, 1, 1), 0);
+        assert_eq!(ymd_to_days(2000, 3, 1), 11017);
+        assert_eq!(days_to_ymd(11017), (2000, 3, 1));
+        assert_eq!(days_to_ymd(-1), (1969, 12, 31));
+    }
+
+    proptest! {
+        #[test]
+        fn date_round_trip(days in -1_000_000i32..1_000_000) {
+            let (y, m, d) = days_to_ymd(days);
+            prop_assert_eq!(ymd_to_days(y, m, d), days);
+        }
+
+        #[test]
+        fn total_cmp_is_antisymmetric(a in -100i64..100, b in -100i64..100) {
+            let (va, vb) = (Value::Int(a), Value::Float(b as f64));
+            prop_assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
+        }
+
+        #[test]
+        fn int_add_matches_i64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+            prop_assert_eq!(Value::Int(a).add(&Value::Int(b)).unwrap(), Value::Int(a + b));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based integration tests: every derivation path — algebraic
+//! evaluators, relational operator patterns, and the SQL-level rewriter —
+//! must agree with brute-force recomputation for random data and window
+//! shapes.
+
+use proptest::prelude::*;
+use rfv_core::derive::{self, maxoa, minoa};
+use rfv_core::patterns::{self, PatternVariant};
+use rfv_core::sequence::CompleteSequence;
+use rfv_core::Database;
+use rfv_storage::Catalog;
+use rfv_types::{row, DataType, Field, Schema};
+
+fn setup_catalog(raw: &[f64]) -> Catalog {
+    let catalog = Catalog::new();
+    let t = catalog
+        .create_table(
+            "seq",
+            Schema::new(vec![
+                Field::not_null("pos", DataType::Int),
+                Field::new("val", DataType::Float),
+            ]),
+        )
+        .unwrap();
+    let mut g = t.write();
+    for (i, &v) in raw.iter().enumerate() {
+        g.insert(row![(i + 1) as i64, v]).unwrap();
+    }
+    g.create_index(0, rfv_storage::IndexKind::Unique).unwrap();
+    drop(g);
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The relational patterns (Figs. 10/13, all variants) equal the
+    /// algebraic evaluators equal the ground truth.
+    #[test]
+    fn patterns_equal_evaluators_equal_brute_force(
+        raw in proptest::collection::vec(-100i32..100, 1..35),
+        lx in 0i64..4,
+        hx in 0i64..4,
+        dl in 0i64..5,
+        dh in 0i64..5,
+    ) {
+        let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
+        let n = raw.len() as i64;
+        let (ly, hy) = (lx + dl, hx + dh);
+        let expected = derive::brute_force_sum(&raw, ly, hy);
+
+        let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
+        let minoa_vals = minoa::derive_sum(&view, ly, hy).unwrap();
+        prop_assert!(derive::max_abs_error(&minoa_vals, &expected).unwrap() < 1e-6);
+
+        let w = lx + hx + 1;
+        if dl <= w && dh <= w {
+            let maxoa_vals = maxoa::derive_sum(&view, ly, hy).unwrap();
+            prop_assert!(derive::max_abs_error(&maxoa_vals, &expected).unwrap() < 1e-6);
+        }
+
+        let catalog = setup_catalog(&raw);
+        patterns::materialize_view_table(&catalog, "seq", "mv", lx, hx).unwrap();
+        for variant in [
+            PatternVariant::Disjunctive,
+            PatternVariant::UnionSimple,
+            PatternVariant::UnionHash,
+        ] {
+            let plan = patterns::minoa_pattern(&catalog, "mv", lx, hx, ly, hy, n, variant)
+                .unwrap();
+            let vals: Vec<f64> = plan
+                .execute()
+                .unwrap()
+                .iter()
+                .map(|r| r.get(1).as_f64().unwrap().unwrap())
+                .collect();
+            prop_assert!(
+                derive::max_abs_error(&vals, &expected).unwrap() < 1e-6,
+                "minoa {variant:?}"
+            );
+        }
+    }
+
+    /// Fig. 2's self-join mapping equals the native window operator for
+    /// random windows, with and without the position index.
+    #[test]
+    fn self_join_mapping_equals_native_window(
+        raw in proptest::collection::vec(-100i32..100, 1..30),
+        l in 0i64..4,
+        h in 0i64..4,
+    ) {
+        let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
+        let expected = derive::brute_force_sum(&raw, l, h);
+        let catalog = setup_catalog(&raw);
+        for use_index in [false, true] {
+            let plan = patterns::self_join_window(&catalog, "seq", l, h, use_index).unwrap();
+            let vals: Vec<f64> = plan
+                .execute()
+                .unwrap()
+                .iter()
+                .map(|r| r.get(1).as_f64().unwrap().unwrap())
+                .collect();
+            prop_assert!(derive::max_abs_error(&vals, &expected).unwrap() < 1e-6);
+        }
+    }
+
+    /// SQL-level: the rewriter's answers equal direct evaluation for random
+    /// view/query window combinations.
+    #[test]
+    fn sql_rewrite_is_transparent(
+        raw in proptest::collection::vec(-50i32..50, 1..25),
+        lx in 0i64..3,
+        hx in 0i64..3,
+        ly in 0i64..6,
+        hy in 0i64..6,
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+            .unwrap();
+        for (i, v) in raw.iter().enumerate() {
+            db.execute(&format!("INSERT INTO seq VALUES ({}, {})", i + 1, *v as f64))
+                .unwrap();
+        }
+        db.execute(&format!(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN {lx} PRECEDING AND {hx} FOLLOWING) AS s FROM seq"
+        ))
+        .unwrap();
+        let sql = format!(
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN {ly} PRECEDING \
+             AND {hy} FOLLOWING) AS s FROM seq"
+        );
+        let derived: Vec<_> = db.execute(&sql).unwrap().column_f64(1).unwrap();
+        db.set_view_rewrite(false);
+        let direct: Vec<_> = db.execute(&sql).unwrap().column_f64(1).unwrap();
+        prop_assert_eq!(derived.len(), direct.len());
+        for (a, b) in derived.iter().zip(&direct) {
+            let (a, b) = (a.unwrap(), b.unwrap());
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// Raw-data reconstruction (§3) composes with re-materialization:
+    /// view → raw → any other window.
+    #[test]
+    fn reconstruction_round_trip(
+        raw in proptest::collection::vec(-100i32..100, 1..30),
+        lx in 0i64..4,
+        hx in 0i64..4,
+        ly in 0i64..4,
+        hy in 0i64..4,
+    ) {
+        let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
+        let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
+        let reconstructed = derive::raw::from_sliding(&view).unwrap();
+        let reseq = CompleteSequence::materialize(&reconstructed, ly, hy).unwrap();
+        let expected = derive::brute_force_sum(&raw, ly, hy);
+        prop_assert!(derive::max_abs_error(&reseq.body(), &expected).unwrap() < 1e-6);
+    }
+}

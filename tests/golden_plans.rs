@@ -1,0 +1,169 @@
+//! Golden-plan tests: the operator patterns of Figs. 2, 4, 10, 13 must
+//! keep their published shape (join strategy, predicate structure,
+//! CASE-negation, grouping, final outer join). These tests pin the
+//! EXPLAIN output structurally rather than byte-for-byte so cosmetic
+//! changes don't break them but shape regressions do.
+
+use rfv_core::patterns::{self, PatternVariant};
+use rfv_core::Database;
+use rfv_storage::Catalog;
+use rfv_types::{row, DataType, Field, Schema};
+
+fn catalog_with_view() -> Catalog {
+    let catalog = Catalog::new();
+    let t = catalog
+        .create_table(
+            "seq",
+            Schema::new(vec![
+                Field::not_null("pos", DataType::Int),
+                Field::new("val", DataType::Float),
+            ]),
+        )
+        .unwrap();
+    {
+        let mut g = t.write();
+        for i in 1..=10i64 {
+            g.insert(row![i, i as f64]).unwrap();
+        }
+        g.create_index(0, rfv_storage::IndexKind::Unique).unwrap();
+    }
+    patterns::materialize_view_table(&catalog, "seq", "mv", 2, 1).unwrap();
+    catalog
+}
+
+#[test]
+fn fig2_shape() {
+    let catalog = catalog_with_view();
+    let plan = patterns::self_join_window(&catalog, "seq", 1, 1, false).unwrap();
+    let explain = plan.explain();
+    // Self join on a BETWEEN range, grouped by position, sorted output.
+    assert!(explain.contains("NestedLoopJoin"), "{explain}");
+    assert!(explain.contains("BETWEEN"), "{explain}");
+    assert!(explain.contains("HashAggregate"), "{explain}");
+    assert!(explain.contains("SUM"), "{explain}");
+    assert!(explain.trim_start().starts_with("Sort"), "{explain}");
+    assert_eq!(
+        explain.matches("TableScan: seq").count(),
+        2,
+        "self join\n{explain}"
+    );
+}
+
+#[test]
+fn fig2_with_index_shape() {
+    let catalog = catalog_with_view();
+    let plan = patterns::self_join_window(&catalog, "seq", 2, 1, true).unwrap();
+    let explain = plan.explain();
+    assert!(explain.contains("IndexNestedLoopJoin"), "{explain}");
+    assert!(
+        explain.contains("key in [(#0 - 2) .. (#0 + 1)]"),
+        "{explain}"
+    );
+}
+
+#[test]
+fn fig4_shape() {
+    let catalog = catalog_with_view();
+    let plan = patterns::reconstruct_raw_from_cumulative(&catalog, "mv").unwrap();
+    let explain = plan.explain();
+    // IN-list join, CASE negation inside the SUM.
+    assert!(explain.contains("IN ("), "{explain}");
+    assert!(explain.contains("CASE WHEN"), "{explain}");
+    assert!(
+        explain.contains("ELSE (-#3)"),
+        "negated predecessor\n{explain}"
+    );
+}
+
+#[test]
+fn fig10_disjunctive_shape() {
+    let catalog = catalog_with_view();
+    let plan = patterns::maxoa_pattern(&catalog, "mv", 2, 1, 3, 1, 10, PatternVariant::Disjunctive)
+        .unwrap();
+    let explain = plan.explain();
+    // One derivation join with an ORed MOD predicate…
+    assert!(explain.contains(" OR "), "{explain}");
+    assert!(explain.contains("% 4) = 0"), "stride = w = 4\n{explain}");
+    assert_eq!(explain.matches("NestedLoopJoin").count(), 1, "{explain}");
+    // …a signed-coefficient CASE, and the final stitch join + COALESCE.
+    assert!(explain.contains("CASE WHEN"), "{explain}");
+    assert!(explain.contains("HashJoin(LeftOuter)"), "{explain}");
+    assert!(explain.contains("COALESCE"), "{explain}");
+    // MaxOA adds the original sequence value x̃_k.
+    assert!(explain.contains("(#1 + COALESCE(#3, 0.0))"), "{explain}");
+}
+
+#[test]
+fn fig10_union_shape() {
+    let catalog = catalog_with_view();
+    let plan = patterns::maxoa_pattern(&catalog, "mv", 2, 1, 3, 1, 10, PatternVariant::UnionSimple)
+        .unwrap();
+    let explain = plan.explain();
+    assert!(explain.contains("UnionAll"), "{explain}");
+    // Single-side (Δh = 0): two branches — positive and negative series.
+    assert_eq!(explain.matches("NestedLoopJoin").count(), 2, "{explain}");
+    assert!(
+        !explain.contains(" OR "),
+        "simple predicates only\n{explain}"
+    );
+}
+
+#[test]
+fn fig13_disjunctive_shape() {
+    let catalog = catalog_with_view();
+    let plan = patterns::minoa_pattern(&catalog, "mv", 2, 1, 3, 1, 10, PatternVariant::Disjunctive)
+        .unwrap();
+    let explain = plan.explain();
+    assert!(explain.contains(" OR "), "{explain}");
+    assert_eq!(explain.matches("NestedLoopJoin").count(), 1, "{explain}");
+    assert!(
+        explain.contains("HashJoin(LeftOuter)"),
+        "preserves first values\n{explain}"
+    );
+    // MinOA output is pure COALESCE(Σ terms) — no x̃_k self-term.
+    assert!(explain.contains("COALESCE(#3, 0.0)"), "{explain}");
+    assert!(!explain.contains("(#1 + COALESCE"), "{explain}");
+}
+
+#[test]
+fn fig13_union_hash_ablation_shape() {
+    let catalog = catalog_with_view();
+    let plan =
+        patterns::minoa_pattern(&catalog, "mv", 2, 1, 3, 1, 10, PatternVariant::UnionHash).unwrap();
+    let explain = plan.explain();
+    // Residue-class hash joins instead of nested loops.
+    assert!(explain.matches("HashJoin(Inner)").count() >= 2, "{explain}");
+    assert!(!explain.contains("NestedLoopJoin"), "{explain}");
+    assert!(explain.contains("residual"), "{explain}");
+}
+
+#[test]
+fn engine_explain_shows_rewrite_decision() {
+    let db = Database::new();
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    for i in 1..=5 {
+        db.execute(&format!("INSERT INTO seq VALUES ({i}, {i}.0)"))
+            .unwrap();
+    }
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+    )
+    .unwrap();
+    let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING \
+               AND 1 FOLLOWING) AS s FROM seq";
+    let explain = db.explain(sql).unwrap();
+    assert!(explain.contains("== logical =="), "{explain}");
+    assert!(explain.contains("Window(Pipelined)"), "{explain}");
+    assert!(explain.contains("(view rewrite)"), "{explain}");
+    assert!(
+        explain.contains("TableScan: mv"),
+        "answered from the view\n{explain}"
+    );
+
+    db.set_view_rewrite(false);
+    let explain = db.explain(sql).unwrap();
+    assert!(explain.contains("(direct)"), "{explain}");
+    assert!(!explain.contains("TableScan: mv"), "{explain}");
+}

@@ -1,0 +1,223 @@
+//! The paper's worked examples, reproduced literally.
+
+use rfv_core::derive::{self, maxoa};
+use rfv_core::reporting::{self, Grid};
+use rfv_core::sequence::{CompleteSequence, CumulativeSequence};
+use rfv_core::Database;
+use rfv_types::Value;
+
+/// §1: the credit-card query parses and runs, and the four reporting
+/// functions behave per the paper's prose (cumulative total vs. monthly
+/// restart vs. centered vs. prospective windows).
+#[test]
+fn section1_intro_query() {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE c_transactions (c_date DATE NOT NULL, c_transaction DOUBLE NOT NULL, \
+         c_locid BIGINT NOT NULL, c_custid BIGINT NOT NULL)",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE l_locations (l_locid BIGINT PRIMARY KEY, l_region VARCHAR(20))")
+        .unwrap();
+    db.execute("INSERT INTO l_locations VALUES (1, 'north'), (2, 'south')")
+        .unwrap();
+    let days = [
+        ("2001-05-28", 10.0),
+        ("2001-05-30", 20.0),
+        ("2001-06-01", 30.0),
+        ("2001-06-02", 40.0),
+        ("2001-06-05", 50.0),
+    ];
+    for (d, v) in days {
+        db.execute(&format!(
+            "INSERT INTO c_transactions VALUES (DATE '{d}', {v}, 1, 4711)"
+        ))
+        .unwrap();
+    }
+    let r = db
+        .execute(
+            "SELECT c_date, c_transaction, \
+             SUM(c_transaction) OVER (ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS cum_total, \
+             SUM(c_transaction) OVER (PARTITION BY MONTH(c_date) ORDER BY c_date \
+                 ROWS UNBOUNDED PRECEDING) AS cum_month, \
+             AVG(c_transaction) OVER (PARTITION BY MONTH(c_date), l_region ORDER BY c_date \
+                 ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS mv3, \
+             AVG(c_transaction) OVER (ORDER BY c_date \
+                 ROWS BETWEEN CURRENT ROW AND 6 FOLLOWING) AS mv7 \
+             FROM c_transactions, l_locations \
+             WHERE c_locid = l_locid AND c_custid = 4711 ORDER BY c_date",
+        )
+        .unwrap();
+    assert_eq!(r.rows().len(), 5);
+    // Reporting functions do not shrink the data volume (paper §1).
+    // cum_total keeps running across months; cum_month restarts in June.
+    let june1 = &r.rows()[2];
+    assert_eq!(june1.get(2), &Value::Float(60.0), "cumulative total");
+    assert_eq!(june1.get(3), &Value::Float(30.0), "restarts per month");
+    // The prospective 7-value average at the last row sees only itself.
+    let last = &r.rows()[4];
+    assert_eq!(last.get(5), &Value::Float(50.0));
+}
+
+/// §2.2: `x̃_k = x̃_{k−1} + x_{k+h} − x_{k−l−1}` — three operations per
+/// position, independent of window size.
+#[test]
+fn section22_pipelined_recursion() {
+    let raw: Vec<f64> = (1..=50).map(|i| f64::from(i % 7)).collect();
+    let explicit =
+        rfv_core::compute::compute_explicit(&raw, rfv_core::WindowSpec::sliding(6, 3).unwrap());
+    let pipelined =
+        rfv_core::compute::compute_pipelined(&raw, rfv_core::WindowSpec::sliding(6, 3).unwrap());
+    assert_eq!(explicit, pipelined);
+}
+
+/// §3.1 Fig. 5: ỹ_k = c̃_{k+h} − c̃_{k−l−1} with ỹ = (2, 1).
+#[test]
+fn fig5_sliding_from_cumulative() {
+    let raw: Vec<f64> = (1..=10).map(f64::from).collect();
+    let c = CumulativeSequence::materialize(&raw);
+    let y = derive::cumulative::sliding_from_cumulative(&c, 2, 1).unwrap();
+    assert_eq!(y, derive::brute_force_sum(&raw, 2, 1));
+    // Spot-check the figure: y_k adds x_{k+1} and removes everything
+    // through x_{k−3}: y_5 = c̃_6 − c̃_2.
+    assert_eq!(y[4], c.get(6) - c.get(2));
+}
+
+/// §4 Fig. 6: the identities y1…y10 for x̃=(2,1), ỹ=(3,1), verbatim.
+#[test]
+fn fig6_derivation_identities() {
+    let raw: Vec<f64> = (1..=11).map(|i| f64::from(i * 3 % 8)).collect();
+    let view = CompleteSequence::materialize(&raw, 2, 1).unwrap();
+    let y = maxoa::derive_sum(&view, 3, 1).unwrap();
+    let x = |k: i64| view.get(k);
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+    // y1 = x̃1 (all shifted terms fall below the header and vanish):
+    assert!(close(y[0], x(1)));
+    // The paper's printed lines:
+    assert!(close(y[3], x(4) + x(0)), "y4 = x̃4 + x̃0");
+    assert!(close(y[4], x(5) + x(1) - x(0)), "y5 = x̃5 + x̃1 − x̃0");
+    assert!(close(y[5], x(6) + x(2) - x(1)), "y6");
+    assert!(close(y[6], x(7) + x(3) - x(2)), "y7");
+    // Note: the paper's figure prints "y8 = x̃8 + x̃4 − x̃3", dropping the
+    // second pair's surviving term x̃0 (= x_1 ≠ 0); y9's printed line keeps
+    // the analogous pair, and the brute-force check below confirms x̃0
+    // belongs here. See EXPERIMENTS.md.
+    assert!(close(y[7], x(8) + x(4) - x(3) + x(0)), "y8");
+    assert!(
+        close(y[8], x(9) + x(5) - x(4) + x(1) - x(0)),
+        "y9 gains a second pair"
+    );
+    assert!(close(y[9], x(10) + x(6) - x(5) + x(2) - x(1)), "y10");
+    // And everything equals ground truth.
+    assert!(derive::max_abs_error(&y, &derive::brute_force_sum(&raw, 3, 1)).unwrap() < 1e-9);
+}
+
+/// §4: Δl + Δp = w — the coverage and overlap factors interlock so the
+/// shift stride is exactly one window size.
+#[test]
+fn section4_factor_arithmetic() {
+    for (lx, hx, ly) in [(2i64, 1i64, 3i64), (3, 2, 5), (1, 4, 2)] {
+        let f = maxoa::factors(lx, hx, ly, hx).unwrap();
+        assert_eq!(f.delta_l + f.delta_p, lx + hx + 1);
+        assert_eq!(f.delta_p, 1 + lx + hx - f.delta_l, "paper's Δp definition");
+    }
+}
+
+/// §3.2: the explicit reconstruction series stops at i_up = ⌈k/w⌉.
+#[test]
+fn section32_iup_bound() {
+    let raw: Vec<f64> = (1..=30).map(f64::from).collect();
+    let view = CompleteSequence::materialize(&raw, 2, 1).unwrap();
+    // Reconstruction of x_k uses ⌈k/w⌉+O(1) terms; verify via value match
+    // (the series implementation stops at the header).
+    for k in [1i64, 7, 15, 30] {
+        let x = derive::raw::value_from_sliding(&view, k).unwrap();
+        assert!((x - raw[(k - 1) as usize]).abs() < 1e-9);
+    }
+}
+
+/// §6.1: the position function over the example address (2,4,2) and the
+/// window-bound arithmetic of the ordering-reduction lemma.
+#[test]
+fn section61_position_function() {
+    // Ordering columns with cardinalities chosen so (2,4,2) is interior.
+    let g = Grid::new(vec![3, 4, 2]).unwrap();
+    let k = g.pos(&[2, 4, 2]).unwrap();
+    assert_eq!(g.coords(k).unwrap(), vec![2, 4, 2]);
+    // Eliminating the rightmost column (j = 1, suffix size 2): the reduced
+    // group containing k starts at pos(2,4,1).
+    let head = g.pos(&[2, 4, 1]).unwrap();
+    assert_eq!(head, k - 1);
+    // w'_L / w'_H of the lemma, in executable form:
+    let (lp, hp) = reporting::reduced_window(&g, 2, 0, 0).unwrap();
+    assert_eq!((lp, hp), (0, 1), "own group only: 2 cells");
+}
+
+/// §6.2: partitioning reduction on the paper's month example — cumulative
+/// per month derives the overall cumulative sum.
+#[test]
+fn section62_month_to_total() {
+    let months = [
+        CumulativeSequence::materialize(&[10.0, 20.0]),
+        CumulativeSequence::materialize(&[5.0]),
+        CumulativeSequence::materialize(&[1.0, 2.0, 3.0]),
+    ];
+    let total = reporting::merge_cumulative_partitions(&months);
+    assert_eq!(total, vec![10.0, 30.0, 35.0, 36.0, 38.0, 41.0]);
+}
+
+/// §7's qualitative claims, checked as *relative* facts on our engine:
+/// the self join needs the index, and the native operator beats both.
+#[test]
+fn section7_qualitative_ordering() {
+    use rfv_core::patterns;
+    use std::time::Instant;
+
+    let n = 600usize;
+    let db = Database::new();
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    for i in 1..=n {
+        db.execute(&format!(
+            "INSERT INTO seq VALUES ({i}, {})",
+            (i % 13) as f64
+        ))
+        .unwrap();
+    }
+    let time = |f: &dyn Fn()| {
+        let s = Instant::now();
+        f();
+        s.elapsed()
+    };
+    let catalog = db.catalog().clone();
+    let t_native = time(&|| {
+        db.set_view_rewrite(false);
+        db.execute(
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+             AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+    });
+    let t_indexed = time(&|| {
+        patterns::self_join_window(&catalog, "seq", 1, 1, true)
+            .unwrap()
+            .execute()
+            .unwrap();
+    });
+    let t_nested = time(&|| {
+        patterns::self_join_window(&catalog, "seq", 1, 1, false)
+            .unwrap()
+            .execute()
+            .unwrap();
+    });
+    // Only the robust ordering is asserted (absolute numbers are machine
+    // dependent): nested loop without index is the clear loser.
+    assert!(
+        t_nested > t_indexed,
+        "nested loop ({t_nested:?}) should lose to the index plan ({t_indexed:?})"
+    );
+    assert!(
+        t_nested > t_native,
+        "nested loop ({t_nested:?}) should lose to the native operator ({t_native:?})"
+    );
+}

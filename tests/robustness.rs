@@ -1,0 +1,195 @@
+//! Robustness tests: error propagation through deep plans, engine-level
+//! failure modes, and concurrent use of a shared database.
+
+use std::sync::Arc;
+
+use rfv_core::Database;
+
+fn seq_db(n: i64) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    for i in 1..=n {
+        db.execute(&format!("INSERT INTO seq VALUES ({i}, {})", i as f64))
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn runtime_errors_propagate_with_context() {
+    let db = seq_db(5);
+    // Division by zero deep inside a projection over a join.
+    let err = db
+        .execute("SELECT s1.pos / (s2.pos - s2.pos) FROM seq s1 JOIN seq s2 ON s1.pos = s2.pos")
+        .unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+    // Type error in a predicate.
+    let err = db
+        .execute("SELECT pos FROM seq WHERE val = 'abc'")
+        .unwrap_err();
+    assert!(err.to_string().contains("compare"), "{err}");
+    // MOD by zero inside a window partition expression.
+    let err = db
+        .execute("SELECT SUM(val) OVER (PARTITION BY pos % 0 ORDER BY pos) FROM seq")
+        .unwrap_err();
+    assert!(err.to_string().contains("modulo by zero"), "{err}");
+}
+
+#[test]
+fn planning_errors_are_reported_not_panicked() {
+    let db = seq_db(2);
+    for bad in [
+        "SELECT unknown_col FROM seq",
+        "SELECT pos FROM missing_table",
+        "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 FOLLOWING AND 1 PRECEDING) FROM seq",
+        "SELECT MEDIAN(val) OVER (ORDER BY pos) FROM seq",
+        "SELECT pos FROM seq ORDER BY 99",
+        "SELECT pos, SUM(val) FROM seq",
+        "INSERT INTO seq VALUES (1)",
+        "INSERT INTO seq VALUES ('x', 1.0)",
+        "CREATE TABLE seq (a BIGINT)",
+    ] {
+        let err = db.execute(bad);
+        assert!(err.is_err(), "`{bad}` should fail");
+    }
+}
+
+#[test]
+fn view_creation_failure_modes() {
+    let db = Database::new();
+    db.execute("CREATE TABLE gaps (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    db.execute("INSERT INTO gaps VALUES (1, 1.0), (3, 3.0)")
+        .unwrap();
+    // Sparse positions violate the sequence-model invariant.
+    let err = db
+        .execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM gaps",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("dense"), "{err}");
+
+    // NULL values violate it too.
+    db.execute("CREATE TABLE nully (pos BIGINT PRIMARY KEY, val DOUBLE)")
+        .unwrap();
+    db.execute("INSERT INTO nully VALUES (1, NULL)").unwrap();
+    let err = db
+        .execute(
+            "CREATE MATERIALIZED VIEW mv2 AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM nully",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("NULL"), "{err}");
+
+    // Duplicate view names.
+    let db = seq_db(3);
+    let mv = "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+              (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq";
+    db.execute(mv).unwrap();
+    assert!(db.execute(mv).is_err());
+}
+
+#[test]
+fn maintenance_errors_leave_views_consistent() {
+    let db = seq_db(5);
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+    )
+    .unwrap();
+    // Out-of-range maintenance ops fail cleanly…
+    assert!(db.sequence_update("seq", 0, 1.0).is_err());
+    assert!(db.sequence_update("seq", 99, 1.0).is_err());
+    assert!(db.sequence_delete("seq", 99).is_err());
+    assert!(db.sequence_insert("seq", 99, 1.0).is_err());
+    // …and the view still answers correctly afterwards.
+    let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+               AND 1 FOLLOWING) AS s FROM seq";
+    let a: Vec<_> = db.execute(sql).unwrap().column_f64(1).unwrap();
+    db.set_view_rewrite(false);
+    let b: Vec<_> = db.execute(sql).unwrap().column_f64(1).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn concurrent_readers_and_maintainer() {
+    let db = Arc::new(seq_db(200));
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+    )
+    .unwrap();
+
+    let mut handles = Vec::new();
+    // Four readers hammer window queries (mix of rewritten and plain).
+    for t in 0..4 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..25 {
+                let l = (t + i) % 4 + 1;
+                let r = db
+                    .execute(&format!(
+                        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN {l} \
+                         PRECEDING AND 1 FOLLOWING) AS s FROM seq"
+                    ))
+                    .unwrap();
+                assert_eq!(r.rows().len(), 200);
+            }
+        }));
+    }
+    // One maintainer mutates the sequence concurrently.
+    {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20 {
+                db.sequence_update("seq", (i % 200) + 1, i as f64).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Final consistency: view answers equal direct recomputation.
+    let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING \
+               AND 1 FOLLOWING) AS s FROM seq";
+    let derived: Vec<_> = db.execute(sql).unwrap().column_f64(1).unwrap();
+    db.set_view_rewrite(false);
+    let direct: Vec<_> = db.execute(sql).unwrap().column_f64(1).unwrap();
+    assert_eq!(derived, direct);
+}
+
+#[test]
+fn empty_and_single_row_sequences() {
+    // Single-row sequence: every machinery path must handle n = 1.
+    let db = seq_db(1);
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+    )
+    .unwrap();
+    let r = db
+        .execute(
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 5 PRECEDING \
+             AND 5 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+    assert_eq!(r.rows().len(), 1);
+    assert_eq!(r.rows()[0].get(1).as_f64().unwrap(), Some(1.0));
+
+    // Empty table: window queries return nothing, views materialize empty.
+    let db = Database::new();
+    db.execute("CREATE TABLE e (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    let r = db
+        .execute("SELECT pos, SUM(val) OVER (ORDER BY pos) AS s FROM e")
+        .unwrap();
+    assert!(r.rows().is_empty());
+    db.execute(
+        "CREATE MATERIALIZED VIEW emv AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM e",
+    )
+    .unwrap();
+    assert_eq!(db.registry().get("emv").unwrap().n(), 0);
+}
