@@ -11,62 +11,55 @@
 //!    native sequence-derivation operator (the paper's closing remark on
 //!    simulation feasibility, §7).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rfv_bench::{catalog_with_view, checksum, random_values};
+use rfv_bench::harness::Group;
+use rfv_bench::{catalog_with_view, checksum, random_values, seq_database};
 use rfv_core::derive::minoa;
 use rfv_core::patterns::{minoa_pattern, PatternVariant};
 use rfv_core::sequence::CompleteSequence;
 use rfv_core::{compute, maintenance, WindowSpec};
 
-fn bench_window_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_window_eval");
-    group.sample_size(10);
+fn bench_window_modes() {
+    let mut group = Group::new("ablation_window_eval");
     let n = 20_000usize;
     let values = random_values(n, 11);
     for &w in &[4i64, 16, 64, 256] {
         let spec = WindowSpec::sliding(w / 2, w / 2).unwrap();
-        group.bench_with_input(BenchmarkId::new("naive", w), &w, |b, _| {
-            b.iter(|| std::hint::black_box(compute::compute_explicit(&values, spec)))
+        group.bench(&format!("naive/{w}"), || {
+            std::hint::black_box(compute::compute_explicit(&values, spec));
         });
-        group.bench_with_input(BenchmarkId::new("pipelined", w), &w, |b, _| {
-            b.iter(|| std::hint::black_box(compute::compute_pipelined(&values, spec)))
+        group.bench(&format!("pipelined/{w}"), || {
+            std::hint::black_box(compute::compute_pipelined(&values, spec));
         });
     }
-    group.finish();
 }
 
-fn bench_maintenance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_maintenance");
-    group.sample_size(20);
+fn bench_maintenance() {
+    let mut group = Group::new("ablation_maintenance");
     for &n in &[10_000usize, 100_000] {
         let values = random_values(n, 13);
         let seq = CompleteSequence::materialize(&values, 8, 7).unwrap();
-        group.bench_with_input(BenchmarkId::new("incremental_update", n), &n, |b, _| {
-            let mut seq = seq.clone();
-            let mut raw = values.clone();
-            let mut k = 1i64;
-            b.iter(|| {
-                k = k % n as i64 + 1;
-                maintenance::update(&mut seq, &mut raw, k, 5.0).unwrap();
-            })
+        let mut inc_seq = seq.clone();
+        let mut inc_raw = values.clone();
+        let mut k = 1i64;
+        group.bench(&format!("incremental_update/{n}"), || {
+            k = k % n as i64 + 1;
+            maintenance::update(&mut inc_seq, &mut inc_raw, k, 5.0).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("full_recompute", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(CompleteSequence::materialize(&values, 8, 7).unwrap()))
+        group.bench(&format!("full_recompute/{n}"), || {
+            std::hint::black_box(CompleteSequence::materialize(&values, 8, 7).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_derivation_route(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_derivation_route");
-    group.sample_size(10);
+fn bench_derivation_route() {
+    let mut group = Group::new("ablation_derivation_route");
     for &n in &[500usize, 2000] {
         let values = random_values(n, 17);
         let catalog = catalog_with_view(&values, 2, 1);
         let view = CompleteSequence::materialize(&values, 2, 1).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("algebraic_minoa", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(minoa::derive_sum(&view, 3, 1).unwrap()))
+        group.bench(&format!("algebraic_minoa/{n}"), || {
+            std::hint::black_box(minoa::derive_sum(&view, 3, 1).unwrap());
         });
         let plan = minoa_pattern(
             &catalog,
@@ -79,24 +72,18 @@ fn bench_derivation_route(c: &mut Criterion) {
             PatternVariant::Disjunctive,
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("relational_pattern", n), &n, |b, _| {
-            b.iter(|| {
-                let rows = plan.execute().unwrap();
-                std::hint::black_box(checksum(&rows, 1));
-            })
+        group.bench(&format!("relational_pattern/{n}"), || {
+            let rows = plan.execute().unwrap();
+            std::hint::black_box(checksum(&rows, 1));
         });
     }
-    group.finish();
 }
 
 /// End-to-end engine ablation: the same SQL window query answered (a) by
 /// the native window operator and (b) from a materialized view via the
 /// rewriter — the user-facing form of the paper's headline trade-off.
-fn bench_engine_rewrite(c: &mut Criterion) {
-    use rfv_bench::seq_database;
-
-    let mut group = c.benchmark_group("ablation_engine_rewrite");
-    group.sample_size(10);
+fn bench_engine_rewrite() {
+    let mut group = Group::new("ablation_engine_rewrite");
     for &n in &[500usize, 2000] {
         let values = random_values(n, 23);
         let db = seq_database(&values);
@@ -105,29 +92,25 @@ fn bench_engine_rewrite(c: &mut Criterion) {
         )
         .unwrap();
         let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING                    AND 1 FOLLOWING) AS s FROM seq";
-        group.bench_with_input(BenchmarkId::new("native_window", n), &n, |b, _| {
-            db.set_view_rewrite(false);
-            b.iter(|| std::hint::black_box(db.execute(sql).unwrap()))
+        db.set_view_rewrite(false);
+        group.bench(&format!("native_window/{n}"), || {
+            std::hint::black_box(db.execute(sql).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("view_rewrite_fig13", n), &n, |b, _| {
-            db.set_view_rewrite(true);
-            b.iter(|| std::hint::black_box(db.execute(sql).unwrap()))
+        db.set_view_rewrite(true);
+        group.bench(&format!("view_rewrite_fig13/{n}"), || {
+            std::hint::black_box(db.execute(sql).unwrap());
         });
         // Exact-match derivation: the view body answers directly.
         let exact = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING                      AND 1 FOLLOWING) AS s FROM seq";
-        group.bench_with_input(BenchmarkId::new("view_exact_match", n), &n, |b, _| {
-            db.set_view_rewrite(true);
-            b.iter(|| std::hint::black_box(db.execute(exact).unwrap()))
+        group.bench(&format!("view_exact_match/{n}"), || {
+            std::hint::black_box(db.execute(exact).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_window_modes,
-    bench_maintenance,
-    bench_derivation_route,
-    bench_engine_rewrite
-);
-criterion_main!(benches);
+fn main() {
+    bench_window_modes();
+    bench_maintenance();
+    bench_derivation_route();
+    bench_engine_rewrite();
+}

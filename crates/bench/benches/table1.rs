@@ -8,11 +8,11 @@
 //! * native reporting functionality, with primary-key index,
 //! * self-join simulation, with primary-key index → index nested loop.
 //!
-//! Criterion sizes are scaled down from the paper's 5k/10k/15k so the
-//! suite stays responsive; `cargo run -p rfv-bench --release --bin table1`
-//! runs the full paper sizes and prints the paper-vs-measured table.
+//! Sizes are scaled down from the paper's 5k/10k/15k so the suite stays
+//! responsive; `cargo run -p rfv-bench --release --bin table1` runs the
+//! full paper sizes and prints the paper-vs-measured table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfv_bench::harness::Group;
 use rfv_bench::{checksum, random_values, seq_catalog};
 use rfv_core::patterns;
 use rfv_exec::{
@@ -40,9 +40,8 @@ fn native_plan(catalog: &rfv_storage::Catalog, mode: WindowMode) -> PhysicalPlan
     }
 }
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("table1");
     for &n in &[500usize, 1000, 2000] {
         let values = random_values(n, 42);
 
@@ -50,32 +49,16 @@ fn bench_table1(c: &mut Criterion) {
             let catalog = seq_catalog(&values, with_index);
 
             let native = native_plan(&catalog, WindowMode::Pipelined);
-            group.bench_with_input(
-                BenchmarkId::new(format!("native_{label}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let rows = native.execute().unwrap();
-                        std::hint::black_box(checksum(&rows, 2));
-                    })
-                },
-            );
+            group.bench(&format!("native_{label}/{n}"), || {
+                let rows = native.execute().unwrap();
+                std::hint::black_box(checksum(&rows, 2));
+            });
 
             let self_join = patterns::self_join_window(&catalog, "seq", 1, 1, with_index).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(format!("self_join_{label}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let rows = self_join.execute().unwrap();
-                        std::hint::black_box(checksum(&rows, 1));
-                    })
-                },
-            );
+            group.bench(&format!("self_join_{label}/{n}"), || {
+                let rows = self_join.execute().unwrap();
+                std::hint::black_box(checksum(&rows, 1));
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -8,105 +8,34 @@
 //! `union_hash` ablation (residue-class hash joins, the plan-switch DB2
 //! exhibited at large n).
 //!
-//! Criterion sizes cover the paper's lower range;
+//! These sizes cover the paper's lower range;
 //! `cargo run -p rfv-bench --release --bin table2` runs all paper sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfv_bench::harness::Group;
 use rfv_bench::{catalog_with_view, checksum, random_values};
 use rfv_core::patterns::{maxoa_pattern, minoa_pattern, PatternVariant};
 
-fn bench_table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("table2");
     for &n in &[100usize, 500, 1000] {
         let values = random_values(n, 7);
         let catalog = catalog_with_view(&values, 2, 1);
-        let cases: [(&str, rfv_exec::PhysicalPlan); 6] = [
-            (
-                "maxoa_disjunctive",
-                maxoa_pattern(
-                    &catalog,
-                    "mv",
-                    2,
-                    1,
-                    3,
-                    1,
-                    n as i64,
-                    PatternVariant::Disjunctive,
-                )
-                .unwrap(),
-            ),
-            (
-                "maxoa_union",
-                maxoa_pattern(
-                    &catalog,
-                    "mv",
-                    2,
-                    1,
-                    3,
-                    1,
-                    n as i64,
-                    PatternVariant::UnionSimple,
-                )
-                .unwrap(),
-            ),
-            (
-                "maxoa_union_hash",
-                maxoa_pattern(
-                    &catalog,
-                    "mv",
-                    2,
-                    1,
-                    3,
-                    1,
-                    n as i64,
-                    PatternVariant::UnionHash,
-                )
-                .unwrap(),
-            ),
-            (
-                "minoa_disjunctive",
-                minoa_pattern(
-                    &catalog,
-                    "mv",
-                    2,
-                    1,
-                    3,
-                    1,
-                    n as i64,
-                    PatternVariant::Disjunctive,
-                )
-                .unwrap(),
-            ),
-            (
-                "minoa_union",
-                minoa_pattern(
-                    &catalog,
-                    "mv",
-                    2,
-                    1,
-                    3,
-                    1,
-                    n as i64,
-                    PatternVariant::UnionSimple,
-                )
-                .unwrap(),
-            ),
-            (
-                "minoa_union_hash",
-                minoa_pattern(
-                    &catalog,
-                    "mv",
-                    2,
-                    1,
-                    3,
-                    1,
-                    n as i64,
-                    PatternVariant::UnionHash,
-                )
-                .unwrap(),
-            ),
+        let variants = [
+            ("disjunctive", PatternVariant::Disjunctive),
+            ("union", PatternVariant::UnionSimple),
+            ("union_hash", PatternVariant::UnionHash),
         ];
+        let mut cases: Vec<(String, rfv_exec::PhysicalPlan)> = Vec::new();
+        for (label, variant) in variants {
+            cases.push((
+                format!("maxoa_{label}"),
+                maxoa_pattern(&catalog, "mv", 2, 1, 3, 1, n as i64, variant).unwrap(),
+            ));
+            cases.push((
+                format!("minoa_{label}"),
+                minoa_pattern(&catalog, "mv", 2, 1, 3, 1, n as i64, variant).unwrap(),
+            ));
+        }
         // All six must produce identical results before we time anything.
         let reference = checksum(&cases[0].1.execute().unwrap(), 1);
         for (name, plan) in &cases {
@@ -114,16 +43,10 @@ fn bench_table2(c: &mut Criterion) {
             assert!((got - reference).abs() < 1e-6, "{name} diverged");
         }
         for (name, plan) in &cases {
-            group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
-                b.iter(|| {
-                    let rows = plan.execute().unwrap();
-                    std::hint::black_box(checksum(&rows, 1));
-                })
+            group.bench(&format!("{name}/{n}"), || {
+                let rows = plan.execute().unwrap();
+                std::hint::black_box(checksum(&rows, 1));
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

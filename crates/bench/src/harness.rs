@@ -1,0 +1,100 @@
+//! A minimal first-party benchmark harness (criterion replacement).
+//!
+//! The workspace builds with zero external dependencies, so the
+//! `[[bench]]` targets use this instead of criterion: warmup, a fixed
+//! sample count, and a one-line median/mean/min report per case. It is a
+//! measurement tool, not a statistics package — EXPERIMENTS.md reproduces
+//! the paper's tables with the `table1`/`table2` binaries, which print
+//! paper-vs-measured ratios on top of these timings.
+
+use std::time::Instant;
+
+/// Default samples per case; override with `RFV_BENCH_SAMPLES`.
+const DEFAULT_SAMPLES: u32 = 10;
+
+fn samples() -> u32 {
+    std::env::var("RFV_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SAMPLES)
+}
+
+/// A named group of benchmark cases, printed as a table.
+pub struct Group {
+    name: String,
+    printed_header: bool,
+}
+
+impl Group {
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            printed_header: false,
+        }
+    }
+
+    /// Time `f` (after one warmup call) and print one report line.
+    /// Returns the median seconds so callers can assert relationships.
+    pub fn bench(&mut self, case: &str, mut f: impl FnMut()) -> f64 {
+        if !self.printed_header {
+            println!(
+                "\n== {} ==\n{:<38} {:>12} {:>12} {:>12}",
+                self.name, "case", "median", "mean", "min"
+            );
+            self.printed_header = true;
+        }
+        f(); // warmup: touch caches, fault pages, JIT-free but fair
+        let n = samples();
+        let mut times: Vec<f64> = (0..n)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{:<38} {:>12} {:>12} {:>12}",
+            case,
+            fmt_secs(median),
+            fmt_secs(mean),
+            fmt_secs(times[0])
+        );
+        median
+    }
+}
+
+/// Human-readable seconds with µs/ms/s autoscaling.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_median() {
+        let mut g = Group::new("smoke");
+        let mut acc = 0u64;
+        let t = g.bench("noop-ish", || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn formatting_autoscales() {
+        assert!(fmt_secs(2e-6).contains("µs"));
+        assert!(fmt_secs(2e-3).contains("ms"));
+        assert!(fmt_secs(2.0).ends_with("s"));
+    }
+}

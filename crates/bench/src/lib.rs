@@ -7,18 +7,19 @@
 //! *ratios*, which is where the reproduction claim lives (see
 //! EXPERIMENTS.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rfv_core::patterns;
 use rfv_core::Database;
 use rfv_storage::Catalog;
+use rfv_testkit::Rng;
 use rfv_types::{row, DataType, Field, Schema};
+
+pub mod harness;
 
 /// Deterministic random sequence values in the style of the paper's test
 /// data (positive transaction-like amounts).
 pub fn random_values(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(1.0..1000.0f64)).collect()
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.f64_in(1.0, 1000.0)).collect()
 }
 
 /// Build a catalog holding `seq(pos, val)` with dense positions `1..=n`.

@@ -101,7 +101,7 @@ pub fn pipelined_cache_size(window: WindowSpec) -> Result<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfv_testkit::{check, gen, oracle};
 
     #[test]
     fn cumulative_both_forms() {
@@ -152,21 +152,61 @@ mod tests {
         assert!(pipelined_cache_size(WindowSpec::Cumulative).is_err());
     }
 
-    proptest! {
-        /// Fig. 3's relationship: the two computation forms agree.
-        #[test]
-        fn explicit_equals_pipelined(
-            raw in proptest::collection::vec(-1000i32..1000, 0..60),
-            l in 0i64..8,
-            h in 0i64..8,
-        ) {
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let w = WindowSpec::sliding(l, h).unwrap();
-            prop_assert_eq!(compute_explicit(&raw, w), compute_pipelined(&raw, w));
-            prop_assert_eq!(
-                compute_explicit(&raw, WindowSpec::Cumulative),
-                compute_pipelined(&raw, WindowSpec::Cumulative)
-            );
-        }
+    /// Fig. 3's relationship: the two computation forms agree — and both
+    /// agree with the testkit's independent brute-force oracle.
+    #[test]
+    fn explicit_equals_pipelined() {
+        check(
+            "explicit_equals_pipelined",
+            |rng| {
+                let (l, h) = gen::window(7)(rng);
+                (gen::int_values(0, 60)(rng), l, h)
+            },
+            |(raw, l, h)| {
+                let w = WindowSpec::sliding(*l, *h).unwrap();
+                assert_eq!(compute_explicit(raw, w), compute_pipelined(raw, w));
+                oracle::assert_close_with(
+                    &compute_explicit(raw, w),
+                    &oracle::brute_sum(raw, *l, *h),
+                    1e-9,
+                    "explicit vs brute-force",
+                );
+                assert_eq!(
+                    compute_explicit(raw, WindowSpec::Cumulative),
+                    compute_pipelined(raw, WindowSpec::Cumulative)
+                );
+                oracle::assert_close_with(
+                    &compute_pipelined(raw, WindowSpec::Cumulative),
+                    &oracle::brute_cumulative(raw),
+                    1e-9,
+                    "cumulative vs brute-force",
+                );
+            },
+        );
+    }
+
+    /// MIN/MAX point computation agrees with the oracle, including on
+    /// adversarial tie-heavy data.
+    #[test]
+    fn minmax_at_matches_oracle() {
+        check(
+            "minmax_at_matches_oracle",
+            |rng| {
+                let (l, h) = gen::window(5)(rng);
+                (gen::tie_values(0, 40)(rng), l, h)
+            },
+            |(raw, l, h)| {
+                let w = WindowSpec::sliding(*l, *h).unwrap();
+                for max in [false, true] {
+                    for k in (1 - h - 2)..=(raw.len() as i64 + l + 2) {
+                        assert_eq!(
+                            compute_minmax_at(raw, w, k, max),
+                            oracle::brute_minmax_at(raw, k - l, k + h, max),
+                            "k={k} max={max}"
+                        );
+                    }
+                }
+            },
+        );
     }
 }

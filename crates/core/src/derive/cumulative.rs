@@ -45,7 +45,7 @@ pub fn cumulative_from_sliding(view: &CompleteSequence) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::derive::brute_force_sum;
-    use proptest::prelude::*;
+    use rfv_testkit::{check, gen, oracle};
 
     #[test]
     fn fig5_example() {
@@ -79,35 +79,45 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn sliding_from_cumulative_matches_brute_force(
-            raw in proptest::collection::vec(-1000i32..1000, 0..50),
-            l in 0i64..6,
-            h in 0i64..6,
-        ) {
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CumulativeSequence::materialize(&raw);
-            let derived = sliding_from_cumulative(&view, l, h).unwrap();
-            let expected = brute_force_sum(&raw, l, h);
-            for (a, b) in derived.iter().zip(&expected) {
-                prop_assert!((a - b).abs() < 1e-6);
-            }
-        }
+    #[test]
+    fn sliding_from_cumulative_matches_brute_force() {
+        check(
+            "sliding_from_cumulative_matches_brute_force",
+            |rng| {
+                let (l, h) = gen::window(5)(rng);
+                (gen::int_values(0, 50)(rng), l, h)
+            },
+            |&(ref raw, l, h)| {
+                let view = CumulativeSequence::materialize(raw);
+                let derived = sliding_from_cumulative(&view, l, h).unwrap();
+                oracle::assert_close_with(
+                    &derived,
+                    &oracle::brute_sum(raw, l, h),
+                    1e-6,
+                    "sliding-from-cumulative",
+                );
+            },
+        );
+    }
 
-        #[test]
-        fn cumulative_from_sliding_matches(
-            raw in proptest::collection::vec(-1000i32..1000, 0..50),
-            l in 0i64..6,
-            h in 0i64..6,
-        ) {
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CompleteSequence::materialize(&raw, l, h).unwrap();
-            let cum = cumulative_from_sliding(&view);
-            let expected = CumulativeSequence::materialize(&raw);
-            for (i, v) in cum.iter().enumerate() {
-                prop_assert!((v - expected.get(i as i64 + 1)).abs() < 1e-6);
-            }
-        }
+    #[test]
+    fn cumulative_from_sliding_matches() {
+        check(
+            "cumulative_from_sliding_matches",
+            |rng| {
+                let (l, h) = gen::window(5)(rng);
+                (gen::int_values(0, 50)(rng), l, h)
+            },
+            |&(ref raw, l, h)| {
+                let view = CompleteSequence::materialize(raw, l, h).unwrap();
+                let cum = cumulative_from_sliding(&view);
+                oracle::assert_close_with(
+                    &cum,
+                    &oracle::brute_cumulative(raw),
+                    1e-6,
+                    "cumulative-from-sliding",
+                );
+            },
+        );
     }
 }

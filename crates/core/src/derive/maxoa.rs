@@ -186,7 +186,7 @@ mod tests {
     use crate::compute::compute_minmax_at;
     use crate::derive::brute_force_sum;
     use crate::sequence::WindowSpec;
-    use proptest::prelude::*;
+    use rfv_testkit::{check, gen, oracle};
 
     fn assert_close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());
@@ -277,67 +277,71 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn explicit_matches_brute_force(
-            raw in proptest::collection::vec(-1000i32..1000, 1..60),
-            lx in 0i64..5,
-            hx in 0i64..5,
-            dl in 0i64..6,
-            dh in 0i64..6,
-        ) {
-            let w = lx + hx + 1;
-            let dl = dl.min(w);
-            let dh = dh.min(w);
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
-            let derived = derive_sum(&view, lx + dl, hx + dh).unwrap();
-            let expected = brute_force_sum(&raw, lx + dl, hx + dh);
-            for (a, b) in derived.iter().zip(&expected) {
-                prop_assert!((a - b).abs() < 1e-6, "{derived:?} vs {expected:?}");
-            }
-        }
+    /// Clamp a widening so MaxOA's precondition Δl, Δh ≤ w holds.
+    fn clamp_widening(lx: i64, hx: i64, dl: i64, dh: i64) -> (i64, i64) {
+        let w = lx + hx + 1;
+        (dl.min(w), dh.min(w))
+    }
 
-        #[test]
-        fn recursive_matches_brute_force(
-            raw in proptest::collection::vec(-1000i32..1000, 1..40),
-            lx in 0i64..4,
-            hx in 0i64..4,
-            dl in 0i64..5,
-            dh in 0i64..5,
-        ) {
-            let w = lx + hx + 1;
-            let dl = dl.min(w);
-            let dh = dh.min(w);
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
-            let derived = derive_sum_recursive(&view, lx + dl, hx + dh).unwrap();
-            let expected = brute_force_sum(&raw, lx + dl, hx + dh);
-            for (a, b) in derived.iter().zip(&expected) {
-                prop_assert!((a - b).abs() < 1e-6);
-            }
-        }
+    #[test]
+    fn explicit_matches_brute_force() {
+        check(
+            "maxoa_explicit_matches_brute_force",
+            |rng| (gen::int_values(1, 60)(rng), gen::widening(4, 5)(rng)),
+            |&(ref raw, (lx, hx, dl, dh))| {
+                let (dl, dh) = clamp_widening(lx, hx, dl, dh);
+                let view = CompleteSequence::materialize(raw, lx, hx).unwrap();
+                let derived = derive_sum(&view, lx + dl, hx + dh).unwrap();
+                let expected = brute_force_sum(raw, lx + dl, hx + dh);
+                oracle::assert_close_with(&derived, &expected, 1e-6, "maxoa explicit");
+            },
+        );
+    }
 
-        #[test]
-        fn minmax_matches_brute_force(
-            raw in proptest::collection::vec(-1000i32..1000, 1..40),
-            lx in 0i64..4,
-            hx in 0i64..4,
-            dl in 0i64..5,
-            dh in 0i64..5,
-            max in proptest::bool::ANY,
-        ) {
-            let w = lx + hx + 1;
-            let dl = dl.min(w);
-            let dh = dh.min(w);
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CompleteMinMaxSequence::materialize(&raw, lx, hx, max).unwrap();
-            let derived = derive_minmax(&view, lx + dl, hx + dh).unwrap();
-            let spec = WindowSpec::sliding(lx + dl, hx + dh).unwrap();
-            for (i, d) in derived.iter().enumerate() {
-                let expected = compute_minmax_at(&raw, spec, i as i64 + 1, max);
-                prop_assert_eq!(*d, expected, "pos {}", i + 1);
-            }
-        }
+    #[test]
+    fn recursive_matches_brute_force() {
+        check(
+            "maxoa_recursive_matches_brute_force",
+            |rng| (gen::int_values(1, 40)(rng), gen::widening(3, 4)(rng)),
+            |&(ref raw, (lx, hx, dl, dh))| {
+                let (dl, dh) = clamp_widening(lx, hx, dl, dh);
+                let view = CompleteSequence::materialize(raw, lx, hx).unwrap();
+                let derived = derive_sum_recursive(&view, lx + dl, hx + dh).unwrap();
+                let expected = brute_force_sum(raw, lx + dl, hx + dh);
+                oracle::assert_close_with(&derived, &expected, 1e-6, "maxoa recursive");
+            },
+        );
+    }
+
+    /// §4.4 coverage: `derive_minmax` against the testkit's independent
+    /// brute-force oracle, on tie-heavy data (runs of equal values and
+    /// all-equal sequences) where sloppy tie-breaking shows up.
+    #[test]
+    fn minmax_matches_brute_force() {
+        check(
+            "maxoa_minmax_matches_brute_force",
+            |rng| {
+                let raw = gen::tie_values(1, 40)(rng);
+                let wid = gen::widening(3, 4)(rng);
+                (raw, wid, rng.bool())
+            },
+            |&(ref raw, (lx, hx, dl, dh), max)| {
+                let (dl, dh) = clamp_widening(lx, hx, dl, dh);
+                let (ly, hy) = (lx + dl, hx + dh);
+                let view = CompleteMinMaxSequence::materialize(raw, lx, hx, max).unwrap();
+                let derived = derive_minmax(&view, ly, hy).unwrap();
+                let spec = WindowSpec::sliding(ly, hy).unwrap();
+                for (i, d) in derived.iter().enumerate() {
+                    let k = i as i64 + 1;
+                    let expected = compute_minmax_at(raw, spec, k, max);
+                    assert_eq!(*d, expected, "pos {k} max={max} (engine)");
+                    assert_eq!(
+                        *d,
+                        oracle::brute_minmax_at(raw, k - ly, k + hy, max),
+                        "pos {k} max={max} (oracle)"
+                    );
+                }
+            },
+        );
     }
 }

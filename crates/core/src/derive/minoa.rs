@@ -77,7 +77,7 @@ pub fn derive_sum(view: &CompleteSequence, ly: i64, hy: i64) -> Result<Vec<f64>>
 mod tests {
     use super::*;
     use crate::derive::brute_force_sum;
-    use proptest::prelude::*;
+    use rfv_testkit::{check, gen, oracle};
 
     fn assert_close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());
@@ -141,43 +141,46 @@ mod tests {
         assert!(terms >= (20 + 1) / w, "terms = {terms}");
     }
 
-    proptest! {
-        #[test]
-        fn matches_brute_force_for_any_target(
-            raw in proptest::collection::vec(-1000i32..1000, 1..60),
-            lx in 0i64..5,
-            hx in 0i64..5,
-            ly in 0i64..12,
-            hy in 0i64..12,
-        ) {
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
-            let derived = derive_sum(&view, ly, hy).unwrap();
-            let expected = brute_force_sum(&raw, ly, hy);
-            for (a, b) in derived.iter().zip(&expected) {
-                prop_assert!((a - b).abs() < 1e-6, "{derived:?} vs {expected:?}");
-            }
-        }
+    /// MinOA has no widening precondition: any target (ly, hy) works,
+    /// including narrowing. Checked against the testkit oracle.
+    #[test]
+    fn matches_brute_force_for_any_target() {
+        check(
+            "minoa_matches_brute_force_for_any_target",
+            |rng| {
+                let raw = gen::int_values(1, 60)(rng);
+                let (lx, hx) = gen::window(4)(rng);
+                let ly = rng.i64_in(0, 11);
+                let hy = rng.i64_in(0, 11);
+                (raw, lx, hx, ly, hy)
+            },
+            |&(ref raw, lx, hx, ly, hy)| {
+                let view = CompleteSequence::materialize(raw, lx, hx).unwrap();
+                let derived = derive_sum(&view, ly, hy).unwrap();
+                oracle::assert_close_with(
+                    &derived,
+                    &oracle::brute_sum(raw, ly, hy),
+                    1e-6,
+                    "minoa vs brute-force",
+                );
+            },
+        );
+    }
 
-        /// MinOA and MaxOA agree wherever MaxOA's precondition holds.
-        #[test]
-        fn agrees_with_maxoa(
-            raw in proptest::collection::vec(-1000i32..1000, 1..40),
-            lx in 0i64..4,
-            hx in 0i64..4,
-            dl in 0i64..5,
-            dh in 0i64..5,
-        ) {
-            let w = lx + hx + 1;
-            let dl = dl.min(w);
-            let dh = dh.min(w);
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
-            let a = derive_sum(&view, lx + dl, hx + dh).unwrap();
-            let b = crate::derive::maxoa::derive_sum(&view, lx + dl, hx + dh).unwrap();
-            for (x, y) in a.iter().zip(&b) {
-                prop_assert!((x - y).abs() < 1e-6);
-            }
-        }
+    /// MinOA and MaxOA agree wherever MaxOA's precondition holds.
+    #[test]
+    fn agrees_with_maxoa() {
+        check(
+            "minoa_agrees_with_maxoa",
+            |rng| (gen::int_values(1, 40)(rng), gen::widening(3, 4)(rng)),
+            |&(ref raw, (lx, hx, dl, dh))| {
+                let w = lx + hx + 1;
+                let (dl, dh) = (dl.min(w), dh.min(w));
+                let view = CompleteSequence::materialize(raw, lx, hx).unwrap();
+                let a = derive_sum(&view, lx + dl, hx + dh).unwrap();
+                let b = crate::derive::maxoa::derive_sum(&view, lx + dl, hx + dh).unwrap();
+                oracle::assert_close_with(&a, &b, 1e-6, "minoa vs maxoa");
+            },
+        );
     }
 }

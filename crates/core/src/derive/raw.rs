@@ -53,7 +53,7 @@ pub fn from_sliding(view: &CompleteSequence) -> Result<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfv_testkit::{check, gen, oracle};
 
     #[test]
     fn cumulative_reconstruction() {
@@ -79,28 +79,31 @@ mod tests {
         assert!(value_from_sliding(&view, 2).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn sliding_reconstruction_matches_raw(
-            raw in proptest::collection::vec(-1000i32..1000, 1..50),
-            l in 0i64..5,
-            h in 0i64..5,
-        ) {
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CompleteSequence::materialize(&raw, l, h).unwrap();
-            let rec = from_sliding(&view).unwrap();
-            for (i, (a, b)) in rec.iter().zip(&raw).enumerate() {
-                prop_assert!((a - b).abs() < 1e-6, "pos {}: {a} vs {b}", i + 1);
-            }
-        }
+    #[test]
+    fn sliding_reconstruction_matches_raw() {
+        check(
+            "sliding_reconstruction_matches_raw",
+            |rng| {
+                let (l, h) = gen::window(4)(rng);
+                (gen::int_values(1, 50)(rng), l, h)
+            },
+            |&(ref raw, l, h)| {
+                let view = CompleteSequence::materialize(raw, l, h).unwrap();
+                let rec = from_sliding(&view).unwrap();
+                oracle::assert_close_with(&rec, raw, 1e-6, "sliding reconstruction");
+            },
+        );
+    }
 
-        #[test]
-        fn cumulative_reconstruction_matches_raw(
-            raw in proptest::collection::vec(-1000i32..1000, 0..50),
-        ) {
-            let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-            let view = CumulativeSequence::materialize(&raw);
-            prop_assert_eq!(from_cumulative(&view), raw);
-        }
+    #[test]
+    fn cumulative_reconstruction_matches_raw() {
+        check(
+            "cumulative_reconstruction_matches_raw",
+            gen::int_values(0, 50),
+            |raw| {
+                let view = CumulativeSequence::materialize(raw);
+                assert_eq!(from_cumulative(&view), *raw);
+            },
+        );
     }
 }

@@ -21,12 +21,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use rfv_exec::{PhysicalPlan, WindowMode};
 use rfv_expr::AggFunc;
 use rfv_plan::{optimize, Binder, LogicalPlan, PhysicalPlanner};
 use rfv_sql::{self as ast, parse_statement, parse_statements};
 use rfv_storage::{Catalog, IndexKind};
+use rfv_types::sync::RwLock;
 use rfv_types::{Result, RfvError, Row, Schema, SchemaRef, Value};
 
 use crate::maintenance;
@@ -285,7 +285,7 @@ impl Database {
                 Ok(QueryResult::empty())
             }
             ast::Statement::DropTable { name } => {
-                if self.registry.views_for(name).first().is_some() {
+                if !self.registry.views_for(name).is_empty() {
                     return Err(RfvError::catalog(format!(
                         "cannot drop `{name}`: materialized sequence views depend on it"
                     )));
@@ -810,8 +810,7 @@ impl Database {
             if view.is_partitioned() {
                 continue;
             }
-            let (raw, _) =
-                self.read_sequence_table(table, &view.pos_column, &view.val_column)?;
+            let (raw, _) = self.read_sequence_table(table, &view.pos_column, &view.val_column)?;
             let data = match (&view.data, view.window) {
                 (ViewData::Sum(_), WindowSpec::Sliding { l, h }) => {
                     ViewData::Sum(CompleteSequence::materialize(&raw, l, h)?)
@@ -819,14 +818,9 @@ impl Database {
                 (ViewData::CumulativeSum(_), _) => {
                     ViewData::CumulativeSum(CumulativeSequence::materialize(&raw))
                 }
-                (ViewData::MinMax(seq), WindowSpec::Sliding { .. }) => {
-                    ViewData::MinMax(CompleteMinMaxSequence::materialize(
-                        &raw,
-                        seq.l(),
-                        seq.h(),
-                        seq.is_max(),
-                    )?)
-                }
+                (ViewData::MinMax(seq), WindowSpec::Sliding { .. }) => ViewData::MinMax(
+                    CompleteMinMaxSequence::materialize(&raw, seq.l(), seq.h(), seq.is_max())?,
+                ),
                 _ => {
                     return Err(RfvError::internal(
                         "inconsistent view data/window combination",

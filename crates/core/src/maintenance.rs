@@ -142,7 +142,7 @@ pub fn delete(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfv_testkit::{check, gen, SeqOp};
 
     fn assert_consistent(seq: &CompleteSequence, raw: &[f64]) {
         let fresh = CompleteSequence::materialize(raw, seq.l(), seq.h()).unwrap();
@@ -229,52 +229,66 @@ mod tests {
         assert!(delete(&mut seq, &mut raw, 1).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn random_operation_sequences_stay_consistent(
-            initial in proptest::collection::vec(-100i32..100, 1..20),
-            ops in proptest::collection::vec((0u8..3, 0usize..30, -100i32..100), 0..25),
-            l in 0i64..5,
-            h in 0i64..5,
-        ) {
-            let mut raw: Vec<f64> = initial.into_iter().map(f64::from).collect();
-            let mut seq = CompleteSequence::materialize(&raw, l, h).unwrap();
-            for (op, pos_seed, val) in ops {
-                let n = raw.len() as i64;
-                let val = f64::from(val);
-                match op {
-                    0 if n > 0 => {
-                        let k = 1 + (pos_seed as i64 % n);
-                        update(&mut seq, &mut raw, k, val).unwrap();
+    /// Differential test (§2.3): a random UPDATE/INSERT/DELETE stream,
+    /// checking the incrementally-maintained view against a full
+    /// recomputation from the raw data after *every* operation.
+    #[test]
+    fn random_operation_sequences_stay_consistent() {
+        check(
+            "random_operation_sequences_stay_consistent",
+            |rng| {
+                let initial = gen::int_values(1, 20)(rng);
+                let ops = gen::seq_ops(25)(rng);
+                let (l, h) = gen::window(4)(rng);
+                (initial, ops, l, h)
+            },
+            |&(ref initial, ref ops, l, h)| {
+                let mut raw = initial.clone();
+                let mut seq = CompleteSequence::materialize(&raw, l, h).unwrap();
+                for op in ops {
+                    let n = raw.len() as i64;
+                    match *op {
+                        SeqOp::Update { pos_seed, val } if n > 0 => {
+                            let k = 1 + (pos_seed as i64 % n);
+                            update(&mut seq, &mut raw, k, val).unwrap();
+                        }
+                        SeqOp::Insert { pos_seed, val } => {
+                            let k = 1 + (pos_seed as i64 % (n + 1));
+                            insert(&mut seq, &mut raw, k, val).unwrap();
+                        }
+                        SeqOp::Delete { pos_seed } if n > 0 => {
+                            let k = 1 + (pos_seed as i64 % n);
+                            delete(&mut seq, &mut raw, k).unwrap();
+                        }
+                        _ => {}
                     }
-                    1 => {
-                        let k = 1 + (pos_seed as i64 % (n + 1));
-                        insert(&mut seq, &mut raw, k, val).unwrap();
-                    }
-                    2 if n > 0 => {
-                        let k = 1 + (pos_seed as i64 % n);
-                        delete(&mut seq, &mut raw, k).unwrap();
-                    }
-                    _ => {}
+                    assert_consistent(&seq, &raw);
                 }
-                assert_consistent(&seq, &raw);
-            }
-        }
+            },
+        );
+    }
 
-        /// The locality claim: update touches exactly
-        /// min(k+l, n+l) − max(k−h, 1−h) + 1 ≤ w positions.
-        #[test]
-        fn update_work_is_bounded_by_window_size(
-            n in 1i64..30,
-            k_seed in 0i64..30,
-            l in 0i64..5,
-            h in 0i64..5,
-        ) {
-            let mut raw: Vec<f64> = (0..n).map(|i| i as f64).collect();
-            let mut seq = CompleteSequence::materialize(&raw, l, h).unwrap();
-            let k = 1 + (k_seed % n);
-            let stats = update(&mut seq, &mut raw, k, 42.0).unwrap();
-            prop_assert!(stats.recomputed as i64 <= seq.window_size());
-        }
+    /// The locality claim: update touches exactly
+    /// min(k+l, n+l) − max(k−h, 1−h) + 1 ≤ w positions.
+    #[test]
+    fn update_work_is_bounded_by_window_size() {
+        check(
+            "update_work_is_bounded_by_window_size",
+            |rng| {
+                let n = rng.i64_in(1, 29);
+                let k = 1 + rng.i64_in(0, 29) % n;
+                let (l, h) = gen::window(4)(rng);
+                (n, k, l, h)
+            },
+            |&(n, k, l, h)| {
+                if k < 1 || k > n {
+                    return; // shrinker broke the position invariant
+                }
+                let mut raw: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let mut seq = CompleteSequence::materialize(&raw, l, h).unwrap();
+                let stats = update(&mut seq, &mut raw, k, 42.0).unwrap();
+                assert!(stats.recomputed as i64 <= seq.window_size());
+            },
+        );
     }
 }

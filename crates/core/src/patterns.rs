@@ -247,6 +247,7 @@ pub fn reconstruct_raw_from_cumulative(
 /// Fig. 10: the MaxOA derivation pattern. Derives the `(l_y, h_y)` query
 /// from complete view table `view(pos, val)` with window `(l_x, h_x)` and
 /// body length `n`. Requires the MaxOA preconditions (§4).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (x̃, ỹ, n) parameterization
 pub fn maxoa_pattern(
     catalog: &Catalog,
     view_table: &str,
@@ -310,6 +311,7 @@ pub fn maxoa_pattern(
 
 /// Fig. 13: the MinOA derivation pattern. No window-size precondition —
 /// any `(l_y, h_y)` is derivable from a complete `(l_x, h_x)` view.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (x̃, ỹ, n) parameterization
 pub fn minoa_pattern(
     catalog: &Catalog,
     view_table: &str,
@@ -530,6 +532,149 @@ pub fn materialize_view_table(
         guard.create_index(0, rfv_storage::IndexKind::Unique)?;
     }
     Ok(seq)
+}
+
+// ---------------------------------------------------------------------------
+// Paper-SQL emitters: the textual form of the patterns, as an engine's
+// query-rewrite layer would inject them ("applied in query rewrite directly
+// after parsing", §1). The golden tests pin these strings; they also parse
+// and execute through [`crate::Database`], so the emitted SQL is checked
+// against the plan-level builders above, not just eyeballed.
+
+/// Fig. 2 as SQL: an `(l, h)` sliding-window SUM over `table(pos, val)`
+/// via a self join with a `BETWEEN` predicate, grouped by position.
+pub fn self_join_sql(table: &str, l: i64, h: i64) -> String {
+    format!(
+        "SELECT s1.pos AS pos, SUM(s2.val) AS val \
+         FROM {table} s1, {table} s2 \
+         WHERE s2.pos BETWEEN s1.pos - {l} AND s1.pos + {h} \
+         GROUP BY s1.pos ORDER BY s1.pos"
+    )
+}
+
+/// Render one series condition (`d = i·w, i ≥ i_min`) as SQL over
+/// aliases `s1`/`s2`.
+fn series_sql(s: &Series, w: i64) -> String {
+    let d = if s.downward {
+        match s.shift.cmp(&0) {
+            std::cmp::Ordering::Equal => "s1.pos - s2.pos".to_string(),
+            std::cmp::Ordering::Greater => format!("s1.pos + {} - s2.pos", s.shift),
+            std::cmp::Ordering::Less => format!("s1.pos - {} - s2.pos", -s.shift),
+        }
+    } else {
+        match s.shift.cmp(&0) {
+            std::cmp::Ordering::Equal => "s2.pos - s1.pos".to_string(),
+            std::cmp::Ordering::Greater => format!("s2.pos - s1.pos - {}", s.shift),
+            std::cmp::Ordering::Less => format!("s2.pos - s1.pos + {}", -s.shift),
+        }
+    };
+    format!("({d} >= {} AND MOD({d}, {w}) = 0)", s.i_min * w)
+}
+
+/// Shared SQL skeleton of Figs. 10/13 in the disjunctive form: compensation
+/// terms via a self join of the view, summed per position, stitched back
+/// with a left outer join.
+fn derivation_sql(view_table: &str, w: i64, n: i64, series: &[Series], add_self: bool) -> String {
+    let on = series
+        .iter()
+        .map(|s| series_sql(s, w))
+        .collect::<Vec<_>>()
+        .join(" OR ");
+    let coeff = series
+        .iter()
+        .map(|s| {
+            let ind = format!("CASE WHEN {} THEN 1 ELSE 0 END", series_sql(s, w));
+            if s.positive {
+                ind
+            } else {
+                format!("- {ind}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let value = if add_self {
+        "s.val + COALESCE(c.val, 0)"
+    } else {
+        "COALESCE(c.val, 0)"
+    };
+    format!(
+        "SELECT s.pos AS pos, {value} AS val \
+         FROM {view_table} s LEFT OUTER JOIN \
+         (SELECT s1.pos AS pos, SUM(({coeff}) * s2.val) AS val \
+          FROM {view_table} s1, {view_table} s2 \
+          WHERE s1.pos BETWEEN 1 AND {n} AND ({on}) \
+          GROUP BY s1.pos) c \
+         ON s.pos = c.pos \
+         WHERE s.pos BETWEEN 1 AND {n} ORDER BY s.pos"
+    )
+}
+
+/// Fig. 10 as SQL: the MaxOA derivation pattern over a complete `(lx, hx)`
+/// view table. Errors if MaxOA's precondition (`Δ ≤ w`) is violated.
+pub fn maxoa_sql(view_table: &str, lx: i64, hx: i64, ly: i64, hy: i64, n: i64) -> Result<String> {
+    let f = maxoa::factors(lx, hx, ly, hy)?;
+    let w = lx + hx + 1;
+    let mut series = Vec::new();
+    if f.delta_l > 0 {
+        series.push(Series {
+            shift: 0,
+            i_min: 1,
+            downward: true,
+            positive: true,
+        });
+        series.push(Series {
+            shift: -f.delta_l,
+            i_min: 1,
+            downward: true,
+            positive: false,
+        });
+    }
+    if f.delta_h > 0 {
+        series.push(Series {
+            shift: 0,
+            i_min: 1,
+            downward: false,
+            positive: true,
+        });
+        series.push(Series {
+            shift: f.delta_h,
+            i_min: 1,
+            downward: false,
+            positive: false,
+        });
+    }
+    if series.is_empty() {
+        return Ok(format!(
+            "SELECT pos, val FROM {view_table} \
+             WHERE pos BETWEEN 1 AND {n} ORDER BY pos"
+        ));
+    }
+    Ok(derivation_sql(view_table, w, n, &series, true))
+}
+
+/// Fig. 13 as SQL: the MinOA derivation pattern — no precondition.
+pub fn minoa_sql(view_table: &str, lx: i64, hx: i64, ly: i64, hy: i64, n: i64) -> Result<String> {
+    if lx < 0 || hx < 0 || ly < 0 || hy < 0 {
+        return Err(RfvError::derivation(
+            "window parameters must be non-negative",
+        ));
+    }
+    let w = lx + hx + 1;
+    let series = vec![
+        Series {
+            shift: hy - hx,
+            i_min: 0,
+            downward: true,
+            positive: true,
+        },
+        Series {
+            shift: -(ly - lx),
+            i_min: 1,
+            downward: true,
+            positive: false,
+        },
+    ];
+    Ok(derivation_sql(view_table, w, n, &series, false))
 }
 
 #[cfg(test)]

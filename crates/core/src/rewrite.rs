@@ -244,8 +244,8 @@ impl<'a> Rewriter<'a> {
             table: base_table,
             schema: base_schema.clone(),
         };
-        let mut width = base_schema.len();
         for (i, rel) in derived_rels.into_iter().enumerate() {
+            let width = base_schema.len() + i;
             let joined = PhysicalPlan::HashJoin {
                 left: Box::new(current),
                 right: Box::new(rel),
@@ -263,7 +263,6 @@ impl<'a> Rewriter<'a> {
                 exprs,
                 schema,
             };
-            width += 1;
         }
         // Window output order: sorted by (partition keys, order keys).
         Ok(Some(PhysicalPlan::Sort {
@@ -571,6 +570,26 @@ fn frame_to_window(spec: &WindowExprSpec) -> Option<WindowSpec> {
     }
 }
 
+/// Schema of a partitioned derived relation: `(p_1 … p_m, pos, val)`.
+fn part_rel_schema(view: &SequenceView) -> Result<SchemaRef> {
+    if view.partition_columns.is_empty()
+        || view.partition_columns.len() != view.partition_types.len()
+    {
+        return Err(rfv_types::RfvError::internal(
+            "partitioned view without partition metadata",
+        ));
+    }
+    let mut fields: Vec<rfv_types::Field> = view
+        .partition_columns
+        .iter()
+        .zip(&view.partition_types)
+        .map(|(name, &dt)| rfv_types::Field::not_null(name.clone(), dt))
+        .collect();
+    fields.push(rfv_types::Field::not_null("pos", rfv_types::DataType::Int));
+    fields.push(rfv_types::Field::new("val", rfv_types::DataType::Float));
+    Ok(SchemaRef::new(Schema::new(fields)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,24 +623,4 @@ mod tests {
             None
         );
     }
-}
-
-/// Schema of a partitioned derived relation: `(p_1 … p_m, pos, val)`.
-fn part_rel_schema(view: &SequenceView) -> Result<SchemaRef> {
-    if view.partition_columns.is_empty()
-        || view.partition_columns.len() != view.partition_types.len()
-    {
-        return Err(rfv_types::RfvError::internal(
-            "partitioned view without partition metadata",
-        ));
-    }
-    let mut fields: Vec<rfv_types::Field> = view
-        .partition_columns
-        .iter()
-        .zip(&view.partition_types)
-        .map(|(name, &dt)| rfv_types::Field::not_null(name.clone(), dt))
-        .collect();
-    fields.push(rfv_types::Field::not_null("pos", rfv_types::DataType::Int));
-    fields.push(rfv_types::Field::new("val", rfv_types::DataType::Float));
-    Ok(SchemaRef::new(Schema::new(fields)))
 }

@@ -13,9 +13,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use rfv_expr::AggFunc;
 use rfv_storage::{Catalog, IndexKind, Table};
+use rfv_types::sync::RwLock;
 use rfv_types::{row, DataType, Field, Result, RfvError, Row, Schema, Value};
 
 use crate::sequence::{CompleteMinMaxSequence, CompleteSequence, CumulativeSequence, WindowSpec};
@@ -145,7 +145,7 @@ impl ViewRegistry {
                 view.name
             )));
         }
-        if view.is_partitioned() != !view.partition_columns.is_empty()
+        if view.is_partitioned() == view.partition_columns.is_empty()
             || view.partition_columns.len() != view.partition_types.len()
         {
             return Err(RfvError::internal(

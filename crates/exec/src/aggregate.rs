@@ -5,6 +5,9 @@ use std::collections::HashMap;
 use rfv_expr::{Accumulator, AggFunc, Expr};
 use rfv_types::{Result, Row, Value};
 
+/// One group: its key values plus one accumulator per aggregate.
+type GroupState = (Vec<Value>, Vec<Box<dyn Accumulator>>);
+
 /// Hash aggregate: group rows by `group_exprs`, fold `aggregates`.
 ///
 /// Output rows consist of the group values followed by the aggregate
@@ -22,7 +25,7 @@ pub fn hash_aggregate(
 
     // group key -> index into `states`
     let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut states: Vec<(Vec<Value>, Vec<Box<dyn Accumulator>>)> = Vec::new();
+    let mut states: Vec<GroupState> = Vec::new();
 
     if group_exprs.is_empty() {
         states.push((Vec::new(), make_accs()));

@@ -286,14 +286,21 @@ pub fn execute_window(
 
     let per_range: Vec<Vec<Vec<Value>>> = if parallel {
         let chunk = ranges.len().div_ceil(n_threads);
-        let results: Vec<Result<Vec<Vec<Vec<Value>>>>> = crossbeam::thread::scope(|scope| {
+        let compute_range = &compute_range;
+        let results: Vec<Result<Vec<Vec<Vec<Value>>>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .chunks(chunk)
-                .map(|rs| scope.spawn(move |_| rs.iter().map(|&r| compute_range(r)).collect()))
+                .map(|rs| scope.spawn(move || rs.iter().map(|&r| compute_range(r)).collect()))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .map_err(|_| RfvError::internal("window worker thread panicked"))?;
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| RfvError::internal("window worker thread panicked"))
+                        .and_then(|r| r)
+                })
+                .collect()
+        });
         let mut per_range = Vec::with_capacity(ranges.len());
         for res in results {
             per_range.extend(res?);
@@ -461,6 +468,27 @@ fn eval_minmax_deque(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Re
     Ok(out)
 }
 
+impl WindowFuncKind {
+    /// Static result type, given the (aggregate) input type. Ranking
+    /// functions are always BIGINT.
+    pub fn result_type(self, input: rfv_types::DataType) -> rfv_types::DataType {
+        match self {
+            WindowFuncKind::Agg(a) => a.result_type(input),
+            _ => rfv_types::DataType::Int,
+        }
+    }
+
+    /// Parse a window-function name that is not a plain aggregate.
+    pub fn ranking_from_name(name: &str) -> Option<WindowFuncKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "ROW_NUMBER" => Some(WindowFuncKind::RowNumber),
+            "RANK" => Some(WindowFuncKind::Rank),
+            "DENSE_RANK" => Some(WindowFuncKind::DenseRank),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,9 +636,8 @@ mod tests {
 
     #[test]
     fn sliding_min_max_deque_matches_naive() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
-        let vals: Vec<i64> = (0..200).map(|_| rng.gen_range(-50..50)).collect();
+        let mut rng = rfv_testkit::Rng::new(42);
+        let vals: Vec<i64> = (0..200).map(|_| rng.i64_in(-50, 49)).collect();
         for func in [AggFunc::Min, AggFunc::Max] {
             for (l, h) in [(0u64, 3u64), (2, 0), (3, 3), (7, 1)] {
                 let spec = WindowExprSpec {
@@ -698,9 +725,8 @@ mod tests {
 
     #[test]
     fn naive_and_pipelined_agree_on_random_data() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(7);
-        let vals: Vec<i64> = (0..300).map(|_| rng.gen_range(-100..100)).collect();
+        let mut rng = rfv_testkit::Rng::new(7);
+        let vals: Vec<i64> = (0..300).map(|_| rng.i64_in(-100, 99)).collect();
         for frame in [
             WindowFrame::cumulative(),
             WindowFrame::sliding(5, 0),
@@ -720,27 +746,6 @@ mod tests {
                 let b = run(seq_rows(&vals), &[], spec, WindowMode::Pipelined);
                 assert_eq!(a, b, "{func} {frame}");
             }
-        }
-    }
-}
-
-impl WindowFuncKind {
-    /// Static result type, given the (aggregate) input type. Ranking
-    /// functions are always BIGINT.
-    pub fn result_type(self, input: rfv_types::DataType) -> rfv_types::DataType {
-        match self {
-            WindowFuncKind::Agg(a) => a.result_type(input),
-            _ => rfv_types::DataType::Int,
-        }
-    }
-
-    /// Parse a window-function name that is not a plain aggregate.
-    pub fn ranking_from_name(name: &str) -> Option<WindowFuncKind> {
-        match name.to_ascii_uppercase().as_str() {
-            "ROW_NUMBER" => Some(WindowFuncKind::RowNumber),
-            "RANK" => Some(WindowFuncKind::Rank),
-            "DENSE_RANK" => Some(WindowFuncKind::DenseRank),
-            _ => None,
         }
     }
 }

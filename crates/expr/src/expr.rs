@@ -485,14 +485,8 @@ impl Expr {
                 let v = expr.eval(row)?;
                 let lo = low.eval(row)?;
                 let hi = high.eval(row)?;
-                let ge_lo = match v.sql_cmp(&lo)? {
-                    None => None,
-                    Some(o) => Some(o != Ordering::Less),
-                };
-                let le_hi = match v.sql_cmp(&hi)? {
-                    None => None,
-                    Some(o) => Some(o != Ordering::Greater),
-                };
+                let ge_lo = v.sql_cmp(&lo)?.map(|o| o != Ordering::Less);
+                let le_hi = v.sql_cmp(&hi)?.map(|o| o != Ordering::Greater);
                 let both = match (ge_lo, le_hi) {
                     (Some(false), _) | (_, Some(false)) => Some(false),
                     (Some(true), Some(true)) => Some(true),

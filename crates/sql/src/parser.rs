@@ -394,10 +394,9 @@ impl Parser {
                 projection.push(SelectItem::Wildcard);
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_kw(Keyword::As) {
-                    Some(self.ident()?)
-                } else if matches!(self.peek_kind(), TokenKind::Ident(_))
-                    && !self.is_clause_boundary()
+                let alias = if self.eat_kw(Keyword::As)
+                    || (matches!(self.peek_kind(), TokenKind::Ident(_))
+                        && !self.is_clause_boundary())
                 {
                     Some(self.ident()?)
                 } else {
@@ -509,9 +508,7 @@ impl Parser {
             });
         }
         let name = self.ident()?;
-        let alias = if self.eat_kw(Keyword::As) {
-            Some(self.ident()?)
-        } else if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
             Some(self.ident()?)
         } else {
             None

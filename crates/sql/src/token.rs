@@ -73,6 +73,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Try to match an identifier (case-insensitive).
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not a parse
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         let kw = match s.to_ascii_uppercase().as_str() {

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use rfv_types::sync::RwLock;
 use rfv_types::{Result, RfvError, Schema};
 
 use crate::table::Table;

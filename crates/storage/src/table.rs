@@ -369,7 +369,7 @@ mod model_tests {
 
     use std::collections::BTreeMap;
 
-    use proptest::prelude::*;
+    use rfv_testkit::{check_config, Rng, Shrink};
 
     use super::*;
     use rfv_types::{row, DataType, Field};
@@ -383,84 +383,95 @@ mod model_tests {
         Range(i64, i64),
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0i64..50, -100i64..100).prop_map(|(k, v)| Op::Insert(k, v)),
-            (0i64..50, -100i64..100).prop_map(|(k, v)| Op::UpdateVal(k, v)),
-            (0i64..50).prop_map(Op::Delete),
-            (0i64..50).prop_map(Op::Lookup),
-            (0i64..50, 0i64..50).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
-        ]
-    }
+    // Shrinking drops ops from the stream (via Vec<Op>'s impl); the
+    // per-op default (no candidates) is enough because keys are tiny.
+    impl Shrink for Op {}
 
-    proptest! {
-        #[test]
-        fn table_with_unique_index_matches_btreemap(
-            ops in proptest::collection::vec(op_strategy(), 1..80),
-        ) {
-            let mut model: BTreeMap<i64, i64> = BTreeMap::new();
-            // key -> rid, maintained through the model.
-            let mut rids: std::collections::HashMap<i64, RowId> =
-                std::collections::HashMap::new();
-            let schema = Schema::new(vec![
-                Field::not_null("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]);
-            let mut table = Table::new("t", schema);
-            table.create_index(0, IndexKind::Unique).unwrap();
-
-            for op in ops {
-                match op {
-                    Op::Insert(k, v) => {
-                        let result = table.insert(row![k, v]);
-                        if model.contains_key(&k) {
-                            prop_assert!(result.is_err(), "duplicate key {k} accepted");
-                        } else {
-                            model.insert(k, v);
-                            rids.insert(k, result.unwrap());
-                        }
-                    }
-                    Op::UpdateVal(k, v) => {
-                        if let Some(&rid) = rids.get(&k) {
-                            table.update(rid, row![k, v]).unwrap();
-                            model.insert(k, v);
-                        }
-                    }
-                    Op::Delete(k) => {
-                        if let Some(rid) = rids.remove(&k) {
-                            table.delete(rid).unwrap();
-                            model.remove(&k);
-                        }
-                    }
-                    Op::Lookup(k) => {
-                        let hits = table.index_lookup(0, &Value::Int(k)).unwrap();
-                        match model.get(&k) {
-                            Some(&v) => {
-                                prop_assert_eq!(hits.len(), 1);
-                                prop_assert_eq!(
-                                    table.get(hits[0]).unwrap().get(1),
-                                    &Value::Int(v)
-                                );
-                            }
-                            None => prop_assert!(hits.is_empty()),
-                        }
-                    }
-                    Op::Range(lo, hi) => {
-                        let got: Vec<i64> = table
-                            .index_range(0, Some(&Value::Int(lo)), Some(&Value::Int(hi)))
-                            .unwrap()
-                            .into_iter()
-                            .map(|rid| {
-                                table.get(rid).unwrap().get(0).as_int().unwrap().unwrap()
-                            })
-                            .collect();
-                        let expected: Vec<i64> =
-                            model.range(lo..=hi).map(|(&k, _)| k).collect();
-                        prop_assert_eq!(got, expected, "range [{}, {}]", lo, hi);
-                    }
-                }
-                prop_assert_eq!(table.stats().row_count, model.len());
+    fn gen_op(rng: &mut Rng) -> Op {
+        let k = rng.i64_in(0, 49);
+        match rng.u64_below(5) {
+            0 => Op::Insert(k, rng.i64_in(-100, 100)),
+            1 => Op::UpdateVal(k, rng.i64_in(-100, 100)),
+            2 => Op::Delete(k),
+            3 => Op::Lookup(k),
+            _ => {
+                let b = rng.i64_in(0, 49);
+                Op::Range(k.min(b), k.max(b))
             }
         }
+    }
+
+    #[test]
+    fn table_with_unique_index_matches_btreemap() {
+        check_config(
+            48,
+            "table_with_unique_index_matches_btreemap",
+            |rng| {
+                let len = rng.usize_in(1, 80);
+                (0..len).map(|_| gen_op(rng)).collect::<Vec<Op>>()
+            },
+            |ops| {
+                let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+                // key -> rid, maintained through the model.
+                let mut rids: std::collections::HashMap<i64, RowId> =
+                    std::collections::HashMap::new();
+                let schema = Schema::new(vec![
+                    Field::not_null("k", DataType::Int),
+                    Field::new("v", DataType::Int),
+                ]);
+                let mut table = Table::new("t", schema);
+                table.create_index(0, IndexKind::Unique).unwrap();
+
+                for op in ops.iter().cloned() {
+                    match op {
+                        Op::Insert(k, v) => {
+                            let result = table.insert(row![k, v]);
+                            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                                e.insert(v);
+                                rids.insert(k, result.unwrap());
+                            } else {
+                                assert!(result.is_err(), "duplicate key {k} accepted");
+                            }
+                        }
+                        Op::UpdateVal(k, v) => {
+                            if let Some(&rid) = rids.get(&k) {
+                                table.update(rid, row![k, v]).unwrap();
+                                model.insert(k, v);
+                            }
+                        }
+                        Op::Delete(k) => {
+                            if let Some(rid) = rids.remove(&k) {
+                                table.delete(rid).unwrap();
+                                model.remove(&k);
+                            }
+                        }
+                        Op::Lookup(k) => {
+                            let hits = table.index_lookup(0, &Value::Int(k)).unwrap();
+                            match model.get(&k) {
+                                Some(&v) => {
+                                    assert_eq!(hits.len(), 1);
+                                    assert_eq!(table.get(hits[0]).unwrap().get(1), &Value::Int(v));
+                                }
+                                None => assert!(hits.is_empty()),
+                            }
+                        }
+                        Op::Range(lo, hi) => {
+                            let got: Vec<i64> = table
+                                .index_range(0, Some(&Value::Int(lo)), Some(&Value::Int(hi)))
+                                .unwrap()
+                                .into_iter()
+                                .map(|rid| {
+                                    table.get(rid).unwrap().get(0).as_int().unwrap().unwrap()
+                                })
+                                .collect();
+                            let expected: Vec<i64> =
+                                model.range(lo..=hi).map(|(&k, _)| k).collect();
+                            assert_eq!(got, expected, "range [{lo}, {hi}]");
+                        }
+                    }
+                    assert_eq!(table.stats().row_count, model.len());
+                }
+            },
+        );
     }
 }

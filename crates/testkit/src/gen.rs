@@ -1,0 +1,233 @@
+//! Composable input generators.
+//!
+//! A generator is any `Fn(&mut Rng) -> T`; the helpers here build the
+//! shapes the reporting-function test-suite needs: raw value sequences
+//! (including adversarial distributions), window specifications `(l, h)`,
+//! and maintenance operation streams. Compose them with plain closures:
+//!
+//! ```
+//! use rfv_testkit::{gen, Rng};
+//! let g = |rng: &mut Rng| (gen::values(1, 40)(rng), gen::window(5)(rng));
+//! ```
+
+use crate::rng::Rng;
+use crate::shrink::Shrink;
+
+/// Uniform `i64` in the inclusive range.
+pub fn i64_in(lo: i64, hi: i64) -> impl Fn(&mut Rng) -> i64 {
+    move |rng| rng.i64_in(lo, hi)
+}
+
+/// Uniform `f64` in `[lo, hi)`.
+pub fn f64_in(lo: f64, hi: f64) -> impl Fn(&mut Rng) -> f64 {
+    move |rng| rng.f64_in(lo, hi)
+}
+
+/// Vector with uniformly chosen length in `[len_lo, len_hi]`.
+pub fn vec_of<T>(
+    elem: impl Fn(&mut Rng) -> T,
+    len_lo: usize,
+    len_hi: usize,
+) -> impl Fn(&mut Rng) -> Vec<T> {
+    move |rng| {
+        let len = rng.usize_in(len_lo, len_hi);
+        (0..len).map(|_| elem(rng)).collect()
+    }
+}
+
+/// Integer-valued raw data in `[-1000, 1000]` — the workhorse
+/// distribution: SUM arithmetic over these is exact in `f64`, so
+/// differential comparisons can use tight absolute tolerances.
+pub fn int_values(len_lo: usize, len_hi: usize) -> impl Fn(&mut Rng) -> Vec<f64> {
+    move |rng| {
+        let len = rng.usize_in(len_lo, len_hi);
+        (0..len).map(|_| rng.i64_in(-1000, 1000) as f64).collect()
+    }
+}
+
+/// Adversarial raw data: each case picks one of several NaN-free
+/// profiles — small integers, unit-interval floats, heavy-tailed
+/// magnitudes (up to ~1e9), runs of equal values, all-equal, or all-zero.
+/// Use with relative-tolerance comparison ([`crate::oracle::assert_close`]).
+pub fn values(len_lo: usize, len_hi: usize) -> impl Fn(&mut Rng) -> Vec<f64> {
+    move |rng| {
+        let len = rng.usize_in(len_lo, len_hi);
+        match rng.u64_below(6) {
+            0 => (0..len).map(|_| rng.i64_in(-1000, 1000) as f64).collect(),
+            1 => (0..len).map(|_| rng.f64_in(-1.0, 1.0)).collect(),
+            2 => (0..len)
+                .map(|_| {
+                    // Heavy tail: sign · 10^U(0,9), finite and NaN-free.
+                    let mag = 10f64.powf(rng.f64_in(0.0, 9.0));
+                    if rng.bool() {
+                        mag
+                    } else {
+                        -mag
+                    }
+                })
+                .collect(),
+            3 => tie_runs(rng, len),
+            4 => vec![rng.i64_in(-100, 100) as f64; len],
+            _ => vec![0.0; len],
+        }
+    }
+}
+
+/// Raw data dominated by ties: values drawn from a tiny alphabet and laid
+/// out in runs, the worst case for MIN/MAX compensation logic (§4.4 —
+/// equal extrema in overlapping windows must not be double-resolved).
+pub fn tie_values(len_lo: usize, len_hi: usize) -> impl Fn(&mut Rng) -> Vec<f64> {
+    move |rng| {
+        let len = rng.usize_in(len_lo, len_hi);
+        if rng.chance(1, 8) {
+            // All-equal run — every window extremum ties everywhere.
+            return vec![rng.i64_in(-3, 3) as f64; len];
+        }
+        tie_runs(rng, len)
+    }
+}
+
+fn tie_runs(rng: &mut Rng, len: usize) -> Vec<f64> {
+    let alphabet: Vec<f64> = (0..rng.usize_in(1, 3))
+        .map(|_| rng.i64_in(-5, 5) as f64)
+        .collect();
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let run = rng.usize_in(1, 6).min(len - out.len());
+        let v = *rng.choose(&alphabet);
+        out.extend(std::iter::repeat_n(v, run));
+    }
+    out
+}
+
+/// A sliding-window spec `(l, h)` with `0 ≤ l, h ≤ max`.
+pub fn window(max: i64) -> impl Fn(&mut Rng) -> (i64, i64) {
+    move |rng| (rng.i64_in(0, max), rng.i64_in(0, max))
+}
+
+/// A derivation scenario: view window `(lx, hx)` plus non-negative
+/// widening deltas `(dl, dh)` — the query window is
+/// `(lx + dl, hx + dh)`. `max_base` bounds the view sides, `max_delta`
+/// the widening.
+pub fn widening(max_base: i64, max_delta: i64) -> impl Fn(&mut Rng) -> (i64, i64, i64, i64) {
+    move |rng| {
+        (
+            rng.i64_in(0, max_base),
+            rng.i64_in(0, max_base),
+            rng.i64_in(0, max_delta),
+            rng.i64_in(0, max_delta),
+        )
+    }
+}
+
+/// One maintenance operation against a sequence of raw values. Positions
+/// are encoded as unbounded seeds; the consumer maps them into the valid
+/// range at application time (`1 + pos_seed % n`), which keeps generated
+/// streams valid under shrinking and under length changes mid-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeqOp {
+    /// Replace the value at a position.
+    Update { pos_seed: usize, val: f64 },
+    /// Insert a value at a position (shifting the tail right).
+    Insert { pos_seed: usize, val: f64 },
+    /// Remove the value at a position (shifting the tail left).
+    Delete { pos_seed: usize },
+}
+
+impl Shrink for SeqOp {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            SeqOp::Update { pos_seed, val } => val
+                .shrink()
+                .into_iter()
+                .map(|val| SeqOp::Update { pos_seed, val })
+                .collect(),
+            SeqOp::Insert { pos_seed, val } => {
+                let mut out: Vec<SeqOp> = val
+                    .shrink()
+                    .into_iter()
+                    .map(|val| SeqOp::Insert { pos_seed, val })
+                    .collect();
+                // An insert degrades to the (cheaper) update of the same slot.
+                out.push(SeqOp::Update { pos_seed, val });
+                out
+            }
+            SeqOp::Delete { .. } => Vec::new(),
+        }
+    }
+}
+
+/// A stream of up to `max_ops` random maintenance operations with values
+/// in `[-100, 100]`.
+pub fn seq_ops(max_ops: usize) -> impl Fn(&mut Rng) -> Vec<SeqOp> {
+    move |rng| {
+        let n = rng.usize_in(0, max_ops);
+        (0..n)
+            .map(|_| {
+                let pos_seed = rng.usize_in(0, 64);
+                let val = rng.i64_in(-100, 100) as f64;
+                match rng.u64_below(3) {
+                    0 => SeqOp::Update { pos_seed, val },
+                    1 => SeqOp::Insert { pos_seed, val },
+                    _ => SeqOp::Delete { pos_seed },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g = values(1, 40);
+        assert_eq!(g(&mut Rng::new(5)), g(&mut Rng::new(5)));
+        let ops = seq_ops(20);
+        assert_eq!(ops(&mut Rng::new(5)), ops(&mut Rng::new(5)));
+    }
+
+    #[test]
+    fn values_never_produce_nan_or_infinite() {
+        let g = values(0, 60);
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            for v in g(&mut rng) {
+                assert!(v.is_finite(), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_values_contain_runs() {
+        let g = tie_values(30, 30);
+        let mut rng = Rng::new(2);
+        let mut saw_adjacent_equal = false;
+        for _ in 0..20 {
+            let v = g(&mut rng);
+            saw_adjacent_equal |= v.windows(2).any(|w| w[0] == w[1]);
+        }
+        assert!(saw_adjacent_equal);
+    }
+
+    #[test]
+    fn window_bounds_are_respected() {
+        let g = window(5);
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            let (l, h) = g(&mut rng);
+            assert!((0..=5).contains(&l) && (0..=5).contains(&h));
+        }
+    }
+
+    #[test]
+    fn lengths_are_in_range() {
+        let g = int_values(3, 7);
+        let mut rng = Rng::new(4);
+        for _ in 0..100 {
+            let len = g(&mut rng).len();
+            assert!((3..=7).contains(&len));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The differential oracle: independent brute-force reference
+//! implementations of every sequence semantics in the paper, plus a
+//! strategy matrix that checks a set of named computation paths against
+//! the oracle on the same input.
+//!
+//! The references here are written for obviousness, not speed, and share
+//! no code with `rfv-core` — that independence is what gives differential
+//! agreement its evidentiary weight.
+
+/// Brute-force sliding-window SUM over positions `1..=n`, window
+/// `[k−l, k+h]` clipped to the data (paper convention: out-of-range raw
+/// values are 0).
+pub fn brute_sum(raw: &[f64], l: i64, h: i64) -> Vec<f64> {
+    let n = raw.len() as i64;
+    (1..=n)
+        .map(|k| {
+            let lo = (k - l).max(1);
+            let hi = (k + h).min(n);
+            if lo > hi {
+                0.0
+            } else {
+                raw[(lo - 1) as usize..=(hi - 1) as usize].iter().sum()
+            }
+        })
+        .collect()
+}
+
+/// Brute-force cumulative (running) SUM over positions `1..=n`.
+pub fn brute_cumulative(raw: &[f64]) -> Vec<f64> {
+    raw.iter()
+        .scan(0.0, |acc, v| {
+            *acc += v;
+            Some(*acc)
+        })
+        .collect()
+}
+
+/// Brute-force sliding-window MIN/MAX; `None` where the clipped window is
+/// empty (matches SQL NULL semantics for empty frames).
+pub fn brute_minmax(raw: &[f64], l: i64, h: i64, max: bool) -> Vec<Option<f64>> {
+    let n = raw.len() as i64;
+    (1..=n)
+        .map(|k| brute_minmax_at(raw, k - l, k + h, max))
+        .collect()
+}
+
+/// MIN/MAX of `raw` over the window `[lo, hi]` (positions, clipped).
+pub fn brute_minmax_at(raw: &[f64], lo: i64, hi: i64, max: bool) -> Option<f64> {
+    let n = raw.len() as i64;
+    let lo = lo.max(1);
+    let hi = hi.min(n);
+    if lo > hi {
+        return None;
+    }
+    raw[(lo - 1) as usize..=(hi - 1) as usize]
+        .iter()
+        .copied()
+        .reduce(|a, b| if (b > a) == max { b } else { a })
+}
+
+/// Maximum absolute elementwise difference. Panics on length mismatch —
+/// a differential length divergence is itself a failure.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "differential length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Default comparison tolerance, scaled by magnitude:
+/// `|a − b| ≤ tol · max(1, |a|, |b|)` per element. With integral data the
+/// bound degenerates to an absolute tolerance; with heavy-tailed data it
+/// becomes relative, matching f64 accumulation behaviour.
+pub fn assert_close_with(a: &[f64], b: &[f64], tol: f64, context: &str) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{context}: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "{context}: pos {}: {x} vs {y} (scaled tol {})",
+            i + 1,
+            tol * scale
+        );
+    }
+}
+
+/// [`assert_close_with`] at the suite-wide default tolerance `1e-6`.
+pub fn assert_close(a: &[f64], b: &[f64], context: &str) {
+    assert_close_with(a, b, 1e-6, context);
+}
+
+/// A named set of computation strategies, all claiming to produce the
+/// `(l, h)` sliding-window SUM sequence from raw data. [`DiffMatrix::check`]
+/// runs every strategy and compares it against [`brute_sum`], naming the
+/// diverging strategy in the failure message.
+///
+/// Strategies return `Err` to *skip* an input outside their precondition
+/// (e.g. MaxOA's `Δ ≤ w`); returning wrong values is the only way to fail.
+#[allow(clippy::type_complexity)]
+pub struct DiffMatrix<'a> {
+    strategies: Vec<(
+        String,
+        Box<dyn Fn(&[f64], i64, i64) -> Result<Vec<f64>, String> + 'a>,
+    )>,
+    tol: f64,
+}
+
+impl<'a> Default for DiffMatrix<'a> {
+    fn default() -> Self {
+        DiffMatrix::new()
+    }
+}
+
+impl<'a> DiffMatrix<'a> {
+    pub fn new() -> Self {
+        DiffMatrix {
+            strategies: Vec::new(),
+            tol: 1e-6,
+        }
+    }
+
+    /// Override the magnitude-scaled tolerance (default `1e-6`).
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Register a strategy. `f(raw, l, h)` returns the derived body or
+    /// `Err(reason)` to skip inputs outside its precondition.
+    pub fn strategy(
+        mut self,
+        name: &str,
+        f: impl Fn(&[f64], i64, i64) -> Result<Vec<f64>, String> + 'a,
+    ) -> Self {
+        self.strategies.push((name.to_string(), Box::new(f)));
+        self
+    }
+
+    /// Number of registered strategies.
+    pub fn len(&self) -> usize {
+        self.strategies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strategies.is_empty()
+    }
+
+    /// Run every strategy on `(raw, l, h)` against the brute-force oracle.
+    /// Returns how many strategies actually ran (were not skipped).
+    pub fn check(&self, raw: &[f64], l: i64, h: i64) -> usize {
+        let expected = brute_sum(raw, l, h);
+        let mut ran = 0;
+        for (name, f) in &self.strategies {
+            match f(raw, l, h) {
+                Ok(got) => {
+                    assert_close_with(
+                        &got,
+                        &expected,
+                        self.tol,
+                        &format!("strategy '{name}' (l={l}, h={h}, n={})", raw.len()),
+                    );
+                    ran += 1;
+                }
+                Err(_skip_reason) => {}
+            }
+        }
+        ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_sum_matches_hand_computation() {
+        let raw = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(brute_sum(&raw, 1, 1), vec![3.0, 6.0, 9.0, 7.0]);
+        assert_eq!(brute_sum(&raw, 0, 0), raw.to_vec());
+        assert!(brute_sum(&[], 2, 2).is_empty());
+    }
+
+    #[test]
+    fn brute_cumulative_is_prefix_sums() {
+        assert_eq!(brute_cumulative(&[1.0, -1.0, 4.0]), vec![1.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn brute_minmax_handles_ties_and_empty_windows() {
+        let raw = [2.0, 2.0, 1.0];
+        assert_eq!(
+            brute_minmax(&raw, 1, 0, true),
+            vec![Some(2.0), Some(2.0), Some(2.0)]
+        );
+        assert_eq!(brute_minmax_at(&raw, 5, 9, false), None);
+    }
+
+    #[test]
+    fn assert_close_scales_with_magnitude() {
+        // 1e-6 relative at 1e9 magnitude allows ~1e3 absolute error.
+        assert_close(&[1e9], &[1e9 + 100.0], "big values");
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy 'broken'")]
+    fn matrix_names_the_diverging_strategy() {
+        let m = DiffMatrix::new()
+            .strategy("identity-ok", |raw, l, h| Ok(brute_sum(raw, l, h)))
+            .strategy("broken", |raw, _, _| Ok(vec![f64::MAX; raw.len()]));
+        m.check(&[1.0, 2.0], 1, 1);
+    }
+
+    #[test]
+    fn matrix_counts_skips() {
+        let m = DiffMatrix::new()
+            .strategy("always", |raw, l, h| Ok(brute_sum(raw, l, h)))
+            .strategy("never", |_, _, _| Err("precondition".into()));
+        assert_eq!(m.check(&[1.0], 0, 0), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! The property runner: deterministic case generation, panic-based
+//! failure detection, greedy shrinking, and `RFV_SEED` replay.
+//!
+//! ```no_run
+//! use rfv_testkit::{check, Rng};
+//!
+//! check("sum is commutative", |rng: &mut Rng| {
+//!     (rng.i64_in(-100, 100), rng.i64_in(-100, 100))
+//! }, |&(a, b)| {
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Properties are plain closures that panic (`assert!`, `assert_eq!`,
+//! `unwrap`) on failure. On the first failing case the runner shrinks the
+//! input to a local minimum and panics with a report that includes the
+//! exact `RFV_SEED` value reproducing the failure:
+//!
+//! ```text
+//! [rfv-testkit] property 'minoa matches brute force' FAILED (case 17 of 64)
+//!   replay: RFV_SEED=0xa3c59b221f004e71 cargo test -q
+//!   shrunk input (9 steps): ([0.0, 1.0], 0, 0, 2, 0)
+//!   panic: assertion failed: ...
+//! ```
+//!
+//! Setting `RFV_SEED` makes the *first* case of every `check` call use
+//! exactly that seed, so the shrunk failure reproduces immediately;
+//! `RFV_CASES` overrides the number of cases per property.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::rng::{splitmix64, Rng};
+use crate::shrink::Shrink;
+
+/// Default deterministic base seed: the venue of the source paper.
+/// Every hermetic CI run executes the identical case stream.
+pub const DEFAULT_SEED: u64 = 0x1CDE_2002;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Cap on shrink candidates evaluated, so pathological properties cannot
+/// loop forever.
+const MAX_SHRINK_EVALS: u32 = 4096;
+
+/// Runner configuration. [`Config::from_env`] is what [`check`] uses.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Seed of the first case. Subsequent case seeds are derived with
+    /// SplitMix64, so the base seed alone pins the entire stream.
+    pub seed: u64,
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: DEFAULT_SEED,
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl Config {
+    /// Read `RFV_SEED` (decimal or `0x…` hex) and `RFV_CASES` from the
+    /// environment, falling back to the deterministic defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Ok(s) = std::env::var("RFV_SEED") {
+            cfg.seed = parse_seed(&s)
+                .unwrap_or_else(|| panic!("RFV_SEED={s:?} is not a u64 (decimal or 0x-hex)"));
+            // A replay seed reproduces the failing case directly; one case
+            // suffices unless the caller also pins RFV_CASES.
+            cfg.cases = 1;
+        }
+        if let Ok(c) = std::env::var("RFV_CASES") {
+            cfg.cases = c
+                .parse()
+                .unwrap_or_else(|_| panic!("RFV_CASES={c:?} is not a u32"));
+        }
+        cfg
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Run `prop` against `cases` inputs drawn from `gen`, with shrinking.
+/// Reads [`Config::from_env`]. Panics with a replayable report on failure.
+pub fn check<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    check_with(Config::from_env(), name, gen, prop)
+}
+
+/// [`check`] with an explicit configuration (still honoring `RFV_SEED` /
+/// `RFV_CASES` overrides so replay always works).
+pub fn check_config<T, G, P>(cases: u32, name: &str, gen: G, prop: P)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    let mut cfg = Config::from_env();
+    if std::env::var("RFV_SEED").is_err() && std::env::var("RFV_CASES").is_err() {
+        cfg.cases = cases;
+    }
+    check_with(cfg, name, gen, prop)
+}
+
+fn check_with<T, G, P>(cfg: Config, name: &str, gen: G, prop: P)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    silence_panic_hook();
+    let mut seed_stream = cfg.seed;
+    for case in 0..cfg.cases {
+        // Case 0 uses the base seed itself, so a printed failing seed
+        // replays as-is via RFV_SEED.
+        let case_seed = if case == 0 {
+            cfg.seed
+        } else {
+            splitmix64(&mut seed_stream)
+        };
+        let input = gen(&mut Rng::new(case_seed));
+        if let Err(msg) = run_one(&prop, &input) {
+            let (shrunk, steps) = shrink_failure(&prop, input.clone());
+            let final_msg = run_one(&prop, &shrunk).err().unwrap_or(msg);
+            panic!(
+                "[rfv-testkit] property '{name}' FAILED (case {n} of {total})\n  \
+                 replay: RFV_SEED={case_seed:#018x} cargo test -q\n  \
+                 shrunk input ({steps} steps): {shrunk:?}\n  \
+                 original input: {input:?}\n  \
+                 panic: {final_msg}",
+                n = case + 1,
+                total = cfg.cases,
+            );
+        }
+    }
+}
+
+thread_local! {
+    /// True while a property probe is executing under `catch_unwind`, so
+    /// the panic hook can stay quiet for caught probes without touching
+    /// panics from ordinary test code on other threads.
+    static PROBING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Execute the property once, converting a panic into its message.
+fn run_one<T, P: Fn(&T)>(prop: &P, input: &T) -> Result<(), String> {
+    PROBING.with(|p| p.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(input)));
+    PROBING.with(|p| p.set(false));
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+}
+
+/// Greedy first-improvement descent over [`Shrink::shrink`] candidates.
+fn shrink_failure<T, P>(prop: &P, mut current: T) -> (T, u32)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    P: Fn(&T),
+{
+    let mut steps = 0u32;
+    let mut evals = 0u32;
+    'outer: loop {
+        for candidate in current.shrink() {
+            evals += 1;
+            if evals > MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            if run_one(prop, &candidate).is_err() {
+                current = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+/// The runner catches property panics on every probe; the default panic
+/// hook would spam stderr with a backtrace per caught probe. Install a
+/// hook that is silent only while this thread is inside a testkit probe —
+/// panics from ordinary test code (any thread) are reported as usual.
+/// `RFV_VERBOSE=1` keeps the default hook untouched.
+fn silence_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if std::env::var("RFV_VERBOSE").is_ok() {
+            return;
+        }
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !PROBING.with(|p| p.get()) {
+                default(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_is_silent() {
+        check(
+            "i64_in stays in range",
+            |rng| rng.i64_in(-5, 5),
+            |&v| assert!((-5..=5).contains(&v)),
+        );
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = panic::catch_unwind(|| {
+            check(
+                "vectors are always short",
+                |rng| {
+                    let len = rng.usize_in(0, 40);
+                    (0..len).map(|_| rng.i64_in(-100, 100)).collect::<Vec<_>>()
+                },
+                |v| assert!(v.len() < 10, "too long: {}", v.len()),
+            );
+        });
+        let msg = panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("RFV_SEED=0x"), "{msg}");
+        assert!(msg.contains("shrunk input"), "{msg}");
+        // Greedy chunk removal must reach the local minimum: exactly 10.
+        let shrunk = msg
+            .split("shrunk input")
+            .nth(1)
+            .and_then(|s| s.split(": ").nth(1))
+            .unwrap();
+        let commas = shrunk.split(']').next().unwrap().matches(',').count();
+        assert_eq!(commas + 1, 10, "minimal failing length, got: {shrunk}");
+    }
+
+    #[test]
+    fn replay_seed_reproduces_exact_case() {
+        // Whatever case seed produced a value, Rng::new(seed) regenerates it.
+        let gen = |rng: &mut Rng| rng.i64_in(i64::MIN / 2, i64::MAX / 2);
+        let mut stream = 99u64;
+        let case3 = {
+            let mut s = 99u64;
+            let _ = splitmix64(&mut s);
+            let _ = splitmix64(&mut s);
+            splitmix64(&mut s)
+        };
+        let _ = splitmix64(&mut stream);
+        let direct = gen(&mut Rng::new(case3));
+        let replayed = gen(&mut Rng::new(case3));
+        assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2A"), Some(42));
+        assert_eq!(parse_seed("0X2a"), Some(42));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Minimal shrinking, quickcheck-style.
+//!
+//! [`Shrink::shrink`] proposes a list of strictly "smaller" candidates for
+//! a failing input; the runner greedily accepts the first candidate that
+//! still fails and repeats until no candidate fails (a local minimum).
+//! Numbers binary-search toward zero, vectors drop chunks before shrinking
+//! elements, tuples shrink one component at a time.
+//!
+//! The default implementation proposes nothing, so any `Clone` type can
+//! opt in with an empty `impl Shrink for T {}` and still participate in
+//! vectors and tuples.
+
+/// Types that can propose smaller versions of themselves.
+pub trait Shrink: Sized + Clone {
+    /// Candidate replacements, roughly ordered most-aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// Halving steps from `v` toward zero: `0, v/2, 3v/4, …, v−1`.
+fn int_candidates(v: i64) -> Vec<i64> {
+    if v == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0];
+    let mut delta = v; // shrink the distance to zero by halves
+    loop {
+        delta /= 2;
+        let candidate = v - delta;
+        if candidate == v {
+            break;
+        }
+        if candidate != 0 {
+            out.push(candidate);
+        }
+        if delta == 0 {
+            break;
+        }
+    }
+    out
+}
+
+impl Shrink for i64 {
+    fn shrink(&self) -> Vec<Self> {
+        int_candidates(*self)
+    }
+}
+
+impl Shrink for i32 {
+    fn shrink(&self) -> Vec<Self> {
+        int_candidates(i64::from(*self))
+            .into_iter()
+            .map(|v| v as i32)
+            .collect()
+    }
+}
+
+impl Shrink for u64 {
+    fn shrink(&self) -> Vec<Self> {
+        int_candidates(i64::try_from(*self).unwrap_or(i64::MAX))
+            .into_iter()
+            .map(|v| v as u64)
+            .collect()
+    }
+}
+
+impl Shrink for usize {
+    fn shrink(&self) -> Vec<Self> {
+        int_candidates(i64::try_from(*self).unwrap_or(i64::MAX))
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    }
+}
+
+impl Shrink for u8 {
+    fn shrink(&self) -> Vec<Self> {
+        int_candidates(i64::from(*self))
+            .into_iter()
+            .map(|v| v as u8)
+            .collect()
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        if *self == 0.0 || !self.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        let t = self.trunc();
+        if t != *self {
+            out.push(t); // drop the fractional part first
+        }
+        if self.abs() > 1.0 {
+            out.push(self / 2.0);
+        }
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<T: Shrink> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Vec<T>> = vec![Vec::new()];
+        // Drop progressively smaller chunks: halves, quarters, …, singles.
+        let mut chunk = n / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= n {
+                let mut smaller = Vec::with_capacity(n - chunk);
+                smaller.extend_from_slice(&self[..start]);
+                smaller.extend_from_slice(&self[start + chunk..]);
+                out.push(smaller);
+                start += chunk;
+            }
+            chunk /= 2;
+        }
+        // Then shrink individual elements in place.
+        for (i, v) in self.iter().enumerate() {
+            for candidate in v.shrink() {
+                let mut smaller = self.clone();
+                smaller[i] = candidate;
+                out.push(smaller);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Shrink),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink() {
+                        let mut smaller = self.clone();
+                        smaller.$idx = candidate;
+                        out.push(smaller);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_shrink_toward_zero() {
+        let c = 100i64.shrink();
+        assert_eq!(c[0], 0);
+        assert!(c.contains(&50));
+        assert!(c.iter().all(|&v| v.abs() < 100));
+        assert!(0i64.shrink().is_empty());
+        // Negative values shrink toward zero, not −∞.
+        assert!((-100i64).shrink().iter().all(|&v| (-100..=0).contains(&v)));
+    }
+
+    #[test]
+    fn floats_drop_fraction_first() {
+        let c = 3.75f64.shrink();
+        assert_eq!(c[0], 0.0);
+        assert!(c.contains(&3.0));
+    }
+
+    #[test]
+    fn vec_proposes_empty_then_chunks() {
+        let v: Vec<i64> = vec![1, 2, 3, 4];
+        let c = v.shrink();
+        assert_eq!(c[0], Vec::<i64>::new());
+        assert!(c.contains(&vec![3, 4]), "front half dropped");
+        assert!(c.contains(&vec![1, 2]), "back half dropped");
+        assert!(c.contains(&vec![0, 2, 3, 4]), "element shrink");
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let c = (4i64, true).shrink();
+        assert!(c.contains(&(0, true)));
+        assert!(c.contains(&(4, false)));
+    }
+}

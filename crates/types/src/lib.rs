@@ -7,11 +7,13 @@
 //! * [`Value`] — a dynamically typed SQL value with NULL semantics,
 //! * [`DataType`] / [`Field`] / [`Schema`] — relational schemas,
 //! * [`Row`] — a materialized tuple,
-//! * [`RfvError`] / [`Result`] — the workspace error type.
+//! * [`RfvError`] / [`Result`] — the workspace error type,
+//! * [`sync`] — first-party lock wrappers (no external deps).
 
 mod error;
 mod row;
 mod schema;
+pub mod sync;
 mod value;
 
 pub use error::{Result, RfvError};

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// A materialized tuple. Rows are the unit of data flow between physical
 /// operators; values are cheap to clone (strings are `Arc<str>`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     values: Vec<Value>,
 }

@@ -3,13 +3,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, RfvError};
 use crate::value::Value;
 
 /// The static type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     Int,
@@ -54,7 +52,7 @@ impl fmt::Display for DataType {
 /// `qualifier` carries the table alias the column is reachable under during
 /// planning (`s1.pos` vs `s2.pos` in a self join); storage-level schemas
 /// usually leave it empty.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     pub name: String,
     pub data_type: DataType,
@@ -121,7 +119,7 @@ impl Field {
 }
 
 /// An ordered list of fields describing a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }

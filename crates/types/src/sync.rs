@@ -1,0 +1,99 @@
+//! First-party synchronization primitives.
+//!
+//! A thin wrapper over [`std::sync::RwLock`] with the ergonomic API the
+//! workspace uses everywhere: `read()` / `write()` return guards directly
+//! instead of `Result`s. Poisoning is deliberately ignored — a panic while
+//! holding the lock aborts the operation that panicked, and every
+//! structure guarded here (catalog maps, table contents, view registries)
+//! remains structurally valid after any individual mutation step. This is
+//! the same stance `parking_lot` takes, which this type replaced so the
+//! workspace builds with zero external dependencies.
+
+use std::sync::PoisonError;
+
+/// Re-exported guard types (the std guards are used as-is).
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock whose accessors never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard (blocking).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard (blocking).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_round_trip() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+        assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let lock = Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *lock.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 8000);
+    }
+
+    #[test]
+    fn poisoned_lock_stays_usable() {
+        let lock = Arc::new(RwLock::new(7));
+        let inner = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.write();
+            panic!("poison the lock");
+        })
+        .join();
+        // parking_lot semantics: later accessors are unaffected.
+        assert_eq!(*lock.read(), 7);
+        *lock.write() = 8;
+        assert_eq!(*lock.read(), 8);
+    }
+}

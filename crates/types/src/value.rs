@@ -5,8 +5,6 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, RfvError};
 use crate::schema::DataType;
 
@@ -20,7 +18,7 @@ use crate::schema::DataType;
 /// which NULL sorts first and numeric values compare across the
 /// integer/float divide. `PartialEq`/`Hash` agree with that order so values
 /// can be used as grouping and join keys.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -403,7 +401,7 @@ pub fn ymd_to_days(y: i32, m: u32, d: u32) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfv_testkit::check;
 
     #[test]
     fn null_propagates_through_arithmetic() {
@@ -475,7 +473,7 @@ mod tests {
 
     #[test]
     fn total_order_puts_null_first() {
-        let mut vals = vec![Value::Int(1), Value::Null, Value::Int(-3)];
+        let mut vals = [Value::Int(1), Value::Null, Value::Int(-3)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(-3));
@@ -511,22 +509,46 @@ mod tests {
         assert_eq!(days_to_ymd(-1), (1969, 12, 31));
     }
 
-    proptest! {
-        #[test]
-        fn date_round_trip(days in -1_000_000i32..1_000_000) {
-            let (y, m, d) = days_to_ymd(days);
-            prop_assert_eq!(ymd_to_days(y, m, d), days);
-        }
+    #[test]
+    fn date_round_trip() {
+        check(
+            "date_round_trip",
+            |rng| rng.i64_in(-1_000_000, 1_000_000) as i32,
+            |&days| {
+                let (y, m, d) = days_to_ymd(days);
+                assert_eq!(ymd_to_days(y, m, d), days);
+            },
+        );
+    }
 
-        #[test]
-        fn total_cmp_is_antisymmetric(a in -100i64..100, b in -100i64..100) {
-            let (va, vb) = (Value::Int(a), Value::Float(b as f64));
-            prop_assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
-        }
+    #[test]
+    fn total_cmp_is_antisymmetric() {
+        check(
+            "total_cmp_is_antisymmetric",
+            |rng| (rng.i64_in(-100, 100), rng.i64_in(-100, 100)),
+            |&(a, b)| {
+                let (va, vb) = (Value::Int(a), Value::Float(b as f64));
+                assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
+            },
+        );
+    }
 
-        #[test]
-        fn int_add_matches_i64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
-            prop_assert_eq!(Value::Int(a).add(&Value::Int(b)).unwrap(), Value::Int(a + b));
-        }
+    #[test]
+    fn int_add_matches_i64() {
+        check(
+            "int_add_matches_i64",
+            |rng| {
+                (
+                    rng.i64_in(-1_000_000, 1_000_000),
+                    rng.i64_in(-1_000_000, 1_000_000),
+                )
+            },
+            |&(a, b)| {
+                assert_eq!(
+                    Value::Int(a).add(&Value::Int(b)).unwrap(),
+                    Value::Int(a + b)
+                );
+            },
+        );
     }
 }

@@ -78,8 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let last_june = result
         .rows()
         .iter()
-        .filter(|r| r.get(0).to_string().starts_with("2001-06"))
-        .next_back()
+        .rfind(|r| r.get(0).to_string().starts_with("2001-06"))
         .expect("june rows exist");
     assert_eq!(last_june.get(3).as_f64()?.unwrap(), june_total);
     let first_july = result

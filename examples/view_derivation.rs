@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut m = k - 4;
         while m >= view.first_pos() {
             terms.push(format!("+ x~{m}"));
-            if m - 1 >= view.first_pos() {
+            if m > view.first_pos() {
                 terms.push(format!("- x~{}", m - 1));
             }
             m -= 4;

@@ -2,13 +2,18 @@
 //! evaluators, relational operator patterns, and the SQL-level rewriter —
 //! must agree with brute-force recomputation for random data and window
 //! shapes.
+//!
+//! The heart of the file is a [`rfv_testkit::DiffMatrix`]: each engine
+//! computation path registers as a strategy, and the matrix asserts they
+//! all produce the same body values as the testkit's independent
+//! brute-force oracle. Failures replay exactly via the printed `RFV_SEED`.
 
-use proptest::prelude::*;
 use rfv_core::derive::{self, maxoa, minoa};
 use rfv_core::patterns::{self, PatternVariant};
 use rfv_core::sequence::CompleteSequence;
-use rfv_core::Database;
+use rfv_core::{compute, Database, WindowSpec};
 use rfv_storage::Catalog;
+use rfv_testkit::{check_config, gen, oracle, DiffMatrix};
 use rfv_types::{row, DataType, Field, Schema};
 
 fn setup_catalog(raw: &[f64]) -> Catalog {
@@ -31,130 +36,260 @@ fn setup_catalog(raw: &[f64]) -> Catalog {
     catalog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn plan_body_values(plan: &rfv_exec::PhysicalPlan) -> Vec<f64> {
+    plan.execute()
+        .unwrap()
+        .iter()
+        .map(|r| r.get(1).as_f64().unwrap().unwrap())
+        .collect()
+}
 
-    /// The relational patterns (Figs. 10/13, all variants) equal the
-    /// algebraic evaluators equal the ground truth.
-    #[test]
-    fn patterns_equal_evaluators_equal_brute_force(
-        raw in proptest::collection::vec(-100i32..100, 1..35),
-        lx in 0i64..4,
-        hx in 0i64..4,
-        dl in 0i64..5,
-        dh in 0i64..5,
-    ) {
-        let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-        let n = raw.len() as i64;
-        let (ly, hy) = (lx + dl, hx + dh);
-        let expected = derive::brute_force_sum(&raw, ly, hy);
+/// The full differential matrix: direct evaluators, algebraic derivation
+/// (MinOA always; MaxOA where its precondition holds), and the relational
+/// operator patterns in every variant — all against the brute-force oracle
+/// and therefore against each other.
+#[test]
+fn all_computation_paths_agree() {
+    check_config(
+        48,
+        "all_computation_paths_agree",
+        |rng| (gen::int_values(1, 35)(rng), gen::widening(3, 4)(rng)),
+        |&(ref raw, (lx, hx, dl, dh))| {
+            let n = raw.len() as i64;
+            let (ly, hy) = (lx + dl, hx + dh);
+            let view = CompleteSequence::materialize(raw, lx, hx).unwrap();
+            let catalog = setup_catalog(raw);
+            patterns::materialize_view_table(&catalog, "seq", "mv", lx, hx).unwrap();
 
-        let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
-        let minoa_vals = minoa::derive_sum(&view, ly, hy).unwrap();
-        prop_assert!(derive::max_abs_error(&minoa_vals, &expected).unwrap() < 1e-6);
-
-        let w = lx + hx + 1;
-        if dl <= w && dh <= w {
-            let maxoa_vals = maxoa::derive_sum(&view, ly, hy).unwrap();
-            prop_assert!(derive::max_abs_error(&maxoa_vals, &expected).unwrap() < 1e-6);
-        }
-
-        let catalog = setup_catalog(&raw);
-        patterns::materialize_view_table(&catalog, "seq", "mv", lx, hx).unwrap();
-        for variant in [
-            PatternVariant::Disjunctive,
-            PatternVariant::UnionSimple,
-            PatternVariant::UnionHash,
-        ] {
-            let plan = patterns::minoa_pattern(&catalog, "mv", lx, hx, ly, hy, n, variant)
+            let w = lx + hx + 1;
+            let mut matrix = DiffMatrix::new()
+                .tolerance(1e-6)
+                .strategy("compute_explicit", |raw, l, h| {
+                    let spec = WindowSpec::sliding(l, h).map_err(|e| e.to_string())?;
+                    Ok(compute::compute_explicit(raw, spec))
+                })
+                .strategy("compute_pipelined", |raw, l, h| {
+                    let spec = WindowSpec::sliding(l, h).map_err(|e| e.to_string())?;
+                    Ok(compute::compute_pipelined(raw, spec))
+                })
+                .strategy("minoa::derive_sum", {
+                    let view = view.clone();
+                    move |_raw, l, h| minoa::derive_sum(&view, l, h).map_err(|e| e.to_string())
+                })
+                .strategy("maxoa::derive_sum", {
+                    let view = view.clone();
+                    move |_raw, l, h| maxoa::derive_sum(&view, l, h).map_err(|e| e.to_string())
+                })
+                .strategy("maxoa::derive_sum_recursive", {
+                    let view = view.clone();
+                    move |_raw, l, h| {
+                        maxoa::derive_sum_recursive(&view, l, h).map_err(|e| e.to_string())
+                    }
+                });
+            for variant in [
+                PatternVariant::Disjunctive,
+                PatternVariant::UnionSimple,
+                PatternVariant::UnionHash,
+            ] {
+                let minoa_plan =
+                    patterns::minoa_pattern(&catalog, "mv", lx, hx, ly, hy, n, variant).unwrap();
+                matrix = matrix.strategy(
+                    match variant {
+                        PatternVariant::Disjunctive => "minoa_pattern(disjunctive)",
+                        PatternVariant::UnionSimple => "minoa_pattern(union)",
+                        PatternVariant::UnionHash => "minoa_pattern(union_hash)",
+                    },
+                    move |_raw, _l, _h| Ok(plan_body_values(&minoa_plan)),
+                );
+            }
+            if dl <= w && dh <= w {
+                let maxoa_plan = patterns::maxoa_pattern(
+                    &catalog,
+                    "mv",
+                    lx,
+                    hx,
+                    ly,
+                    hy,
+                    n,
+                    PatternVariant::Disjunctive,
+                )
                 .unwrap();
-            let vals: Vec<f64> = plan
-                .execute()
-                .unwrap()
-                .iter()
-                .map(|r| r.get(1).as_f64().unwrap().unwrap())
-                .collect();
-            prop_assert!(
-                derive::max_abs_error(&vals, &expected).unwrap() < 1e-6,
-                "minoa {variant:?}"
-            );
-        }
-    }
+                matrix = matrix.strategy("maxoa_pattern(disjunctive)", move |_raw, _l, _h| {
+                    Ok(plan_body_values(&maxoa_plan))
+                });
+            }
 
-    /// Fig. 2's self-join mapping equals the native window operator for
-    /// random windows, with and without the position index.
-    #[test]
-    fn self_join_mapping_equals_native_window(
-        raw in proptest::collection::vec(-100i32..100, 1..30),
-        l in 0i64..4,
-        h in 0i64..4,
-    ) {
-        let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-        let expected = derive::brute_force_sum(&raw, l, h);
-        let catalog = setup_catalog(&raw);
-        for use_index in [false, true] {
-            let plan = patterns::self_join_window(&catalog, "seq", l, h, use_index).unwrap();
-            let vals: Vec<f64> = plan
-                .execute()
-                .unwrap()
-                .iter()
-                .map(|r| r.get(1).as_f64().unwrap().unwrap())
-                .collect();
-            prop_assert!(derive::max_abs_error(&vals, &expected).unwrap() < 1e-6);
-        }
-    }
+            let ran = matrix.check(raw, ly, hy);
+            // MaxOA's algebraic strategies may skip (precondition), but the
+            // evaluators, MinOA, and the three MinOA patterns always run.
+            assert!(ran >= 6, "only {ran} strategies ran");
+        },
+    );
+}
 
-    /// SQL-level: the rewriter's answers equal direct evaluation for random
-    /// view/query window combinations.
-    #[test]
-    fn sql_rewrite_is_transparent(
-        raw in proptest::collection::vec(-50i32..50, 1..25),
-        lx in 0i64..3,
-        hx in 0i64..3,
-        ly in 0i64..6,
-        hy in 0i64..6,
-    ) {
-        let db = Database::new();
-        db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+/// Fig. 2's self-join mapping equals the native window operator for
+/// random windows, with and without the position index.
+#[test]
+fn self_join_mapping_equals_native_window() {
+    check_config(
+        48,
+        "self_join_mapping_equals_native_window",
+        |rng| {
+            let (l, h) = gen::window(3)(rng);
+            (gen::int_values(1, 30)(rng), l, h)
+        },
+        |&(ref raw, l, h)| {
+            let expected = oracle::brute_sum(raw, l, h);
+            let catalog = setup_catalog(raw);
+            for use_index in [false, true] {
+                let plan = patterns::self_join_window(&catalog, "seq", l, h, use_index).unwrap();
+                oracle::assert_close_with(
+                    &plan_body_values(&plan),
+                    &expected,
+                    1e-6,
+                    if use_index {
+                        "self-join (indexed)"
+                    } else {
+                        "self-join (scan)"
+                    },
+                );
+            }
+        },
+    );
+}
+
+/// SQL-level: the rewriter's answers equal direct evaluation for random
+/// view/query window combinations.
+#[test]
+fn sql_rewrite_is_transparent() {
+    check_config(
+        48,
+        "sql_rewrite_is_transparent",
+        |rng| {
+            let raw: Vec<f64> = {
+                let len = rng.usize_in(1, 25);
+                (0..len).map(|_| rng.i64_in(-50, 50) as f64).collect()
+            };
+            let (lx, hx) = gen::window(2)(rng);
+            let ly = rng.i64_in(0, 5);
+            let hy = rng.i64_in(0, 5);
+            (raw, lx, hx, ly, hy)
+        },
+        |&(ref raw, lx, hx, ly, hy)| {
+            let db = Database::new();
+            db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+                .unwrap();
+            for (i, v) in raw.iter().enumerate() {
+                db.execute(&format!("INSERT INTO seq VALUES ({}, {})", i + 1, v))
+                    .unwrap();
+            }
+            db.execute(&format!(
+                "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+                 (ORDER BY pos ROWS BETWEEN {lx} PRECEDING AND {hx} FOLLOWING) AS s FROM seq"
+            ))
             .unwrap();
-        for (i, v) in raw.iter().enumerate() {
-            db.execute(&format!("INSERT INTO seq VALUES ({}, {})", i + 1, *v as f64))
-                .unwrap();
-        }
-        db.execute(&format!(
-            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
-             (ORDER BY pos ROWS BETWEEN {lx} PRECEDING AND {hx} FOLLOWING) AS s FROM seq"
-        ))
-        .unwrap();
-        let sql = format!(
-            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN {ly} PRECEDING \
-             AND {hy} FOLLOWING) AS s FROM seq"
-        );
-        let derived: Vec<_> = db.execute(&sql).unwrap().column_f64(1).unwrap();
-        db.set_view_rewrite(false);
-        let direct: Vec<_> = db.execute(&sql).unwrap().column_f64(1).unwrap();
-        prop_assert_eq!(derived.len(), direct.len());
-        for (a, b) in derived.iter().zip(&direct) {
-            let (a, b) = (a.unwrap(), b.unwrap());
-            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
-        }
-    }
+            let sql = format!(
+                "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN {ly} PRECEDING \
+                 AND {hy} FOLLOWING) AS s FROM seq"
+            );
+            let derived = db.execute(&sql).unwrap().column_f64(1).unwrap();
+            db.set_view_rewrite(false);
+            let direct = db.execute(&sql).unwrap().column_f64(1).unwrap();
+            assert_eq!(derived.len(), direct.len());
+            for (a, b) in derived.iter().zip(&direct) {
+                let (a, b) = (a.unwrap(), b.unwrap());
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        },
+    );
+}
 
-    /// Raw-data reconstruction (§3) composes with re-materialization:
-    /// view → raw → any other window.
-    #[test]
-    fn reconstruction_round_trip(
-        raw in proptest::collection::vec(-100i32..100, 1..30),
-        lx in 0i64..4,
-        hx in 0i64..4,
-        ly in 0i64..4,
-        hy in 0i64..4,
-    ) {
-        let raw: Vec<f64> = raw.into_iter().map(f64::from).collect();
-        let view = CompleteSequence::materialize(&raw, lx, hx).unwrap();
-        let reconstructed = derive::raw::from_sliding(&view).unwrap();
-        let reseq = CompleteSequence::materialize(&reconstructed, ly, hy).unwrap();
-        let expected = derive::brute_force_sum(&raw, ly, hy);
-        prop_assert!(derive::max_abs_error(&reseq.body(), &expected).unwrap() < 1e-6);
-    }
+/// Raw-data reconstruction (§3) composes with re-materialization:
+/// view → raw → any other window.
+#[test]
+fn reconstruction_round_trip() {
+    check_config(
+        48,
+        "reconstruction_round_trip",
+        |rng| {
+            let (lx, hx) = gen::window(3)(rng);
+            let (ly, hy) = gen::window(3)(rng);
+            (gen::int_values(1, 30)(rng), lx, hx, ly, hy)
+        },
+        |&(ref raw, lx, hx, ly, hy)| {
+            let view = CompleteSequence::materialize(raw, lx, hx).unwrap();
+            let reconstructed = derive::raw::from_sliding(&view).unwrap();
+            let reseq = CompleteSequence::materialize(&reconstructed, ly, hy).unwrap();
+            let expected = oracle::brute_sum(raw, ly, hy);
+            oracle::assert_close_with(&reseq.body(), &expected, 1e-6, "reconstruction");
+        },
+    );
+}
+
+/// Incremental maintenance through the *engine* — a random
+/// UPDATE/INSERT/DELETE stream applied via the `sequence_*` DML API with a
+/// live materialized view, checked against full recomputation after every
+/// operation. The integration-level face of §2.3.
+#[test]
+fn view_maintenance_stream_matches_recompute() {
+    check_config(
+        32,
+        "view_maintenance_stream_matches_recompute",
+        |rng| {
+            let initial = gen::int_values(1, 12)(rng);
+            let ops = gen::seq_ops(10)(rng);
+            let (lx, hx) = gen::window(2)(rng);
+            (initial, ops, lx, hx)
+        },
+        |&(ref initial, ref ops, lx, hx)| {
+            let db = Database::new();
+            db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+                .unwrap();
+            for (i, v) in initial.iter().enumerate() {
+                db.execute(&format!("INSERT INTO seq VALUES ({}, {})", i + 1, v))
+                    .unwrap();
+            }
+            db.execute(&format!(
+                "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+                 (ORDER BY pos ROWS BETWEEN {lx} PRECEDING AND {hx} FOLLOWING) AS s FROM seq"
+            ))
+            .unwrap();
+            let mut model = initial.clone();
+            for op in ops {
+                let n = model.len() as i64;
+                match *op {
+                    rfv_testkit::SeqOp::Update { pos_seed, val } if n > 0 => {
+                        let k = 1 + (pos_seed as i64 % n);
+                        db.sequence_update("seq", k, val).unwrap();
+                        model[(k - 1) as usize] = val;
+                    }
+                    rfv_testkit::SeqOp::Insert { pos_seed, val } => {
+                        let k = 1 + (pos_seed as i64 % (n + 1));
+                        db.sequence_insert("seq", k, val).unwrap();
+                        model.insert((k - 1) as usize, val);
+                    }
+                    rfv_testkit::SeqOp::Delete { pos_seed } if n > 0 => {
+                        let k = 1 + (pos_seed as i64 % n);
+                        db.sequence_delete("seq", k).unwrap();
+                        model.remove((k - 1) as usize);
+                    }
+                    _ => {}
+                }
+                let got: Vec<f64> = db
+                    .execute("SELECT pos, val FROM mv ORDER BY pos")
+                    .unwrap()
+                    .column_f64(1)
+                    .unwrap()
+                    .into_iter()
+                    .map(|v| v.unwrap_or(0.0))
+                    .collect();
+                let expected = oracle::brute_sum(&model, lx, hx);
+                // The view table stores the complete sequence (header +
+                // body + trailer); compare the body slice.
+                let lo = hx as usize;
+                let body = &got[lo..lo + model.len()];
+                oracle::assert_close_with(body, &expected, 1e-6, "view after op");
+            }
+        },
+    );
 }
