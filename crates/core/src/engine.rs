@@ -31,7 +31,7 @@ use rfv_types::{Result, RfvError, Row, Schema, SchemaRef, Value};
 
 use crate::maintenance;
 use crate::patterns::PatternVariant;
-use crate::rewrite::Rewriter;
+use crate::rewrite::{RewriteReport, Rewriter};
 use crate::sequence::{CompleteMinMaxSequence, CompleteSequence, CumulativeSequence, WindowSpec};
 use crate::view::{SequenceView, ViewData, ViewRegistry};
 
@@ -132,6 +132,8 @@ pub struct Database {
     catalog: Catalog,
     registry: ViewRegistry,
     config: Arc<RwLock<Config>>,
+    /// Rewrite trace of the most recently planned query.
+    last_rewrite: Arc<RwLock<Option<RewriteReport>>>,
 }
 
 impl Default for Database {
@@ -150,7 +152,16 @@ impl Database {
                 window_mode: WindowMode::Pipelined,
                 pattern_variant: PatternVariant::Disjunctive,
             })),
+            last_rewrite: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// The [`RewriteReport`] of the most recently planned query: per
+    /// window expression, which view matched and which derivation
+    /// strategy fired — or why the rewriter fell back to the native
+    /// window operator. `None` before the first query.
+    pub fn last_rewrite_report(&self) -> Option<RewriteReport> {
+        self.last_rewrite.read().clone()
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -201,12 +212,16 @@ impl Database {
             return Err(RfvError::plan("EXPLAIN supports queries only"));
         };
         let (logical, physical, rewritten) = self.plan_query(q)?;
-        Ok(format!(
+        let mut out = format!(
             "== logical ==\n{}== physical ({}) ==\n{}",
             logical.explain(),
             if rewritten { "view rewrite" } else { "direct" },
             physical.explain()
-        ))
+        );
+        if let Some(report) = self.last_rewrite_report() {
+            out.push_str(&format!("== rewrite ==\n{report}"));
+        }
+        Ok(out)
     }
 
     fn execute_statement(&self, stmt: &ast::Statement) -> Result<QueryResult> {
@@ -308,9 +323,13 @@ impl Database {
         if config.view_rewrite {
             let rewriter =
                 Rewriter::new(&self.catalog, &self.registry).with_variant(config.pattern_variant);
-            if let Some(physical) = rewriter.plan_with_views(&logical)? {
+            let (planned, report) = rewriter.plan_with_views_traced(&logical)?;
+            *self.last_rewrite.write() = Some(report);
+            if let Some(physical) = planned {
                 return Ok((logical, physical, true));
             }
+        } else {
+            *self.last_rewrite.write() = Some(RewriteReport::disabled());
         }
         let physical = PhysicalPlanner::new(&self.catalog).plan(&logical)?;
         Ok((logical, physical, false))
@@ -360,7 +379,9 @@ impl Database {
                 let view = dependents
                     .iter()
                     .find(|v| !v.is_partitioned())
-                    .expect("checked above");
+                    .ok_or_else(|| {
+                        RfvError::internal("no unpartitioned view among sequence-view dependents")
+                    })?;
                 let pos_idx = schema.index_of(None, &view.pos_column)?;
                 let val_idx = schema.index_of(None, &view.val_column)?;
                 let pos = row_values[pos_idx].as_int()?.ok_or_else(|| {
@@ -694,7 +715,12 @@ impl Database {
             let rid = *rids.first().ok_or_else(|| {
                 RfvError::execution(format!("position {pos} not found in `{table}`"))
             })?;
-            let mut new = guard.get(rid).expect("rid from index").clone();
+            let mut new = guard
+                .get(rid)
+                .ok_or_else(|| {
+                    RfvError::internal(format!("index of `{table}` returned stale row id {rid}"))
+                })?
+                .clone();
             drop(guard);
             new.set(val_idx, Value::Float(val));
             t.write().update(rid, new)?;
@@ -730,10 +756,13 @@ impl Database {
                 })
                 .map(|(rid, r)| (rid, r.clone()))
                 .collect();
-            to_shift
-                .sort_by_key(|(_, r)| std::cmp::Reverse(r.get(pos_idx).as_int().unwrap().unwrap()));
+            to_shift.sort_by_key(|(_, r)| {
+                std::cmp::Reverse(r.get(pos_idx).as_int().ok().flatten().unwrap_or(i64::MIN))
+            });
             for (rid, mut r) in to_shift {
-                let p = r.get(pos_idx).as_int()?.expect("filtered non-null");
+                let p = r.get(pos_idx).as_int()?.ok_or_else(|| {
+                    RfvError::internal("NULL position survived the non-null shift filter")
+                })?;
                 r.set(pos_idx, Value::Int(p + 1));
                 guard.update(rid, r)?;
             }
@@ -769,9 +798,12 @@ impl Database {
                 })
                 .map(|(rid, r)| (rid, r.clone()))
                 .collect();
-            to_shift.sort_by_key(|(_, r)| r.get(pos_idx).as_int().unwrap().unwrap());
+            to_shift
+                .sort_by_key(|(_, r)| r.get(pos_idx).as_int().ok().flatten().unwrap_or(i64::MAX));
             for (rid, mut r) in to_shift {
-                let p = r.get(pos_idx).as_int()?.expect("filtered non-null");
+                let p = r.get(pos_idx).as_int()?.ok_or_else(|| {
+                    RfvError::internal("NULL position survived the non-null shift filter")
+                })?;
                 r.set(pos_idx, Value::Int(p - 1));
                 guard.update(rid, r)?;
             }
@@ -888,7 +920,11 @@ impl Database {
             let (raw_after, _) =
                 self.read_sequence_table(table, &view.pos_column, &view.val_column)?;
             let new_data = match &view.data {
-                ViewData::PartitionedSum(_) => unreachable!("handled above"),
+                ViewData::PartitionedSum(_) => {
+                    return Err(RfvError::internal(
+                        "partitioned view reached simple-sequence maintenance",
+                    ))
+                }
                 ViewData::Sum(seq) => {
                     let mut seq = seq.clone();
                     // Reconstruct the pre-image raw vector for the rule.

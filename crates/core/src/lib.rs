@@ -63,4 +63,5 @@ pub mod sequence;
 pub mod view;
 
 pub use engine::{Database, QueryResult};
+pub use rewrite::{RewriteDecision, RewriteOutcome, RewriteReport, RewriteStrategy, Rewriter};
 pub use sequence::{CompleteSequence, SequenceSpec, WindowSpec};

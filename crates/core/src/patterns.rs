@@ -376,7 +376,7 @@ fn derivation_pattern(
                 .iter()
                 .map(|s| s.condition(w))
                 .reduce(|a, b| a.or(b))
-                .expect("at least one series");
+                .ok_or_else(|| RfvError::internal("derivation pattern needs ≥ 1 series"))?;
             let join = PhysicalPlan::NestedLoopJoin {
                 left: Box::new(body("s1")?),
                 right: Box::new(scan(catalog, view_table, "s2")?),
@@ -396,7 +396,7 @@ fn derivation_pattern(
                     }
                 })
                 .reduce(|a, b| a.add(b))
-                .expect("at least one series");
+                .ok_or_else(|| RfvError::internal("derivation pattern needs ≥ 1 series"))?;
             PhysicalPlan::Project {
                 input: Box::new(join),
                 exprs: vec![Expr::col(S1_POS), coeff.mul(Expr::col(S2_VAL))],
@@ -424,7 +424,11 @@ fn derivation_pattern(
                             join_type: JoinType::Inner,
                         }
                     }
-                    PatternVariant::Disjunctive => unreachable!(),
+                    PatternVariant::Disjunctive => {
+                        return Err(RfvError::internal(
+                            "disjunctive variant in union branch emitter",
+                        ))
+                    }
                 };
                 let term = if s.positive {
                     Expr::col(S2_VAL)

@@ -25,19 +25,271 @@
 //! * AVG over a NOT NULL column: derived SUM divided by the closed-form
 //!   window cardinality `LEAST(pos+h, n) − GREATEST(pos−l, 1) + 1`.
 //!
-//! Anything else returns `None` and the caller falls back to the native
-//! window operator.
+//! Anything else falls back to the native window operator. Every planning
+//! pass also produces a [`RewriteReport`]: per window expression, which
+//! view matched and which strategy fired — or the precise reason the
+//! rewriter stepped aside. `Database::explain` prints it and
+//! `Database::last_rewrite_report` returns it programmatically, so a
+//! fallback is a diagnosable decision rather than a silent `None`.
+
+use std::fmt;
 
 use rfv_exec::{FrameBound, JoinType, PhysicalPlan, SortKey, WindowExprSpec, WindowFuncKind};
 use rfv_expr::{AggFunc, Expr, ScalarFn};
 use rfv_plan::LogicalPlan;
 use rfv_storage::Catalog;
-use rfv_types::{Result, Row, Schema, SchemaRef, Value};
+use rfv_types::{Field, Result, RfvError, Row, Schema, SchemaRef, Value};
 
 use crate::derive;
 use crate::patterns::{self, PatternVariant};
 use crate::sequence::WindowSpec;
 use crate::view::{SequenceView, ViewData, ViewRegistry};
+
+/// The derivation strategy that answered one window expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteStrategy {
+    /// The view's window equals the query's window: read the view body.
+    ExactMatch,
+    /// Cumulative view, sliding target: two-point difference (§3.1).
+    CumulativeDifference,
+    /// Sliding view, cumulative target: prefix tiling of view windows.
+    CumulativeFromSliding,
+    /// Sliding → sliding via the Fig. 13 MinOA pattern. `terms` is the
+    /// maximum number of view rows combined per output position
+    /// ([`derive::minoa::terms_at`]).
+    MinOA { terms: i64 },
+    /// MIN/MAX via §4.2 MaxOA coverage with widening deltas `(Δl, Δh)`.
+    MaxOA { delta_l: i64, delta_h: i64 },
+    /// COUNT from pure position arithmetic over a certified-dense sequence.
+    ClosedFormCount,
+    /// AVG = derived SUM / closed-form cardinality; `sum` names the
+    /// strategy that produced the SUM.
+    AvgFromSum { sum: Box<RewriteStrategy> },
+    /// §6.1 same-partitioning derivation: MinOA within each partition.
+    PartitionedMinOA { partitions: usize },
+    /// §6.2 partitioning reduction: partitions merged into `groups`
+    /// sequences before the target window runs.
+    PartitionReduction { groups: usize },
+}
+
+impl fmt::Display for RewriteStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteStrategy::ExactMatch => write!(f, "exact window match (view body scan)"),
+            RewriteStrategy::CumulativeDifference => {
+                write!(f, "cumulative two-point difference (§3.1)")
+            }
+            RewriteStrategy::CumulativeFromSliding => {
+                write!(f, "cumulative target tiled from sliding view windows")
+            }
+            RewriteStrategy::MinOA { terms } => {
+                write!(
+                    f,
+                    "MinOA pattern (Fig. 13, ≤{terms} view terms per position)"
+                )
+            }
+            RewriteStrategy::MaxOA { delta_l, delta_h } => {
+                write!(f, "MaxOA coverage (§4.2, Δl={delta_l}, Δh={delta_h})")
+            }
+            RewriteStrategy::ClosedFormCount => {
+                write!(f, "closed-form COUNT (position arithmetic)")
+            }
+            RewriteStrategy::AvgFromSum { sum } => {
+                write!(f, "AVG = SUM / closed-form cardinality; SUM via {sum}")
+            }
+            RewriteStrategy::PartitionedMinOA { partitions } => {
+                write!(f, "per-partition MinOA over {partitions} partitions (§6.1)")
+            }
+            RewriteStrategy::PartitionReduction { groups } => {
+                write!(
+                    f,
+                    "partitioning reduction into {groups} merged sequences (§6.2)"
+                )
+            }
+        }
+    }
+}
+
+/// How one window expression was (or was not) answered from views.
+#[derive(Debug, Clone)]
+pub enum RewriteOutcome {
+    /// Answered from `view` by `strategy`.
+    FromView {
+        view: String,
+        strategy: RewriteStrategy,
+    },
+    /// Not derivable; `reason` says why.
+    Fallback { reason: String },
+}
+
+/// Trace record for one window expression of a planning pass.
+#[derive(Debug, Clone)]
+pub struct RewriteDecision {
+    /// Human-readable form of the window expression, with column names.
+    pub expr: String,
+    pub outcome: RewriteOutcome,
+}
+
+/// The rewriter's full account of one planning pass.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteReport {
+    /// Base table of the window query, when one was identified.
+    pub base_table: Option<String>,
+    /// One decision per window expression examined, in SELECT order.
+    pub decisions: Vec<RewriteDecision>,
+    /// Whether the whole query was answered from views.
+    pub rewritten: bool,
+    /// Query-level reason when `rewritten` is false.
+    pub fallback: Option<String>,
+}
+
+impl RewriteReport {
+    /// The report stored when view rewriting is switched off entirely.
+    pub fn disabled() -> Self {
+        RewriteReport {
+            fallback: Some("view rewrite disabled (Database::set_view_rewrite(false))".into()),
+            ..RewriteReport::default()
+        }
+    }
+
+    fn record_hit(&mut self, expr: String, view: &str, strategy: RewriteStrategy) {
+        self.decisions.push(RewriteDecision {
+            expr,
+            outcome: RewriteOutcome::FromView {
+                view: view.to_string(),
+                strategy,
+            },
+        });
+    }
+}
+
+impl fmt::Display for RewriteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rewritten {
+            writeln!(f, "answered from materialized views")?;
+        } else {
+            writeln!(
+                f,
+                "fallback to native window operator: {}",
+                self.fallback.as_deref().unwrap_or("no reason recorded")
+            )?;
+        }
+        for d in &self.decisions {
+            match &d.outcome {
+                RewriteOutcome::FromView { view, strategy } => {
+                    writeln!(f, "  {} <- view `{}` via {}", d.expr, view, strategy)?
+                }
+                RewriteOutcome::Fallback { reason } => {
+                    writeln!(f, "  {} <- no derivation: {}", d.expr, reason)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One derived relation: the plan producing `(key…, pos, val)` rows for a
+/// single window expression, plus the trace of how it was obtained. `n`
+/// is the body length of the (unpartitioned) view that certified the
+/// sequence — AVG's closed-form divisor must use exactly this `n`.
+struct DerivedRelation {
+    plan: PhysicalPlan,
+    view: String,
+    strategy: RewriteStrategy,
+    n: i64,
+}
+
+/// A derivation attempt: either a relation or the reason there is none.
+type Attempt = std::result::Result<DerivedRelation, String>;
+
+/// Positional assembler for `base ⋈ derived₁ ⋈ … ⋈ derivedₖ`.
+///
+/// Each derived relation carries `(key…, val)` columns; every join appends
+/// one value column to the accumulated row and projects the duplicated key
+/// columns away. The output schema is tracked *positionally* — it grows by
+/// exactly the one field handed to [`join`](Self::join) — so the assembly
+/// cannot index past the query's output schema (the ad-hoc slice
+/// arithmetic this replaces double-counted the derived-column offset and
+/// panicked on queries with two or more reporting functions).
+struct DerivedRelationBuilder {
+    plan: PhysicalPlan,
+    fields: Vec<Field>,
+    base_keys: Vec<usize>,
+    key_arity: usize,
+}
+
+impl DerivedRelationBuilder {
+    fn new(base: PhysicalPlan, base_schema: &SchemaRef, base_keys: Vec<usize>) -> Self {
+        let key_arity = base_keys.len();
+        DerivedRelationBuilder {
+            plan: base,
+            fields: base_schema.fields().to_vec(),
+            base_keys,
+            key_arity,
+        }
+    }
+
+    /// Join one derived relation and keep its value column as `out_field`.
+    fn join(mut self, rel: PhysicalPlan, out_field: Field) -> Self {
+        let width = self.fields.len();
+        let joined = PhysicalPlan::HashJoin {
+            left: Box::new(self.plan),
+            right: Box::new(rel),
+            left_keys: self.base_keys.iter().map(|&k| Expr::col(k)).collect(),
+            right_keys: (0..self.key_arity).map(Expr::col).collect(),
+            residual: None,
+            join_type: JoinType::Inner,
+        };
+        // Keep the accumulated prefix, then the derived value column (the
+        // derived relation's key columns duplicate the base's join keys).
+        let mut exprs: Vec<Expr> = (0..width).map(Expr::col).collect();
+        exprs.push(Expr::col(width + self.key_arity));
+        self.fields.push(out_field);
+        self.plan = PhysicalPlan::Project {
+            input: Box::new(joined),
+            exprs,
+            schema: SchemaRef::new(Schema::new(self.fields.clone())),
+        };
+        self
+    }
+
+    /// Window output order: sorted by (partition keys, order keys).
+    fn finish(self) -> PhysicalPlan {
+        PhysicalPlan::Sort {
+            input: Box::new(self.plan),
+            keys: self
+                .base_keys
+                .iter()
+                .map(|&k| SortKey::asc(Expr::col(k)))
+                .collect(),
+        }
+    }
+}
+
+/// Record a query-shape fallback reason and decline the rewrite.
+fn fall_back(
+    report: &mut RewriteReport,
+    reason: impl Into<String>,
+) -> Result<Option<PhysicalPlan>> {
+    report.fallback = Some(reason.into());
+    Ok(None)
+}
+
+/// Record a per-expression miss (decision + query-level reason) and
+/// decline the rewrite.
+fn miss(
+    report: &mut RewriteReport,
+    expr: String,
+    reason: impl Into<String>,
+) -> Result<Option<PhysicalPlan>> {
+    let reason = reason.into();
+    report.fallback = Some(format!("`{expr}` not derivable: {reason}"));
+    report.decisions.push(RewriteDecision {
+        expr,
+        outcome: RewriteOutcome::Fallback { reason },
+    });
+    Ok(None)
+}
 
 /// Rewrites reporting-function queries against materialized sequence views.
 pub struct Rewriter<'a> {
@@ -65,13 +317,37 @@ impl<'a> Rewriter<'a> {
     /// Try to plan `logical` using materialized views. `Ok(None)` means
     /// "no rewrite applies — plan normally".
     pub fn plan_with_views(&self, logical: &LogicalPlan) -> Result<Option<PhysicalPlan>> {
+        Ok(self.plan_with_views_traced(logical)?.0)
+    }
+
+    /// Like [`plan_with_views`](Self::plan_with_views), but also returns
+    /// the [`RewriteReport`] describing every decision taken.
+    pub fn plan_with_views_traced(
+        &self,
+        logical: &LogicalPlan,
+    ) -> Result<(Option<PhysicalPlan>, RewriteReport)> {
+        let mut report = RewriteReport::default();
+        let plan = self.plan_rec(logical, &mut report)?;
+        report.rewritten = plan.is_some();
+        if plan.is_none() && report.fallback.is_none() {
+            report.fallback =
+                Some("query is not a reporting-function query over a single base table".into());
+        }
+        Ok((plan, report))
+    }
+
+    fn plan_rec(
+        &self,
+        logical: &LogicalPlan,
+        report: &mut RewriteReport,
+    ) -> Result<Option<PhysicalPlan>> {
         match logical {
             LogicalPlan::Project {
                 input,
                 exprs,
                 schema,
             } => Ok(self
-                .plan_with_views(input)?
+                .plan_rec(input, report)?
                 .map(|inner| PhysicalPlan::Project {
                     input: Box::new(inner),
                     exprs: exprs.clone(),
@@ -79,7 +355,7 @@ impl<'a> Rewriter<'a> {
                 })),
             LogicalPlan::Sort { input, keys } => {
                 Ok(self
-                    .plan_with_views(input)?
+                    .plan_rec(input, report)?
                     .map(|inner| PhysicalPlan::Sort {
                         input: Box::new(inner),
                         keys: keys.clone(),
@@ -87,7 +363,7 @@ impl<'a> Rewriter<'a> {
             }
             LogicalPlan::Limit { input, n } => {
                 Ok(self
-                    .plan_with_views(input)?
+                    .plan_rec(input, report)?
                     .map(|inner| PhysicalPlan::Limit {
                         input: Box::new(inner),
                         n: *n,
@@ -100,7 +376,7 @@ impl<'a> Rewriter<'a> {
                 window_exprs,
                 schema,
                 ..
-            } => self.rewrite_window(input, partition_by, order_by, window_exprs, schema),
+            } => self.rewrite_window(input, partition_by, order_by, window_exprs, schema, report),
             _ => Ok(None),
         }
     }
@@ -112,13 +388,29 @@ impl<'a> Rewriter<'a> {
         order_by: &[SortKey],
         window_exprs: &[WindowExprSpec],
         out_schema: &SchemaRef,
+        report: &mut RewriteReport,
     ) -> Result<Option<PhysicalPlan>> {
         let LogicalPlan::Scan {
             table: base,
             schema: base_schema,
         } = input
         else {
-            return Ok(None);
+            return fall_back(report, "window input is not a plain table scan");
+        };
+        report.base_table = Some(base.clone());
+        if self.registry.views_for(base).is_empty() {
+            return fall_back(
+                report,
+                format!("no materialized sequence views registered over `{base}`"),
+            );
+        }
+        // Checked positional access — binder-produced indices are expected
+        // to be valid, but the query path must degrade to an error, never
+        // a panic.
+        let field_at = |i: usize| -> Result<&Field> {
+            base_schema.fields().get(i).ok_or_else(|| {
+                RfvError::internal(format!("column #{i} out of range for `{base}` schema"))
+            })
         };
 
         // Classify the query's partitioning/ordering shape. All of the
@@ -134,22 +426,23 @@ impl<'a> Rewriter<'a> {
         //   reduction     — PARTITION BY p1…pk,    ORDER BY p(k+1)…pm, pos
         let mut q_parts: Vec<usize> = Vec::new();
         for p in partition_by {
-            let Expr::Column(i) = p else { return Ok(None) };
+            let Expr::Column(i) = p else {
+                return fall_back(report, "PARTITION BY uses a computed expression");
+            };
             q_parts.push(*i);
         }
         let mut order_idxs: Vec<usize> = Vec::new();
         for k in order_by {
-            let SortKey {
-                expr: Expr::Column(i),
-                desc: false,
-            } = k
-            else {
-                return Ok(None);
+            if k.desc {
+                return fall_back(report, "window ORDER BY is descending");
+            }
+            let Expr::Column(i) = &k.expr else {
+                return fall_back(report, "window ORDER BY uses a computed expression");
             };
             order_idxs.push(*i);
         }
         let Some((&pos_idx, dropped_parts)) = order_idxs.split_last() else {
-            return Ok(None);
+            return fall_back(report, "window has no ORDER BY position column");
         };
         let is_simple = q_parts.is_empty() && dropped_parts.is_empty();
         // Full key the derived relations carry and the base joins on:
@@ -160,11 +453,29 @@ impl<'a> Rewriter<'a> {
             .copied()
             .chain(std::iter::once(pos_idx))
             .collect();
-        let key_arity = base_keys.len();
-        let mut derived_rels: Vec<PhysicalPlan> = Vec::new();
+        let mut derived_rels: Vec<DerivedRelation> = Vec::new();
         for spec in window_exprs {
+            let expr_str = display_spec(spec, base_schema);
+            if spec.func.is_ranking() {
+                return miss(
+                    report,
+                    expr_str,
+                    format!(
+                        "{} is a ranking function — not derivable from reporting-function views",
+                        spec.func
+                    ),
+                );
+            }
             let Some(target) = frame_to_window(spec) else {
-                return Ok(None);
+                return miss(
+                    report,
+                    expr_str,
+                    format!(
+                        "frame `{}` is outside the paper's window model \
+                         (cumulative or l PRECEDING / h FOLLOWING)",
+                        spec.frame
+                    ),
+                );
             };
             // COUNT over the dense position structure needs no value
             // column: its result is the closed-form window cardinality,
@@ -176,27 +487,42 @@ impl<'a> Rewriter<'a> {
             let val_idx = match spec.arg.as_ref() {
                 Some(Expr::Column(i)) => Some(*i),
                 None if count_like => None,
-                _ => return Ok(None),
+                _ => {
+                    return miss(report, expr_str, "aggregate argument is not a plain column");
+                }
             };
             // COUNT(expr) over a nullable column counts non-nulls — the
             // closed form only holds for NOT NULL columns.
             if let (WindowFuncKind::Agg(AggFunc::Count), Some(i)) = (spec.func, val_idx) {
-                if base_schema.field(i).nullable {
-                    return Ok(None);
+                if field_at(i)?.nullable {
+                    return miss(
+                        report,
+                        expr_str,
+                        format!(
+                            "COUNT over nullable column `{}` counts non-nulls; \
+                             the closed form needs NOT NULL",
+                            field_at(i)?.name
+                        ),
+                    );
                 }
             }
-            let val_field = base_schema.field(val_idx.unwrap_or(0));
-            let pos_name = &base_schema.field(pos_idx).name;
+            let val_field = match val_idx {
+                Some(i) => Some(field_at(i)?),
+                None => None,
+            };
+            let pos_name = &field_at(pos_idx)?.name;
             let candidates: Vec<SequenceView> = self
                 .registry
                 .views_for(base)
                 .into_iter()
                 .filter(|v| {
                     v.pos_column.eq_ignore_ascii_case(pos_name)
-                        && (count_like || v.val_column.eq_ignore_ascii_case(&val_field.name))
+                        && (count_like
+                            || val_field
+                                .is_some_and(|f| v.val_column.eq_ignore_ascii_case(&f.name)))
                 })
                 .collect();
-            let rel = if is_simple {
+            let attempt: Attempt = if is_simple {
                 match spec.func {
                     WindowFuncKind::Agg(AggFunc::Sum) => {
                         self.derive_sum_rel(&candidates, target)?
@@ -204,74 +530,63 @@ impl<'a> Rewriter<'a> {
                     WindowFuncKind::Agg(AggFunc::Count | AggFunc::CountStar) => {
                         self.derive_count_rel(&candidates, target)?
                     }
-                    WindowFuncKind::Agg(AggFunc::Avg) => {
-                        if val_field.nullable {
-                            // The closed-form window cardinality assumes a
-                            // dense, non-null value column.
-                            None
-                        } else {
-                            self.derive_avg_rel(&candidates, target)?
-                        }
-                    }
+                    WindowFuncKind::Agg(AggFunc::Avg) => match val_field {
+                        Some(f) if f.nullable => Err(format!(
+                            "AVG over nullable column `{}` — the closed-form window \
+                             cardinality assumes a dense, non-null value column",
+                            f.name
+                        )),
+                        _ => self.derive_avg_rel(&candidates, target)?,
+                    },
                     WindowFuncKind::Agg(agg @ (AggFunc::Min | AggFunc::Max)) => {
                         self.derive_minmax_rel(&candidates, target, agg == AggFunc::Max)?
                     }
-                    _ => None,
+                    // Ranking functions were rejected above.
+                    _ => Err("ranking functions are not derivable".into()),
                 }
             } else if spec.func == WindowFuncKind::Agg(AggFunc::Sum) {
                 // §6: the view's partitioning scheme must be exactly the
                 // query's kept partition columns followed by the reduced
                 // (now ordering) columns.
-                let scheme: Vec<&str> = q_parts
-                    .iter()
-                    .chain(dropped_parts.iter())
-                    .map(|&i| base_schema.field(i).name.as_str())
-                    .collect();
+                let mut scheme: Vec<&str> = Vec::new();
+                for &i in q_parts.iter().chain(dropped_parts.iter()) {
+                    scheme.push(field_at(i)?.name.as_str());
+                }
                 self.derive_partition_scheme_rel(&candidates, &scheme, q_parts.len(), target)?
             } else {
-                None
+                Err(format!(
+                    "partitioned queries derive SUM only (got {})",
+                    spec.func
+                ))
             };
-            match rel {
-                Some(r) => derived_rels.push(r),
-                None => return Ok(None),
+            match attempt {
+                Ok(d) => {
+                    report.record_hit(expr_str, &d.view, d.strategy.clone());
+                    derived_rels.push(d);
+                }
+                Err(reason) => return miss(report, expr_str, reason),
             }
         }
 
         // Assemble: base scan ⋈ derived relations on the key columns,
         // one derived column at a time.
         let base_table = self.catalog.table(base)?;
-        let mut current = PhysicalPlan::TableScan {
+        let scan = PhysicalPlan::TableScan {
             table: base_table,
             schema: base_schema.clone(),
         };
-        for (i, rel) in derived_rels.into_iter().enumerate() {
-            let width = base_schema.len() + i;
-            let joined = PhysicalPlan::HashJoin {
-                left: Box::new(current),
-                right: Box::new(rel),
-                left_keys: base_keys.iter().map(|&k| Expr::col(k)).collect(),
-                right_keys: (0..key_arity).map(Expr::col).collect(),
-                residual: None,
-                join_type: JoinType::Inner,
-            };
-            // Drop the duplicated key columns of the derived relation.
-            let mut exprs: Vec<Expr> = (0..width).map(Expr::col).collect();
-            exprs.push(Expr::col(width + key_arity));
-            let schema = SchemaRef::new(Schema::new(out_schema.fields()[..width + i + 1].to_vec()));
-            current = PhysicalPlan::Project {
-                input: Box::new(joined),
-                exprs,
-                schema,
-            };
+        let mut builder = DerivedRelationBuilder::new(scan, base_schema, base_keys);
+        for (i, d) in derived_rels.into_iter().enumerate() {
+            let out_field = out_schema
+                .fields()
+                .get(base_schema.len() + i)
+                .ok_or_else(|| {
+                    RfvError::internal("window output schema narrower than its expression list")
+                })?
+                .clone();
+            builder = builder.join(d.plan, out_field);
         }
-        // Window output order: sorted by (partition keys, order keys).
-        Ok(Some(PhysicalPlan::Sort {
-            input: Box::new(current),
-            keys: base_keys
-                .iter()
-                .map(|&k| SortKey::asc(Expr::col(k)))
-                .collect(),
-        }))
+        Ok(Some(builder.finish()))
     }
 
     /// §6 derivation against a partitioned view whose partitioning
@@ -293,9 +608,11 @@ impl<'a> Rewriter<'a> {
         scheme: &[&str],
         keep: usize,
         target: WindowSpec,
-    ) -> Result<Option<PhysicalPlan>> {
+    ) -> Result<Attempt> {
         let WindowSpec::Sliding { l: ly, h: hy } = target else {
-            return Ok(None);
+            return Ok(Err(
+                "partitioned derivation supports sliding target windows only".into(),
+            ));
         };
         for v in candidates {
             if v.partition_columns.len() != scheme.len()
@@ -311,8 +628,12 @@ impl<'a> Rewriter<'a> {
                 continue;
             };
             let mut rows: Vec<Row> = Vec::new();
+            let strategy;
             if keep == v.partition_columns.len() {
                 // Same partitioning: derive within each partition.
+                strategy = RewriteStrategy::PartitionedMinOA {
+                    partitions: parts.len(),
+                };
                 for (key, seq) in parts {
                     let vals = derive::minoa::derive_sum(seq, ly, hy)?;
                     for (i, val) in vals.into_iter().enumerate() {
@@ -332,10 +653,13 @@ impl<'a> Rewriter<'a> {
                 > = std::collections::BTreeMap::new();
                 for (key, seq) in parts {
                     groups
-                        .entry(key[..keep].to_vec())
+                        .entry(key[..keep.min(key.len())].to_vec())
                         .or_default()
                         .push((key, seq));
                 }
+                strategy = RewriteStrategy::PartitionReduction {
+                    groups: groups.len(),
+                };
                 for (_, members) in groups {
                     let mut merged: Vec<f64> = Vec::new();
                     let mut keys: Vec<(Vec<Value>, i64)> = Vec::new();
@@ -356,36 +680,56 @@ impl<'a> Rewriter<'a> {
                     }
                 }
             }
-            return Ok(Some(PhysicalPlan::Values {
-                schema: part_rel_schema(v)?,
-                rows,
+            return Ok(Ok(DerivedRelation {
+                plan: PhysicalPlan::Values {
+                    schema: part_rel_schema(v)?,
+                    rows,
+                },
+                view: v.name.clone(),
+                strategy,
+                n: v.n(),
             }));
         }
-        Ok(None)
+        Ok(Err(format!(
+            "no partitioned SUM view with partitioning scheme ({})",
+            scheme.join(", ")
+        )))
     }
 
     /// A `(pos, val)` relation deriving a SUM target from the best view.
-    fn derive_sum_rel(
-        &self,
-        candidates: &[SequenceView],
-        target: WindowSpec,
-    ) -> Result<Option<PhysicalPlan>> {
+    fn derive_sum_rel(&self, candidates: &[SequenceView], target: WindowSpec) -> Result<Attempt> {
         let sum_views: Vec<&SequenceView> = candidates
             .iter()
             .filter(|v| v.func == AggFunc::Sum && !v.is_partitioned())
             .collect();
+        if sum_views.is_empty() {
+            return Ok(Err(
+                "no unpartitioned SUM view over this (pos, val) pair".into()
+            ));
+        }
         // 1. Exact match.
         if let Some(v) = sum_views.iter().find(|v| v.window == target) {
-            return Ok(Some(self.view_body_rel(v)?));
+            return Ok(Ok(DerivedRelation {
+                plan: self.view_body_rel(v)?,
+                view: v.name.clone(),
+                strategy: RewriteStrategy::ExactMatch,
+                n: v.n(),
+            }));
         }
-        // 2. Cumulative view → closed-form difference.
+        // 2. Cumulative view → closed-form difference (a cumulative target
+        //    would have matched exactly above).
         if let Some(v) = sum_views
             .iter()
             .find(|v| matches!(v.window, WindowSpec::Cumulative))
         {
             if let (ViewData::CumulativeSum(c), WindowSpec::Sliding { l, h }) = (&v.data, target) {
                 let vals = derive::cumulative::sliding_from_cumulative(c, l, h)?;
-                return Ok(Some(values_rel(&vals)));
+                return Ok(Ok(DerivedRelation {
+                    plan: values_rel(&vals),
+                    view: v.name.clone(),
+                    strategy: RewriteStrategy::CumulativeDifference,
+                    n: v.n(),
+                }));
             }
         }
         // 3. Sliding view: widest window first (fewest MinOA terms).
@@ -394,12 +738,20 @@ impl<'a> Rewriter<'a> {
             .filter(|v| matches!(v.window, WindowSpec::Sliding { .. }))
             .collect();
         sliding.sort_by_key(|v| std::cmp::Reverse(v.window.window_size().unwrap_or(0)));
-        if let Some(v) = sliding.first() {
-            let WindowSpec::Sliding { l: lx, h: hx } = v.window else {
-                unreachable!("filtered to sliding")
+        for v in sliding {
+            // A sliding SUM view always stores `ViewData::Sum`; anything
+            // else is an inconsistent registration — skip it rather than
+            // assume.
+            let (WindowSpec::Sliding { l: lx, h: hx }, ViewData::Sum(seq)) = (v.window, &v.data)
+            else {
+                continue;
             };
             match target {
                 WindowSpec::Sliding { l: ly, h: hy } => {
+                    let terms = (1..=v.n())
+                        .map(|k| derive::minoa::terms_at(seq, ly, hy, k))
+                        .max()
+                        .unwrap_or(0);
                     let plan = patterns::minoa_pattern(
                         self.catalog,
                         &v.name,
@@ -410,30 +762,40 @@ impl<'a> Rewriter<'a> {
                         v.n(),
                         self.variant,
                     )?;
-                    return Ok(Some(plan));
+                    return Ok(Ok(DerivedRelation {
+                        plan,
+                        view: v.name.clone(),
+                        strategy: RewriteStrategy::MinOA { terms },
+                        n: v.n(),
+                    }));
                 }
                 WindowSpec::Cumulative => {
-                    if let ViewData::Sum(seq) = &v.data {
-                        let vals = derive::cumulative::cumulative_from_sliding(seq);
-                        return Ok(Some(values_rel(&vals)));
-                    }
+                    let vals = derive::cumulative::cumulative_from_sliding(seq);
+                    return Ok(Ok(DerivedRelation {
+                        plan: values_rel(&vals),
+                        view: v.name.clone(),
+                        strategy: RewriteStrategy::CumulativeFromSliding,
+                        n: v.n(),
+                    }));
                 }
             }
         }
-        Ok(None)
+        Ok(Err(
+            "registered SUM views offer neither an exact, cumulative, nor sliding derivation"
+                .into(),
+        ))
     }
 
     /// COUNT over a dense, NOT NULL sequence is pure position arithmetic:
     /// `min(k+h, n) − max(k−l, 1) + 1` for sliding windows, `k` for
     /// cumulative ones. Any registered (unpartitioned) view over the same
     /// position column certifies density and supplies `n`.
-    fn derive_count_rel(
-        &self,
-        candidates: &[SequenceView],
-        target: WindowSpec,
-    ) -> Result<Option<PhysicalPlan>> {
+    fn derive_count_rel(&self, candidates: &[SequenceView], target: WindowSpec) -> Result<Attempt> {
         let Some(v) = candidates.iter().find(|v| !v.is_partitioned()) else {
-            return Ok(None);
+            return Ok(Err(
+                "no unpartitioned view certifies the density invariant for closed-form COUNT"
+                    .into(),
+            ));
         };
         let n = v.n();
         let count_at = |k: i64| -> i64 {
@@ -445,25 +807,27 @@ impl<'a> Rewriter<'a> {
         let rows = (1..=n)
             .map(|k| Row::new(vec![Value::Int(k), Value::Int(count_at(k))]))
             .collect();
-        Ok(Some(PhysicalPlan::Values {
-            schema: rel_schema(),
-            rows,
+        Ok(Ok(DerivedRelation {
+            plan: PhysicalPlan::Values {
+                schema: rel_schema(),
+                rows,
+            },
+            view: v.name.clone(),
+            strategy: RewriteStrategy::ClosedFormCount,
+            n,
         }))
     }
 
     /// AVG = derived SUM / closed-form window cardinality.
-    fn derive_avg_rel(
-        &self,
-        candidates: &[SequenceView],
-        target: WindowSpec,
-    ) -> Result<Option<PhysicalPlan>> {
-        let Some(sum_rel) = self.derive_sum_rel(candidates, target)? else {
-            return Ok(None);
+    fn derive_avg_rel(&self, candidates: &[SequenceView], target: WindowSpec) -> Result<Attempt> {
+        let sum = match self.derive_sum_rel(candidates, target)? {
+            Ok(d) => d,
+            Err(reason) => return Ok(Err(format!("AVG needs a derivable SUM ({reason})"))),
         };
-        let n = match candidates.first() {
-            Some(v) => v.n(),
-            None => return Ok(None),
-        };
+        // The divisor's `n` must come from the same unpartitioned view that
+        // supplied the SUM: a partitioned candidate's `n()` is the total
+        // across partitions, which would skew every boundary window.
+        let n = sum.n;
         let count_expr = match target {
             WindowSpec::Cumulative => Expr::col(0),
             WindowSpec::Sliding { l, h } => {
@@ -479,13 +843,20 @@ impl<'a> Rewriter<'a> {
                 upper.sub(lower).add(Expr::lit(1i64))
             }
         };
-        Ok(Some(PhysicalPlan::Project {
-            input: Box::new(sum_rel),
-            exprs: vec![
-                Expr::col(0),
-                Expr::col(1).mul(Expr::lit(1.0f64)).div(count_expr),
-            ],
-            schema: rel_schema(),
+        Ok(Ok(DerivedRelation {
+            plan: PhysicalPlan::Project {
+                input: Box::new(sum.plan),
+                exprs: vec![
+                    Expr::col(0),
+                    Expr::col(1).mul(Expr::lit(1.0f64)).div(count_expr),
+                ],
+                schema: rel_schema(),
+            },
+            view: sum.view,
+            strategy: RewriteStrategy::AvgFromSum {
+                sum: Box::new(sum.strategy),
+            },
+            n,
         }))
     }
 
@@ -495,18 +866,31 @@ impl<'a> Rewriter<'a> {
         candidates: &[SequenceView],
         target: WindowSpec,
         max: bool,
-    ) -> Result<Option<PhysicalPlan>> {
+    ) -> Result<Attempt> {
         let func = if max { AggFunc::Max } else { AggFunc::Min };
         let WindowSpec::Sliding { l: ly, h: hy } = target else {
-            return Ok(None);
+            return Ok(Err(format!(
+                "{func} derivation supports sliding target windows only"
+            )));
         };
+        let mut misses: Vec<String> = Vec::new();
+        let mut saw_view = false;
         for v in candidates.iter().filter(|v| v.func == func) {
+            saw_view = true;
             // Exact match short-circuits.
             if v.window == target {
-                return Ok(Some(self.view_body_rel(v)?));
+                return Ok(Ok(DerivedRelation {
+                    plan: self.view_body_rel(v)?,
+                    view: v.name.clone(),
+                    strategy: RewriteStrategy::ExactMatch,
+                    n: v.n(),
+                }));
             }
-            if let ViewData::MinMax(seq) = &v.data {
-                if derive::maxoa::factors(seq.l(), seq.h(), ly, hy).is_ok() {
+            let ViewData::MinMax(seq) = &v.data else {
+                continue;
+            };
+            match derive::maxoa::factors(seq.l(), seq.h(), ly, hy) {
+                Ok(factors) => {
                     let vals = derive::maxoa::derive_minmax(seq, ly, hy)?;
                     let rows = vals
                         .iter()
@@ -518,14 +902,29 @@ impl<'a> Rewriter<'a> {
                             ])
                         })
                         .collect();
-                    return Ok(Some(PhysicalPlan::Values {
-                        schema: rel_schema(),
-                        rows,
+                    return Ok(Ok(DerivedRelation {
+                        plan: PhysicalPlan::Values {
+                            schema: rel_schema(),
+                            rows,
+                        },
+                        view: v.name.clone(),
+                        strategy: RewriteStrategy::MaxOA {
+                            delta_l: factors.delta_l,
+                            delta_h: factors.delta_h,
+                        },
+                        n: v.n(),
                     }));
                 }
+                Err(e) => misses.push(format!("`{}`: {e}", v.name)),
             }
         }
-        Ok(None)
+        if !saw_view {
+            return Ok(Err(format!("no {func} view over this (pos, val) pair")));
+        }
+        Ok(Err(format!(
+            "MaxOA coverage precondition failed — {}",
+            misses.join("; ")
+        )))
     }
 
     /// Read a view's body (`pos ∈ [1, n]`) as a `(pos, val)` relation.
@@ -539,10 +938,29 @@ impl<'a> Rewriter<'a> {
     }
 }
 
+/// Human-readable form of one window expression, with column names
+/// resolved against the base schema (for the rewrite trace).
+fn display_spec(spec: &WindowExprSpec, schema: &SchemaRef) -> String {
+    if spec.func.is_ranking() {
+        return format!("{}()", spec.func);
+    }
+    let arg = match spec.arg.as_ref() {
+        Some(Expr::Column(i)) => schema
+            .fields()
+            .get(*i)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| format!("#{i}")),
+        Some(e) => e.to_string(),
+        // COUNT(*) carries its argument in its own display form.
+        None => return format!("{} {}", spec.func, spec.frame),
+    };
+    format!("{}({arg}) {}", spec.func, spec.frame)
+}
+
 fn rel_schema() -> SchemaRef {
     SchemaRef::new(Schema::new(vec![
-        rfv_types::Field::not_null("pos", rfv_types::DataType::Int),
-        rfv_types::Field::new("val", rfv_types::DataType::Float),
+        Field::not_null("pos", rfv_types::DataType::Int),
+        Field::new("val", rfv_types::DataType::Float),
     ]))
 }
 
@@ -575,18 +993,18 @@ fn part_rel_schema(view: &SequenceView) -> Result<SchemaRef> {
     if view.partition_columns.is_empty()
         || view.partition_columns.len() != view.partition_types.len()
     {
-        return Err(rfv_types::RfvError::internal(
+        return Err(RfvError::internal(
             "partitioned view without partition metadata",
         ));
     }
-    let mut fields: Vec<rfv_types::Field> = view
+    let mut fields: Vec<Field> = view
         .partition_columns
         .iter()
         .zip(&view.partition_types)
-        .map(|(name, &dt)| rfv_types::Field::not_null(name.clone(), dt))
+        .map(|(name, &dt)| Field::not_null(name.clone(), dt))
         .collect();
-    fields.push(rfv_types::Field::not_null("pos", rfv_types::DataType::Int));
-    fields.push(rfv_types::Field::new("val", rfv_types::DataType::Float));
+    fields.push(Field::not_null("pos", rfv_types::DataType::Int));
+    fields.push(Field::new("val", rfv_types::DataType::Float));
     Ok(SchemaRef::new(Schema::new(fields)))
 }
 
@@ -621,6 +1039,42 @@ mod tests {
                 FrameBound::UnboundedFollowing
             )),
             None
+        );
+    }
+
+    #[test]
+    fn strategy_display_names_the_mechanism() {
+        assert!(RewriteStrategy::MinOA { terms: 4 }
+            .to_string()
+            .contains("MinOA"));
+        assert!(RewriteStrategy::MinOA { terms: 4 }
+            .to_string()
+            .contains('4'));
+        let avg = RewriteStrategy::AvgFromSum {
+            sum: Box::new(RewriteStrategy::CumulativeDifference),
+        };
+        assert!(avg.to_string().contains("AVG"));
+        assert!(avg.to_string().contains("two-point"));
+    }
+
+    #[test]
+    fn report_display_lists_decisions_and_fallbacks() {
+        let mut report = RewriteReport::default();
+        report.record_hit(
+            "SUM(val) ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING".into(),
+            "mv",
+            RewriteStrategy::MinOA { terms: 3 },
+        );
+        report.rewritten = true;
+        let text = report.to_string();
+        assert!(text.contains("`mv`"), "{text}");
+        assert!(text.contains("MinOA"), "{text}");
+
+        let disabled = RewriteReport::disabled();
+        assert!(
+            disabled.to_string().contains("set_view_rewrite"),
+            "{}",
+            disabled
         );
     }
 }

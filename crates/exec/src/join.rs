@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use rfv_expr::Expr;
 use rfv_storage::TableRef;
-use rfv_types::{Result, Row, Value};
+use rfv_types::{Result, RfvError, Row, Value};
 
 use crate::physical::JoinType;
 
@@ -75,7 +75,9 @@ pub fn index_nested_loop_join(
         let mut matched = false;
         if !lo.is_null() && !hi.is_null() {
             for rid in guard.index_range(right_column, Some(&lo), Some(&hi))? {
-                let r = guard.get(rid).expect("live rid from index");
+                let r = guard.get(rid).ok_or_else(|| {
+                    RfvError::internal(format!("join index returned stale row id {rid}"))
+                })?;
                 let combined = l.concat(r);
                 let keep = match residual {
                     None => true,

@@ -106,17 +106,20 @@ impl WindowFrame {
     }
 
     /// Clamped half-open index range `[lo, hi)` of this frame at row `i`
-    /// in a partition of `len` rows.
+    /// in a partition of `len` rows. The `new` constructor rejects
+    /// start = UNBOUNDED FOLLOWING and end = UNBOUNDED PRECEDING; were
+    /// such a frame ever constructed anyway, the clamp still yields an
+    /// empty frame rather than panicking mid-query.
     fn indices(&self, i: usize, len: usize) -> (usize, usize) {
         let lo = match self.start {
             FrameBound::UnboundedPreceding => 0,
             FrameBound::Offset(s) => (i as i64 + s).clamp(0, len as i64) as usize,
-            FrameBound::UnboundedFollowing => unreachable!("rejected at construction"),
+            FrameBound::UnboundedFollowing => len,
         };
         let hi = match self.end {
             FrameBound::UnboundedFollowing => len,
             FrameBound::Offset(e) => (i as i64 + e + 1).clamp(0, len as i64) as usize,
-            FrameBound::UnboundedPreceding => unreachable!("rejected at construction"),
+            FrameBound::UnboundedPreceding => 0,
         };
         (lo, hi.max(lo))
     }

@@ -105,6 +105,56 @@ pub fn window(max: i64) -> impl Fn(&mut Rng) -> (i64, i64) {
     move |rng| (rng.i64_in(0, max), rng.i64_in(0, max))
 }
 
+/// A window frame in the paper's model, for engine-level fuzzing: either
+/// cumulative (`ROWS UNBOUNDED PRECEDING`) or sliding
+/// (`ROWS BETWEEN l PRECEDING AND h FOLLOWING`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    Cumulative,
+    Sliding { l: i64, h: i64 },
+}
+
+impl Frame {
+    /// The SQL text of this frame clause.
+    pub fn sql(&self) -> String {
+        match self {
+            Frame::Cumulative => "ROWS UNBOUNDED PRECEDING".into(),
+            Frame::Sliding { l, h } => {
+                format!("ROWS BETWEEN {l} PRECEDING AND {h} FOLLOWING")
+            }
+        }
+    }
+}
+
+impl Shrink for Frame {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            Frame::Cumulative => Vec::new(),
+            Frame::Sliding { l, h } => {
+                let mut out = vec![Frame::Cumulative];
+                out.extend(l.shrink().into_iter().map(|l| Frame::Sliding { l, h }));
+                out.extend(h.shrink().into_iter().map(|h| Frame::Sliding { l, h }));
+                out
+            }
+        }
+    }
+}
+
+/// A random [`Frame`]: cumulative one case in four, otherwise sliding
+/// with both sides in `[0, max]`.
+pub fn frame(max: i64) -> impl Fn(&mut Rng) -> Frame {
+    move |rng| {
+        if rng.chance(1, 4) {
+            Frame::Cumulative
+        } else {
+            Frame::Sliding {
+                l: rng.i64_in(0, max),
+                h: rng.i64_in(0, max),
+            }
+        }
+    }
+}
+
 /// A derivation scenario: view window `(lx, hx)` plus non-negative
 /// widening deltas `(dl, dh)` — the query window is
 /// `(lx + dl, hx + dh)`. `max_base` bounds the view sides, `max_delta`

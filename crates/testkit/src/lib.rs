@@ -65,7 +65,7 @@ pub mod rng;
 pub mod runner;
 pub mod shrink;
 
-pub use gen::SeqOp;
+pub use gen::{Frame, SeqOp};
 pub use oracle::DiffMatrix;
 pub use rng::{splitmix64, Rng};
 pub use runner::{check, check_config, Config, DEFAULT_CASES, DEFAULT_SEED};

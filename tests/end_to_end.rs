@@ -94,6 +94,71 @@ fn every_window_query_matches_with_and_without_views() {
         let direct = col_f64(&db, &sql, 1);
         assert_eq!(derived, direct, "frame: {frame}");
     }
+
+    // Multi-expression queries: several reporting functions in one SELECT,
+    // with mixed aggregates and mixed frames. Regression for the derived-
+    // column offset bug in the rewriter's join/projection assembly, which
+    // used to panic ("range end index out of range") on any query with
+    // more than one derivable window expression.
+    let multi = [
+        "SELECT pos, \
+         SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS a, \
+         SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 0 FOLLOWING) AS b \
+         FROM seq",
+        "SELECT pos, \
+         SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS a, \
+         COUNT(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS b, \
+         AVG(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 2 FOLLOWING) AS c \
+         FROM seq",
+        "SELECT pos, \
+         SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS a, \
+         SUM(val) OVER (ORDER BY pos ROWS BETWEEN 4 PRECEDING AND 3 FOLLOWING) AS b, \
+         COUNT(*) OVER (ORDER BY pos ROWS BETWEEN 0 PRECEDING AND 1 FOLLOWING) AS c \
+         FROM seq",
+    ];
+    for sql in multi {
+        let ncols = sql.matches(" AS ").count();
+        for col in 1..=ncols {
+            db.set_view_rewrite(true);
+            let derived = col_f64(&db, sql, col);
+            db.set_view_rewrite(false);
+            let direct = col_f64(&db, sql, col);
+            assert_eq!(derived, direct, "col {col} of: {sql}");
+        }
+    }
+}
+
+#[test]
+fn explain_names_view_and_strategy_per_expression() {
+    let db = seq_db(30, |i| (i % 7) as f64);
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+    )
+    .unwrap();
+
+    let sql = "SELECT pos, \
+               SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS a, \
+               AVG(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS b \
+               FROM seq";
+    let plan = db.explain(sql).unwrap();
+    assert!(plan.contains("== rewrite =="), "{plan}");
+    assert!(plan.contains("`mv`"), "{plan}");
+    assert!(plan.contains("MinOA"), "{plan}");
+    assert!(plan.contains("closed-form cardinality"), "{plan}");
+
+    // The same trace is available programmatically after execution.
+    db.execute(sql).unwrap();
+    let report = db.last_rewrite_report().expect("report recorded");
+    assert!(report.rewritten);
+    assert_eq!(report.decisions.len(), 2);
+
+    // A non-derivable expression is reported with a fallback reason.
+    let plan = db
+        .explain("SELECT pos, MIN(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS m FROM seq")
+        .unwrap();
+    assert!(plan.contains("no derivation"), "{plan}");
+    assert!(plan.contains("(direct)"), "{plan}");
 }
 
 #[test]

@@ -1,0 +1,218 @@
+//! Engine-level differential fuzzing of the view rewriter.
+//!
+//! Each case builds a fresh database, populates it with a random integer
+//! sequence, registers a random catalog of materialized sequence views
+//! (sliding/cumulative SUM, MIN, MAX — or partitioned sliding SUM), and
+//! runs a random multi-expression reporting-function query twice: once
+//! with view rewriting enabled and once against the raw table. The two
+//! answers must agree row for row, and neither path may panic — query
+//! execution is wrapped in `catch_unwind` so a panic anywhere on the
+//! rewrite/derivation path is reported as a property failure with the
+//! offending SQL, not as a test-harness abort.
+//!
+//! This is the regression harness for the multi-reporting-function
+//! rewrite panic (the derived-column offset bug in the join/projection
+//! assembly of `Rewriter::rewrite_window`): queries here carry 1–3
+//! window expressions with mixed aggregates and mixed frames, which is
+//! exactly the shape that used to slice out of bounds.
+//!
+//! Replay a failure with `RFV_SEED=0x… cargo test -q --test fuzz_rewrite`;
+//! soak with `RFV_CASES=200` (what CI runs).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rfv_core::Database;
+use rfv_testkit::{check, gen, Frame, Rng};
+
+/// A materialized view to register: `(kind, l, h)`. Kind selects
+/// sliding SUM / cumulative SUM / sliding MIN / sliding MAX; for
+/// partitioned scenarios every kind maps to partitioned sliding SUM
+/// (the only partitioned view shape the engine materializes).
+type ViewSpec = (u8, i64, i64);
+
+/// One window expression in the SELECT list: `(agg, frame)`. Agg selects
+/// SUM / COUNT(*) / COUNT(val) / AVG / MIN / MAX.
+type ExprSpec = (u8, Frame);
+
+type Scenario = (Vec<i64>, Vec<ViewSpec>, Vec<ExprSpec>, bool);
+
+fn scenario(rng: &mut Rng) -> Scenario {
+    let vals = gen::vec_of(gen::i64_in(-50, 50), 1, 40)(rng);
+    let views = gen::vec_of(
+        |rng: &mut Rng| (rng.u64_below(4) as u8, rng.i64_in(0, 4), rng.i64_in(0, 4)),
+        0,
+        3,
+    )(rng);
+    let exprs = gen::vec_of(
+        |rng: &mut Rng| (rng.u64_below(6) as u8, gen::frame(4)(rng)),
+        1,
+        3,
+    )(rng);
+    (vals, views, exprs, rng.bool())
+}
+
+fn agg_sql(agg: u8, over: &str) -> String {
+    let func = match agg % 6 {
+        0 => "SUM(val)",
+        1 => "COUNT(*)",
+        2 => "COUNT(val)",
+        3 => "AVG(val)",
+        4 => "MIN(val)",
+        _ => "MAX(val)",
+    };
+    format!("{func} OVER ({over})")
+}
+
+fn select_list(exprs: &[ExprSpec], partition: &str) -> String {
+    exprs
+        .iter()
+        .enumerate()
+        .map(|(i, (agg, frame))| {
+            let over = format!("{partition}ORDER BY pos {}", frame.sql());
+            format!("{} AS a{i}", agg_sql(*agg, &over))
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Execute under `catch_unwind`, panicking (so the runner records a
+/// failure and shrinks) on either a panic or an `Err` from the engine —
+/// the whole point of this PR is that neither may happen.
+fn run_query(db: &Database, sql: &str, rewrite: bool, ncols: usize) -> Vec<Vec<Option<f64>>> {
+    db.set_view_rewrite(rewrite);
+    let outcome = catch_unwind(AssertUnwindSafe(|| db.execute(sql)));
+    let result = match outcome {
+        Ok(Ok(r)) => r,
+        Ok(Err(e)) => panic!("query failed (rewrite={rewrite}): {e}\nsql: {sql}"),
+        Err(_) => panic!("query PANICKED (rewrite={rewrite})\nsql: {sql}"),
+    };
+    result
+        .rows()
+        .iter()
+        .map(|row| {
+            (0..ncols)
+                .map(|c| row.get(c).as_f64().ok().flatten())
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_rows_match(on: &[Vec<Option<f64>>], off: &[Vec<Option<f64>>], sql: &str) {
+    assert_eq!(
+        on.len(),
+        off.len(),
+        "row count differs: views-on {} vs views-off {}\nsql: {sql}",
+        on.len(),
+        off.len()
+    );
+    for (r, (a, b)) in on.iter().zip(off).enumerate() {
+        for (c, (x, y)) in a.iter().zip(b).enumerate() {
+            let close = match (x, y) {
+                (None, None) => true,
+                (Some(x), Some(y)) => (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                _ => false,
+            };
+            assert!(
+                close,
+                "mismatch at row {r} col {c}: views-on {x:?} vs views-off {y:?}\nsql: {sql}"
+            );
+        }
+    }
+}
+
+fn check_unpartitioned(vals: &[i64], views: &[ViewSpec], exprs: &[ExprSpec]) {
+    let db = Database::new();
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    for (i, v) in vals.iter().enumerate() {
+        db.execute(&format!(
+            "INSERT INTO seq VALUES ({}, {})",
+            i + 1,
+            *v as f64
+        ))
+        .unwrap();
+    }
+    for (i, (kind, l, h)) in views.iter().enumerate() {
+        let (func, frame) = match kind % 4 {
+            0 => (
+                "SUM",
+                format!("ROWS BETWEEN {l} PRECEDING AND {h} FOLLOWING"),
+            ),
+            1 => ("SUM", "ROWS UNBOUNDED PRECEDING".to_string()),
+            2 => (
+                "MIN",
+                format!("ROWS BETWEEN {l} PRECEDING AND {h} FOLLOWING"),
+            ),
+            _ => (
+                "MAX",
+                format!("ROWS BETWEEN {l} PRECEDING AND {h} FOLLOWING"),
+            ),
+        };
+        db.execute(&format!(
+            "CREATE MATERIALIZED VIEW v{i} AS SELECT pos, {func}(val) OVER \
+             (ORDER BY pos {frame}) AS s FROM seq"
+        ))
+        .unwrap_or_else(|e| panic!("view v{i} creation failed: {e}"));
+    }
+    let sql = format!(
+        "SELECT pos, {} FROM seq ORDER BY pos",
+        select_list(exprs, "")
+    );
+    let ncols = exprs.len() + 1;
+    let on = run_query(&db, &sql, true, ncols);
+    let off = run_query(&db, &sql, false, ncols);
+    assert_rows_match(&on, &off, &sql);
+}
+
+fn check_partitioned(vals: &[i64], views: &[ViewSpec], exprs: &[ExprSpec]) {
+    let db = Database::new();
+    db.execute("CREATE TABLE pseq (g BIGINT NOT NULL, pos BIGINT NOT NULL, val DOUBLE NOT NULL)")
+        .unwrap();
+    // Up to three dense partitions: per-partition positions restart at 1.
+    let chunk = vals.len().div_ceil(3).max(1);
+    for (g, part) in vals.chunks(chunk).enumerate() {
+        for (i, v) in part.iter().enumerate() {
+            db.execute(&format!(
+                "INSERT INTO pseq VALUES ({g}, {}, {})",
+                i + 1,
+                *v as f64
+            ))
+            .unwrap();
+        }
+    }
+    for (i, (_, l, h)) in views.iter().enumerate() {
+        db.execute(&format!(
+            "CREATE MATERIALIZED VIEW v{i} AS SELECT g, pos, SUM(val) OVER \
+             (PARTITION BY g ORDER BY pos ROWS BETWEEN {l} PRECEDING AND {h} FOLLOWING) \
+             AS s FROM pseq"
+        ))
+        .unwrap_or_else(|e| panic!("partitioned view v{i} creation failed: {e}"));
+    }
+    let sql = format!(
+        "SELECT g, pos, {} FROM pseq ORDER BY g, pos",
+        select_list(exprs, "PARTITION BY g ")
+    );
+    let ncols = exprs.len() + 2;
+    let on = run_query(&db, &sql, true, ncols);
+    let off = run_query(&db, &sql, false, ncols);
+    assert_rows_match(&on, &off, &sql);
+}
+
+#[test]
+fn random_window_queries_agree_with_and_without_views() {
+    check(
+        "views-on ≡ views-off for random multi-expression window queries",
+        scenario,
+        |(vals, views, exprs, partitioned)| {
+            if exprs.is_empty() {
+                // Vec shrinking can empty the SELECT list; nothing to test.
+                return;
+            }
+            if *partitioned {
+                check_partitioned(vals, views, exprs);
+            } else {
+                check_unpartitioned(vals, views, exprs);
+            }
+        },
+    );
+}
