@@ -10,7 +10,8 @@
 //! Prints measured seconds next to the paper's DB2-V7.1-on-PII-466 numbers
 //! together with the two ratios the paper's §7 discussion rests on.
 
-use rfv_bench::{checksum, random_values, seq_catalog, time_secs};
+use rfv_bench::harness::{percentile, sample_secs, samples_or, warmup_or, CaseStats, Report};
+use rfv_bench::{checksum, random_values, seq_catalog};
 use rfv_core::patterns;
 use rfv_exec::{
     FrameBound, PhysicalPlan, SortKey, WindowExprSpec, WindowFrame, WindowFuncKind, WindowMode,
@@ -45,9 +46,17 @@ fn native_plan(catalog: &rfv_storage::Catalog) -> PhysicalPlan {
     }
 }
 
+/// Case labels by measurement slot (matches the table columns).
+const CELLS: [&str; 4] = ["native", "selfjoin", "native+ix", "selfjoin+ix"];
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { 10 } else { 1 };
+    // Full-size self-join cells run for minutes, so default to a single
+    // timed pass there; --quick is cheap enough to sample properly.
+    let iters = samples_or(if quick { 3 } else { 1 });
+    let warmup = warmup_or(if quick { 1 } else { 0 });
+    let mut report = Report::new("table1", quick);
     println!("Table 1 — computing sequence data: SUM(val) OVER (ORDER BY pos");
     println!("ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING), measured on rfv;");
     println!("paper columns are DB2 V7.1 / PII-466 (seconds).\n");
@@ -75,13 +84,25 @@ fn main() {
         for (slot, with_index) in [(0usize, false), (2usize, true)] {
             let catalog = seq_catalog(&values, with_index);
             let native = native_plan(&catalog);
-            measured[slot] = time_secs(|| {
+            let times = sample_secs(iters, warmup, || {
                 checks[slot] = checksum(&native.execute().unwrap(), 2);
             });
+            measured[slot] = percentile(&times, 0.50);
+            report.push(CaseStats::from_samples(
+                &format!("{}/n={n}", CELLS[slot]),
+                &times,
+                n as u64,
+            ));
             let self_join = patterns::self_join_window(&catalog, "seq", 1, 1, with_index).unwrap();
-            measured[slot + 1] = time_secs(|| {
+            let times = sample_secs(iters, warmup, || {
                 checks[slot + 1] = checksum(&self_join.execute().unwrap(), 1);
             });
+            measured[slot + 1] = percentile(&times, 0.50);
+            report.push(CaseStats::from_samples(
+                &format!("{}/n={n}", CELLS[slot + 1]),
+                &times,
+                n as u64,
+            ));
         }
         for c in &checks[1..] {
             assert!(
@@ -109,4 +130,11 @@ fn main() {
          slower than native\nand superlinear in n; the index cuts the self join \
          down to a small multiple of native."
     );
+    match report.write_and_validate() {
+        Ok(path) => println!("wrote {} ({iters} iters/case)", path.display()),
+        Err(e) => {
+            eprintln!("bench export failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -14,8 +14,19 @@
 //! DB2 apparently made at n ≥ 3000, where the paper's own numbers flip in
 //! favour of the union variant.
 
-use rfv_bench::{catalog_with_view, checksum, random_values, time_secs};
+use rfv_bench::harness::{percentile, sample_secs, samples_or, warmup_or, CaseStats, Report};
+use rfv_bench::{catalog_with_view, checksum, random_values};
 use rfv_core::patterns::{maxoa_pattern, minoa_pattern, PatternVariant};
+
+/// Case labels by measurement slot (matches the table columns).
+const CELLS: [&str; 6] = [
+    "maxoa-disj",
+    "maxoa-union",
+    "minoa-disj",
+    "minoa-union",
+    "maxoa-hash",
+    "minoa-hash",
+];
 
 /// Paper Table 2 (seconds): (n, maxoa-disj, maxoa-union, minoa-disj,
 /// minoa-union) on DB2 V7.1 / PII-466.
@@ -31,6 +42,10 @@ const PAPER: [(usize, f64, f64, f64, f64); 7] = [
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Full-size cells are slow; sample properly only in --quick mode.
+    let iters = samples_or(if quick { 3 } else { 1 });
+    let warmup = warmup_or(if quick { 1 } else { 0 });
+    let mut report = Report::new("table2", quick);
     println!("Table 2 — deriving y=(3,1) from materialized x=(2,1):");
     println!("measured on rfv; paper columns are DB2 V7.1 / PII-466 (seconds).\n");
     println!(
@@ -69,9 +84,15 @@ fn main() {
         let mut secs = [0.0f64; 6];
         let mut checks = [0.0f64; 6];
         for (i, plan) in plans.iter().enumerate() {
-            secs[i] = time_secs(|| {
+            let times = sample_secs(iters, warmup, || {
                 checks[i] = checksum(&plan.execute().unwrap(), 1);
             });
+            secs[i] = percentile(&times, 0.50);
+            report.push(CaseStats::from_samples(
+                &format!("{}/n={n}", CELLS[i]),
+                &times,
+                n as u64,
+            ));
         }
         for c in &checks[1..] {
             assert!(
@@ -92,4 +113,11 @@ fn main() {
          what a smarter plan does — the analogue of the paper's n ≥ 3000 \
          plan switch."
     );
+    match report.write_and_validate() {
+        Ok(path) => println!("wrote {} ({iters} iters/case)", path.display()),
+        Err(e) => {
+            eprintln!("bench export failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

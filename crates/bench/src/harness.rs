@@ -1,22 +1,213 @@
 //! A minimal first-party benchmark harness (criterion replacement).
 //!
 //! The workspace builds with zero external dependencies, so the
-//! `[[bench]]` targets use this instead of criterion: warmup, a fixed
-//! sample count, and a one-line median/mean/min report per case. It is a
-//! measurement tool, not a statistics package — EXPERIMENTS.md reproduces
-//! the paper's tables with the `table1`/`table2` binaries, which print
-//! paper-vs-measured ratios on top of these timings.
+//! `[[bench]]` targets and the `table1`/`table2` binaries use this
+//! instead of criterion: warm-up iterations, a fixed sample count,
+//! a one-line p50/p95/min report per case, and a machine-readable
+//! `BENCH_<name>.json` export built on [`rfv_obs::Json`]. It is a
+//! measurement tool, not a statistics package — EXPERIMENTS.md
+//! reproduces the paper's tables with the `table1`/`table2` binaries,
+//! which print paper-vs-measured ratios on top of these timings.
+//!
+//! Environment knobs: `RFV_BENCH_SAMPLES` (timed iterations per case),
+//! `RFV_BENCH_WARMUP` (untimed calls before sampling), `RFV_BENCH_DIR`
+//! (where `BENCH_*.json` files land; default the working directory).
 
+use std::path::PathBuf;
 use std::time::Instant;
+
+use rfv_obs::Json;
 
 /// Default samples per case; override with `RFV_BENCH_SAMPLES`.
 const DEFAULT_SAMPLES: u32 = 10;
+/// Default untimed warm-up calls; override with `RFV_BENCH_WARMUP`.
+const DEFAULT_WARMUP: u32 = 2;
 
-fn samples() -> u32 {
-    std::env::var("RFV_BENCH_SAMPLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SAMPLES)
+fn env_u32(var: &str) -> Option<u32> {
+    std::env::var(var).ok().and_then(|s| s.parse().ok())
+}
+
+/// Timed iterations per case: `RFV_BENCH_SAMPLES` or `default`.
+pub fn samples_or(default: u32) -> u32 {
+    env_u32("RFV_BENCH_SAMPLES").unwrap_or(default).max(1)
+}
+
+/// Untimed warm-up calls per case: `RFV_BENCH_WARMUP` or `default`.
+pub fn warmup_or(default: u32) -> u32 {
+    env_u32("RFV_BENCH_WARMUP").unwrap_or(default)
+}
+
+/// Run `f` `warmup` times untimed (touch caches, fault pages), then time
+/// it `iters` times. Returns the sorted per-iteration seconds.
+pub fn sample_secs(iters: u32, warmup: u32, mut f: impl FnMut()) -> Vec<f64> {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times
+}
+
+/// Nearest-rank percentile of an already-sorted sample; `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summary statistics for one benchmark case, as exported to
+/// `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct CaseStats {
+    /// Case label, e.g. `"selfjoin+ix/n=5000"`.
+    pub case: String,
+    /// Timed iterations behind the quantiles.
+    pub iters: u32,
+    pub p50_s: f64,
+    pub p95_s: f64,
+    pub min_s: f64,
+    /// Result rows produced per iteration (drives `rows_per_s`).
+    pub rows: u64,
+}
+
+impl CaseStats {
+    /// Summarize a sorted sample from [`sample_secs`].
+    pub fn from_samples(case: &str, sorted: &[f64], rows: u64) -> Self {
+        CaseStats {
+            case: case.to_string(),
+            iters: sorted.len() as u32,
+            p50_s: percentile(sorted, 0.50),
+            p95_s: percentile(sorted, 0.95),
+            min_s: sorted[0],
+            rows,
+        }
+    }
+
+    /// Throughput at the median iteration.
+    pub fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.p50_s.max(1e-12)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("case".into(), Json::Str(self.case.clone())),
+            ("iters".into(), Json::Int(i64::from(self.iters))),
+            ("p50_s".into(), Json::Float(self.p50_s)),
+            ("p95_s".into(), Json::Float(self.p95_s)),
+            ("min_s".into(), Json::Float(self.min_s)),
+            ("rows".into(), Json::Int(self.rows as i64)),
+            ("rows_per_s".into(), Json::Float(self.rows_per_sec())),
+        ])
+    }
+}
+
+/// A machine-readable benchmark report, written as `BENCH_<name>.json`.
+pub struct Report {
+    bench: String,
+    quick: bool,
+    cases: Vec<CaseStats>,
+}
+
+impl Report {
+    pub fn new(bench: &str, quick: bool) -> Self {
+        Report {
+            bench: bench.to_string(),
+            quick,
+            cases: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, stats: CaseStats) {
+        self.cases.push(stats);
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench".into(), Json::Str(self.bench.clone())),
+            ("quick".into(), Json::Bool(self.quick)),
+            (
+                "cases".into(),
+                Json::Arr(self.cases.iter().map(CaseStats::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Write `BENCH_<name>.json` into `RFV_BENCH_DIR` (default `.`),
+    /// read it back, and validate it against the schema — a corrupt
+    /// export fails loudly rather than poisoning trend dashboards.
+    pub fn write_and_validate(&self) -> Result<PathBuf, String> {
+        let dir = std::env::var("RFV_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let path = PathBuf::from(dir).join(format!("BENCH_{}.json", self.bench));
+        let text = format!("{}\n", self.to_json());
+        std::fs::write(&path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        let back =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        validate_bench_json(&back).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+/// Check that `text` is a well-formed bench report: the schema the CI
+/// step and any downstream tooling rely on.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let v = Json::parse(text)?;
+    let bench = v
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string `bench`")?;
+    if bench.is_empty() {
+        return Err("empty `bench` name".into());
+    }
+    if !matches!(v.get("quick"), Some(Json::Bool(_))) {
+        return Err("missing bool `quick`".into());
+    }
+    let cases = v
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `cases`")?;
+    if cases.is_empty() {
+        return Err("empty `cases` array".into());
+    }
+    for (i, c) in cases.iter().enumerate() {
+        let ctx = |field: &str| format!("case {i}: bad `{field}`");
+        let name = c.get("case").and_then(Json::as_str).ok_or(ctx("case"))?;
+        if name.is_empty() {
+            return Err(ctx("case"));
+        }
+        let iters = c.get("iters").and_then(Json::as_i64).ok_or(ctx("iters"))?;
+        if iters < 1 {
+            return Err(ctx("iters"));
+        }
+        let mut secs = [0.0f64; 3];
+        for (slot, field) in ["p50_s", "p95_s", "min_s"].iter().enumerate() {
+            let s = c.get(field).and_then(Json::as_f64).ok_or(ctx(field))?;
+            if !s.is_finite() || s < 0.0 {
+                return Err(ctx(field));
+            }
+            secs[slot] = s;
+        }
+        if secs[0] > secs[1] || secs[2] > secs[0] {
+            return Err(format!("case {i}: quantiles out of order: {secs:?}"));
+        }
+        let rows = c.get("rows").and_then(Json::as_i64).ok_or(ctx("rows"))?;
+        if rows < 0 {
+            return Err(ctx("rows"));
+        }
+        let rps = c
+            .get("rows_per_s")
+            .and_then(Json::as_f64)
+            .ok_or(ctx("rows_per_s"))?;
+        if !rps.is_finite() || rps < 0.0 {
+            return Err(ctx("rows_per_s"));
+        }
+    }
+    Ok(())
 }
 
 /// A named group of benchmark cases, printed as a table.
@@ -33,42 +224,34 @@ impl Group {
         }
     }
 
-    /// Time `f` (after one warmup call) and print one report line.
+    /// Time `f` (after warm-up calls) and print one report line.
     /// Returns the median seconds so callers can assert relationships.
-    pub fn bench(&mut self, case: &str, mut f: impl FnMut()) -> f64 {
+    pub fn bench(&mut self, case: &str, f: impl FnMut()) -> f64 {
         if !self.printed_header {
             println!(
                 "\n== {} ==\n{:<38} {:>12} {:>12} {:>12}",
-                self.name, "case", "median", "mean", "min"
+                self.name, "case", "p50", "p95", "min"
             );
             self.printed_header = true;
         }
-        f(); // warmup: touch caches, fault pages, JIT-free but fair
-        let n = samples();
-        let mut times: Vec<f64> = (0..n)
-            .map(|_| {
-                let start = Instant::now();
-                f();
-                start.elapsed().as_secs_f64()
-            })
-            .collect();
-        times.sort_by(f64::total_cmp);
-        let median = times[times.len() / 2];
-        let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+        let times = sample_secs(samples_or(DEFAULT_SAMPLES), warmup_or(DEFAULT_WARMUP), f);
+        let p50 = percentile(&times, 0.50);
         println!(
             "{:<38} {:>12} {:>12} {:>12}",
             case,
-            fmt_secs(median),
-            fmt_secs(mean),
+            fmt_secs(p50),
+            fmt_secs(percentile(&times, 0.95)),
             fmt_secs(times[0])
         );
-        median
+        p50
     }
 }
 
-/// Human-readable seconds with µs/ms/s autoscaling.
+/// Human-readable seconds with ns/µs/ms/s autoscaling.
 pub fn fmt_secs(s: f64) -> String {
-    if s < 1e-3 {
+    if s < 1e-6 {
+        format!("{:.0} ns", s * 1e9)
+    } else if s < 1e-3 {
         format!("{:.2} µs", s * 1e6)
     } else if s < 1.0 {
         format!("{:.3} ms", s * 1e3)
@@ -93,8 +276,59 @@ mod tests {
 
     #[test]
     fn formatting_autoscales() {
+        assert!(fmt_secs(2e-8).contains("ns"));
         assert!(fmt_secs(2e-6).contains("µs"));
         assert!(fmt_secs(2e-3).contains("ms"));
         assert!(fmt_secs(2.0).ends_with("s"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.50), 5.0);
+        assert_eq!(percentile(&sorted, 0.95), 10.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        assert_eq!(percentile(&[7.5], 0.95), 7.5);
+    }
+
+    #[test]
+    fn sampling_honors_iteration_count() {
+        let mut calls = 0u32;
+        let times = sample_secs(4, 3, || calls += 1);
+        assert_eq!(calls, 7); // 3 warm-up + 4 timed
+        assert_eq!(times.len(), 4);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn report_json_round_trips_and_validates() {
+        let mut report = Report::new("unit", true);
+        let sorted = [0.001, 0.002, 0.004];
+        report.push(CaseStats::from_samples("native/n=10", &sorted, 10));
+        let text = report.to_json().to_string();
+        validate_bench_json(&text).expect("schema-valid");
+        let back = Json::parse(&text).unwrap();
+        let case = &back.get("cases").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(case.get("case").and_then(Json::as_str), Some("native/n=10"));
+        assert_eq!(case.get("iters").and_then(Json::as_i64), Some(3));
+        assert_eq!(case.get("p50_s").and_then(Json::as_f64), Some(0.002));
+        assert_eq!(case.get("p95_s").and_then(Json::as_f64), Some(0.004));
+        assert_eq!(case.get("rows_per_s").and_then(Json::as_f64), Some(5000.0));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        for bad in [
+            "not json",
+            r#"{"quick":true,"cases":[]}"#,
+            r#"{"bench":"b","cases":[]}"#,
+            r#"{"bench":"b","quick":true,"cases":[]}"#,
+            r#"{"bench":"b","quick":true,"cases":[{"case":"c","iters":0,"p50_s":1.0,"p95_s":1.0,"min_s":1.0,"rows":1,"rows_per_s":1.0}]}"#,
+            r#"{"bench":"b","quick":true,"cases":[{"case":"c","iters":1,"p50_s":2.0,"p95_s":1.0,"min_s":1.0,"rows":1,"rows_per_s":1.0}]}"#,
+            r#"{"bench":"b","quick":true,"cases":[{"case":"c","iters":1,"p50_s":1.0,"p95_s":1.0,"rows":1,"rows_per_s":1.0}]}"#,
+        ] {
+            assert!(validate_bench_json(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }

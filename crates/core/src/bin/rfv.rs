@@ -5,14 +5,17 @@
 //! cargo run -p rfv-core --release --bin rfv
 //! ```
 //!
-//! Meta commands:
+//! Meta commands (`.name` and `\name` are equivalent):
 //!
 //! * `.help` — this list
 //! * `.tables` — catalog contents
 //! * `.views` — registered materialized sequence views
 //! * `.explain <query>` — logical + physical plan (shows whether a view
-//!   rewrite fired)
+//!   rewrite fired); `EXPLAIN [ANALYZE] <query>` also works as SQL
 //! * `.rewrite on|off` — toggle view-aware rewriting
+//! * `\timing on|off` — per-statement wall time plus the traced phase
+//!   breakdown (parse/bind/optimize/rewrite/plan/execute)
+//! * `\metrics` — dump the engine metrics registry as JSON
 //! * `.quit`
 //!
 //! Everything else is executed as SQL (`;`-separated statements allowed).
@@ -20,16 +23,19 @@
 use std::io::{BufRead, Write};
 
 use rfv_core::Database;
+use rfv_obs::{fmt_ns, Stopwatch};
 
 const HELP: &str = "\
-meta commands:
+meta commands (.name and \\name are equivalent):
   .help                 this list
   .tables               catalog contents
   .views                registered materialized sequence views
   .explain <query>      show the plan (and whether a view rewrite fired)
   .rewrite on|off       toggle answering window queries from views
+  \\timing on|off        print per-statement time and phase breakdown
+  \\metrics              dump the engine metrics registry as JSON
   .quit                 exit
-anything else is executed as SQL, e.g.:
+anything else is executed as SQL (try EXPLAIN ANALYZE <query>), e.g.:
   CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL);
   INSERT INTO seq VALUES (1, 10.0), (2, 20.0), (3, 30.0);
   CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER
@@ -44,6 +50,7 @@ fn main() {
     println!("rfv — reporting function views (ICDE 2002 reproduction)");
     println!("type .help for commands, .quit to exit");
     let mut buffer = String::new();
+    let mut timing = false;
     loop {
         let prompt = if buffer.is_empty() { "rfv> " } else { "  -> " };
         print!("{prompt}");
@@ -58,9 +65,11 @@ fn main() {
             }
         }
         let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with('.') {
+        if buffer.is_empty() && (trimmed.starts_with('.') || trimmed.starts_with('\\')) {
             let mut parts = trimmed.splitn(2, ' ');
-            match parts.next().unwrap_or("") {
+            // Accept both `.cmd` and `\cmd` spellings.
+            let cmd = parts.next().unwrap_or("").replacen('\\', ".", 1);
+            match cmd.as_str() {
                 ".quit" | ".exit" => break,
                 ".help" => println!("{HELP}"),
                 ".tables" => {
@@ -110,6 +119,20 @@ fn main() {
                     }
                     _ => println!("usage: .rewrite on|off"),
                 },
+                ".timing" => match parts.next() {
+                    Some("on") => {
+                        timing = true;
+                        db.set_tracing(true);
+                        println!("timing on");
+                    }
+                    Some("off") => {
+                        timing = false;
+                        db.set_tracing(false);
+                        println!("timing off");
+                    }
+                    _ => println!("usage: \\timing on|off"),
+                },
+                ".metrics" => println!("{}", db.metrics_json()),
                 other => println!("unknown command `{other}` — try .help"),
             }
             continue;
@@ -127,6 +150,8 @@ fn main() {
         if sql.is_empty() {
             continue;
         }
+        let clock = timing.then(Stopwatch::start);
+        let trace_before = db.last_trace();
         match db.execute_script(sql) {
             Ok(results) => {
                 for r in results {
@@ -139,6 +164,19 @@ fn main() {
                 }
             }
             Err(e) => println!("error: {e}"),
+        }
+        if let Some(clock) = clock {
+            // Phase breakdown of the last traced query in this batch,
+            // if it recorded a new one.
+            if let Some(trace) = db.last_trace() {
+                let fresh = !trace_before
+                    .as_ref()
+                    .is_some_and(|old| std::sync::Arc::ptr_eq(old, &trace));
+                if fresh {
+                    print!("{trace}");
+                }
+            }
+            println!("Time: {}", fmt_ns(clock.elapsed_ns()));
         }
     }
     println!("bye");

@@ -21,18 +21,20 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rfv_exec::{PhysicalPlan, WindowMode};
+use rfv_exec::{ExecCounters, ExecProbe, PhysicalPlan, WindowMode};
 use rfv_expr::AggFunc;
+use rfv_obs::{Collector, Counter, Histogram, MetricsRegistry};
 use rfv_plan::{optimize, Binder, LogicalPlan, PhysicalPlanner};
 use rfv_sql::{self as ast, parse_statement, parse_statements};
 use rfv_storage::{Catalog, IndexKind};
 use rfv_types::sync::RwLock;
-use rfv_types::{Result, RfvError, Row, Schema, SchemaRef, Value};
+use rfv_types::{DataType, Field, Result, RfvError, Row, Schema, SchemaRef, Value};
 
 use crate::maintenance;
 use crate::patterns::PatternVariant;
-use crate::rewrite::{RewriteReport, Rewriter};
+use crate::rewrite::{RewriteOutcome, RewriteReport, Rewriter};
 use crate::sequence::{CompleteMinMaxSequence, CompleteSequence, CumulativeSequence, WindowSpec};
+use crate::trace::QueryTrace;
 use crate::view::{SequenceView, ViewData, ViewRegistry};
 
 /// Result of executing one statement.
@@ -124,6 +126,56 @@ struct Config {
     view_rewrite: bool,
     window_mode: WindowMode,
     pattern_variant: PatternVariant,
+    /// Record per-phase spans and a [`QueryTrace`] for every query.
+    tracing: bool,
+}
+
+/// Pre-resolved handles into the metrics registry, so hot paths never
+/// take the registry lock. All counters are always-on (one relaxed
+/// atomic add each); the histogram is only recorded when tracing is on,
+/// because it needs the clock.
+#[derive(Clone)]
+struct EngineCounters {
+    query_planned: Counter,
+    query_executed: Counter,
+    query_ns: Histogram,
+    exec: ExecCounters,
+    rewrite_rewritten: Counter,
+    rewrite_fallback: Counter,
+    rewrite_disabled: Counter,
+    rewrite_expressions: Counter,
+    rewrite_expr_fallback: Counter,
+    maint_update: Counter,
+    maint_insert: Counter,
+    maint_delete: Counter,
+    maint_refresh: Counter,
+    view_created: Counter,
+    view_snapshot_fallback: Counter,
+}
+
+impl EngineCounters {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        EngineCounters {
+            query_planned: metrics.counter("query.planned"),
+            query_executed: metrics.counter("query.executed"),
+            query_ns: metrics.histogram("query.ns"),
+            exec: ExecCounters {
+                rows_scanned: metrics.counter("exec.rows_scanned"),
+                rows_emitted: metrics.counter("exec.rows_emitted"),
+            },
+            rewrite_rewritten: metrics.counter("rewrite.rewritten"),
+            rewrite_fallback: metrics.counter("rewrite.fallback"),
+            rewrite_disabled: metrics.counter("rewrite.disabled"),
+            rewrite_expressions: metrics.counter("rewrite.expressions"),
+            rewrite_expr_fallback: metrics.counter("rewrite.expr_fallback"),
+            maint_update: metrics.counter("maintenance.update"),
+            maint_insert: metrics.counter("maintenance.insert"),
+            maint_delete: metrics.counter("maintenance.delete"),
+            maint_refresh: metrics.counter("maintenance.refresh"),
+            view_created: metrics.counter("view.created"),
+            view_snapshot_fallback: metrics.counter("view.snapshot_fallback"),
+        }
+    }
 }
 
 /// The full engine. Cheap to clone (shared state).
@@ -132,8 +184,12 @@ pub struct Database {
     catalog: Catalog,
     registry: ViewRegistry,
     config: Arc<RwLock<Config>>,
+    metrics: MetricsRegistry,
+    counters: EngineCounters,
     /// Rewrite trace of the most recently planned query.
-    last_rewrite: Arc<RwLock<Option<RewriteReport>>>,
+    last_rewrite: Arc<RwLock<Option<Arc<RewriteReport>>>>,
+    /// Phase-span trace of the most recently traced query.
+    last_trace: Arc<RwLock<Option<Arc<QueryTrace>>>>,
 }
 
 impl Default for Database {
@@ -144,6 +200,8 @@ impl Default for Database {
 
 impl Database {
     pub fn new() -> Self {
+        let metrics = MetricsRegistry::new();
+        let counters = EngineCounters::new(&metrics);
         Database {
             catalog: Catalog::new(),
             registry: ViewRegistry::new(),
@@ -151,17 +209,47 @@ impl Database {
                 view_rewrite: true,
                 window_mode: WindowMode::Pipelined,
                 pattern_variant: PatternVariant::Disjunctive,
+                tracing: false,
             })),
+            metrics,
+            counters,
             last_rewrite: Arc::new(RwLock::new(None)),
+            last_trace: Arc::new(RwLock::new(None)),
         }
     }
 
     /// The [`RewriteReport`] of the most recently planned query: per
     /// window expression, which view matched and which derivation
     /// strategy fired — or why the rewriter fell back to the native
-    /// window operator. `None` before the first query.
-    pub fn last_rewrite_report(&self) -> Option<RewriteReport> {
+    /// window operator. `None` before the first query. Shared, not
+    /// copied — the engine stores one `Arc` per planning pass.
+    pub fn last_rewrite_report(&self) -> Option<Arc<RewriteReport>> {
         self.last_rewrite.read().clone()
+    }
+
+    /// The engine-wide metrics registry (always-on counters plus the
+    /// traced-query duration histogram). Export with
+    /// [`metrics_json`](Self::metrics_json).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The whole metrics registry as one stable JSON document
+    /// (`{"counters":{…},"histograms":{…}}`, keys sorted).
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json().to_string()
+    }
+
+    /// Record per-phase spans and a [`QueryTrace`] for every query
+    /// (default off — tracing reads the clock once per phase).
+    pub fn set_tracing(&self, on: bool) {
+        self.config.write().tracing = on;
+    }
+
+    /// The [`QueryTrace`] of the most recently traced query (`None`
+    /// until a query runs with tracing on or under `EXPLAIN ANALYZE`).
+    pub fn last_trace(&self) -> Option<Arc<QueryTrace>> {
+        self.last_trace.read().clone()
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -192,8 +280,9 @@ impl Database {
 
     /// Execute one SQL statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt)
+        let collector = Collector::new(self.config.read().tracing);
+        let stmt = collector.time("parse", || parse_statement(sql))?;
+        self.execute_statement_traced(&stmt, &collector)
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
@@ -205,12 +294,24 @@ impl Database {
     }
 
     /// EXPLAIN: the bound logical plan and the physical plan actually
-    /// chosen (including whether a view rewrite fired).
+    /// chosen (including whether a view rewrite fired). Accepts either a
+    /// bare query or an `EXPLAIN [ANALYZE]` statement.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let stmt = parse_statement(sql)?;
-        let ast::Statement::Query(q) = &stmt else {
-            return Err(RfvError::plan("EXPLAIN supports queries only"));
-        };
+        match parse_statement(sql)? {
+            ast::Statement::Query(q) => self.explain_query(&q),
+            ast::Statement::Explain {
+                analyze: false,
+                query,
+            } => self.explain_query(&query),
+            ast::Statement::Explain {
+                analyze: true,
+                query,
+            } => self.explain_analyze_query(&query),
+            _ => Err(RfvError::plan("EXPLAIN supports queries only")),
+        }
+    }
+
+    fn explain_query(&self, q: &ast::Query) -> Result<String> {
         let (logical, physical, rewritten) = self.plan_query(q)?;
         let mut out = format!(
             "== logical ==\n{}== physical ({}) ==\n{}",
@@ -224,14 +325,112 @@ impl Database {
         Ok(out)
     }
 
+    /// EXPLAIN ANALYZE: plan and *run* the query, rendering the physical
+    /// tree with measured actuals (rows, batches, wall time) on every
+    /// node, the phase-span timeline, and the rewrite report.
+    fn explain_analyze_query(&self, q: &ast::Query) -> Result<String> {
+        // ANALYZE always traces, independent of `set_tracing`.
+        let collector = Collector::enabled();
+        let (_, physical, rewritten) = self.plan_query_traced(q, &collector)?;
+        let probe = ExecProbe {
+            counters: Some(self.counters.exec.clone()),
+            trace: true,
+        };
+        let (rows, metrics) = collector.time("execute", || physical.execute_probed(&probe))?;
+        self.counters.query_executed.incr();
+        self.counters.exec.rows_emitted.add(rows.len() as u64);
+        let metrics = metrics
+            .ok_or_else(|| RfvError::internal("traced execution produced no metrics tree"))?;
+        let trace = self.store_trace(&collector, ast::Statement::Query(q.clone()), rewritten);
+        let mut out = format!(
+            "== physical ({}) ==\n{}",
+            if rewritten { "view rewrite" } else { "direct" },
+            physical.explain_analyzed(&metrics)
+        );
+        out.push_str(&format!(
+            "rows emitted: {}, rows scanned: {}\n",
+            rows.len(),
+            metrics.rows_scanned()
+        ));
+        out.push_str("== phases ==\n");
+        for s in &trace.spans {
+            out.push_str(&format!("{s}\n"));
+        }
+        out.push_str(&format!(
+            "{:<14} {}\n",
+            "total",
+            rfv_obs::fmt_ns(trace.total_ns)
+        ));
+        if let Some(report) = self.last_rewrite_report() {
+            out.push_str(&format!("== rewrite ==\n{report}"));
+        }
+        Ok(out)
+    }
+
+    /// Finish `collector` into a stored [`QueryTrace`] (no-op sentinel
+    /// values when the collector is disabled — callers only store it
+    /// when tracing was on).
+    fn store_trace(
+        &self,
+        collector: &Collector,
+        stmt: ast::Statement,
+        rewritten: bool,
+    ) -> Arc<QueryTrace> {
+        let trace = Arc::new(QueryTrace {
+            sql: stmt.to_string(),
+            spans: collector.take(),
+            total_ns: collector.elapsed_ns(),
+            rewritten,
+            rewrite: self.last_rewrite_report(),
+        });
+        *self.last_trace.write() = Some(trace.clone());
+        trace
+    }
+
     fn execute_statement(&self, stmt: &ast::Statement) -> Result<QueryResult> {
+        let collector = Collector::new(self.config.read().tracing);
+        self.execute_statement_traced(stmt, &collector)
+    }
+
+    fn execute_statement_traced(
+        &self,
+        stmt: &ast::Statement,
+        collector: &Collector,
+    ) -> Result<QueryResult> {
         match stmt {
             ast::Statement::Query(q) => {
-                let (logical, physical, _) = self.plan_query(q)?;
-                let rows = physical.execute()?;
+                let (logical, physical, rewritten) = self.plan_query_traced(q, collector)?;
+                let probe = ExecProbe {
+                    counters: Some(self.counters.exec.clone()),
+                    trace: false,
+                };
+                let (rows, _) = collector.time("execute", || physical.execute_probed(&probe))?;
+                self.counters.query_executed.incr();
+                self.counters.exec.rows_emitted.add(rows.len() as u64);
+                if collector.is_enabled() {
+                    self.counters.query_ns.record(collector.elapsed_ns());
+                    self.store_trace(collector, stmt.clone(), rewritten);
+                }
                 Ok(QueryResult {
                     schema: logical.schema(),
                     rows,
+                })
+            }
+            ast::Statement::Explain { analyze, query } => {
+                let text = if *analyze {
+                    self.explain_analyze_query(query)?
+                } else {
+                    self.explain_query(query)?
+                };
+                Ok(QueryResult {
+                    schema: SchemaRef::new(Schema::new(vec![Field::not_null(
+                        "plan".to_string(),
+                        DataType::Str,
+                    )])),
+                    rows: text
+                        .lines()
+                        .map(|l| Row::new(vec![Value::from(l)]))
+                        .collect(),
                 })
             }
             ast::Statement::CreateTable { name, columns } => {
@@ -317,22 +516,62 @@ impl Database {
     }
 
     fn plan_query(&self, q: &ast::Query) -> Result<(LogicalPlan, PhysicalPlan, bool)> {
+        self.plan_query_traced(q, &Collector::disabled())
+    }
+
+    fn plan_query_traced(
+        &self,
+        q: &ast::Query,
+        collector: &Collector,
+    ) -> Result<(LogicalPlan, PhysicalPlan, bool)> {
         let config = *self.config.read();
         let binder = Binder::new(&self.catalog).with_window_mode(config.window_mode);
-        let logical = optimize(binder.bind_query(q)?);
+        let bound = collector.time("bind", || binder.bind_query(q))?;
+        let logical = collector.time("optimize", || optimize(bound));
+        self.counters.query_planned.incr();
         if config.view_rewrite {
             let rewriter =
                 Rewriter::new(&self.catalog, &self.registry).with_variant(config.pattern_variant);
-            let (planned, report) = rewriter.plan_with_views_traced(&logical)?;
-            *self.last_rewrite.write() = Some(report);
+            let (planned, report) =
+                collector.time("rewrite", || rewriter.plan_with_views_traced(&logical))?;
+            self.record_rewrite(report);
             if let Some(physical) = planned {
                 return Ok((logical, physical, true));
             }
         } else {
-            *self.last_rewrite.write() = Some(RewriteReport::disabled());
+            self.counters.rewrite_disabled.incr();
+            *self.last_rewrite.write() = Some(Arc::new(RewriteReport::disabled()));
         }
-        let physical = PhysicalPlanner::new(&self.catalog).plan(&logical)?;
+        let physical = collector.time("physical-plan", || {
+            PhysicalPlanner::new(&self.catalog).plan(&logical)
+        })?;
         Ok((logical, physical, false))
+    }
+
+    /// Store the report of one planning pass (shared via `Arc`) and fold
+    /// it into the always-on counters: one report-level outcome counter,
+    /// plus per-expression strategy counters that satisfy
+    /// `rewrite.expressions == Σ rewrite.strategy.* + rewrite.expr_fallback`.
+    fn record_rewrite(&self, report: RewriteReport) {
+        if report.rewritten {
+            self.counters.rewrite_rewritten.incr();
+        } else {
+            self.counters.rewrite_fallback.incr();
+        }
+        for d in &report.decisions {
+            self.counters.rewrite_expressions.incr();
+            match &d.outcome {
+                RewriteOutcome::FromView { strategy, .. } => {
+                    self.metrics
+                        .counter(&format!("rewrite.strategy.{}", strategy.label()))
+                        .incr();
+                }
+                RewriteOutcome::Fallback { .. } => {
+                    self.counters.rewrite_expr_fallback.incr();
+                }
+            }
+        }
+        *self.last_rewrite.write() = Some(Arc::new(report));
     }
 
     // -- INSERT -------------------------------------------------------------
@@ -547,6 +786,7 @@ impl Database {
                         data: ViewData::PartitionedSum(parts),
                     },
                 )?;
+                self.counters.view_created.incr();
                 return Ok(());
             }
             let (raw, _) =
@@ -585,9 +825,11 @@ impl Database {
                     data,
                 },
             )?;
+            self.counters.view_created.incr();
             return Ok(());
         }
         // Fallback: CTAS-style snapshot.
+        self.counters.view_snapshot_fallback.incr();
         let (logical, physical, _) = self.plan_query(query)?;
         let rows = physical.execute()?;
         let fields = logical
@@ -837,6 +1079,7 @@ impl Database {
     /// rules against. Useful after bulk loads performed directly through
     /// the catalog.
     pub fn refresh_views(&self, table: &str) -> Result<()> {
+        self.counters.maint_refresh.incr();
         self.refresh_partitioned_views(table)?;
         for view in self.registry.views_for(table) {
             if view.is_partitioned() {
@@ -905,6 +1148,11 @@ impl Database {
         let views = self.registry.views_for(table);
         if views.is_empty() {
             return Ok(());
+        }
+        match op {
+            MaintOp::Update { .. } => self.counters.maint_update.incr(),
+            MaintOp::Insert { .. } => self.counters.maint_insert.incr(),
+            MaintOp::Delete { .. } => self.counters.maint_delete.incr(),
         }
         // The §2.3 rules need the *pre-image* raw data, which each view can
         // reproduce from its own body; the cheapest correct source here is

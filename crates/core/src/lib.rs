@@ -60,8 +60,11 @@ pub mod patterns;
 pub mod reporting;
 pub mod rewrite;
 pub mod sequence;
+pub mod trace;
 pub mod view;
 
 pub use engine::{Database, QueryResult};
 pub use rewrite::{RewriteDecision, RewriteOutcome, RewriteReport, RewriteStrategy, Rewriter};
+pub use rfv_obs::MetricsRegistry;
 pub use sequence::{CompleteSequence, SequenceSpec, WindowSpec};
+pub use trace::QueryTrace;

@@ -72,6 +72,26 @@ pub enum RewriteStrategy {
     PartitionReduction { groups: usize },
 }
 
+impl RewriteStrategy {
+    /// Stable snake_case label used as the metrics-counter suffix
+    /// (`rewrite.strategy.<label>`). `AvgFromSum` reports itself, not
+    /// its inner SUM strategy, so the per-strategy counters sum to the
+    /// number of rewritten expressions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RewriteStrategy::ExactMatch => "exact_match",
+            RewriteStrategy::CumulativeDifference => "cumulative_difference",
+            RewriteStrategy::CumulativeFromSliding => "cumulative_from_sliding",
+            RewriteStrategy::MinOA { .. } => "minoa",
+            RewriteStrategy::MaxOA { .. } => "maxoa",
+            RewriteStrategy::ClosedFormCount => "closed_form_count",
+            RewriteStrategy::AvgFromSum { .. } => "avg_from_sum",
+            RewriteStrategy::PartitionedMinOA { .. } => "partitioned_minoa",
+            RewriteStrategy::PartitionReduction { .. } => "partition_reduction",
+        }
+    }
+}
+
 impl fmt::Display for RewriteStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

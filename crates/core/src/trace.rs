@@ -1,0 +1,56 @@
+//! Per-query traces.
+//!
+//! When tracing is on ([`crate::Database::set_tracing`]) or a query runs
+//! under `EXPLAIN ANALYZE`, the engine times each planning/execution
+//! phase with an [`rfv_obs::Collector`] and stores the result here. With
+//! tracing off the collector is disabled — the phase plumbing stays in
+//! place but never reads the clock.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rfv_obs::{fmt_ns, SpanRecord};
+
+use crate::rewrite::RewriteReport;
+
+/// The recorded timeline of one traced query: its phase spans
+/// (parse → bind → optimize → rewrite → physical-plan → execute) plus
+/// the rewrite report of the same planning pass.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// The statement, printed back as SQL.
+    pub sql: String,
+    /// Phase spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Wall time from parse start to execution end.
+    pub total_ns: u64,
+    /// Whether the query was answered from materialized views.
+    pub rewritten: bool,
+    /// The rewrite trace of this query's planning pass (shared with
+    /// [`crate::Database::last_rewrite_report`]).
+    pub rewrite: Option<Arc<RewriteReport>>,
+}
+
+impl QueryTrace {
+    /// The recorded duration of phase `name`, if it ran.
+    pub fn phase_ns(&self, name: &str) -> Option<u64> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.elapsed_ns)
+    }
+}
+
+impl fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query: {}", self.sql)?;
+        for s in &self.spans {
+            writeln!(f, "  {s}")?;
+        }
+        writeln!(f, "  {:<14} {}", "total", fmt_ns(self.total_ns))?;
+        if self.rewritten {
+            writeln!(f, "  answered from materialized views")?;
+        }
+        Ok(())
+    }
+}

@@ -16,9 +16,11 @@
 mod aggregate;
 mod filter;
 mod join;
+pub mod opmetrics;
 pub mod physical;
 mod scan;
 pub mod window;
 
+pub use opmetrics::{ExecCounters, ExecProbe, OpMetrics};
 pub use physical::{JoinType, PhysicalPlan, SortKey};
 pub use window::{FrameBound, WindowExprSpec, WindowFrame, WindowFuncKind, WindowMode};

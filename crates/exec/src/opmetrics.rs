@@ -1,0 +1,158 @@
+//! Per-operator execution metrics.
+//!
+//! Two observation levels, chosen per execution via [`ExecProbe`]:
+//!
+//! * **counters** — always-on engine totals ([`ExecCounters`]): rows
+//!   read off storage by scan leaves and rows emitted by query roots.
+//!   One relaxed atomic add per scan node per query; cheap enough to
+//!   leave enabled unconditionally.
+//! * **trace** — a full [`OpMetrics`] tree (rows in/out, batches,
+//!   elapsed ns per physical node), built only when requested
+//!   (`EXPLAIN ANALYZE` / `Database::set_tracing(true)`); the plain
+//!   `execute()` path never reads the clock.
+//!
+//! The executor is materializing (every operator consumes fully
+//! materialized child vectors), so `batches` counts input vectors
+//! consumed: 1 for leaves (the storage batch), the child count
+//! elsewhere. `rows_in` is the sum of child output cardinalities;
+//! leaves report 0 (their input is storage, tallied by `rows_scanned`).
+
+use rfv_obs::{fmt_ns, Counter};
+
+/// Always-on totals shared with the engine's metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct ExecCounters {
+    /// Rows produced by storage scan leaves (`TableScan`,
+    /// `IndexRangeScan`).
+    pub rows_scanned: Counter,
+    /// Rows returned by root plans (bumped by the engine, which knows
+    /// which execution is a query root).
+    pub rows_emitted: Counter,
+}
+
+/// What one execution should observe.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProbe {
+    /// Bump these totals while executing (cheap, always-on in the
+    /// engine).
+    pub counters: Option<ExecCounters>,
+    /// Build an [`OpMetrics`] tree (reads the clock once per node).
+    pub trace: bool,
+}
+
+impl ExecProbe {
+    /// Trace only — used by `EXPLAIN ANALYZE` outside an engine.
+    pub fn traced() -> Self {
+        ExecProbe {
+            counters: None,
+            trace: true,
+        }
+    }
+}
+
+/// Measured actuals for one physical operator (a tree mirroring the
+/// plan; children in execution order).
+#[derive(Debug, Clone)]
+pub struct OpMetrics {
+    /// Short operator label, e.g. `TableScan(seq)`.
+    pub name: String,
+    /// Sum of child output cardinalities (0 for leaves).
+    pub rows_in: u64,
+    pub rows_out: u64,
+    /// Input vectors consumed (1 for leaves — the storage batch).
+    pub batches: u64,
+    /// Wall time including children.
+    pub elapsed_ns: u64,
+    pub children: Vec<OpMetrics>,
+}
+
+impl OpMetrics {
+    /// Wall time spent in this operator alone (inclusive minus
+    /// children, saturating — timer granularity can make children
+    /// appear to exceed the parent by a few ns).
+    pub fn self_ns(&self) -> u64 {
+        let child_ns: u64 = self.children.iter().map(|c| c.elapsed_ns).sum();
+        self.elapsed_ns.saturating_sub(child_ns)
+    }
+
+    /// Total rows produced by scan leaves in this subtree.
+    pub fn rows_scanned(&self) -> u64 {
+        let own = if self.children.is_empty() {
+            self.rows_out
+        } else {
+            0
+        };
+        own + self
+            .children
+            .iter()
+            .map(OpMetrics::rows_scanned)
+            .sum::<u64>()
+    }
+
+    /// Number of operators in this subtree (including self).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(OpMetrics::node_count)
+            .sum::<usize>()
+    }
+
+    /// The `EXPLAIN ANALYZE` annotation for this node.
+    pub fn actuals(&self) -> String {
+        format!(
+            "(actual rows={} in={} batches={} time={})",
+            self.rows_out,
+            self.rows_in,
+            self.batches,
+            fmt_ns(self.elapsed_ns)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(rows: u64, ns: u64) -> OpMetrics {
+        OpMetrics {
+            name: "TableScan(t)".into(),
+            rows_in: 0,
+            rows_out: rows,
+            batches: 1,
+            elapsed_ns: ns,
+            children: vec![],
+        }
+    }
+
+    #[test]
+    fn tree_accounting() {
+        let m = OpMetrics {
+            name: "HashJoin".into(),
+            rows_in: 30,
+            rows_out: 10,
+            batches: 2,
+            elapsed_ns: 1000,
+            children: vec![leaf(10, 300), leaf(20, 400)],
+        };
+        assert_eq!(m.self_ns(), 300);
+        assert_eq!(m.rows_scanned(), 30);
+        assert_eq!(m.node_count(), 3);
+        assert!(m
+            .actuals()
+            .starts_with("(actual rows=10 in=30 batches=2 time="));
+    }
+
+    #[test]
+    fn self_ns_saturates() {
+        let m = OpMetrics {
+            name: "Filter".into(),
+            rows_in: 1,
+            rows_out: 1,
+            batches: 1,
+            elapsed_ns: 10,
+            children: vec![leaf(1, 25)],
+        };
+        assert_eq!(m.self_ns(), 0);
+    }
+}

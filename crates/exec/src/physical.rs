@@ -6,6 +6,7 @@ use rfv_expr::{AggFunc, Expr};
 use rfv_storage::TableRef;
 use rfv_types::{Result, Row, SchemaRef, Value};
 
+use crate::opmetrics::{ExecProbe, OpMetrics};
 use crate::window::{WindowExprSpec, WindowMode};
 use crate::{aggregate, filter, join, scan, window};
 
@@ -178,34 +179,59 @@ impl PhysicalPlan {
         }
     }
 
-    /// Execute to completion.
+    /// Execute to completion (no observation — the default fast path).
     pub fn execute(&self) -> Result<Vec<Row>> {
-        match self {
-            PhysicalPlan::TableScan { table, .. } => scan::table_scan(table),
+        // A default probe has no counters and no trace, so the probed
+        // path degenerates to the plain recursion: no clock reads, no
+        // metric allocation.
+        Ok(self.execute_probed(&ExecProbe::default())?.0)
+    }
+
+    /// Execute to completion under a probe. Returns the result rows
+    /// plus — when `probe.trace` — a per-operator [`OpMetrics`] tree
+    /// mirroring this plan (children in execution order).
+    pub fn execute_probed(&self, probe: &ExecProbe) -> Result<(Vec<Row>, Option<OpMetrics>)> {
+        let timer = if probe.trace {
+            Some(rfv_obs::Stopwatch::start())
+        } else {
+            None
+        };
+        let mut kids: Vec<OpMetrics> = Vec::new();
+        let mut rows_in = 0u64;
+        let mut batches = 0u64;
+        let mut run = |p: &PhysicalPlan| -> Result<Vec<Row>> {
+            let (rows, m) = p.execute_probed(probe)?;
+            rows_in += rows.len() as u64;
+            batches += 1;
+            if let Some(m) = m {
+                kids.push(m);
+            }
+            Ok(rows)
+        };
+        let out = match self {
+            PhysicalPlan::TableScan { table, .. } => scan::table_scan(table)?,
             PhysicalPlan::IndexRangeScan {
                 table,
                 column,
                 lo,
                 hi,
                 ..
-            } => scan::index_range_scan(table, *column, lo.as_ref(), hi.as_ref()),
-            PhysicalPlan::Values { rows, .. } => Ok(rows.clone()),
-            PhysicalPlan::Filter { input, predicate } => {
-                filter::filter(input.execute()?, predicate)
-            }
-            PhysicalPlan::Project { input, exprs, .. } => filter::project(input.execute()?, exprs),
+            } => scan::index_range_scan(table, *column, lo.as_ref(), hi.as_ref())?,
+            PhysicalPlan::Values { rows, .. } => rows.clone(),
+            PhysicalPlan::Filter { input, predicate } => filter::filter(run(input)?, predicate)?,
+            PhysicalPlan::Project { input, exprs, .. } => filter::project(run(input)?, exprs)?,
             PhysicalPlan::NestedLoopJoin {
                 left,
                 right,
                 on,
                 join_type,
             } => join::nested_loop_join(
-                left.execute()?,
-                right.execute()?,
+                run(left)?,
+                run(right)?,
                 on.as_ref(),
                 *join_type,
                 right.schema().len(),
-            ),
+            )?,
             PhysicalPlan::IndexNestedLoopJoin {
                 left,
                 right_table,
@@ -216,7 +242,7 @@ impl PhysicalPlan {
                 residual,
                 join_type,
             } => join::index_nested_loop_join(
-                left.execute()?,
+                run(left)?,
                 right_table,
                 *right_column,
                 lo_expr,
@@ -224,7 +250,7 @@ impl PhysicalPlan {
                 residual.as_ref(),
                 *join_type,
                 right_schema.len(),
-            ),
+            )?,
             PhysicalPlan::HashJoin {
                 left,
                 right,
@@ -233,32 +259,32 @@ impl PhysicalPlan {
                 residual,
                 join_type,
             } => join::hash_join(
-                left.execute()?,
-                right.execute()?,
+                run(left)?,
+                run(right)?,
                 left_keys,
                 right_keys,
                 residual.as_ref(),
                 *join_type,
                 right.schema().len(),
-            ),
-            PhysicalPlan::Sort { input, keys } => filter::sort(input.execute()?, keys),
+            )?,
+            PhysicalPlan::Sort { input, keys } => filter::sort(run(input)?, keys)?,
             PhysicalPlan::HashAggregate {
                 input,
                 group_exprs,
                 aggregates,
                 ..
-            } => aggregate::hash_aggregate(input.execute()?, group_exprs, aggregates),
+            } => aggregate::hash_aggregate(run(input)?, group_exprs, aggregates)?,
             PhysicalPlan::UnionAll { inputs } => {
                 let mut out = Vec::new();
                 for p in inputs {
-                    out.extend(p.execute()?);
+                    out.extend(run(p)?);
                 }
-                Ok(out)
+                out
             }
             PhysicalPlan::Limit { input, n } => {
-                let mut rows = input.execute()?;
+                let mut rows = run(input)?;
                 rows.truncate(*n);
-                Ok(rows)
+                rows
             }
             PhysicalPlan::Window {
                 input,
@@ -267,28 +293,90 @@ impl PhysicalPlan {
                 window_exprs,
                 mode,
                 ..
-            } => window::execute_window(
-                input.execute()?,
-                partition_by,
-                order_by,
-                window_exprs,
-                *mode,
-            ),
+            } => window::execute_window(run(input)?, partition_by, order_by, window_exprs, *mode)?,
+        };
+        if let Some(counters) = &probe.counters {
+            if matches!(
+                self,
+                PhysicalPlan::TableScan { .. } | PhysicalPlan::IndexRangeScan { .. }
+            ) {
+                counters.rows_scanned.add(out.len() as u64);
+            }
+        }
+        let metrics = timer.map(|sw| OpMetrics {
+            name: self.metric_label(),
+            rows_in,
+            rows_out: out.len() as u64,
+            batches: batches.max(1),
+            elapsed_ns: sw.elapsed_ns(),
+            children: kids,
+        });
+        Ok((out, metrics))
+    }
+
+    /// Short operator label used in metrics trees (table name only —
+    /// full predicates stay in `explain`).
+    fn metric_label(&self) -> String {
+        match self {
+            PhysicalPlan::TableScan { table, .. } => {
+                format!("TableScan({})", table.read().name())
+            }
+            PhysicalPlan::IndexRangeScan { table, .. } => {
+                format!("IndexRangeScan({})", table.read().name())
+            }
+            PhysicalPlan::Values { .. } => "Values".into(),
+            PhysicalPlan::Filter { .. } => "Filter".into(),
+            PhysicalPlan::Project { .. } => "Project".into(),
+            PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin".into(),
+            PhysicalPlan::IndexNestedLoopJoin { right_table, .. } => {
+                format!("IndexNestedLoopJoin({})", right_table.read().name())
+            }
+            PhysicalPlan::HashJoin { .. } => "HashJoin".into(),
+            PhysicalPlan::Sort { .. } => "Sort".into(),
+            PhysicalPlan::HashAggregate { .. } => "HashAggregate".into(),
+            PhysicalPlan::UnionAll { .. } => "UnionAll".into(),
+            PhysicalPlan::Limit { .. } => "Limit".into(),
+            PhysicalPlan::Window { .. } => "Window".into(),
         }
     }
 
     /// Multi-line explain string (one node per line, children indented).
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        self.explain_annotated_into(&mut out, 0, None);
         out
     }
 
-    fn explain_into(&self, out: &mut String, indent: usize) {
+    /// `explain` with per-node actuals appended from a metrics tree
+    /// produced by [`execute_probed`](Self::execute_probed) on this same
+    /// plan. Nodes without a matching metrics entry (never the case for
+    /// a matching tree) render without an annotation.
+    pub fn explain_analyzed(&self, metrics: &OpMetrics) -> String {
+        let mut out = String::new();
+        self.explain_annotated_into(&mut out, 0, Some(metrics));
+        out
+    }
+
+    fn explain_annotated_into(&self, out: &mut String, indent: usize, m: Option<&OpMetrics>) {
         let pad = "  ".repeat(indent);
+        match m {
+            Some(m) => {
+                let _ = writeln!(out, "{pad}{} {}", self.explain_line(), m.actuals());
+            }
+            None => {
+                let _ = writeln!(out, "{pad}{}", self.explain_line());
+            }
+        }
+        for (i, child) in self.explain_children().iter().enumerate() {
+            child.explain_annotated_into(out, indent + 1, m.and_then(|m| m.children.get(i)));
+        }
+    }
+
+    /// The one-line description of this node (no indent, no children).
+    fn explain_line(&self) -> String {
         match self {
             PhysicalPlan::TableScan { table, .. } => {
-                let _ = writeln!(out, "{pad}TableScan: {}", table.read().name());
+                format!("TableScan: {}", table.read().name())
             }
             PhysicalPlan::IndexRangeScan {
                 table,
@@ -297,50 +385,30 @@ impl PhysicalPlan {
                 hi,
                 ..
             } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}IndexRangeScan: {} col#{column} [{} .. {}]",
+                format!(
+                    "IndexRangeScan: {} col#{column} [{} .. {}]",
                     table.read().name(),
                     lo.as_ref().map_or("-inf".into(), |v| v.to_string()),
                     hi.as_ref().map_or("+inf".into(), |v| v.to_string()),
-                );
+                )
             }
-            PhysicalPlan::Values { rows, .. } => {
-                let _ = writeln!(out, "{pad}Values: {} rows", rows.len());
-            }
-            PhysicalPlan::Filter { input, predicate } => {
-                let _ = writeln!(out, "{pad}Filter: {predicate}");
-                input.explain_into(out, indent + 1);
-            }
-            PhysicalPlan::Project {
-                input,
-                exprs,
-                schema,
-            } => {
+            PhysicalPlan::Values { rows, .. } => format!("Values: {} rows", rows.len()),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            PhysicalPlan::Project { exprs, schema, .. } => {
                 let cols: Vec<String> = exprs
                     .iter()
                     .zip(schema.fields())
                     .map(|(e, f)| format!("{e} AS {}", f.name))
                     .collect();
-                let _ = writeln!(out, "{pad}Project: {}", cols.join(", "));
-                input.explain_into(out, indent + 1);
+                format!("Project: {}", cols.join(", "))
             }
-            PhysicalPlan::NestedLoopJoin {
-                left,
-                right,
-                on,
-                join_type,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}NestedLoopJoin({join_type:?}): {}",
+            PhysicalPlan::NestedLoopJoin { on, join_type, .. } => {
+                format!(
+                    "NestedLoopJoin({join_type:?}): {}",
                     on.as_ref().map_or("true".into(), |e| e.to_string())
-                );
-                left.explain_into(out, indent + 1);
-                right.explain_into(out, indent + 1);
+                )
             }
             PhysicalPlan::IndexNestedLoopJoin {
-                left,
                 right_table,
                 lo_expr,
                 hi_expr,
@@ -348,50 +416,42 @@ impl PhysicalPlan {
                 join_type,
                 ..
             } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}IndexNestedLoopJoin({join_type:?}): {} key in [{lo_expr} .. {hi_expr}]{}",
+                format!(
+                    "IndexNestedLoopJoin({join_type:?}): {} key in [{lo_expr} .. {hi_expr}]{}",
                     right_table.read().name(),
                     residual
                         .as_ref()
                         .map_or(String::new(), |e| format!(" residual {e}")),
-                );
-                left.explain_into(out, indent + 1);
+                )
             }
             PhysicalPlan::HashJoin {
-                left,
-                right,
                 left_keys,
                 right_keys,
                 residual,
                 join_type,
+                ..
             } => {
                 let keys: Vec<String> = left_keys
                     .iter()
                     .zip(right_keys)
                     .map(|(l, r)| format!("{l} = {r}"))
                     .collect();
-                let _ = writeln!(
-                    out,
-                    "{pad}HashJoin({join_type:?}): {}{}",
+                format!(
+                    "HashJoin({join_type:?}): {}{}",
                     keys.join(" AND "),
                     residual
                         .as_ref()
                         .map_or(String::new(), |e| format!(" residual {e}")),
-                );
-                left.explain_into(out, indent + 1);
-                right.explain_into(out, indent + 1);
+                )
             }
-            PhysicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
                     .collect();
-                let _ = writeln!(out, "{pad}Sort: {}", ks.join(", "));
-                input.explain_into(out, indent + 1);
+                format!("Sort: {}", ks.join(", "))
             }
             PhysicalPlan::HashAggregate {
-                input,
                 group_exprs,
                 aggregates,
                 ..
@@ -404,26 +464,15 @@ impl PhysicalPlan {
                         None => f.to_string(),
                     })
                     .collect();
-                let _ = writeln!(
-                    out,
-                    "{pad}HashAggregate: group=[{}] aggs=[{}]",
+                format!(
+                    "HashAggregate: group=[{}] aggs=[{}]",
                     gs.join(", "),
                     aggs.join(", ")
-                );
-                input.explain_into(out, indent + 1);
+                )
             }
-            PhysicalPlan::UnionAll { inputs } => {
-                let _ = writeln!(out, "{pad}UnionAll");
-                for p in inputs {
-                    p.explain_into(out, indent + 1);
-                }
-            }
-            PhysicalPlan::Limit { input, n } => {
-                let _ = writeln!(out, "{pad}Limit: {n}");
-                input.explain_into(out, indent + 1);
-            }
+            PhysicalPlan::UnionAll { .. } => "UnionAll".into(),
+            PhysicalPlan::Limit { n, .. } => format!("Limit: {n}"),
             PhysicalPlan::Window {
-                input,
                 partition_by,
                 order_by,
                 window_exprs,
@@ -436,15 +485,36 @@ impl PhysicalPlan {
                     .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
                     .collect();
                 let ws: Vec<String> = window_exprs.iter().map(|w| w.to_string()).collect();
-                let _ = writeln!(
-                    out,
-                    "{pad}Window({mode:?}): partition=[{}] order=[{}] exprs=[{}]",
+                format!(
+                    "Window({mode:?}): partition=[{}] order=[{}] exprs=[{}]",
                     ps.join(", "),
                     os.join(", "),
                     ws.join(", ")
-                );
-                input.explain_into(out, indent + 1);
+                )
             }
+        }
+    }
+
+    /// Children in execution order — the same order
+    /// [`execute_probed`](Self::execute_probed) materializes them, so a
+    /// metrics tree zips positionally with the plan tree. Note
+    /// `IndexNestedLoopJoin` has one child: its right side is a stored
+    /// table probed via its index, not an executed plan.
+    fn explain_children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::TableScan { .. }
+            | PhysicalPlan::IndexRangeScan { .. }
+            | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Window { input, .. } => vec![input],
+            PhysicalPlan::IndexNestedLoopJoin { left, .. } => vec![left],
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::UnionAll { inputs } => inputs.iter().collect(),
         }
     }
 }

@@ -1,0 +1,65 @@
+//! Monotonic clock wrapper.
+//!
+//! All timings in the workspace are `u64` nanoseconds taken from a
+//! [`Stopwatch`]; no other module reads `std::time::Instant` directly.
+//! Keeping the clock behind one type makes the "skip the clock entirely
+//! when tracing is off" rule auditable, and gives tests a single place
+//! to reason about timer overhead.
+
+use std::time::Instant;
+
+/// A started monotonic timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Read the monotonic clock and start timing.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`start`](Self::start). Saturates at
+    /// `u64::MAX` (≈ 584 years), which no query should reach.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Human-readable nanoseconds with ns/µs/ms/s autoscaling.
+pub fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fmt_ns_autoscales() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert!(fmt_ns(2_500).contains("µs"));
+        assert!(fmt_ns(2_500_000).contains("ms"));
+        assert!(fmt_ns(2_500_000_000).ends_with(" s"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # rfv-obs — first-party observability
+//!
+//! The measurement layer the rest of the workspace hangs metrics off:
+//!
+//! * [`clock`] — a monotonic clock wrapper ([`Stopwatch`]) so callers
+//!   never touch `std::time` directly and timings are uniformly `u64`
+//!   nanoseconds;
+//! * [`span`] — a lightweight span/event API: a [`Collector`] records
+//!   named phase spans (parse → bind → optimize → rewrite →
+//!   physical-plan → execute) per query; a *disabled* collector is a
+//!   no-op that never reads the clock, so tracing costs nothing unless
+//!   requested (`EXPLAIN ANALYZE` or `Database::set_tracing(true)`);
+//! * [`metrics`] — engine-wide always-on counters and histograms:
+//!   [`Counter`] is one relaxed atomic add per event, [`Histogram`] a
+//!   fixed array of log₂ buckets, and [`MetricsRegistry`] a name → handle
+//!   map with a stable JSON text export;
+//! * [`json`] — a minimal first-party JSON value type with a serializer
+//!   and parser, used for the metrics export and the benchmark
+//!   trajectory files (`BENCH_table1.json` / `BENCH_table2.json`).
+//!
+//! Like the rest of the workspace this crate has **zero external
+//! dependencies** — no `tracing`, no `metrics`, no `serde`.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use clock::{fmt_ns, Stopwatch};
+pub use json::Json;
+pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use span::{Collector, Span, SpanRecord};

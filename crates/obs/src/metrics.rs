@@ -1,0 +1,291 @@
+//! Always-on engine metrics: atomic counters, log₂ histograms, and a
+//! name-keyed registry with a stable JSON export.
+//!
+//! Everything here is cheap enough to leave enabled unconditionally: a
+//! [`Counter`] event is one relaxed atomic add, a [`Histogram`] record is
+//! four. Handles are `Arc`-backed clones, so hot paths resolve a name
+//! once (at construction) and never touch the registry map again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rfv_types::sync::RwLock;
+
+use crate::json::Json;
+
+/// A monotonically increasing event counter (relaxed atomics — totals,
+/// not synchronization).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    /// `buckets[i]` counts values `v` with `ceil(log2(v+1)) == i`, i.e.
+    /// bucket `i` spans `[2^(i-1), 2^i)` (bucket 0 holds zeros).
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log₂-bucketed histogram of `u64` values (nanoseconds, by
+/// convention). Quantiles are bucket-upper-bound estimates: exact to
+/// within a factor of 2, which is all a steering metric needs — the
+/// bench harness computes exact p50/p95 from raw samples instead.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    pub fn record(&self, v: u64) {
+        let h = &self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = (64 - v.leading_zeros()) as usize; // 0 for v == 0
+        h.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> u64 {
+        let m = self.0.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th smallest value (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i is 2^i − 1 (bucket 0 holds 0).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Int(self.count() as i64)),
+            ("sum_ns".into(), Json::Int(self.sum() as i64)),
+            ("min_ns".into(), Json::Int(self.min() as i64)),
+            ("max_ns".into(), Json::Int(self.max() as i64)),
+            ("p50_ns".into(), Json::Int(self.quantile(0.50) as i64)),
+            ("p95_ns".into(), Json::Int(self.quantile(0.95) as i64)),
+        ])
+    }
+}
+
+/// Engine-wide name → metric map. Cheap to clone (shared state);
+/// `counter`/`histogram` get-or-create and return an `Arc`-backed handle
+/// that bypasses the map afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Current value of counter `name` (0 if it was never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.counters.read().get(name).map_or(0, Counter::get)
+    }
+
+    /// A point-in-time snapshot of every counter, sorted by name.
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// The whole registry as a JSON value. Key order is lexicographic
+    /// (BTreeMap), so the text form is stable across runs for a fixed
+    /// set of metric names.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(v.get() as i64)))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("histograms".into(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.incr();
+        b.add(2);
+        assert_eq!(r.counter_value("x"), 3);
+        assert_eq!(r.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        // p50 falls in the bucket of 2..3, p95+ in the bucket of 1000.
+        assert!(h.quantile(0.5) <= 3);
+        let p99 = h.quantile(0.99);
+        assert!((512..=1023).contains(&p99), "{p99}");
+        // Degenerate quantiles do not panic.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_json_is_stable_and_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b").incr();
+        r.counter("a").add(5);
+        r.histogram("h").record(7);
+        let s1 = r.to_json().to_string();
+        let s2 = r.to_json().to_string();
+        assert_eq!(s1, s2);
+        assert!(s1.find("\"a\"").unwrap() < s1.find("\"b\"").unwrap());
+        let parsed = Json::parse(&s1).unwrap();
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("a")),
+            Some(&Json::Int(5))
+        );
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,0 +1,174 @@
+//! Lightweight phase spans.
+//!
+//! A [`Collector`] accumulates named [`SpanRecord`]s for one query. The
+//! engine opens one span per planning/execution phase; a span records
+//! its start offset and duration when it is dropped (or when the closure
+//! passed to [`Collector::time`] returns).
+//!
+//! A **disabled** collector never reads the clock and never allocates:
+//! `Collector::disabled().time("x", f)` compiles down to calling `f`.
+//! That is the contract that lets the engine leave the span plumbing in
+//! the hot path unconditionally while only paying for it under
+//! `EXPLAIN ANALYZE` or `Database::set_tracing(true)`.
+
+use std::cell::RefCell;
+
+use crate::clock::{fmt_ns, Stopwatch};
+
+/// One completed span: a named phase with its position on the query's
+/// own timeline (`start_ns` is relative to collector creation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub elapsed_ns: u64,
+}
+
+impl std::fmt::Display for SpanRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:<14} {}", self.name, fmt_ns(self.elapsed_ns))
+    }
+}
+
+/// Per-query span collector. Single-threaded by design (one query is
+/// planned and executed on one thread); interior mutability keeps the
+/// borrow story simple for RAII spans.
+#[derive(Debug)]
+pub struct Collector {
+    /// `None` when disabled — the no-op fast path.
+    origin: Option<Stopwatch>,
+    spans: RefCell<Vec<SpanRecord>>,
+}
+
+impl Collector {
+    /// A collector that records spans.
+    pub fn enabled() -> Self {
+        Collector {
+            origin: Some(Stopwatch::start()),
+            spans: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// A collector that ignores everything (never reads the clock).
+    pub fn disabled() -> Self {
+        Collector {
+            origin: None,
+            spans: RefCell::new(Vec::new()),
+        }
+    }
+
+    pub fn new(enabled: bool) -> Self {
+        if enabled {
+            Collector::enabled()
+        } else {
+            Collector::disabled()
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.origin.is_some()
+    }
+
+    /// Open a RAII span; it records itself into the collector on drop.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            collector: self,
+            name,
+            start: self.origin.as_ref().map(|_| Stopwatch::start()),
+        }
+    }
+
+    /// Time one closure as a span. On a disabled collector this is
+    /// exactly `f()`.
+    pub fn time<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Nanoseconds since the collector was created (0 when disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.origin.as_ref().map_or(0, Stopwatch::elapsed_ns)
+    }
+
+    /// Consume the collector, returning the recorded spans in open order.
+    pub fn finish(self) -> Vec<SpanRecord> {
+        self.spans.into_inner()
+    }
+
+    /// Drain the recorded spans, leaving the collector usable — for
+    /// callers holding only a shared reference.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.spans.borrow_mut())
+    }
+
+    fn record(&self, name: &'static str, span_start: &Stopwatch) {
+        let Some(origin) = &self.origin else { return };
+        let elapsed_ns = span_start.elapsed_ns();
+        let end_ns = origin.elapsed_ns();
+        self.spans.borrow_mut().push(SpanRecord {
+            name,
+            start_ns: end_ns.saturating_sub(elapsed_ns),
+            elapsed_ns,
+        });
+    }
+}
+
+/// An open span; records itself when dropped.
+pub struct Span<'c> {
+    collector: &'c Collector,
+    name: &'static str,
+    /// `None` when the collector is disabled.
+    start: Option<Stopwatch>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = &self.start {
+            self.collector.record(self.name, start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_collector_records_in_order() {
+        let c = Collector::enabled();
+        c.time("parse", || std::hint::black_box(1 + 1));
+        {
+            let _s = c.span("bind");
+        }
+        let spans = c.finish();
+        assert_eq!(
+            spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+            vec!["parse", "bind"]
+        );
+        for s in &spans {
+            assert!(s.start_ns <= s.start_ns + s.elapsed_ns);
+        }
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::disabled();
+        assert_eq!(c.time("x", || 42), 42);
+        let _ = c.span("y");
+        assert!(!c.is_enabled());
+        assert!(c.finish().is_empty());
+    }
+
+    #[test]
+    fn spans_nest() {
+        let c = Collector::enabled();
+        c.time("outer", || {
+            c.time("inner", || ());
+        });
+        let spans = c.finish();
+        // Inner closes (and records) first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert!(spans[1].elapsed_ns >= spans[0].elapsed_ns);
+    }
+}

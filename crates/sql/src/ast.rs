@@ -12,6 +12,12 @@ use rfv_types::DataType;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Query(Query),
+    /// `EXPLAIN [ANALYZE] query` — show the plan; with ANALYZE, run the
+    /// query and annotate every physical node with measured actuals.
+    Explain {
+        analyze: bool,
+        query: Query,
+    },
     CreateTable {
         name: String,
         columns: Vec<ColumnDef>,
@@ -646,6 +652,13 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Query(q) => write!(f, "{q}"),
+            Statement::Explain { analyze, query } => {
+                write!(
+                    f,
+                    "EXPLAIN {}{query}",
+                    if *analyze { "ANALYZE " } else { "" }
+                )
+            }
             Statement::CreateTable { name, columns } => {
                 write!(f, "CREATE TABLE {name} (")?;
                 comma_sep(f, columns)?;

@@ -166,6 +166,14 @@ impl Parser {
             TokenKind::Keyword(Keyword::Select) | TokenKind::LParen => {
                 Ok(Statement::Query(self.parse_query()?))
             }
+            TokenKind::Keyword(Keyword::Explain) => {
+                self.advance();
+                let analyze = self.eat_kw(Keyword::Analyze);
+                Ok(Statement::Explain {
+                    analyze,
+                    query: self.parse_query()?,
+                })
+            }
             TokenKind::Keyword(Keyword::Create) => self.parse_create(),
             TokenKind::Keyword(Keyword::Insert) => self.parse_insert(),
             TokenKind::Keyword(Keyword::Update) => self.parse_update(),
@@ -177,7 +185,9 @@ impl Parser {
                     name: self.ident()?,
                 })
             }
-            _ => Err(self.unexpected("statement (SELECT/CREATE/INSERT/UPDATE/DELETE/DROP)")),
+            _ => {
+                Err(self.unexpected("statement (SELECT/EXPLAIN/CREATE/INSERT/UPDATE/DELETE/DROP)"))
+            }
         }
     }
 

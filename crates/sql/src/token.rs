@@ -7,6 +7,7 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Keyword {
     All,
+    Analyze,
     And,
     As,
     Asc,
@@ -26,6 +27,7 @@ pub enum Keyword {
     Drop,
     Else,
     End,
+    Explain,
     False,
     Following,
     From,
@@ -78,6 +80,7 @@ impl Keyword {
         use Keyword::*;
         let kw = match s.to_ascii_uppercase().as_str() {
             "ALL" => All,
+            "ANALYZE" => Analyze,
             "AND" => And,
             "AS" => As,
             "ASC" => Asc,
@@ -97,6 +100,7 @@ impl Keyword {
             "DROP" => Drop,
             "ELSE" => Else,
             "END" => End,
+            "EXPLAIN" => Explain,
             "FALSE" => False,
             "FOLLOWING" => Following,
             "FROM" => From,

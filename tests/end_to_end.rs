@@ -281,6 +281,12 @@ fn maintenance_storm_keeps_all_views_consistent() {
         let direct = col_f64(&db, &sql, 1);
         assert_eq!(derived, direct, "frame {frame}");
     }
+    // The maintenance counters saw every operation of the storm.
+    let m = db.metrics();
+    assert_eq!(m.counter_value("maintenance.update"), 2);
+    assert_eq!(m.counter_value("maintenance.insert"), 3); // 2 sequence + 1 SQL
+    assert_eq!(m.counter_value("maintenance.delete"), 2);
+    assert_eq!(m.counter_value("view.created"), 3);
 }
 
 #[test]

@@ -97,6 +97,31 @@ fn run_query(db: &Database, sql: &str, rewrite: bool, ncols: usize) -> Vec<Vec<O
         .collect()
 }
 
+/// The engine's rewrite counters must stay internally consistent no
+/// matter what query shapes the fuzzer throws at it: every planned
+/// window expression lands in exactly one strategy counter or the
+/// expression-fallback counter, and every planned query lands in
+/// exactly one report-level outcome.
+fn assert_counter_invariants(db: &Database, sql: &str) {
+    let snapshot = db.metrics().counters_snapshot();
+    let get = |k: &str| snapshot.get(k).copied().unwrap_or(0);
+    let strategy_total: u64 = snapshot
+        .iter()
+        .filter(|(k, _)| k.starts_with("rewrite.strategy."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(
+        get("rewrite.expressions"),
+        strategy_total + get("rewrite.expr_fallback"),
+        "strategy counters must sum to expressions planned\nsql: {sql}"
+    );
+    assert_eq!(
+        get("query.planned"),
+        get("rewrite.rewritten") + get("rewrite.fallback") + get("rewrite.disabled"),
+        "outcomes must partition planned queries\nsql: {sql}"
+    );
+}
+
 fn assert_rows_match(on: &[Vec<Option<f64>>], off: &[Vec<Option<f64>>], sql: &str) {
     assert_eq!(
         on.len(),
@@ -162,6 +187,7 @@ fn check_unpartitioned(vals: &[i64], views: &[ViewSpec], exprs: &[ExprSpec]) {
     let on = run_query(&db, &sql, true, ncols);
     let off = run_query(&db, &sql, false, ncols);
     assert_rows_match(&on, &off, &sql);
+    assert_counter_invariants(&db, &sql);
 }
 
 fn check_partitioned(vals: &[i64], views: &[ViewSpec], exprs: &[ExprSpec]) {
@@ -196,6 +222,7 @@ fn check_partitioned(vals: &[i64], views: &[ViewSpec], exprs: &[ExprSpec]) {
     let on = run_query(&db, &sql, true, ncols);
     let off = run_query(&db, &sql, false, ncols);
     assert_rows_match(&on, &off, &sql);
+    assert_counter_invariants(&db, &sql);
 }
 
 #[test]

@@ -1,0 +1,212 @@
+//! Observability integration tests: EXPLAIN ANALYZE output shape,
+//! metrics-counter invariants, trace spans, and the zero-overhead
+//! contract (tracing off ⇒ identical results, no spans recorded).
+
+use rfv_core::Database;
+use rfv_obs::Json;
+
+fn db_with_seq(n: i64) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    for i in 1..=n {
+        db.execute(&format!("INSERT INTO seq VALUES ({i}, {})", i as f64))
+            .unwrap();
+    }
+    db
+}
+
+fn db_with_view(n: i64) -> Database {
+    let db = db_with_seq(n);
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+    )
+    .unwrap();
+    db
+}
+
+const SLIDING_SQL: &str = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 \
+                           PRECEDING AND 1 FOLLOWING) AS s FROM seq";
+
+/// Replace every `time=…)` annotation tail with `time=MASKED)` so the
+/// only nondeterministic part of EXPLAIN ANALYZE output compares stably.
+fn mask_times(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        match line.find("time=") {
+            Some(i) => {
+                let tail = &line[i..];
+                let end = tail.find(')').map(|e| i + e).unwrap_or(line.len());
+                out.push_str(&line[..i]);
+                out.push_str("time=MASKED");
+                out.push_str(&line[end..]);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn explain_analyze_masks_to_golden_shape() {
+    let db = db_with_view(10);
+    let text = db
+        .explain(&format!("EXPLAIN ANALYZE {SLIDING_SQL}"))
+        .unwrap();
+    let masked = mask_times(&text);
+    println!("{masked}");
+    // Every physical node line carries an actuals annotation.
+    let plan_lines: Vec<&str> = masked
+        .lines()
+        .skip(1) // "== physical … ==" header
+        .take_while(|l| !l.starts_with("rows emitted"))
+        .collect();
+    assert!(!plan_lines.is_empty());
+    for line in &plan_lines {
+        assert!(
+            line.contains("(actual rows=") && line.contains("time=MASKED"),
+            "node line missing actuals: {line:?}"
+        );
+    }
+    // View rewrite fired and the report names the strategy.
+    assert!(masked.contains("== physical (view rewrite) =="), "{masked}");
+    assert!(masked.contains("== rewrite =="), "{masked}");
+    assert!(masked.contains("MinOA"), "{masked}");
+    // Phase timeline is present and complete.
+    for phase in ["bind", "optimize", "rewrite", "execute", "total"] {
+        assert!(masked.contains(phase), "missing phase {phase}: {masked}");
+    }
+}
+
+#[test]
+fn explain_analyze_runs_as_a_statement() {
+    let db = db_with_view(8);
+    let r = db
+        .execute(&format!("EXPLAIN ANALYZE {SLIDING_SQL}"))
+        .unwrap();
+    assert_eq!(r.schema().fields()[0].name, "plan");
+    let text: Vec<String> = r.rows().iter().map(|row| row.get(0).to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("(actual rows=")), "{text:?}");
+    // Plain EXPLAIN also works as a statement and shows no actuals.
+    let r = db.execute(&format!("EXPLAIN {SLIDING_SQL}")).unwrap();
+    let text: Vec<String> = r.rows().iter().map(|row| row.get(0).to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("== logical ==")), "{text:?}");
+    assert!(
+        !text.iter().any(|l| l.contains("(actual rows=")),
+        "{text:?}"
+    );
+}
+
+#[test]
+fn disabled_tracing_is_zero_overhead_and_identical() {
+    let traced = db_with_view(20);
+    traced.set_tracing(true);
+    let plain = db_with_view(20);
+    let a = traced.execute(SLIDING_SQL).unwrap();
+    let b = plain.execute(SLIDING_SQL).unwrap();
+    assert_eq!(a.rows(), b.rows());
+    // Traced run recorded spans; untraced run recorded none.
+    let trace = traced.last_trace().expect("trace recorded");
+    assert!(trace.phase_ns("bind").is_some());
+    assert!(trace.phase_ns("execute").is_some());
+    assert!(trace.total_ns > 0);
+    assert!(plain.last_trace().is_none());
+    // Counters stay on either way.
+    assert_eq!(traced.metrics().counter_value("query.executed"), 1);
+    assert_eq!(plain.metrics().counter_value("query.executed"), 1);
+    // The histogram only fills when tracing is on.
+    assert_eq!(traced.metrics().histogram("query.ns").count(), 1);
+    assert_eq!(plain.metrics().histogram("query.ns").count(), 0);
+}
+
+#[test]
+fn strategy_counters_sum_to_expressions_planned() {
+    let db = db_with_view(30);
+    for sql in [
+        SLIDING_SQL,
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 \
+         FOLLOWING) AS s FROM seq",
+        "SELECT pos, AVG(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 \
+         FOLLOWING) AS a FROM seq",
+        "SELECT pos, val FROM seq ORDER BY pos",
+    ] {
+        db.execute(sql).unwrap();
+    }
+    let snapshot = db.metrics().counters_snapshot();
+    let strategy_total: u64 = snapshot
+        .iter()
+        .filter(|(k, _)| k.starts_with("rewrite.strategy."))
+        .map(|(_, v)| *v)
+        .sum();
+    let expressions = snapshot.get("rewrite.expressions").copied().unwrap_or(0);
+    let expr_fallback = snapshot.get("rewrite.expr_fallback").copied().unwrap_or(0);
+    assert!(expressions > 0);
+    assert_eq!(expressions, strategy_total + expr_fallback);
+    // Report-level outcomes partition the planned queries.
+    let planned = snapshot.get("query.planned").copied().unwrap_or(0);
+    let rewritten = snapshot.get("rewrite.rewritten").copied().unwrap_or(0);
+    let fallback = snapshot.get("rewrite.fallback").copied().unwrap_or(0);
+    let disabled = snapshot.get("rewrite.disabled").copied().unwrap_or(0);
+    assert_eq!(planned, rewritten + fallback + disabled);
+}
+
+#[test]
+fn maintenance_counters_track_dml_kinds() {
+    let db = db_with_view(10);
+    db.sequence_update("seq", 5, 50.0).unwrap();
+    db.sequence_insert("seq", 3, 30.0).unwrap();
+    db.sequence_delete("seq", 1).unwrap();
+    db.execute("INSERT INTO seq VALUES (11, 110.0)").unwrap();
+    db.refresh_views("seq").unwrap();
+    let m = db.metrics();
+    assert_eq!(m.counter_value("maintenance.update"), 1);
+    assert_eq!(m.counter_value("maintenance.insert"), 2); // sequence_insert + SQL append
+    assert_eq!(m.counter_value("maintenance.delete"), 1);
+    assert_eq!(m.counter_value("maintenance.refresh"), 1);
+    assert_eq!(m.counter_value("view.created"), 1);
+}
+
+#[test]
+fn metrics_json_round_trips_and_is_stable() {
+    let db = db_with_view(10);
+    db.execute(SLIDING_SQL).unwrap();
+    let text = db.metrics_json();
+    let parsed = Json::parse(&text).expect("metrics JSON parses");
+    // Round-trip is byte-stable (ordered objects).
+    assert_eq!(parsed.to_string(), text);
+    let counters = parsed.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("query.executed").and_then(Json::as_i64),
+        Some(1)
+    );
+    assert!(counters.get("exec.rows_scanned").and_then(Json::as_i64) > Some(0));
+    // Histograms section exists with the expected schema.
+    let h = parsed
+        .get("histograms")
+        .and_then(|h| h.get("query.ns"))
+        .expect("query.ns histogram");
+    for key in ["count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p95_ns"] {
+        assert!(h.get(key).is_some(), "missing {key}");
+    }
+}
+
+#[test]
+fn rewrite_report_is_shared_not_cloned() {
+    let db = db_with_view(10);
+    db.execute(SLIDING_SQL).unwrap();
+    let a = db.last_rewrite_report().unwrap();
+    let b = db.last_rewrite_report().unwrap();
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+    assert!(a.rewritten);
+    // The trace folds in the same Arc when tracing is on.
+    db.set_tracing(true);
+    db.execute(SLIDING_SQL).unwrap();
+    let trace = db.last_trace().unwrap();
+    let report = db.last_rewrite_report().unwrap();
+    assert!(std::sync::Arc::ptr_eq(
+        trace.rewrite.as_ref().unwrap(),
+        &report
+    ));
+}
