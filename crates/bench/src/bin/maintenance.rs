@@ -1,0 +1,197 @@
+//! Bulk-load maintenance bench: **row-at-a-time vs batched** view
+//! maintenance under four materialized views (two sliding SUMs, a
+//! cumulative SUM, and a sliding MAX).
+//!
+//! ```sh
+//! cargo run -p rfv-bench --release --bin maintenance            # full (1M batched)
+//! cargo run -p rfv-bench --release --bin maintenance -- --quick # CI sizes
+//! ```
+//!
+//! The row-at-a-time path pays one §2.3 maintenance pass per appended row
+//! per view — each pass re-reads the whole base sequence, so loading `m`
+//! rows costs `O(m·n)` and the comparison is run at a moderate size where
+//! that is measurable but not absurd. The batched path
+//! ([`rfv_core::Database::sequence_append_bulk`]) coalesces the whole
+//! load into one pass per view and is additionally measured alone at
+//! bulk-load sizes (1M rows in full mode).
+//!
+//! The bench is **self-validating**: it asserts the two paths produce
+//! identical view bodies (checksums) and that the batched path is at
+//! least 10× faster at the comparison size, then writes and re-validates
+//! `BENCH_maintenance.json` — CI runs `--quick` and fails on any of
+//! those checks.
+
+use rfv_bench::harness::{fmt_secs, percentile, samples_or, warmup_or, CaseStats, Report};
+use rfv_bench::{random_values, seq_database};
+use rfv_core::Database;
+
+/// Minimum batched-over-row speedup the bench asserts at the comparison
+/// size (the PR's acceptance bar).
+const MIN_SPEEDUP: f64 = 10.0;
+
+/// Rows already in the sequence before the measured load.
+const SEED_ROWS: usize = 64;
+
+/// The four views every database registers.
+fn create_views(db: &Database) {
+    for sql in [
+        "CREATE MATERIALIZED VIEW mv_a AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        "CREATE MATERIALIZED VIEW mv_b AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 8 PRECEDING AND 4 FOLLOWING) AS s FROM seq",
+        "CREATE MATERIALIZED VIEW mv_c AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS s FROM seq",
+        "CREATE MATERIALIZED VIEW mv_d AS SELECT pos, MAX(val) OVER \
+         (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS s FROM seq",
+    ] {
+        db.execute(sql).expect("view creation");
+    }
+}
+
+fn fresh_db() -> Database {
+    let db = seq_database(&random_values(SEED_ROWS, 11));
+    create_views(&db);
+    db
+}
+
+/// Sum of every view body — the cross-path correctness check.
+fn view_checksums(db: &Database) -> [f64; 4] {
+    let mut out = [0.0; 4];
+    for (i, view) in ["mv_a", "mv_b", "mv_c", "mv_d"].iter().enumerate() {
+        let rows = db
+            .execute(&format!("SELECT pos, val FROM {view} ORDER BY pos"))
+            .expect("view read");
+        out[i] = rfv_bench::checksum(rows.rows(), 1);
+    }
+    out
+}
+
+fn load_row_at_a_time(db: &Database, vals: &[f64]) {
+    for (i, &v) in vals.iter().enumerate() {
+        db.sequence_insert("seq", SEED_ROWS as i64 + 1 + i as i64, v)
+            .expect("row append");
+    }
+}
+
+fn load_batched(db: &Database, vals: &[f64]) {
+    db.sequence_append_bulk("seq", vals).expect("bulk append");
+}
+
+/// Measure `load` over `iters` runs, each against a fresh database
+/// (built untimed). Returns sorted seconds and one loaded database for
+/// checksumming.
+fn measure(
+    iters: u32,
+    warmup: u32,
+    vals: &[f64],
+    load: impl Fn(&Database, &[f64]),
+) -> (Vec<f64>, Database) {
+    for _ in 0..warmup {
+        load(&fresh_db(), vals);
+    }
+    let mut times = Vec::with_capacity(iters as usize);
+    let mut last = None;
+    for _ in 0..iters.max(1) {
+        let db = fresh_db();
+        let start = std::time::Instant::now();
+        load(&db, vals);
+        times.push(start.elapsed().as_secs_f64());
+        last = Some(db);
+    }
+    times.sort_by(f64::total_cmp);
+    (times, last.expect("at least one iteration"))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = samples_or(3);
+    let warmup = warmup_or(1);
+    let mut report = Report::new("maintenance", quick);
+
+    // -- comparison: row-at-a-time vs batched at a moderate size ----------
+    let cmp_rows = if quick { 2_000 } else { 5_000 };
+    let vals = random_values(cmp_rows, 23);
+    println!(
+        "Bulk load of {cmp_rows} rows under 4 materialized views \
+         (seed {SEED_ROWS} rows):\n"
+    );
+
+    let (row_times, row_db) = measure(iters, warmup, &vals, load_row_at_a_time);
+    let (batch_times, batch_db) = measure(iters, warmup, &vals, load_batched);
+    let row_p50 = percentile(&row_times, 0.50);
+    let batch_p50 = percentile(&batch_times, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("row-at-a-time/n={cmp_rows}"),
+        &row_times,
+        cmp_rows as u64,
+    ));
+    report.push(CaseStats::from_samples(
+        &format!("batched/n={cmp_rows}"),
+        &batch_times,
+        cmp_rows as u64,
+    ));
+
+    // Self-validation 1: both paths must land identical view bodies.
+    let (a, b) = (view_checksums(&row_db), view_checksums(&batch_db));
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-6 * x.abs().max(1.0),
+            "view {i} diverged: row-at-a-time {x} vs batched {y}"
+        );
+    }
+
+    let speedup = row_p50 / batch_p50.max(1e-12);
+    println!(
+        "  row-at-a-time: {}  ({:.0} rows/s)",
+        fmt_secs(row_p50),
+        cmp_rows as f64 / row_p50
+    );
+    println!(
+        "  batched:       {}  ({:.0} rows/s)",
+        fmt_secs(batch_p50),
+        cmp_rows as f64 / batch_p50
+    );
+    println!("  speedup:       {speedup:.1}× (bar: ≥{MIN_SPEEDUP}×)");
+    println!("  checksums:     agree across paths ({:.3e})", a[0]);
+
+    // Self-validation 2: the acceptance bar.
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "batched maintenance speedup {speedup:.1}× is below the {MIN_SPEEDUP}× bar \
+         (row {row_p50:.4}s vs batched {batch_p50:.4}s at n={cmp_rows})"
+    );
+
+    // -- batched-only bulk-load sizes ------------------------------------
+    // Row-at-a-time is O(m·n) per view and infeasible at 1M; the batched
+    // path is measured alone at load sizes.
+    for &big in if quick {
+        &[200_000usize][..]
+    } else {
+        &[200_000usize, 1_000_000][..]
+    } {
+        let vals = random_values(big, 29);
+        let (times, db) = measure(iters, warmup.min(1), &vals, load_batched);
+        let p50 = percentile(&times, 0.50);
+        report.push(CaseStats::from_samples(
+            &format!("batched/n={big}"),
+            &times,
+            big as u64,
+        ));
+        let recomputed = db.metrics().counter_value("maintenance.batch_recomputed");
+        let coalesced = db.metrics().counter_value("maintenance.batch_coalesced");
+        println!(
+            "\n  batched load of {big} rows: {} ({:.0} rows/s; {recomputed} \
+             positions recomputed, {coalesced} ops coalesced)",
+            fmt_secs(p50),
+            big as f64 / p50
+        );
+    }
+
+    match report.write_and_validate() {
+        Ok(path) => println!("\nwrote {} ({iters} iters/case)", path.display()),
+        Err(e) => {
+            eprintln!("bench export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

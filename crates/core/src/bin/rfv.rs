@@ -12,6 +12,8 @@
 //! * `.views` — registered materialized sequence views
 //! * `.explain <query>` — logical + physical plan (shows whether a view
 //!   rewrite fired); `EXPLAIN [ANALYZE] <query>` also works as SQL
+//! * `.load <table> <nrows>` — bulk-append `<nrows>` generated rows
+//!   through the batched maintenance path (one pass per view)
 //! * `.rewrite on|off` — toggle view-aware rewriting
 //! * `\timing on|off` — per-statement wall time plus the traced phase
 //!   breakdown (parse/bind/optimize/rewrite/plan/execute)
@@ -31,6 +33,7 @@ meta commands (.name and \\name are equivalent):
   .tables               catalog contents
   .views                registered materialized sequence views
   .explain <query>      show the plan (and whether a view rewrite fired)
+  .load <table> <nrows> bulk-append generated rows (batched maintenance)
   .rewrite on|off       toggle answering window queries from views
   \\timing on|off        print per-statement time and phase breakdown
   \\metrics              dump the engine metrics registry as JSON
@@ -108,6 +111,41 @@ fn main() {
                     },
                     None => println!("usage: .explain <query>"),
                 },
+                ".load" => {
+                    let mut args = parts.next().unwrap_or("").split_whitespace();
+                    match (
+                        args.next(),
+                        args.next().and_then(|n| n.parse::<usize>().ok()),
+                    ) {
+                        (Some(table), Some(nrows)) if nrows > 0 => {
+                            // Deterministic generated values (xorshift), so
+                            // repeated demos are reproducible.
+                            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+                            let vals: Vec<f64> = (0..nrows)
+                                .map(|_| {
+                                    state ^= state << 13;
+                                    state ^= state >> 7;
+                                    state ^= state << 17;
+                                    (state % 1_000) as f64 / 10.0
+                                })
+                                .collect();
+                            let clock = Stopwatch::start();
+                            match db.sequence_append_bulk(table, &vals) {
+                                Ok(stats) => println!(
+                                    "loaded {nrows} rows into {table} in {} \
+                                     ({} view positions recomputed, {} shifted, \
+                                     {} ops coalesced)",
+                                    fmt_ns(clock.elapsed_ns()),
+                                    stats.recomputed,
+                                    stats.shifted,
+                                    stats.coalesced,
+                                ),
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                        _ => println!("usage: .load <table> <nrows>"),
+                    }
+                }
                 ".rewrite" => match parts.next() {
                     Some("on") => {
                         db.set_view_rewrite(true);

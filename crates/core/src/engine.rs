@@ -30,7 +30,7 @@ use rfv_storage::{Catalog, IndexKind};
 use rfv_types::sync::RwLock;
 use rfv_types::{DataType, Field, Result, RfvError, Row, Schema, SchemaRef, Value};
 
-use crate::maintenance;
+use crate::maintenance::{self, BatchOp, MaintBatch, MaintenanceStats};
 use crate::patterns::PatternVariant;
 use crate::rewrite::{RewriteOutcome, RewriteReport, Rewriter};
 use crate::sequence::{CompleteMinMaxSequence, CompleteSequence, CumulativeSequence, WindowSpec};
@@ -149,6 +149,12 @@ struct EngineCounters {
     maint_insert: Counter,
     maint_delete: Counter,
     maint_refresh: Counter,
+    maint_batch: Counter,
+    maint_batch_rows: Counter,
+    maint_batch_recomputed: Counter,
+    maint_batch_shifted: Counter,
+    maint_batch_coalesced: Counter,
+    maint_batch_fallback: Counter,
     view_created: Counter,
     view_snapshot_fallback: Counter,
 }
@@ -172,6 +178,12 @@ impl EngineCounters {
             maint_insert: metrics.counter("maintenance.insert"),
             maint_delete: metrics.counter("maintenance.delete"),
             maint_refresh: metrics.counter("maintenance.refresh"),
+            maint_batch: metrics.counter("maintenance.batch"),
+            maint_batch_rows: metrics.counter("maintenance.batch_rows"),
+            maint_batch_recomputed: metrics.counter("maintenance.batch_recomputed"),
+            maint_batch_shifted: metrics.counter("maintenance.batch_shifted"),
+            maint_batch_coalesced: metrics.counter("maintenance.batch_coalesced"),
+            maint_batch_fallback: metrics.counter("maintenance.batch_fallback"),
             view_created: metrics.counter("view.created"),
             view_snapshot_fallback: metrics.counter("view.snapshot_fallback"),
         }
@@ -590,7 +602,9 @@ impl Database {
                 .collect::<Result<_>>()?
         };
         let dependents = self.registry.views_for(table);
-        let mut inserted = 0;
+        // Evaluate every tuple before touching the table: a multi-row
+        // INSERT lands all-or-nothing.
+        let mut rows: Vec<Row> = Vec::with_capacity(values.len());
         for tuple in values {
             if tuple.len() != column_indexes.len() {
                 return Err(RfvError::schema(format!(
@@ -604,44 +618,69 @@ impl Database {
                 let bound = binder.bind_scalar(expr, &empty)?;
                 row_values[idx] = bound.eval(&Row::empty())?;
             }
-            if dependents.is_empty() {
-                t.write().insert(Row::new(row_values))?;
-            } else if dependents.iter().all(|v| v.is_partitioned()) {
-                // §6 partitioned reporting functions: positions are local
-                // to partitions, so any insert is accepted and the views
-                // are rematerialized from the new base state.
-                t.write().insert(Row::new(row_values))?;
-                self.refresh_partitioned_views(table)?;
-            } else {
-                // Base of materialized sequence views: only appends at
-                // position n+1 can be maintained through plain INSERT.
-                let view = dependents
-                    .iter()
-                    .find(|v| !v.is_partitioned())
-                    .ok_or_else(|| {
-                        RfvError::internal("no unpartitioned view among sequence-view dependents")
-                    })?;
-                let pos_idx = schema.index_of(None, &view.pos_column)?;
-                let val_idx = schema.index_of(None, &view.val_column)?;
-                let pos = row_values[pos_idx].as_int()?.ok_or_else(|| {
+            rows.push(Row::new(row_values));
+        }
+        let inserted = rows.len();
+        if dependents.is_empty() {
+            // One write lock for the whole statement, not one per row.
+            t.write().insert_many(rows)?;
+        } else if dependents.iter().all(|v| v.is_partitioned()) {
+            // §6 partitioned reporting functions: positions are local to
+            // partitions, so any insert is accepted and the views are
+            // rematerialized from the new base state — once per statement.
+            t.write().insert_many(rows)?;
+            self.refresh_partitioned_views(table)?;
+        } else {
+            // Base of materialized sequence views: only appends at the
+            // successive tail positions n+1, n+2, … can be maintained
+            // through plain INSERT.
+            let view = dependents
+                .iter()
+                .find(|v| !v.is_partitioned())
+                .ok_or_else(|| {
+                    RfvError::internal("no unpartitioned view among sequence-view dependents")
+                })?;
+            let pos_idx = schema.index_of(None, &view.pos_column)?;
+            let val_idx = schema.index_of(None, &view.val_column)?;
+            let n = view.n();
+            let mut pos_vals: Vec<(i64, f64)> = Vec::with_capacity(rows.len());
+            for (j, row) in rows.iter().enumerate() {
+                let pos = row.get(pos_idx).as_int()?.ok_or_else(|| {
                     RfvError::execution("NULL position inserted into sequence table")
                 })?;
-                let n = view.n();
-                if pos != n + 1 {
+                let expected = n + 1 + j as i64;
+                if pos != expected {
                     return Err(RfvError::execution(format!(
                         "table `{table}` backs materialized sequence views; plain \
-                         INSERT must append position {} (got {pos}) — use \
+                         INSERT must append position {expected} (got {pos}) — use \
                          Database::sequence_insert for mid-sequence inserts",
-                        n + 1
                     )));
                 }
-                let val = row_values[val_idx].as_f64()?.ok_or_else(|| {
+                let val = row.get(val_idx).as_f64()?.ok_or_else(|| {
                     RfvError::execution("NULL value inserted into sequence table")
                 })?;
-                t.write().insert(Row::new(row_values))?;
-                self.maintain_views(table, MaintOp::Insert { k: n + 1, val })?;
+                pos_vals.push((pos, val));
             }
-            inserted += 1;
+            if rows.len() == 1 {
+                // Single-row appends keep the per-row §2.3 path (and its
+                // maintenance.insert accounting).
+                let (pos, val) = pos_vals[0];
+                t.write().insert(rows.pop().expect("one row"))?;
+                self.maintain_views(table, MaintOp::Insert { k: pos, val })?;
+            } else {
+                // Multi-row appends take the batched path: pre-image read,
+                // one insert_many under one lock, one coalesced
+                // maintenance pass per view.
+                let raw_before = self
+                    .read_sequence_table(table, &view.pos_column, &view.val_column)?
+                    .0;
+                let mut batch = MaintBatch::new();
+                for (pos, val) in pos_vals {
+                    batch.push(BatchOp::Insert { k: pos, val });
+                }
+                t.write().insert_many(rows)?;
+                self.maintain_views_batch(table, &batch, raw_before)?;
+            }
         }
         Ok(inserted)
     }
@@ -1051,6 +1090,312 @@ impl Database {
             }
         }
         self.maintain_views(table, MaintOp::Delete { k: pos })
+    }
+
+    /// Append `vals` at the tail positions `n+1 ..= n+m` of sequence table
+    /// `table` in one batch: one table write-lock, one storage insert call,
+    /// and one coalesced maintenance pass per dependent view — the bulk-load
+    /// fast path. Returns the aggregated per-batch [`MaintenanceStats`].
+    pub fn sequence_append_bulk(&self, table: &str, vals: &[f64]) -> Result<MaintenanceStats> {
+        let t = self.catalog.table(table)?;
+        let n = t.read().stats().row_count as i64;
+        let mut batch = MaintBatch::new();
+        for (j, &val) in vals.iter().enumerate() {
+            batch.push(BatchOp::Insert {
+                k: n + 1 + j as i64,
+                val,
+            });
+        }
+        self.apply_batch(table, &batch)
+    }
+
+    /// Apply a coalesced batch of sequence edits to `table` and maintain
+    /// all dependent views **once per affected window region** instead of
+    /// once per row (§2.3, batched).
+    ///
+    /// The base table is mutated under a single write lock, with a
+    /// no-shift fast path when the batch is a pure tail append. View
+    /// maintenance reads the pre-image raw sequence once, then computes
+    /// each view's new body in parallel (one worker per view, mirroring
+    /// the window operator's partition parallelism). Batches whose ops
+    /// interleave mid-sequence inserts/deletes with other edits fall back
+    /// to per-op §2.3 rules — still under one lock round-trip, but with
+    /// `maintenance.batch_fallback` incremented so the regression is
+    /// observable.
+    pub fn apply_batch(&self, table: &str, batch: &MaintBatch) -> Result<MaintenanceStats> {
+        if batch.is_empty() {
+            return Ok(MaintenanceStats::default());
+        }
+        let t = self.catalog.table(table)?;
+        let (pos_idx, val_idx) = self.sequence_columns(table)?;
+        let views = self.registry.views_for(table);
+        let has_simple = views.iter().any(|v| !v.is_partitioned());
+
+        // Pre-image raw sequence, read before any base mutation: the §2.3
+        // rules run against it, which spares per-op pre-image
+        // reconstruction from the view bodies.
+        let raw_before: Vec<f64> = if has_simple {
+            let view = views.iter().find(|v| !v.is_partitioned()).ok_or_else(|| {
+                RfvError::internal("no unpartitioned view among sequence-view dependents")
+            })?;
+            self.read_sequence_table(table, &view.pos_column, &view.val_column)?
+                .0
+        } else {
+            Vec::new()
+        };
+
+        // Mutate the base table under ONE write lock.
+        {
+            let mut guard = t.write();
+            let n = guard.stats().row_count as i64;
+            batch.validate(n)?;
+            if batch.is_append_run(n) {
+                // Tail appends never shift stored positions: build the rows
+                // and land them in one storage call.
+                let width = guard.schema().len();
+                let rows: Vec<Row> = batch
+                    .ops()
+                    .iter()
+                    .map(|op| {
+                        let BatchOp::Insert { k, val } = op else {
+                            unreachable!("append run contains only inserts");
+                        };
+                        let mut values = vec![Value::Null; width];
+                        values[pos_idx] = Value::Int(*k);
+                        values[val_idx] = Value::Float(*val);
+                        Row::new(values)
+                    })
+                    .collect();
+                guard.insert_many(rows)?;
+            } else {
+                for op in batch.ops() {
+                    self.apply_base_op(&mut guard, pos_idx, val_idx, *op)?;
+                }
+            }
+        }
+
+        self.maintain_views_batch(table, batch, raw_before)
+    }
+
+    /// Apply one batch op to the base table, `guard` already held. The
+    /// caller has validated positions, so shifts are the only extra work.
+    fn apply_base_op(
+        &self,
+        guard: &mut rfv_types::sync::RwLockWriteGuard<'_, rfv_storage::Table>,
+        pos_idx: usize,
+        val_idx: usize,
+        op: BatchOp,
+    ) -> Result<()> {
+        let shift = |guard: &mut rfv_types::sync::RwLockWriteGuard<'_, rfv_storage::Table>,
+                     from: i64,
+                     delta: i64|
+         -> Result<()> {
+            let mut to_shift: Vec<(usize, Row)> = guard
+                .scan()
+                .filter(|(_, r)| {
+                    r.get(pos_idx)
+                        .as_int()
+                        .ok()
+                        .flatten()
+                        .is_some_and(|p| p >= from)
+                })
+                .map(|(rid, r)| (rid, r.clone()))
+                .collect();
+            // Unique pos index: move the far end first.
+            to_shift.sort_by_key(|(_, r)| {
+                let p = r.get(pos_idx).as_int().ok().flatten().unwrap_or(0);
+                if delta > 0 {
+                    -p
+                } else {
+                    p
+                }
+            });
+            for (rid, mut r) in to_shift {
+                let p = r.get(pos_idx).as_int()?.ok_or_else(|| {
+                    RfvError::internal("NULL position survived the non-null shift filter")
+                })?;
+                r.set(pos_idx, Value::Int(p + delta));
+                guard.update(rid, r)?;
+            }
+            Ok(())
+        };
+        match op {
+            BatchOp::Update { k, val } => {
+                let rids = guard.index_lookup(pos_idx, &Value::Int(k))?;
+                let rid = *rids.first().ok_or_else(|| {
+                    RfvError::execution(format!("position {k} not found in sequence table"))
+                })?;
+                let mut new = guard
+                    .get(rid)
+                    .ok_or_else(|| RfvError::internal("index returned stale row id"))?
+                    .clone();
+                new.set(val_idx, Value::Float(val));
+                guard.update(rid, new)?;
+            }
+            BatchOp::Insert { k, val } => {
+                let n = guard.stats().row_count as i64;
+                if k != n + 1 {
+                    shift(guard, k, 1)?;
+                }
+                let mut values = vec![Value::Null; guard.schema().len()];
+                values[pos_idx] = Value::Int(k);
+                values[val_idx] = Value::Float(val);
+                guard.insert(Row::new(values))?;
+            }
+            BatchOp::Delete { k } => {
+                let rids = guard.index_lookup(pos_idx, &Value::Int(k))?;
+                let rid = *rids.first().ok_or_else(|| {
+                    RfvError::execution(format!("position {k} not found in sequence table"))
+                })?;
+                guard.delete(rid)?;
+                shift(guard, k + 1, -1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched counterpart of [`maintain_views`](Self::maintain_views):
+    /// partitioned views are rematerialized **once** for the whole batch,
+    /// and each simple view's new body is computed on its own worker
+    /// thread before the registry is refreshed sequentially (the registry
+    /// holds the views write lock during refresh).
+    fn maintain_views_batch(
+        &self,
+        table: &str,
+        batch: &MaintBatch,
+        raw_before: Vec<f64>,
+    ) -> Result<MaintenanceStats> {
+        let views = self.registry.views_for(table);
+        let n_before = raw_before.len() as i64;
+        self.counters.maint_batch.incr();
+        self.counters.maint_batch_rows.add(batch.len() as u64);
+        if !batch.coalesces(n_before) {
+            self.counters.maint_batch_fallback.incr();
+        }
+        if views.is_empty() {
+            return Ok(MaintenanceStats::default());
+        }
+        self.refresh_partitioned_views(table)?;
+
+        let simple: Vec<&SequenceView> = views.iter().filter(|v| !v.is_partitioned()).collect();
+        if simple.is_empty() {
+            return Ok(MaintenanceStats::default());
+        }
+        let append_run = batch.is_append_run(n_before);
+        let appended: Vec<f64> = if append_run {
+            batch
+                .ops()
+                .iter()
+                .map(|op| match op {
+                    BatchOp::Insert { val, .. } => *val,
+                    _ => unreachable!("append run contains only inserts"),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Post-image raw data, needed only by views that rematerialize
+        // (MIN/MAX always; cumulative SUM outside the append fast path).
+        let needs_after = simple.iter().any(|v| match &v.data {
+            ViewData::MinMax(_) => true,
+            ViewData::CumulativeSum(_) => !append_run,
+            _ => false,
+        });
+        let raw_after: Vec<f64> = if needs_after {
+            let v = simple[0];
+            self.read_sequence_table(table, &v.pos_column, &v.val_column)?
+                .0
+        } else {
+            Vec::new()
+        };
+
+        let results: Vec<Result<(String, ViewData, MaintenanceStats)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = simple
+                    .iter()
+                    .map(|view| {
+                        let (raw_before, raw_after, appended) =
+                            (&raw_before, &raw_after, &appended);
+                        scope.spawn(move || {
+                            let (data, stats) = match &view.data {
+                                ViewData::PartitionedSum(_) => {
+                                    return Err(RfvError::internal(
+                                        "partitioned view reached simple-sequence maintenance",
+                                    ))
+                                }
+                                ViewData::Sum(seq) => {
+                                    let mut seq = seq.clone();
+                                    let mut raw = raw_before.clone();
+                                    let stats = batch.apply(&mut seq, &mut raw)?;
+                                    (ViewData::Sum(seq), stats)
+                                }
+                                ViewData::CumulativeSum(c) => {
+                                    if append_run {
+                                        let mut c = c.clone();
+                                        c.append_bulk(appended);
+                                        let stats = MaintenanceStats {
+                                            recomputed: appended.len(),
+                                            shifted: 0,
+                                            coalesced: appended.len().saturating_sub(1),
+                                        };
+                                        (ViewData::CumulativeSum(c), stats)
+                                    } else {
+                                        let c = CumulativeSequence::materialize(raw_after);
+                                        let stats = MaintenanceStats {
+                                            recomputed: raw_after.len(),
+                                            shifted: 0,
+                                            coalesced: 0,
+                                        };
+                                        (ViewData::CumulativeSum(c), stats)
+                                    }
+                                }
+                                ViewData::MinMax(seq) => {
+                                    // MIN/MAX stays a full rematerialization
+                                    // (§2.3 footnote), but now once per batch.
+                                    let new = CompleteMinMaxSequence::materialize(
+                                        raw_after,
+                                        seq.l(),
+                                        seq.h(),
+                                        seq.is_max(),
+                                    )?;
+                                    let stats = MaintenanceStats {
+                                        recomputed: raw_after.len(),
+                                        shifted: 0,
+                                        coalesced: 0,
+                                    };
+                                    (ViewData::MinMax(new), stats)
+                                }
+                            };
+                            Ok((view.name.clone(), data, stats))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .map_err(|_| {
+                                RfvError::internal("batch maintenance worker thread panicked")
+                            })
+                            .and_then(|r| r)
+                    })
+                    .collect()
+            });
+
+        let mut total = MaintenanceStats::default();
+        for res in results {
+            let (name, data, stats) = res?;
+            self.registry.refresh(&self.catalog, &name, data)?;
+            total.merge(stats);
+        }
+        self.counters
+            .maint_batch_recomputed
+            .add(total.recomputed as u64);
+        self.counters.maint_batch_shifted.add(total.shifted as u64);
+        self.counters
+            .maint_batch_coalesced
+            .add(total.coalesced as u64);
+        Ok(total)
     }
 
     /// The (pos, val) column indexes of a sequence table, taken from its
@@ -1617,5 +1962,199 @@ mod tests {
             .unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(results[2].rows().len(), 2);
+    }
+
+    /// Every dependent view (sliding SUM, cumulative SUM, MAX) stays
+    /// consistent through a multi-row SQL append, which takes the batched
+    /// maintenance path and its counters.
+    #[test]
+    fn multi_row_sql_insert_takes_batched_path() {
+        let db = db_with_seq(5);
+        db.execute_script(
+            "CREATE MATERIALIZED VIEW mv_sum AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq; \
+             CREATE MATERIALIZED VIEW mv_cum AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS s FROM seq; \
+             CREATE MATERIALIZED VIEW mv_max AS SELECT pos, MAX(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq;",
+        )
+        .unwrap();
+        let inserts_before = db.metrics().counter_value("maintenance.insert");
+        db.execute("INSERT INTO seq VALUES (6, 60.0), (7, 70.0), (8, 80.0)")
+            .unwrap();
+        assert_eq!(db.metrics().counter_value("maintenance.batch"), 1);
+        assert_eq!(db.metrics().counter_value("maintenance.batch_rows"), 3);
+        assert_eq!(db.metrics().counter_value("maintenance.batch_fallback"), 0);
+        assert!(db.metrics().counter_value("maintenance.batch_coalesced") > 0);
+        // The per-row counter is untouched by the batched path.
+        assert_eq!(
+            db.metrics().counter_value("maintenance.insert"),
+            inserts_before
+        );
+        for frame in [
+            "ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING",
+            "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW",
+        ] {
+            let sql = format!("SELECT pos, SUM(val) OVER (ORDER BY pos {frame}) AS s FROM seq");
+            let from_view = db.execute(&sql).unwrap();
+            db.set_view_rewrite(false);
+            let direct = db.execute(&sql).unwrap();
+            db.set_view_rewrite(true);
+            assert_eq!(vals(&from_view, 1), vals(&direct, 1), "{frame}");
+        }
+        let max_sql = "SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN 1 \
+                       PRECEDING AND 1 FOLLOWING) AS s FROM seq";
+        let from_view = db.execute(max_sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(max_sql).unwrap();
+        assert_eq!(vals(&from_view, 1), vals(&direct, 1));
+    }
+
+    #[test]
+    fn sequence_append_bulk_matches_row_at_a_time() {
+        let mk = |db: &Database| {
+            db.execute(
+                "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+                 (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+            )
+            .unwrap();
+        };
+        let bulk_db = db_with_seq(8);
+        mk(&bulk_db);
+        let row_db = db_with_seq(8);
+        mk(&row_db);
+
+        let vals_in: Vec<f64> = (1..=10).map(|i| (i * i) as f64).collect();
+        let stats = bulk_db.sequence_append_bulk("seq", &vals_in).unwrap();
+        // One coalesced pass: m + l + h recomputed, m − 1 ops coalesced.
+        assert_eq!(stats.recomputed, 10 + 2 + 1);
+        assert_eq!(stats.coalesced, 9);
+        for (j, &v) in vals_in.iter().enumerate() {
+            row_db.sequence_insert("seq", 9 + j as i64, v).unwrap();
+        }
+
+        let sql = "SELECT pos, val FROM mv ORDER BY pos";
+        assert_eq!(
+            vals(&bulk_db.execute(sql).unwrap(), 1),
+            vals(&row_db.execute(sql).unwrap(), 1)
+        );
+        assert_eq!(
+            vals(
+                &bulk_db
+                    .execute("SELECT pos, val FROM seq ORDER BY pos")
+                    .unwrap(),
+                1
+            ),
+            vals(
+                &row_db
+                    .execute("SELECT pos, val FROM seq ORDER BY pos")
+                    .unwrap(),
+                1
+            )
+        );
+    }
+
+    #[test]
+    fn apply_batch_update_set_coalesces_and_fallback_is_counted() {
+        let db = db_with_seq(12);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        // Pure update set: coalesced, no fallback.
+        let mut batch = MaintBatch::new();
+        batch.push(BatchOp::Update { k: 4, val: 40.0 });
+        batch.push(BatchOp::Update { k: 5, val: 50.0 });
+        batch.push(BatchOp::Update { k: 11, val: -1.0 });
+        let stats = db.apply_batch("seq", &batch).unwrap();
+        assert!(stats.coalesced > 0);
+        assert_eq!(db.metrics().counter_value("maintenance.batch_fallback"), 0);
+
+        // Interleaved edits: fall back, still correct.
+        let mut batch = MaintBatch::new();
+        batch.push(BatchOp::Insert { k: 2, val: 7.0 });
+        batch.push(BatchOp::Delete { k: 9 });
+        batch.push(BatchOp::Update { k: 1, val: 0.5 });
+        let stats = db.apply_batch("seq", &batch).unwrap();
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(db.metrics().counter_value("maintenance.batch_fallback"), 1);
+
+        let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+                   AND 1 FOLLOWING) AS s FROM seq";
+        let from_view = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        assert_eq!(vals(&from_view, 1), vals(&direct, 1));
+    }
+
+    #[test]
+    fn bad_batch_leaves_base_and_views_untouched() {
+        let db = db_with_seq(4);
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+        let before = vals(
+            &db.execute("SELECT pos, val FROM seq ORDER BY pos").unwrap(),
+            1,
+        );
+        // Second op's position is invalid under sequential semantics:
+        // validation must reject the batch before the first op lands.
+        let mut batch = MaintBatch::new();
+        batch.push(BatchOp::Update { k: 1, val: 99.0 });
+        batch.push(BatchOp::Delete { k: 40 });
+        assert!(db.apply_batch("seq", &batch).is_err());
+        let after = vals(
+            &db.execute("SELECT pos, val FROM seq ORDER BY pos").unwrap(),
+            1,
+        );
+        assert_eq!(before, after);
+        // A mis-positioned multi-row INSERT is also rejected atomically.
+        let err = db
+            .execute("INSERT INTO seq VALUES (5, 5.0), (9, 9.0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("sequence_insert"), "{err}");
+        assert_eq!(db.execute("SELECT pos FROM seq").unwrap().rows().len(), 4);
+    }
+
+    #[test]
+    fn multi_row_insert_on_plain_table_is_atomic() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b DOUBLE)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.0)").unwrap();
+        // Intra-statement duplicate key: nothing lands.
+        assert!(db
+            .execute("INSERT INTO t VALUES (2, 2.0), (2, 9.0)")
+            .is_err());
+        assert_eq!(db.execute("SELECT a FROM t").unwrap().rows().len(), 1);
+        db.execute("INSERT INTO t VALUES (2, 2.0), (3, 3.0)")
+            .unwrap();
+        assert_eq!(db.execute("SELECT a FROM t").unwrap().rows().len(), 3);
+    }
+
+    #[test]
+    fn multi_row_insert_on_partitioned_views_refreshes_once() {
+        let db = Database::new();
+        db.execute("CREATE TABLE pt (grp BIGINT, pos BIGINT, val DOUBLE)")
+            .unwrap();
+        db.execute("INSERT INTO pt VALUES (1, 1, 10.0), (2, 1, 20.0)")
+            .unwrap();
+        db.execute(
+            "CREATE MATERIALIZED VIEW pv AS SELECT grp, pos, SUM(val) OVER \
+             (PARTITION BY grp ORDER BY pos ROWS BETWEEN 1 PRECEDING AND \
+             0 FOLLOWING) AS s FROM pt",
+        )
+        .unwrap();
+        db.execute("INSERT INTO pt VALUES (1, 2, 11.0), (2, 2, 21.0), (1, 3, 12.0)")
+            .unwrap();
+        let sql = "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos \
+                   ROWS BETWEEN 1 PRECEDING AND 0 FOLLOWING) AS s FROM pt";
+        let from_view = db.execute(sql).unwrap();
+        db.set_view_rewrite(false);
+        let direct = db.execute(sql).unwrap();
+        assert_eq!(vals(&from_view, 2), vals(&direct, 2));
     }
 }

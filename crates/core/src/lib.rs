@@ -64,6 +64,7 @@ pub mod trace;
 pub mod view;
 
 pub use engine::{Database, QueryResult};
+pub use maintenance::{BatchOp, MaintBatch, MaintenanceStats};
 pub use rewrite::{RewriteDecision, RewriteOutcome, RewriteReport, RewriteStrategy, Rewriter};
 pub use rfv_obs::MetricsRegistry;
 pub use sequence::{CompleteSequence, SequenceSpec, WindowSpec};

@@ -16,6 +16,14 @@
 
 use rfv_types::{Result, RfvError};
 
+/// Hard ceiling on the number of stored positions (`n + l + h`) a complete
+/// sequence may materialize. Window offsets are already bounded at bind
+/// time, but a view over a tiny table with a huge frame would still try to
+/// allocate `l + h` header/trailer slots — 2²⁸ f64s (2 GiB) is far beyond
+/// any sensible reporting window and a safe place to fail with an error
+/// instead of an OOM abort.
+pub const MAX_MATERIALIZED_EXTENT: i64 = 1 << 28;
+
 /// Window shape of a simple sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowSpec {
@@ -94,6 +102,13 @@ impl CompleteSequence {
     pub fn materialize(raw: &[f64], l: i64, h: i64) -> Result<Self> {
         WindowSpec::sliding(l, h)?;
         let n = raw.len() as i64;
+        if n.saturating_add(l).saturating_add(h) > MAX_MATERIALIZED_EXTENT {
+            return Err(RfvError::derivation(format!(
+                "complete ({l},{h}) sequence over n={n} would store \
+                 {} positions (max {MAX_MATERIALIZED_EXTENT})",
+                n.saturating_add(l).saturating_add(h)
+            )));
+        }
         let lo = 1 - h;
         let hi = n + l;
         let mut values = Vec::with_capacity((hi - lo + 1).max(0) as usize);
@@ -338,6 +353,19 @@ impl CumulativeSequence {
     /// Construct from stored running sums (positions `1..=n`).
     pub fn from_values(values: Vec<f64>) -> Self {
         CumulativeSequence { values }
+    }
+
+    /// Extend the running sums with `vals` appended at positions
+    /// `n+1 ..= n+m` — the cumulative half of the batched maintenance
+    /// path. `O(m)` regardless of `n`, versus `O(n + m)` for a full
+    /// rematerialization.
+    pub fn append_bulk(&mut self, vals: &[f64]) {
+        let mut sum = self.values.last().copied().unwrap_or(0.0);
+        self.values.reserve(vals.len());
+        for &v in vals {
+            sum += v;
+            self.values.push(sum);
+        }
     }
 
     pub fn n(&self) -> i64 {

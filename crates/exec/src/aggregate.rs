@@ -57,13 +57,15 @@ pub fn hash_aggregate(
         }
     }
 
-    Ok(states
+    states
         .into_iter()
         .map(|(mut key, accs)| {
-            key.extend(accs.iter().map(|a| a.finish()));
-            Row::new(key)
+            for acc in &accs {
+                key.push(acc.finish()?);
+            }
+            Ok(Row::new(key))
         })
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,4 +23,6 @@ pub mod window;
 
 pub use opmetrics::{ExecCounters, ExecProbe, OpMetrics};
 pub use physical::{JoinType, PhysicalPlan, SortKey};
-pub use window::{FrameBound, WindowExprSpec, WindowFrame, WindowFuncKind, WindowMode};
+pub use window::{
+    FrameBound, WindowExprSpec, WindowFrame, WindowFuncKind, WindowMode, MAX_FRAME_OFFSET,
+};

@@ -26,6 +26,14 @@ use rfv_types::{Result, RfvError, Row, Value};
 use crate::filter::compare_keys;
 use crate::physical::SortKey;
 
+/// Largest accepted `ROWS BETWEEN n PRECEDING/FOLLOWING` offset (2⁴⁰ rows).
+/// Any frame wider than this behaves identically to UNBOUNDED on every
+/// table the engine can hold, so larger literals are almost certainly typos
+/// — and unconstrained `i64` offsets let `i + offset + 1` wrap in release
+/// builds. Bind-time conversion and [`WindowFrame::new`] both reject
+/// offsets beyond this bound; internal constructors saturate to it.
+pub const MAX_FRAME_OFFSET: i64 = 1 << 40;
+
 /// A frame bound in ROWS mode. `Offset(0)` is CURRENT ROW, negative offsets
 /// are PRECEDING, positive are FOLLOWING.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +75,19 @@ impl WindowFrame {
             (FrameBound::Offset(s), FrameBound::Offset(e)) if s > e => Err(RfvError::plan(
                 format!("frame start {s} lies after frame end {e}"),
             )),
-            _ => Ok(WindowFrame { start, end }),
+            _ => {
+                for bound in [start, end] {
+                    if let FrameBound::Offset(n) = bound {
+                        if n.unsigned_abs() > MAX_FRAME_OFFSET as u64 {
+                            return Err(RfvError::plan(format!(
+                                "frame offset {} exceeds the maximum of {MAX_FRAME_OFFSET} rows",
+                                n.unsigned_abs()
+                            )));
+                        }
+                    }
+                }
+                Ok(WindowFrame { start, end })
+            }
         }
     }
 
@@ -82,10 +102,15 @@ impl WindowFrame {
 
     /// The paper's sliding window `(l, h)`:
     /// `ROWS BETWEEN l PRECEDING AND h FOLLOWING`.
+    ///
+    /// Saturates at [`MAX_FRAME_OFFSET`]: `-(l as i64)` wraps to a huge
+    /// *positive* start for `l > i64::MAX` in release builds, so offsets
+    /// are clamped instead of cast.
     pub fn sliding(l: u64, h: u64) -> Self {
+        let clamp = |n: u64| i64::try_from(n).unwrap_or(i64::MAX).min(MAX_FRAME_OFFSET);
         WindowFrame {
-            start: FrameBound::Offset(-(l as i64)),
-            end: FrameBound::Offset(h as i64),
+            start: FrameBound::Offset(-clamp(l)),
+            end: FrameBound::Offset(clamp(h)),
         }
     }
 
@@ -110,15 +135,19 @@ impl WindowFrame {
     /// start = UNBOUNDED FOLLOWING and end = UNBOUNDED PRECEDING; were
     /// such a frame ever constructed anyway, the clamp still yields an
     /// empty frame rather than panicking mid-query.
+    /// Widening to `i128` makes the bound arithmetic immune to wrap: with
+    /// `i < len ≤ usize::MAX` and `|offset| ≤ i64::MAX`, every intermediate
+    /// fits in `i128` with room to spare, and the clamp brings the result
+    /// back into `[0, len]` before narrowing.
     fn indices(&self, i: usize, len: usize) -> (usize, usize) {
         let lo = match self.start {
             FrameBound::UnboundedPreceding => 0,
-            FrameBound::Offset(s) => (i as i64 + s).clamp(0, len as i64) as usize,
+            FrameBound::Offset(s) => (i as i128 + s as i128).clamp(0, len as i128) as usize,
             FrameBound::UnboundedFollowing => len,
         };
         let hi = match self.end {
             FrameBound::UnboundedFollowing => len,
-            FrameBound::Offset(e) => (i as i64 + e + 1).clamp(0, len as i64) as usize,
+            FrameBound::Offset(e) => (i as i128 + e as i128 + 1).clamp(0, len as i128) as usize,
             FrameBound::UnboundedPreceding => 0,
         };
         (lo, hi.max(lo))
@@ -394,7 +423,7 @@ fn eval_naive(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Result<Ve
         for arg in &args[lo..hi] {
             acc.update(arg)?;
         }
-        out.push(acc.finish());
+        out.push(acc.finish()?);
     }
     Ok(out)
 }
@@ -418,7 +447,7 @@ fn eval_pipelined(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Resul
             cur_lo += 1;
         }
         // An empty frame (lo == hi) leaves the accumulator drained.
-        out.push(acc.finish());
+        out.push(acc.finish()?);
     }
     Ok(out)
 }
@@ -502,6 +531,55 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| row![(i + 1) as i64, v])
             .collect()
+    }
+
+    #[test]
+    fn sliding_saturates_instead_of_wrapping() {
+        // `-(u64::MAX as i64)` used to wrap to +1; construction must clamp.
+        let f = WindowFrame::sliding(u64::MAX, u64::MAX);
+        assert_eq!(f.start(), FrameBound::Offset(-MAX_FRAME_OFFSET));
+        assert_eq!(f.end(), FrameBound::Offset(MAX_FRAME_OFFSET));
+        // A maximally wide frame covers the whole partition at every row.
+        assert_eq!(f.indices(0, 5), (0, 5));
+        assert_eq!(f.indices(4, 5), (0, 5));
+    }
+
+    #[test]
+    fn indices_are_wrap_free_at_extreme_offsets() {
+        // Offsets at the i64 boundary must clamp, not wrap, even though
+        // `new` rejects them — internal construction bypasses validation.
+        let f = WindowFrame {
+            start: FrameBound::Offset(i64::MIN),
+            end: FrameBound::Offset(i64::MAX),
+        };
+        for i in [0usize, 1, 999] {
+            assert_eq!(f.indices(i, 1000), (0, 1000));
+        }
+        let empty = WindowFrame {
+            start: FrameBound::Offset(i64::MAX),
+            end: FrameBound::Offset(i64::MAX),
+        };
+        // Frame lies entirely past the partition: clamps to empty, no wrap.
+        assert_eq!(empty.indices(0, 1000), (1000, 1000));
+    }
+
+    #[test]
+    fn new_rejects_offsets_beyond_max() {
+        assert!(WindowFrame::new(
+            FrameBound::Offset(-(MAX_FRAME_OFFSET + 1)),
+            FrameBound::Offset(0)
+        )
+        .is_err());
+        assert!(WindowFrame::new(
+            FrameBound::Offset(0),
+            FrameBound::Offset(MAX_FRAME_OFFSET + 1)
+        )
+        .is_err());
+        assert!(WindowFrame::new(
+            FrameBound::Offset(-MAX_FRAME_OFFSET),
+            FrameBound::Offset(MAX_FRAME_OFFSET)
+        )
+        .is_ok());
     }
 
     fn run(

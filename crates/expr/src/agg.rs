@@ -116,7 +116,10 @@ pub trait Accumulator: fmt::Debug + Send {
     /// except for COUNT(*) which counts rows regardless.
     fn update(&mut self, value: &Value) -> Result<()>;
     /// Current result. Empty SUM/AVG/MIN/MAX yield NULL, COUNT yields 0.
-    fn finish(&self) -> Value;
+    /// Errors when an all-integer SUM total does not fit in `i64`
+    /// (transient overflow is fine — the state is `i128` — but a final
+    /// out-of-range total must not silently degrade to float).
+    fn finish(&self) -> Result<Value>;
     /// Reset to the initial state.
     fn reset(&mut self);
 }
@@ -129,12 +132,47 @@ pub trait RetractAccumulator: Accumulator {
 
 /// SUM over ints stays exact (i128 internally to dodge transient overflow);
 /// any float input switches the state to float.
+///
+/// The float lane uses Neumaier-compensated summation so that the pipelined
+/// retraction scheme of §2.2 (`x̃_k = x̃_{k−1} + x_{k+h} − x_{k−l−1}`) does
+/// not accumulate cancellation drift relative to a fresh per-window
+/// recompute: each add/retract folds the rounding error of the running sum
+/// into a separate compensation term. When every float ever added has been
+/// retracted again (`float_n == 0`) the float lane snaps back to exact zero,
+/// so long pipelined scans over mixed int/float data cannot carry residue
+/// from windows that no longer overlap the current one.
 #[derive(Debug, Default)]
 struct SumAcc {
     int_sum: i128,
+    /// Running float sum (Neumaier main term).
     float_sum: f64,
+    /// Neumaier compensation: accumulated low-order bits lost by `float_sum`.
+    float_comp: f64,
+    /// Floats currently in the state (adds minus retracts). Nonzero means
+    /// the result is float-typed; zero resets the float lane exactly.
+    float_n: u64,
+    /// Whether any float was *ever* seen — keeps SUM float-typed for the
+    /// duration of a window scan even when the current window is all-int.
     saw_float: bool,
     non_null: u64,
+}
+
+impl SumAcc {
+    /// Neumaier (improved Kahan) compensated add. Retraction is the same
+    /// operation with `-f`.
+    fn add_float(&mut self, f: f64) {
+        let t = self.float_sum + f;
+        if self.float_sum.abs() >= f.abs() {
+            self.float_comp += (self.float_sum - t) + f;
+        } else {
+            self.float_comp += (f - t) + self.float_sum;
+        }
+        self.float_sum = t;
+    }
+
+    fn float_total(&self) -> f64 {
+        self.float_sum + self.float_comp
+    }
 }
 
 impl Accumulator for SumAcc {
@@ -146,7 +184,8 @@ impl Accumulator for SumAcc {
                 self.non_null += 1;
             }
             Value::Float(f) => {
-                self.float_sum += f;
+                self.add_float(*f);
+                self.float_n += 1;
                 self.saw_float = true;
                 self.non_null += 1;
             }
@@ -159,15 +198,18 @@ impl Accumulator for SumAcc {
         Ok(())
     }
 
-    fn finish(&self) -> Value {
+    fn finish(&self) -> Result<Value> {
         if self.non_null == 0 {
-            Value::Null
+            Ok(Value::Null)
         } else if self.saw_float {
-            Value::Float(self.float_sum + self.int_sum as f64)
-        } else if let Ok(v) = i64::try_from(self.int_sum) {
-            Value::Int(v)
+            Ok(Value::Float(self.float_total() + self.int_sum as f64))
         } else {
-            Value::Float(self.int_sum as f64)
+            i64::try_from(self.int_sum).map(Value::Int).map_err(|_| {
+                RfvError::execution(format!(
+                    "integer SUM overflow: total {} does not fit in BIGINT",
+                    self.int_sum
+                ))
+            })
         }
     }
 
@@ -185,8 +227,15 @@ impl RetractAccumulator for SumAcc {
                 self.non_null -= 1;
             }
             Value::Float(f) => {
-                self.float_sum -= f;
+                self.add_float(-*f);
+                self.float_n -= 1;
                 self.non_null -= 1;
+                if self.float_n == 0 {
+                    // All floats retracted: snap to exact zero so residual
+                    // rounding error cannot leak into later windows.
+                    self.float_sum = 0.0;
+                    self.float_comp = 0.0;
+                }
             }
             other => {
                 return Err(RfvError::execution(format!(
@@ -212,8 +261,8 @@ impl Accumulator for CountAcc {
         Ok(())
     }
 
-    fn finish(&self) -> Value {
-        Value::Int(self.count)
+    fn finish(&self) -> Result<Value> {
+        Ok(Value::Int(self.count))
     }
 
     fn reset(&mut self) {
@@ -240,16 +289,14 @@ impl Accumulator for AvgAcc {
         self.sum.update(value)
     }
 
-    fn finish(&self) -> Value {
+    fn finish(&self) -> Result<Value> {
         if self.sum.non_null == 0 {
-            return Value::Null;
+            return Ok(Value::Null);
         }
-        let total = match self.sum.finish() {
-            Value::Int(i) => i as f64,
-            Value::Float(f) => f,
-            _ => return Value::Null,
-        };
-        Value::Float(total / self.sum.non_null as f64)
+        // AVG is float-typed, so read the exact i128 int lane directly
+        // rather than going through SUM's i64 range check.
+        let total = self.sum.float_total() + self.sum.int_sum as f64;
+        Ok(Value::Float(total / self.sum.non_null as f64))
     }
 
     fn reset(&mut self) {
@@ -285,8 +332,8 @@ impl Accumulator for MinMaxAcc {
         Ok(())
     }
 
-    fn finish(&self) -> Value {
-        self.best.clone().unwrap_or(Value::Null)
+    fn finish(&self) -> Result<Value> {
+        Ok(self.best.clone().unwrap_or(Value::Null))
     }
 
     fn reset(&mut self) {
@@ -303,7 +350,7 @@ mod tests {
         for v in vals {
             acc.update(v).unwrap();
         }
-        acc.finish()
+        acc.finish().unwrap()
     }
 
     #[test]
@@ -372,12 +419,73 @@ mod tests {
         }
         acc.retract(&Value::Int(1)).unwrap();
         acc.retract(&Value::Int(2)).unwrap();
-        assert_eq!(acc.finish(), Value::Int(12));
+        assert_eq!(acc.finish().unwrap(), Value::Int(12));
         // Retracting everything returns to the empty (NULL) state.
         for i in 3..=5i64 {
             acc.retract(&Value::Int(i)).unwrap();
         }
-        assert_eq!(acc.finish(), Value::Null);
+        assert_eq!(acc.finish().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sum_errors_on_final_i64_overflow() {
+        let mut acc = AggFunc::Sum.accumulator();
+        acc.update(&Value::Int(i64::MAX)).unwrap();
+        acc.update(&Value::Int(1)).unwrap();
+        let err = acc.finish().unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+        // Negative direction too.
+        let mut acc = AggFunc::Sum.accumulator();
+        acc.update(&Value::Int(i64::MIN)).unwrap();
+        acc.update(&Value::Int(-1)).unwrap();
+        assert!(acc.finish().is_err());
+        // But AVG of the same inputs is float-typed and fine.
+        let mut acc = AggFunc::Avg.accumulator();
+        acc.update(&Value::Int(i64::MAX)).unwrap();
+        acc.update(&Value::Int(1)).unwrap();
+        assert!(matches!(acc.finish().unwrap(), Value::Float(_)));
+    }
+
+    #[test]
+    fn compensated_retraction_has_no_cancellation_drift() {
+        // Slide a width-2 window across [1e16, 1.0, -1e16, 1.0, ...].
+        // Naive retraction leaves the rounding error of (1e16 + 1.0)
+        // behind in every later window; compensation must not.
+        let vals: Vec<f64> = (0..64)
+            .map(|i| match i % 4 {
+                0 => 1e16,
+                1 => 1.0,
+                2 => -1e16,
+                _ => 1.0,
+            })
+            .collect();
+        let mut acc = AggFunc::Sum.retract_accumulator().unwrap();
+        acc.update(&Value::Float(vals[0])).unwrap();
+        for k in 1..vals.len() {
+            acc.update(&Value::Float(vals[k])).unwrap();
+            if k >= 2 {
+                acc.retract(&Value::Float(vals[k - 2])).unwrap();
+            }
+            // Fresh two-value recompute is the ground truth.
+            let expect = vals[k - 1] + vals[k];
+            match acc.finish().unwrap() {
+                Value::Float(got) => assert_eq!(got, expect, "window ending at {k}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn retracting_all_floats_restores_exact_zero_state() {
+        let mut acc = AggFunc::Sum.retract_accumulator().unwrap();
+        acc.update(&Value::Float(0.1)).unwrap();
+        acc.update(&Value::Float(0.2)).unwrap();
+        acc.retract(&Value::Float(0.1)).unwrap();
+        acc.retract(&Value::Float(0.2)).unwrap();
+        // Int added after full float retraction must see a clean slate
+        // (float-typed because floats were seen, but exactly 7.0).
+        acc.update(&Value::Int(7)).unwrap();
+        assert_eq!(acc.finish().unwrap(), Value::Float(7.0));
     }
 
     #[test]
@@ -385,7 +493,7 @@ mod tests {
         let mut acc = AggFunc::Count.retract_accumulator().unwrap();
         acc.update(&Value::Int(1)).unwrap();
         acc.retract(&Value::Null).unwrap();
-        assert_eq!(acc.finish(), Value::Int(1));
+        assert_eq!(acc.finish().unwrap(), Value::Int(1));
     }
 
     #[test]
@@ -423,6 +531,6 @@ mod tests {
         let mut acc = AggFunc::Sum.accumulator();
         acc.update(&Value::Int(5)).unwrap();
         acc.reset();
-        assert_eq!(acc.finish(), Value::Null);
+        assert_eq!(acc.finish().unwrap(), Value::Null);
     }
 }

@@ -977,16 +977,26 @@ fn convert_binop(op: ast::BinOp) -> BinaryOp {
 }
 
 fn convert_bound(b: ast::FrameBound) -> Result<ExecFrameBound> {
+    // Bind-time policy: offsets past MAX_FRAME_OFFSET are rejected rather
+    // than silently treated as unbounded — they are certainly typos, and
+    // letting them through invites `i + offset` wrap further down the
+    // pipeline (the exec layer saturates anyway, as defence in depth).
+    let checked = |n: u64| -> Result<i64> {
+        i64::try_from(n)
+            .ok()
+            .filter(|v| *v <= rfv_exec::MAX_FRAME_OFFSET)
+            .ok_or_else(|| {
+                RfvError::plan(format!(
+                    "frame offset {n} exceeds the maximum of {} rows",
+                    rfv_exec::MAX_FRAME_OFFSET
+                ))
+            })
+    };
     Ok(match b {
         ast::FrameBound::UnboundedPreceding => ExecFrameBound::UnboundedPreceding,
-        ast::FrameBound::Preceding(n) => ExecFrameBound::Offset(
-            -(i64::try_from(n)
-                .map_err(|_| RfvError::plan(format!("frame offset {n} too large")))?),
-        ),
+        ast::FrameBound::Preceding(n) => ExecFrameBound::Offset(-checked(n)?),
         ast::FrameBound::CurrentRow => ExecFrameBound::Offset(0),
-        ast::FrameBound::Following(n) => ExecFrameBound::Offset(
-            i64::try_from(n).map_err(|_| RfvError::plan(format!("frame offset {n} too large")))?,
-        ),
+        ast::FrameBound::Following(n) => ExecFrameBound::Offset(checked(n)?),
         ast::FrameBound::UnboundedFollowing => ExecFrameBound::UnboundedFollowing,
     })
 }

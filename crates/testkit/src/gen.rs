@@ -73,6 +73,55 @@ pub fn values(len_lo: usize, len_hi: usize) -> impl Fn(&mut Rng) -> Vec<f64> {
     }
 }
 
+/// Cancellation-adversarial float data: large-magnitude values (up to
+/// ~1e15) paired with near-negations, interleaved with unit-scale values.
+/// Window sums over these suffer catastrophic cancellation — the result
+/// is tiny while the intermediate terms are huge — so comparisons against
+/// these inputs must scale tolerances by the *input* magnitude
+/// ([`crate::oracle::assert_close_abs`] with
+/// [`crate::oracle::input_scale`]), never by the result magnitude.
+pub fn cancellation_values(len_lo: usize, len_hi: usize) -> impl Fn(&mut Rng) -> Vec<f64> {
+    move |rng| {
+        let len = rng.usize_in(len_lo, len_hi);
+        let mag = 10f64.powf(rng.f64_in(6.0, 15.0));
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            match rng.u64_below(4) {
+                // A big value whose near-negation follows immediately:
+                // adjacent windows cancel almost exactly.
+                0 if out.len() + 1 < len => {
+                    let v = mag * rng.f64_in(0.5, 2.0);
+                    out.push(v);
+                    out.push(-v + rng.f64_in(-1.0, 1.0));
+                }
+                // A lone large-magnitude value.
+                1 => out.push(mag * rng.f64_in(-2.0, 2.0)),
+                // Unit-scale noise the big values threaten to absorb.
+                _ => out.push(rng.f64_in(-1.0, 1.0)),
+            }
+        }
+        out
+    }
+}
+
+/// Frame offsets clustered at the overflow-prone extremes: 0, small
+/// values, powers of two around `2^40` (the engine's bind-time frame
+/// cap), and the `i64` edge itself. For fuzzing that the binder rejects
+/// out-of-range offsets cleanly and wrap-free rather than panicking or
+/// silently wrapping.
+pub fn extreme_offset() -> impl Fn(&mut Rng) -> i64 {
+    |rng| match rng.u64_below(8) {
+        0 => 0,
+        1 => rng.i64_in(1, 10),
+        2 => (1 << 40) - 1,
+        3 => 1 << 40,
+        4 => (1 << 40) + 1,
+        5 => 1 << rng.i64_in(41, 62),
+        6 => i64::MAX - 1,
+        _ => i64::MAX,
+    }
+}
+
 /// Raw data dominated by ties: values drawn from a tiny alphabet and laid
 /// out in runs, the worst case for MIN/MAX compensation logic (§4.4 —
 /// equal extrema in overlapping windows must not be double-resolved).
@@ -269,6 +318,30 @@ mod tests {
             let (l, h) = g(&mut rng);
             assert!((0..=5).contains(&l) && (0..=5).contains(&h));
         }
+    }
+
+    #[test]
+    fn cancellation_values_are_finite_and_large() {
+        let g = cancellation_values(2, 40);
+        let mut rng = Rng::new(7);
+        let mut saw_large = false;
+        for _ in 0..50 {
+            let v = g(&mut rng);
+            assert!(v.iter().all(|x| x.is_finite()));
+            saw_large |= v.iter().any(|x| x.abs() >= 1e6);
+        }
+        assert!(saw_large, "profile never produced a large magnitude");
+    }
+
+    #[test]
+    fn extreme_offsets_cover_the_frame_cap_boundary() {
+        let g = extreme_offset();
+        let mut rng = Rng::new(8);
+        let offs: Vec<i64> = (0..400).map(|_| g(&mut rng)).collect();
+        assert!(offs.iter().all(|&o| o >= 0));
+        assert!(offs.contains(&(1 << 40)));
+        assert!(offs.iter().any(|&o| o > (1 << 40)));
+        assert!(offs.iter().any(|&o| o <= 10));
     }
 
     #[test]

@@ -102,6 +102,35 @@ pub fn assert_close(a: &[f64], b: &[f64], context: &str) {
     assert_close_with(a, b, 1e-6, context);
 }
 
+/// The comparison scale for results computed *from* `raw`: the largest
+/// input magnitude (at least 1). Under catastrophic cancellation a window
+/// sum's rounding error is proportional to the operand magnitudes, not to
+/// the (possibly tiny) result — so tolerances for float differential
+/// checks must be scaled by this, not by the results themselves.
+pub fn input_scale(raw: &[f64]) -> f64 {
+    raw.iter().fold(1.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Elementwise comparison under one fixed absolute tolerance — pair with
+/// [`input_scale`] for cancellation-safe differential checks:
+/// `assert_close_abs(a, b, tol * input_scale(raw), …)`.
+pub fn assert_close_abs(a: &[f64], b: &[f64], abs_tol: f64, context: &str) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{context}: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= abs_tol,
+            "{context}: pos {}: {x} vs {y} (abs tol {abs_tol})",
+            i + 1,
+        );
+    }
+}
+
 /// A named set of computation strategies, all claiming to produce the
 /// `(l, h)` sliding-window SUM sequence from raw data. [`DiffMatrix::check`]
 /// runs every strategy and compares it against [`brute_sum`], naming the
@@ -212,6 +241,22 @@ mod tests {
     fn assert_close_scales_with_magnitude() {
         // 1e-6 relative at 1e9 magnitude allows ~1e3 absolute error.
         assert_close(&[1e9], &[1e9 + 100.0], "big values");
+    }
+
+    #[test]
+    fn input_scale_dominates_result_scale_under_cancellation() {
+        let raw = [1e15, -1e15, 3.0];
+        assert_eq!(input_scale(&raw), 1e15);
+        assert_eq!(input_scale(&[]), 1.0);
+        // Results near zero, inputs huge: result-scaled comparison would
+        // reject a 0.125 difference, input-scaled accepts it.
+        assert_close_abs(&[3.0], &[3.125], 1e-9 * input_scale(&raw), "cancel");
+    }
+
+    #[test]
+    #[should_panic(expected = "abs tol")]
+    fn assert_close_abs_rejects_beyond_tolerance() {
+        assert_close_abs(&[1.0], &[2.0], 0.5, "strict");
     }
 
     #[test]

@@ -243,3 +243,138 @@ fn random_window_queries_agree_with_and_without_views() {
         },
     );
 }
+
+/// Same views-on ≡ views-off property over cancellation-adversarial float
+/// data. The comparison tolerance scales with the *input* magnitude (the
+/// window sums themselves can be arbitrarily close to zero while their
+/// operands are ~1e15 — a result-scaled tolerance would be meaninglessly
+/// tight there).
+#[test]
+fn float_cancellation_queries_agree_with_and_without_views() {
+    check(
+        "views-on ≡ views-off under catastrophic cancellation",
+        |rng| {
+            let vals = gen::cancellation_values(1, 30)(rng);
+            let views = gen::vec_of(
+                |rng: &mut Rng| (rng.u64_below(4) as u8, rng.i64_in(0, 3), rng.i64_in(0, 3)),
+                0,
+                2,
+            )(rng);
+            let (l, h) = gen::window(3)(rng);
+            (vals, views, l, h)
+        },
+        |(vals, views, l, h)| {
+            let db = Database::new();
+            db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+                .unwrap();
+            for (i, v) in vals.iter().enumerate() {
+                db.execute(&format!("INSERT INTO seq VALUES ({}, {v:?})", i + 1))
+                    .unwrap();
+            }
+            for (i, (kind, vl, vh)) in views.iter().enumerate() {
+                let (func, frame) = match kind % 4 {
+                    0 => (
+                        "SUM",
+                        format!("ROWS BETWEEN {vl} PRECEDING AND {vh} FOLLOWING"),
+                    ),
+                    1 => ("SUM", "ROWS UNBOUNDED PRECEDING".to_string()),
+                    2 => (
+                        "MIN",
+                        format!("ROWS BETWEEN {vl} PRECEDING AND {vh} FOLLOWING"),
+                    ),
+                    _ => (
+                        "MAX",
+                        format!("ROWS BETWEEN {vl} PRECEDING AND {vh} FOLLOWING"),
+                    ),
+                };
+                db.execute(&format!(
+                    "CREATE MATERIALIZED VIEW v{i} AS SELECT pos, {func}(val) OVER \
+                     (ORDER BY pos {frame}) AS s FROM seq"
+                ))
+                .unwrap_or_else(|e| panic!("view v{i} creation failed: {e}"));
+            }
+            let sql = format!(
+                "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN {l} PRECEDING \
+                 AND {h} FOLLOWING) AS s FROM seq ORDER BY pos"
+            );
+            let on = run_query(&db, &sql, true, 2);
+            let off = run_query(&db, &sql, false, 2);
+            let scale = rfv_testkit::oracle::input_scale(vals);
+            assert_eq!(on.len(), off.len(), "row count differs\nsql: {sql}");
+            for (r, (a, b)) in on.iter().zip(&off).enumerate() {
+                let (x, y) = (a[1].unwrap(), b[1].unwrap());
+                assert!(
+                    (x - y).abs() <= 1e-9 * scale,
+                    "row {r}: views-on {x} vs views-off {y} (input scale {scale})\nsql: {sql}"
+                );
+            }
+        },
+    );
+}
+
+/// Frame offsets at and beyond the 2^40 bind-time cap: in-range extremes
+/// must execute without panicking (and equal the unbounded result when
+/// they cover the whole sequence); out-of-range ones must fail cleanly
+/// with the binder's "frame offset" error, never wrap or panic.
+#[test]
+fn extreme_frame_offsets_never_panic_or_wrap() {
+    check(
+        "extreme frame offsets bind or reject cleanly",
+        |rng| {
+            let vals = gen::vec_of(gen::i64_in(-50, 50), 1, 12)(rng);
+            let l = gen::extreme_offset()(rng);
+            let h = gen::extreme_offset()(rng);
+            (vals, l, h)
+        },
+        |(vals, l, h)| {
+            let db = Database::new();
+            db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+                .unwrap();
+            for (i, v) in vals.iter().enumerate() {
+                db.execute(&format!(
+                    "INSERT INTO seq VALUES ({}, {})",
+                    i + 1,
+                    *v as f64
+                ))
+                .unwrap();
+            }
+            let sql = format!(
+                "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN {l} PRECEDING \
+                 AND {h} FOLLOWING) AS s FROM seq ORDER BY pos"
+            );
+            const CAP: i64 = 1 << 40;
+            let outcome = catch_unwind(AssertUnwindSafe(|| db.execute(&sql)));
+            match outcome {
+                Err(_) => panic!("query PANICKED\nsql: {sql}"),
+                Ok(Ok(result)) => {
+                    assert!(
+                        *l <= CAP && *h <= CAP,
+                        "offset beyond the cap was accepted\nsql: {sql}"
+                    );
+                    // Any in-range frame covering all of 1..=n must equal
+                    // the total sum at every position.
+                    if *l >= vals.len() as i64 && *h >= vals.len() as i64 {
+                        let total: f64 = vals.iter().map(|&v| v as f64).sum();
+                        for row in result.rows() {
+                            let s = row.get(1).as_f64().unwrap().unwrap();
+                            assert!(
+                                (s - total).abs() < 1e-6,
+                                "full-coverage frame ≠ total: {s} vs {total}\nsql: {sql}"
+                            );
+                        }
+                    }
+                }
+                Ok(Err(e)) => {
+                    assert!(
+                        *l > CAP || *h > CAP,
+                        "in-range offsets rejected: {e}\nsql: {sql}"
+                    );
+                    assert!(
+                        e.to_string().contains("frame offset"),
+                        "unexpected error shape: {e}\nsql: {sql}"
+                    );
+                }
+            }
+        },
+    );
+}

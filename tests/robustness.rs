@@ -56,6 +56,112 @@ fn planning_errors_are_reported_not_panicked() {
 }
 
 #[test]
+fn extreme_frame_offsets_error_cleanly_not_wrap() {
+    let db = seq_db(8);
+    let max = i64::MAX as u64;
+    // Offsets at and around i64::MAX (and just past the accepted bound)
+    // must be rejected at bind time with a plan error — in release builds
+    // the old code wrapped `i + offset + 1` and returned garbage frames.
+    // Offsets past i64 range never survive the lexer in the first place.
+    let err = db
+        .execute(&format!(
+            "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN {} PRECEDING \
+             AND CURRENT ROW) FROM seq",
+            u64::MAX / 2 + 1
+        ))
+        .unwrap_err();
+    assert!(err.to_string().contains("too large"), "{err}");
+    for n in [max, max - 1, (1u64 << 40) + 1] {
+        for shape in [
+            format!(
+                "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN {n} PRECEDING \
+                 AND CURRENT ROW) FROM seq"
+            ),
+            format!(
+                "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN CURRENT ROW \
+                 AND {n} FOLLOWING) FROM seq"
+            ),
+            format!(
+                "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN {n} PRECEDING \
+                 AND {n} FOLLOWING) FROM seq"
+            ),
+        ] {
+            match db.execute(&shape) {
+                Err(e) => assert!(
+                    e.to_string().contains("frame offset"),
+                    "`{shape}` gave unexpected error: {e}"
+                ),
+                Ok(_) => panic!("`{shape}` should have been rejected"),
+            }
+        }
+    }
+    // The largest *accepted* offset (2^40) behaves exactly like UNBOUNDED.
+    let wide = db
+        .execute(&format!(
+            "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN {w} PRECEDING \
+             AND {w} FOLLOWING) FROM seq",
+            w = 1u64 << 40
+        ))
+        .unwrap();
+    let unbounded = db
+        .execute(
+            "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN UNBOUNDED PRECEDING \
+             AND UNBOUNDED FOLLOWING) FROM seq",
+        )
+        .unwrap();
+    assert_eq!(wide.rows(), unbounded.rows());
+    // Materialized views with absurd frames are rejected the same way.
+    assert!(db
+        .execute(&format!(
+            "CREATE MATERIALIZED VIEW huge AS SELECT pos, SUM(val) OVER \
+             (ORDER BY pos ROWS BETWEEN {max} PRECEDING AND 1 FOLLOWING) AS s FROM seq"
+        ))
+        .is_err());
+}
+
+#[test]
+fn integer_sum_overflow_errors_instead_of_wrapping() {
+    let db = Database::new();
+    db.execute("CREATE TABLE big (pos BIGINT PRIMARY KEY, val BIGINT NOT NULL)")
+        .unwrap();
+    db.execute(&format!(
+        "INSERT INTO big VALUES (1, {m}), (2, {m}), (3, -{m})",
+        m = i64::MAX
+    ))
+    .unwrap();
+    // The i128 accumulator survives transient overflow: the full-table
+    // total is MAX + MAX − MAX = MAX, which fits.
+    let r = db
+        .execute(
+            "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN UNBOUNDED PRECEDING \
+             AND UNBOUNDED FOLLOWING) FROM big",
+        )
+        .unwrap();
+    assert_eq!(r.rows()[0].get(0).as_int().unwrap(), Some(i64::MAX));
+    assert_eq!(
+        db.execute("SELECT SUM(val) FROM big").unwrap().rows()[0]
+            .get(0)
+            .as_int()
+            .unwrap(),
+        Some(i64::MAX)
+    );
+    // But a window whose true total exceeds i64 reports overflow instead
+    // of wrapping (row 2's frame covers both MAX values).
+    let err = db
+        .execute(
+            "SELECT SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND \
+             CURRENT ROW) FROM big",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("overflow"), "{err}");
+    // Plain aggregate over the two MAX rows too.
+    let err = db
+        .execute("SELECT SUM(val) FROM big WHERE pos <= 2")
+        .unwrap_err();
+    assert!(err.to_string().contains("overflow"), "{err}");
+}
+
+#[test]
 fn view_creation_failure_modes() {
     let db = Database::new();
     db.execute("CREATE TABLE gaps (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
