@@ -1,0 +1,170 @@
+//! Parallel-executor bench: **serial vs morsel-driven** execution of the
+//! scan-aggregate and sort pipelines on the shared work-stealing pool.
+//!
+//! ```sh
+//! cargo run -p rfv-bench --release --bin parallel            # full sizes
+//! cargo run -p rfv-bench --release --bin parallel -- --quick # CI sizes
+//! ```
+//!
+//! Each workload runs at every thread count in `{1, 2, max}` (deduped to
+//! the host's core count). The bench is **self-validating** on two axes:
+//!
+//! * every thread count must produce a bit-identical result fingerprint
+//!   (`f64::to_bits` folded through FNV-1a — the scheduler's determinism
+//!   contract, checked here on bench-sized data, not just test-sized);
+//! * on hosts with at least 4 cores, the scan-aggregate pipeline at max
+//!   threads must beat serial by at least [`MIN_SPEEDUP`]×.
+//!
+//! It then writes and re-validates `BENCH_parallel.json` like the other
+//! bench binaries — CI runs `--quick` and fails on any of those checks.
+
+use rfv_bench::harness::{
+    fmt_secs, percentile, sample_secs, samples_or, warmup_or, CaseStats, Report,
+};
+use rfv_core::Database;
+use rfv_testkit::Rng;
+use rfv_types::row;
+
+/// Minimum max-threads-over-serial speedup asserted for the
+/// scan-aggregate workload on hosts with at least [`MIN_CORES`] cores.
+const MIN_SPEEDUP: f64 = 2.0;
+
+/// Core count below which the speedup bar is reported but not enforced.
+const MIN_CORES: usize = 4;
+
+/// Build `t(pos, grp, val)` with `n` dense positions, a 64-ary group key,
+/// and deterministic pseudo-random payloads.
+fn grouped_database(n: usize) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (pos BIGINT PRIMARY KEY, grp BIGINT NOT NULL, val DOUBLE NOT NULL)")
+        .expect("create");
+    let mut rng = Rng::new(37);
+    let t = db.catalog().table("t").expect("exists");
+    let mut g = t.write();
+    for i in 0..n {
+        g.insert(row![
+            (i + 1) as i64,
+            (i % 64) as i64,
+            rng.f64_in(-500.0, 500.0)
+        ])
+        .expect("insert");
+    }
+    drop(g);
+    db
+}
+
+/// Bit-exact fingerprint of a result set: FNV-1a over `f64::to_bits` of
+/// every value, so a single ULP of cross-thread drift changes the hash.
+fn fingerprint(db: &Database, sql: &str) -> u64 {
+    let result = db.execute(sql).expect("bench query");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for r in result.rows() {
+        for v in r.values() {
+            match v.as_f64() {
+                Ok(Some(f)) => mix(f.to_bits()),
+                Ok(None) => mix(u64::MAX),
+                Err(_) => mix(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = samples_or(3);
+    let warmup = warmup_or(1);
+    let mut report = Report::new("parallel", quick);
+
+    let rows = if quick { 400_000 } else { 2_000_000 };
+    let db = grouped_database(rows);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Always include an oversubscribed leg: even a 1-core host must prove
+    // the determinism contract, it just skips the speedup bar.
+    let mut counts: Vec<usize> = vec![1, 2, cores];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let workloads: [(&str, &str); 2] = [
+        (
+            "scan-aggregate",
+            "SELECT grp, COUNT(*) AS n, SUM(val) AS s, MIN(val) AS lo, MAX(val) AS hi \
+             FROM t GROUP BY grp ORDER BY grp",
+        ),
+        ("sort", "SELECT pos, grp, val FROM t ORDER BY val, pos"),
+    ];
+
+    println!("Morsel-driven execution over {rows} rows ({cores} cores, threads {counts:?}):\n");
+
+    let mut agg_p50: Vec<(usize, f64)> = Vec::new();
+    for (name, sql) in workloads {
+        let mut baseline = None;
+        for &threads in &counts {
+            db.set_threads(threads);
+            // Determinism before speed: every thread count must land the
+            // same bits as serial.
+            let fp = fingerprint(&db, sql);
+            match baseline {
+                None => baseline = Some(fp),
+                Some(expect) => assert_eq!(
+                    fp, expect,
+                    "{name} result drifted at threads={threads}: parallel execution \
+                     must be byte-identical to serial"
+                ),
+            }
+            let times = sample_secs(iters, warmup, || {
+                std::hint::black_box(fingerprint(&db, sql));
+            });
+            let p50 = percentile(&times, 0.50);
+            report.push(CaseStats::from_samples(
+                &format!("{name}/threads={threads}"),
+                &times,
+                rows as u64,
+            ));
+            println!(
+                "  {name:>14} threads={threads:<3} {}  ({:.0} rows/s)",
+                fmt_secs(p50),
+                rows as f64 / p50
+            );
+            if name == "scan-aggregate" {
+                agg_p50.push((threads, p50));
+            }
+        }
+        println!("  {name:>14} fingerprints identical across all thread counts");
+        println!();
+    }
+    db.set_threads(0);
+
+    // The acceptance bar: scan-aggregate must scale on real hardware.
+    let serial = agg_p50.first().expect("serial sample").1;
+    let (max_threads, parallel) = *agg_p50.last().expect("max-thread sample");
+    let speedup = serial / parallel.max(1e-12);
+    println!(
+        "  scan-aggregate speedup at threads={max_threads}: {speedup:.2}× \
+         (bar: ≥{MIN_SPEEDUP}× at ≥{MIN_CORES} cores)"
+    );
+    if cores >= MIN_CORES {
+        assert!(
+            speedup >= MIN_SPEEDUP,
+            "scan-aggregate speedup {speedup:.2}× at {max_threads} threads is below \
+             the {MIN_SPEEDUP}× bar (serial {serial:.4}s vs parallel {parallel:.4}s \
+             over {rows} rows on {cores} cores)"
+        );
+    } else {
+        println!("  (bar not enforced: only {cores} cores available)");
+    }
+
+    match report.write_and_validate() {
+        Ok(path) => println!("\nwrote {} ({iters} iters/case)", path.display()),
+        Err(e) => {
+            eprintln!("bench export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -37,6 +37,8 @@ meta commands (.name and \\name are equivalent):
   .rewrite on|off       toggle answering window queries from views
   \\timing on|off        print per-statement time and phase breakdown
   \\metrics              dump the engine metrics registry as JSON
+  \\threads [n]          show or cap the worker pool (0 = reset to
+                        RFV_THREADS / hardware default)
   .quit                 exit
 anything else is executed as SQL (try EXPLAIN ANALYZE <query>), e.g.:
   CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL);
@@ -171,6 +173,16 @@ fn main() {
                     _ => println!("usage: \\timing on|off"),
                 },
                 ".metrics" => println!("{}", db.metrics_json()),
+                ".threads" => match parts.next() {
+                    None => println!("threads: {}", db.threads()),
+                    Some(arg) => match arg.trim().parse::<usize>() {
+                        Ok(n) => {
+                            db.set_threads(n);
+                            println!("threads: {}", db.threads());
+                        }
+                        Err(_) => println!("usage: \\threads [n]"),
+                    },
+                },
                 other => println!("unknown command `{other}` — try .help"),
             }
             continue;

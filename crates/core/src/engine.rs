@@ -161,6 +161,14 @@ struct EngineCounters {
 
 impl EngineCounters {
     fn new(metrics: &MetricsRegistry) -> Self {
+        // The scheduler's counters are process-wide (the worker pool is
+        // shared across engines); mirror the live handles into this
+        // engine's registry so `metrics_json` exports them.
+        let sched = rfv_exec::sched::metrics();
+        metrics.register_counter("sched.tasks", sched.tasks.clone());
+        metrics.register_counter("sched.steals", sched.steals.clone());
+        metrics.register_counter("sched.parallel_ops", sched.parallel_ops.clone());
+        metrics.register_histogram("sched.busy_ns", sched.busy_ns.clone());
         EngineCounters {
             query_planned: metrics.counter("query.planned"),
             query_executed: metrics.counter("query.executed"),
@@ -288,6 +296,19 @@ impl Database {
     /// (Table 2's disjunctive-vs-union axis).
     pub fn set_pattern_variant(&self, variant: PatternVariant) {
         self.config.write().pattern_variant = variant;
+    }
+
+    /// Cap the shared worker pool at `n` threads (`0` resets to the
+    /// `RFV_THREADS` env var / hardware default). The pool is
+    /// process-wide, so this affects every engine in the process; results
+    /// are byte-identical at any setting — only speed changes.
+    pub fn set_threads(&self, n: usize) {
+        rfv_exec::sched::set_threads(n);
+    }
+
+    /// The thread budget parallel operators currently plan for.
+    pub fn threads(&self) -> usize {
+        rfv_exec::sched::effective_threads()
     }
 
     /// Execute one SQL statement.
@@ -1309,82 +1330,68 @@ impl Database {
             Vec::new()
         };
 
-        let results: Vec<Result<(String, ViewData, MaintenanceStats)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = simple
-                    .iter()
-                    .map(|view| {
-                        let (raw_before, raw_after, appended) =
-                            (&raw_before, &raw_after, &appended);
-                        scope.spawn(move || {
-                            let (data, stats) = match &view.data {
-                                ViewData::PartitionedSum(_) => {
-                                    return Err(RfvError::internal(
-                                        "partitioned view reached simple-sequence maintenance",
-                                    ))
-                                }
-                                ViewData::Sum(seq) => {
-                                    let mut seq = seq.clone();
-                                    let mut raw = raw_before.clone();
-                                    let stats = batch.apply(&mut seq, &mut raw)?;
-                                    (ViewData::Sum(seq), stats)
-                                }
-                                ViewData::CumulativeSum(c) => {
-                                    if append_run {
-                                        let mut c = c.clone();
-                                        c.append_bulk(appended);
-                                        let stats = MaintenanceStats {
-                                            recomputed: appended.len(),
-                                            shifted: 0,
-                                            coalesced: appended.len().saturating_sub(1),
-                                        };
-                                        (ViewData::CumulativeSum(c), stats)
-                                    } else {
-                                        let c = CumulativeSequence::materialize(raw_after);
-                                        let stats = MaintenanceStats {
-                                            recomputed: raw_after.len(),
-                                            shifted: 0,
-                                            coalesced: 0,
-                                        };
-                                        (ViewData::CumulativeSum(c), stats)
-                                    }
-                                }
-                                ViewData::MinMax(seq) => {
-                                    // MIN/MAX stays a full rematerialization
-                                    // (§2.3 footnote), but now once per batch.
-                                    let new = CompleteMinMaxSequence::materialize(
-                                        raw_after,
-                                        seq.l(),
-                                        seq.h(),
-                                        seq.is_max(),
-                                    )?;
-                                    let stats = MaintenanceStats {
-                                        recomputed: raw_after.len(),
-                                        shifted: 0,
-                                        coalesced: 0,
-                                    };
-                                    (ViewData::MinMax(new), stats)
-                                }
-                            };
-                            Ok((view.name.clone(), data, stats))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join()
-                            .map_err(|_| {
-                                RfvError::internal("batch maintenance worker thread panicked")
-                            })
-                            .and_then(|r| r)
-                    })
-                    .collect()
-            });
+        // Each simple view's new body is an independent unit of work;
+        // run them on the shared scheduler pool (panic-safe join, steal
+        // balancing) and refresh the registry serially afterwards, in
+        // declaration order.
+        let jobs: Vec<(String, ViewData)> = simple
+            .iter()
+            .map(|v| (v.name.clone(), v.data.clone()))
+            .collect();
+        let batch = batch.clone();
+        let results = rfv_exec::sched::run_ordered(jobs, move |_, (name, data)| {
+            let (data, stats) = match data {
+                ViewData::PartitionedSum(_) => {
+                    return Err(RfvError::internal(
+                        "partitioned view reached simple-sequence maintenance",
+                    ))
+                }
+                ViewData::Sum(mut seq) => {
+                    let mut raw = raw_before.clone();
+                    let stats = batch.apply(&mut seq, &mut raw)?;
+                    (ViewData::Sum(seq), stats)
+                }
+                ViewData::CumulativeSum(mut c) => {
+                    if append_run {
+                        c.append_bulk(&appended);
+                        let stats = MaintenanceStats {
+                            recomputed: appended.len(),
+                            shifted: 0,
+                            coalesced: appended.len().saturating_sub(1),
+                        };
+                        (ViewData::CumulativeSum(c), stats)
+                    } else {
+                        let c = CumulativeSequence::materialize(&raw_after);
+                        let stats = MaintenanceStats {
+                            recomputed: raw_after.len(),
+                            shifted: 0,
+                            coalesced: 0,
+                        };
+                        (ViewData::CumulativeSum(c), stats)
+                    }
+                }
+                ViewData::MinMax(seq) => {
+                    // MIN/MAX stays a full rematerialization
+                    // (§2.3 footnote), but now once per batch.
+                    let new = CompleteMinMaxSequence::materialize(
+                        &raw_after,
+                        seq.l(),
+                        seq.h(),
+                        seq.is_max(),
+                    )?;
+                    let stats = MaintenanceStats {
+                        recomputed: raw_after.len(),
+                        shifted: 0,
+                        coalesced: 0,
+                    };
+                    (ViewData::MinMax(new), stats)
+                }
+            };
+            Ok((name, data, stats))
+        })?;
 
         let mut total = MaintenanceStats::default();
-        for res in results {
-            let (name, data, stats) = res?;
+        for (name, data, stats) in results {
             self.registry.refresh(&self.catalog, &name, data)?;
             total.merge(stats);
         }

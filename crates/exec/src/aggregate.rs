@@ -5,6 +5,8 @@ use std::collections::HashMap;
 use rfv_expr::{Accumulator, AggFunc, Expr};
 use rfv_types::{Result, Row, Value};
 
+use crate::sched::{self, ParStats};
+
 /// One group: its key values plus one accumulator per aggregate.
 type GroupState = (Vec<Value>, Vec<Box<dyn Accumulator>>);
 
@@ -63,6 +65,126 @@ pub fn hash_aggregate(
             for acc in &accs {
                 key.push(acc.finish()?);
             }
+            Ok(Row::new(key))
+        })
+        .collect()
+}
+
+/// Partition-parallel [`hash_aggregate`] with a deterministic ordered
+/// merge. Three stages:
+///
+/// 1. **Evaluate** (morsel-parallel): group keys and aggregate arguments
+///    are computed per row, in row order within each contiguous morsel.
+/// 2. **Assign** (serial, cheap): walking rows in input order assigns each
+///    distinct key a group id in first-seen order — the serial emission
+///    order — and buckets `(gid, args)` pairs into `gid % strata` strata,
+///    preserving row order.
+/// 3. **Fold** (stratum-parallel): every group lives wholly inside one
+///    stratum, so its accumulators see *exactly* the serial update
+///    sequence — no float reassociation, Kahan compensation bits and all.
+///    Finished values are stitched back by group id.
+///
+/// The output is byte-identical to [`hash_aggregate`] at every thread
+/// count. Global aggregates (no GROUP BY) stay serial: a single
+/// accumulator chain cannot be split without reassociating.
+pub fn hash_aggregate_par(
+    rows: Vec<Row>,
+    group_exprs: &[Expr],
+    aggregates: &[(AggFunc, Option<Expr>)],
+    par: &mut ParStats,
+) -> Result<Vec<Row>> {
+    if group_exprs.is_empty() || !sched::should_parallelize(rows.len(), 2) {
+        return hash_aggregate(rows, group_exprs, aggregates);
+    }
+    let chunks = sched::split_morsels(rows);
+    if chunks.len() <= 1 {
+        return hash_aggregate(
+            chunks.into_iter().next().unwrap_or_default(),
+            group_exprs,
+            aggregates,
+        );
+    }
+    par.record(chunks.len());
+
+    // Stage 1: evaluate (key, args) per row. Key-then-args interleaving
+    // per row matches the serial loop, so the first error is the same one
+    // serial execution reports.
+    let ge = group_exprs.to_vec();
+    let agg_args: Vec<Option<Expr>> = aggregates.iter().map(|(_, a)| a.clone()).collect();
+    let evaluated: Vec<Vec<(Vec<Value>, Vec<Value>)>> =
+        sched::run_ordered(chunks, move |_, chunk: Vec<Row>| {
+            chunk
+                .iter()
+                .map(|row| {
+                    let key: Vec<Value> = ge.iter().map(|e| e.eval(row)).collect::<Result<_>>()?;
+                    let args: Vec<Value> = agg_args
+                        .iter()
+                        .map(|arg| match arg {
+                            Some(e) => e.eval(row),
+                            // COUNT(*): any non-null value counts the row.
+                            None => Ok(Value::Int(1)),
+                        })
+                        .collect::<Result<_>>()?;
+                    Ok((key, args))
+                })
+                .collect()
+        })?;
+
+    // Stage 2: first-seen group ids + stratum bucketing, in input order.
+    let strata = sched::effective_threads().saturating_mul(2).max(2);
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    let mut buckets: Vec<Vec<(usize, Vec<Value>)>> = (0..strata).map(|_| Vec::new()).collect();
+    for (key, args) in evaluated.into_iter().flatten() {
+        let gid = match index.get(&key) {
+            Some(&g) => g,
+            None => {
+                group_keys.push(key.clone());
+                index.insert(key, group_keys.len() - 1);
+                group_keys.len() - 1
+            }
+        };
+        buckets[gid % strata].push((gid, args));
+    }
+    let n_groups = group_keys.len();
+
+    // Stage 3: fold each stratum's groups in row order.
+    let funcs: Vec<AggFunc> = aggregates.iter().map(|(f, _)| *f).collect();
+    let finished: Vec<Vec<(usize, Vec<Value>)>> =
+        sched::run_ordered(buckets, move |_, bucket: Vec<(usize, Vec<Value>)>| {
+            let mut local: HashMap<usize, Vec<Box<dyn Accumulator>>> = HashMap::new();
+            let mut order: Vec<usize> = Vec::new();
+            for (gid, args) in &bucket {
+                let accs = local.entry(*gid).or_insert_with(|| {
+                    order.push(*gid);
+                    funcs.iter().map(|f| f.accumulator()).collect()
+                });
+                for (v, acc) in args.iter().zip(accs.iter_mut()) {
+                    acc.update(v)?;
+                }
+            }
+            order
+                .into_iter()
+                .map(|gid| {
+                    let vals = local[&gid]
+                        .iter()
+                        .map(|a| a.finish())
+                        .collect::<Result<Vec<Value>>>()?;
+                    Ok((gid, vals))
+                })
+                .collect()
+        })?;
+
+    // Ordered merge: emit groups by first-seen id, exactly like serial.
+    let mut slots: Vec<Option<Vec<Value>>> = (0..n_groups).map(|_| None).collect();
+    for (gid, vals) in finished.into_iter().flatten() {
+        slots[gid] = Some(vals);
+    }
+    group_keys
+        .into_iter()
+        .zip(slots)
+        .map(|(mut key, vals)| {
+            key.extend(vals.expect("every group folds in exactly one stratum"));
             Ok(Row::new(key))
         })
         .collect()

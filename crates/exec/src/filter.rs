@@ -1,11 +1,13 @@
 //! Row-level operators: filter, project, sort.
 
 use std::cmp::Ordering;
+use std::collections::VecDeque;
 
 use rfv_expr::Expr;
 use rfv_types::{Result, Row, Value};
 
 use crate::physical::SortKey;
+use crate::sched::{self, ParStats};
 
 /// Keep rows for which `predicate` is TRUE (NULL/unknown drops the row).
 pub fn filter(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
@@ -29,6 +31,47 @@ pub fn project(rows: Vec<Row>, exprs: &[Expr]) -> Result<Vec<Row>> {
                 .map(Row::new)
         })
         .collect()
+}
+
+/// Morsel-parallel [`filter`]: contiguous input morsels are filtered
+/// independently and concatenated in morsel order — byte-identical to the
+/// serial scan order.
+pub fn filter_par(rows: Vec<Row>, predicate: &Expr, par: &mut ParStats) -> Result<Vec<Row>> {
+    if !sched::should_parallelize(rows.len(), 2) {
+        return filter(rows, predicate);
+    }
+    let chunks = sched::split_morsels(rows);
+    if chunks.len() <= 1 {
+        return filter(chunks.into_iter().next().unwrap_or_default(), predicate);
+    }
+    par.record(chunks.len());
+    let predicate = predicate.clone();
+    let outs = sched::run_ordered(chunks, move |_, chunk| filter(chunk, &predicate))?;
+    Ok(concat(outs))
+}
+
+/// Morsel-parallel [`project`]: per-morsel projection, order-preserving
+/// concatenation.
+pub fn project_par(rows: Vec<Row>, exprs: &[Expr], par: &mut ParStats) -> Result<Vec<Row>> {
+    if !sched::should_parallelize(rows.len(), 2) {
+        return project(rows, exprs);
+    }
+    let chunks = sched::split_morsels(rows);
+    if chunks.len() <= 1 {
+        return project(chunks.into_iter().next().unwrap_or_default(), exprs);
+    }
+    par.record(chunks.len());
+    let exprs = exprs.to_vec();
+    let outs = sched::run_ordered(chunks, move |_, chunk| project(chunk, &exprs))?;
+    Ok(concat(outs))
+}
+
+fn concat(chunks: Vec<Vec<Row>>) -> Vec<Row> {
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
 }
 
 /// Evaluate the sort keys for a row.
@@ -56,6 +99,62 @@ pub fn sort(rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>> {
         .collect::<Result<_>>()?;
     decorated.sort_by(|(a, _), (b, _)| compare_keys(a, b, keys));
     Ok(decorated.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Parallel sort: each contiguous input morsel is key-decorated and
+/// stably sorted on the pool, then the sorted runs are k-way merged with
+/// ties broken by morsel index. Morsels are contiguous input ranges in
+/// order, so (morsel index, within-morsel position) reproduces the input
+/// order on ties — the merged output is byte-identical to the serial
+/// stable [`sort`].
+pub fn sort_par(rows: Vec<Row>, keys: &[SortKey], par: &mut ParStats) -> Result<Vec<Row>> {
+    if !sched::should_parallelize(rows.len(), 2) {
+        return sort(rows, keys);
+    }
+    let n = rows.len();
+    let chunks = sched::split_morsels(rows);
+    if chunks.len() <= 1 {
+        return sort(chunks.into_iter().next().unwrap_or_default(), keys);
+    }
+    par.record(chunks.len());
+    let keys_owned: Vec<SortKey> = keys.to_vec();
+    let mut runs: Vec<VecDeque<(Vec<Value>, Row)>> =
+        sched::run_ordered(chunks, move |_, chunk: Vec<Row>| {
+            let mut decorated: Vec<(Vec<Value>, Row)> = chunk
+                .into_iter()
+                .map(|r| key_values(&r, &keys_owned).map(|k| (k, r)))
+                .collect::<Result<_>>()?;
+            decorated.sort_by(|(a, _), (b, _)| compare_keys(a, b, &keys_owned));
+            Ok(decorated.into_iter().collect::<VecDeque<_>>())
+        })?;
+
+    // K-way merge: linear scan over run heads (k is small — a few runs
+    // per thread). Ties select the lowest run index, which is exactly
+    // input order because runs are contiguous input ranges.
+    let mut out = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, run) in runs.iter().enumerate() {
+            let Some((key, _)) = run.front() else {
+                continue;
+            };
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (bkey, _) = runs[b].front().expect("best run is non-empty");
+                    compare_keys(key, bkey, keys) == Ordering::Less
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => out.push(runs[i].pop_front().expect("selected head exists").1),
+            None => break,
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -19,10 +19,12 @@ mod join;
 pub mod opmetrics;
 pub mod physical;
 mod scan;
+pub mod sched;
 pub mod window;
 
 pub use opmetrics::{ExecCounters, ExecProbe, OpMetrics};
 pub use physical::{JoinType, PhysicalPlan, SortKey};
+pub use sched::{ParStats, SchedMetrics, DEFAULT_PARALLEL_THRESHOLD};
 pub use window::{
     FrameBound, WindowExprSpec, WindowFrame, WindowFuncKind, WindowMode, MAX_FRAME_OFFSET,
 };

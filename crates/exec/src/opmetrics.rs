@@ -63,6 +63,11 @@ pub struct OpMetrics {
     pub batches: u64,
     /// Wall time including children.
     pub elapsed_ns: u64,
+    /// Morsels this operator split its input into (0 when it ran
+    /// serially).
+    pub morsels: u64,
+    /// Pool workers available to those morsels (0 when serial).
+    pub workers: u64,
     pub children: Vec<OpMetrics>,
 }
 
@@ -98,15 +103,30 @@ impl OpMetrics {
             .sum::<usize>()
     }
 
-    /// The `EXPLAIN ANALYZE` annotation for this node.
+    /// The `EXPLAIN ANALYZE` annotation for this node. Parallel
+    /// execution adds `morsels=`/`workers=` before `time=` (so
+    /// time-masking tooling keeps working); serial nodes render exactly
+    /// as before.
     pub fn actuals(&self) -> String {
-        format!(
-            "(actual rows={} in={} batches={} time={})",
-            self.rows_out,
-            self.rows_in,
-            self.batches,
-            fmt_ns(self.elapsed_ns)
-        )
+        if self.morsels > 1 {
+            format!(
+                "(actual rows={} in={} batches={} morsels={} workers={} time={})",
+                self.rows_out,
+                self.rows_in,
+                self.batches,
+                self.morsels,
+                self.workers,
+                fmt_ns(self.elapsed_ns)
+            )
+        } else {
+            format!(
+                "(actual rows={} in={} batches={} time={})",
+                self.rows_out,
+                self.rows_in,
+                self.batches,
+                fmt_ns(self.elapsed_ns)
+            )
+        }
     }
 }
 
@@ -121,6 +141,8 @@ mod tests {
             rows_out: rows,
             batches: 1,
             elapsed_ns: ns,
+            morsels: 0,
+            workers: 0,
             children: vec![],
         }
     }
@@ -133,6 +155,8 @@ mod tests {
             rows_out: 10,
             batches: 2,
             elapsed_ns: 1000,
+            morsels: 0,
+            workers: 0,
             children: vec![leaf(10, 300), leaf(20, 400)],
         };
         assert_eq!(m.self_ns(), 300);
@@ -151,6 +175,8 @@ mod tests {
             rows_out: 1,
             batches: 1,
             elapsed_ns: 10,
+            morsels: 0,
+            workers: 0,
             children: vec![leaf(1, 25)],
         };
         assert_eq!(m.self_ns(), 0);

@@ -7,6 +7,7 @@ use rfv_storage::TableRef;
 use rfv_types::{Result, Row, SchemaRef, Value};
 
 use crate::opmetrics::{ExecProbe, OpMetrics};
+use crate::sched::{self, ParStats};
 use crate::window::{WindowExprSpec, WindowMode};
 use crate::{aggregate, filter, join, scan, window};
 
@@ -199,6 +200,7 @@ impl PhysicalPlan {
         let mut kids: Vec<OpMetrics> = Vec::new();
         let mut rows_in = 0u64;
         let mut batches = 0u64;
+        let mut par = ParStats::default();
         let mut run = |p: &PhysicalPlan| -> Result<Vec<Row>> {
             let (rows, m) = p.execute_probed(probe)?;
             rows_in += rows.len() as u64;
@@ -209,7 +211,7 @@ impl PhysicalPlan {
             Ok(rows)
         };
         let out = match self {
-            PhysicalPlan::TableScan { table, .. } => scan::table_scan(table)?,
+            PhysicalPlan::TableScan { table, .. } => scan::table_scan_par(table, &mut par)?,
             PhysicalPlan::IndexRangeScan {
                 table,
                 column,
@@ -218,8 +220,12 @@ impl PhysicalPlan {
                 ..
             } => scan::index_range_scan(table, *column, lo.as_ref(), hi.as_ref())?,
             PhysicalPlan::Values { rows, .. } => rows.clone(),
-            PhysicalPlan::Filter { input, predicate } => filter::filter(run(input)?, predicate)?,
-            PhysicalPlan::Project { input, exprs, .. } => filter::project(run(input)?, exprs)?,
+            PhysicalPlan::Filter { input, predicate } => {
+                filter::filter_par(run(input)?, predicate, &mut par)?
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                filter::project_par(run(input)?, exprs, &mut par)?
+            }
             PhysicalPlan::NestedLoopJoin {
                 left,
                 right,
@@ -267,13 +273,13 @@ impl PhysicalPlan {
                 *join_type,
                 right.schema().len(),
             )?,
-            PhysicalPlan::Sort { input, keys } => filter::sort(run(input)?, keys)?,
+            PhysicalPlan::Sort { input, keys } => filter::sort_par(run(input)?, keys, &mut par)?,
             PhysicalPlan::HashAggregate {
                 input,
                 group_exprs,
                 aggregates,
                 ..
-            } => aggregate::hash_aggregate(run(input)?, group_exprs, aggregates)?,
+            } => aggregate::hash_aggregate_par(run(input)?, group_exprs, aggregates, &mut par)?,
             PhysicalPlan::UnionAll { inputs } => {
                 let mut out = Vec::new();
                 for p in inputs {
@@ -293,7 +299,14 @@ impl PhysicalPlan {
                 window_exprs,
                 mode,
                 ..
-            } => window::execute_window(run(input)?, partition_by, order_by, window_exprs, *mode)?,
+            } => window::execute_window_par(
+                run(input)?,
+                partition_by,
+                order_by,
+                window_exprs,
+                *mode,
+                &mut par,
+            )?,
         };
         if let Some(counters) = &probe.counters {
             if matches!(
@@ -309,6 +322,8 @@ impl PhysicalPlan {
             rows_out: out.len() as u64,
             batches: batches.max(1),
             elapsed_ns: sw.elapsed_ns(),
+            morsels: par.morsels,
+            workers: par.workers,
             children: kids,
         });
         Ok((out, metrics))
@@ -359,16 +374,43 @@ impl PhysicalPlan {
 
     fn explain_annotated_into(&self, out: &mut String, indent: usize, m: Option<&OpMetrics>) {
         let pad = "  ".repeat(indent);
+        let mut line = self.explain_line();
+        // Parallelism-eligibility annotation. Suppressed when the engine
+        // is effectively serial (RFV_THREADS=1 / one-core hosts), so
+        // serial plan text stays byte-identical to historical output.
+        if sched::effective_threads() > 1 {
+            if let Some(strategy) = self.parallel_strategy() {
+                let _ = write!(line, " [parallel: {strategy}]");
+            }
+        }
         match m {
             Some(m) => {
-                let _ = writeln!(out, "{pad}{} {}", self.explain_line(), m.actuals());
+                let _ = writeln!(out, "{pad}{line} {}", m.actuals());
             }
             None => {
-                let _ = writeln!(out, "{pad}{}", self.explain_line());
+                let _ = writeln!(out, "{pad}{line}");
             }
         }
         for (i, child) in self.explain_children().iter().enumerate() {
             child.explain_annotated_into(out, indent + 1, m.and_then(|m| m.children.get(i)));
+        }
+    }
+
+    /// The strategy this operator uses on the shared worker pool when the
+    /// scheduler's cost gate opens, or `None` for always-serial
+    /// operators. This is *eligibility*: small inputs still run serially
+    /// at execution time.
+    pub fn parallel_strategy(&self) -> Option<&'static str> {
+        match self {
+            PhysicalPlan::TableScan { .. } => Some("morsel scan"),
+            PhysicalPlan::Filter { .. } => Some("morsel filter"),
+            PhysicalPlan::Project { .. } => Some("morsel project"),
+            PhysicalPlan::Sort { .. } => Some("morsel sort + k-way merge"),
+            PhysicalPlan::HashAggregate { group_exprs, .. } if !group_exprs.is_empty() => {
+                Some("partitioned aggregate")
+            }
+            PhysicalPlan::Window { .. } => Some("partition-parallel window"),
+            _ => None,
         }
     }
 

@@ -3,10 +3,42 @@
 use rfv_storage::TableRef;
 use rfv_types::{Result, Row, Value};
 
+use crate::sched::{self, ParStats};
+
 /// Full table scan in slot order.
 pub fn table_scan(table: &TableRef) -> Result<Vec<Row>> {
     let guard = table.read();
     Ok(guard.scan().map(|(_, r)| r.clone()).collect())
+}
+
+/// Morsel-parallel full table scan: the slot space is split into
+/// contiguous ranges, each cloned out under its own read guard, and the
+/// per-range vectors concatenate in range order — byte-identical to the
+/// serial slot-order scan. Like every read in this engine, a scan is not
+/// snapshot-isolated against concurrent writers; each morsel sees the
+/// table as of its own read lock.
+pub fn table_scan_par(table: &TableRef, par: &mut ParStats) -> Result<Vec<Row>> {
+    let slots = table.read().stats().slot_count;
+    if !sched::should_parallelize(slots, 2) {
+        return table_scan(table);
+    }
+    let ranges = sched::morsel_ranges(slots);
+    if ranges.len() <= 1 {
+        return table_scan(table);
+    }
+    par.record(ranges.len());
+    let t = table.clone();
+    let chunks = sched::run_ordered(ranges, move |_, (lo, hi)| {
+        Ok(t.read()
+            .scan_range(lo, hi)
+            .map(|(_, r)| r.clone())
+            .collect::<Vec<Row>>())
+    })?;
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    Ok(out)
 }
 
 /// Ordered range scan through the index on `column`.

@@ -25,6 +25,7 @@ use rfv_types::{Result, RfvError, Row, Value};
 
 use crate::filter::compare_keys;
 use crate::physical::SortKey;
+use crate::sched::{self, ParStats};
 
 /// Largest accepted `ROWS BETWEEN n PRECEDING/FOLLOWING` offset (2⁴⁰ rows).
 /// Any frame wider than this behaves identically to UNBOUNDED on every
@@ -243,6 +244,30 @@ pub fn execute_window(
     window_exprs: &[WindowExprSpec],
     mode: WindowMode,
 ) -> Result<Vec<Row>> {
+    execute_window_par(
+        rows,
+        partition_by,
+        order_by,
+        window_exprs,
+        mode,
+        &mut ParStats::default(),
+    )
+}
+
+/// [`execute_window`] with parallelism accounting. Partitions are
+/// independent, so contiguous groups of partition ranges run on the shared
+/// scheduler when the cost gate opens. Each group owns its span of the
+/// sorted rows and stitches its own output rows; group outputs concatenate
+/// in partition order, so the result is byte-identical to serial
+/// evaluation at every thread count.
+pub fn execute_window_par(
+    rows: Vec<Row>,
+    partition_by: &[Expr],
+    order_by: &[SortKey],
+    window_exprs: &[WindowExprSpec],
+    mode: WindowMode,
+    par: &mut ParStats,
+) -> Result<Vec<Row>> {
     // Sort by (partition keys ASC, order keys as specified).
     let mut keys: Vec<SortKey> = partition_by
         .iter()
@@ -279,13 +304,6 @@ pub fn execute_window(
         ranges.push((start, sorted.len()));
     }
 
-    // Evaluate window columns per partition. Partitions are independent;
-    // spread them over threads when there is enough work to amortize spawns.
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let parallel = ranges.len() > 1 && sorted.len() >= 8192 && n_threads > 1;
-
     // Ranking functions compare order-key tuples; evaluate them once.
     let need_order_keys = window_exprs.iter().any(|s| s.func.is_ranking());
     let order_keys: Vec<Vec<Value>> = if need_order_keys {
@@ -302,59 +320,94 @@ pub fn execute_window(
         Vec::new()
     };
 
-    // One output column vector per window expression, per partition range.
-    let compute_range = |range: (usize, usize)| -> Result<Vec<Vec<Value>>> {
-        let part = &sorted[range.0..range.1];
-        let keys = if need_order_keys {
-            &order_keys[range.0..range.1]
-        } else {
-            &[][..]
-        };
-        window_exprs
+    // Partitions are independent; hand contiguous groups of them to the
+    // shared pool when the cost gate opens (threshold and thread count both
+    // live in the scheduler, overridable for tests).
+    if !sched::should_parallelize(sorted.len(), ranges.len()) {
+        let per_range: Vec<Vec<Vec<Value>>> = ranges
             .iter()
-            .map(|spec| eval_window_expr(part, keys, spec, mode))
-            .collect()
-    };
-
-    let per_range: Vec<Vec<Vec<Value>>> = if parallel {
-        let chunk = ranges.len().div_ceil(n_threads);
-        let compute_range = &compute_range;
-        let results: Vec<Result<Vec<Vec<Vec<Value>>>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .chunks(chunk)
-                .map(|rs| scope.spawn(move || rs.iter().map(|&r| compute_range(r)).collect()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .map_err(|_| RfvError::internal("window worker thread panicked"))
-                        .and_then(|r| r)
-                })
-                .collect()
-        });
-        let mut per_range = Vec::with_capacity(ranges.len());
-        for res in results {
-            per_range.extend(res?);
-        }
-        per_range
-    } else {
-        ranges
-            .iter()
-            .map(|&r| compute_range(r))
-            .collect::<Result<_>>()?
-    };
-
-    // Stitch output rows.
-    let mut out = Vec::with_capacity(sorted.len());
-    for (range, cols) in ranges.iter().zip(per_range) {
-        for i in range.0..range.1 {
-            let mut values = sorted[i].values().to_vec();
-            for col in &cols {
-                values.push(col[i - range.0].clone());
+            .map(|&range| {
+                let part = &sorted[range.0..range.1];
+                let keys = if need_order_keys {
+                    &order_keys[range.0..range.1]
+                } else {
+                    &[][..]
+                };
+                window_exprs
+                    .iter()
+                    .map(|spec| eval_window_expr(part, keys, spec, mode))
+                    .collect()
+            })
+            .collect::<Result<_>>()?;
+        let mut out = Vec::with_capacity(sorted.len());
+        for (range, cols) in ranges.iter().zip(per_range) {
+            for i in range.0..range.1 {
+                let mut values = sorted[i].values().to_vec();
+                for col in &cols {
+                    values.push(col[i - range.0].clone());
+                }
+                out.push(Row::new(values));
             }
-            out.push(Row::new(values));
         }
+        return Ok(out);
+    }
+
+    // Carve the sorted rows into owned spans at group boundaries,
+    // back-to-front so split_off always leaves the prefix behind. Each
+    // task owns its rows outright — no shared borrows across threads.
+    let n_groups = sched::effective_threads()
+        .saturating_mul(4)
+        .min(ranges.len())
+        .max(1);
+    let per_group = ranges.len().div_ceil(n_groups);
+    let groups: Vec<Vec<(usize, usize)>> = ranges.chunks(per_group).map(<[_]>::to_vec).collect();
+    par.record(groups.len());
+
+    // One task: (base offset, owned row span, owned order-key span, ranges).
+    type GroupTask = (usize, Vec<Row>, Vec<Vec<Value>>, Vec<(usize, usize)>);
+    let mut rows_rest = sorted;
+    let mut keys_rest = order_keys;
+    let mut tasks: Vec<GroupTask> = Vec::with_capacity(groups.len());
+    for group in groups.into_iter().rev() {
+        let base = group.first().expect("groups are non-empty").0;
+        let span_rows = rows_rest.split_off(base);
+        let span_keys = if need_order_keys {
+            keys_rest.split_off(base)
+        } else {
+            Vec::new()
+        };
+        tasks.push((base, span_rows, span_keys, group));
+    }
+    tasks.reverse();
+
+    let specs = window_exprs.to_vec();
+    let outs = sched::run_ordered(tasks, move |_, (base, span_rows, span_keys, group)| {
+        let mut out = Vec::with_capacity(span_rows.len());
+        for &(lo, hi) in &group {
+            let (l, h) = (lo - base, hi - base);
+            let part = &span_rows[l..h];
+            let keys = if span_keys.is_empty() {
+                &[][..]
+            } else {
+                &span_keys[l..h]
+            };
+            let cols = specs
+                .iter()
+                .map(|spec| eval_window_expr(part, keys, spec, mode))
+                .collect::<Result<Vec<Vec<Value>>>>()?;
+            for i in l..h {
+                let mut values = span_rows[i].values().to_vec();
+                for col in &cols {
+                    values.push(col[i - l].clone());
+                }
+                out.push(Row::new(values));
+            }
+        }
+        Ok(out)
+    })?;
+    let mut out = Vec::with_capacity(outs.iter().map(Vec::len).sum());
+    for chunk in outs {
+        out.extend(chunk);
     }
     Ok(out)
 }

@@ -181,6 +181,27 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Adopt an existing counter handle under `name`, so its live value
+    /// shows up in snapshots and JSON exports. Used to mirror
+    /// process-wide metrics (e.g. the shared scheduler's counters) into
+    /// a per-engine registry; re-registering the same name replaces the
+    /// handle.
+    pub fn register_counter(&self, name: &str, counter: Counter) {
+        self.inner
+            .counters
+            .write()
+            .insert(name.to_string(), counter);
+    }
+
+    /// Adopt an existing histogram handle under `name`. See
+    /// [`register_counter`](Self::register_counter).
+    pub fn register_histogram(&self, name: &str, histogram: Histogram) {
+        self.inner
+            .histograms
+            .write()
+            .insert(name.to_string(), histogram);
+    }
+
     /// Current value of counter `name` (0 if it was never created).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.inner.counters.read().get(name).map_or(0, Counter::get)

@@ -239,6 +239,20 @@ impl Table {
             .filter_map(|(rid, slot)| slot.as_ref().map(|r| (rid, r)))
     }
 
+    /// Iterate over `(RowId, &Row)` pairs of live rows whose slot lies in
+    /// `[lo, hi)`, in slot order. With `[0, slot_count)` this is exactly
+    /// [`scan`](Self::scan); parallel scans split the slot space into
+    /// contiguous ranges so per-range output concatenates back to the
+    /// serial scan order.
+    pub fn scan_range(&self, lo: usize, hi: usize) -> impl Iterator<Item = (RowId, &Row)> {
+        let hi = hi.min(self.slots.len());
+        let lo = lo.min(hi);
+        self.slots[lo..hi]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| slot.as_ref().map(|r| (lo + i, r)))
+    }
+
     /// Row ids whose indexed column equals `key`, via the index on `col`.
     pub fn index_lookup(&self, col: usize, key: &Value) -> Result<Vec<RowId>> {
         let index = self.indexes.get(&col).ok_or_else(|| {
@@ -293,6 +307,30 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1], row![2i64, 20.0]);
         assert_eq!(t.stats().row_count, 2);
+    }
+
+    #[test]
+    fn scan_range_partitions_concatenate_to_full_scan() {
+        let mut t = seq_table();
+        for i in 0..10i64 {
+            t.insert(row![i, i as f64]).unwrap();
+        }
+        // Tombstone a couple of slots so ranges cross holes.
+        t.delete(3).unwrap();
+        t.delete(7).unwrap();
+        let full: Vec<_> = t.scan().map(|(rid, r)| (rid, r.clone())).collect();
+        let slots = t.stats().slot_count;
+        for split in [0usize, 1, 4, 5, 9, 10] {
+            let mut stitched: Vec<_> = t
+                .scan_range(0, split)
+                .map(|(rid, r)| (rid, r.clone()))
+                .collect();
+            stitched.extend(t.scan_range(split, slots).map(|(rid, r)| (rid, r.clone())));
+            assert_eq!(stitched, full, "split at {split}");
+        }
+        // Out-of-bounds and inverted ranges are clamped, not panicking.
+        assert_eq!(t.scan_range(slots, slots + 5).count(), 0);
+        assert_eq!(t.scan_range(8, 2).count(), 0);
     }
 
     #[test]

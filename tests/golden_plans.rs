@@ -247,6 +247,92 @@ fn golden_sql_executes_to_same_answer() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parallelism annotations: EXPLAIN marks pool-eligible operators with
+// `[parallel: …]`, but only when the engine is effectively parallel — at
+// one thread (RFV_THREADS=1 / `\threads 1`) the plan text must stay
+// byte-identical to the historical serial output.
+
+/// Remove every ` [parallel: …]` suffix, leaving the serial plan text.
+fn strip_parallel_annotations(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        match line.find(" [parallel: ") {
+            Some(i) => {
+                let end = line[i..].find(']').map(|e| i + e + 1).unwrap_or(line.len());
+                out.push_str(&line[..i]);
+                out.push_str(&line[end..]);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn parallel_annotations_appear_only_when_parallel() {
+    use rfv_exec::sched;
+    // The thread count is a process-wide knob; restore it even on panic.
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            rfv_exec::sched::set_threads(0);
+        }
+    }
+    let _reset = Reset;
+
+    let db = Database::new();
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .unwrap();
+    for i in 1..=8 {
+        db.execute(&format!("INSERT INTO seq VALUES ({i}, {i}.5)"))
+            .unwrap();
+    }
+    let sql = "SELECT pos, val * 2.0 AS v FROM seq WHERE val > 1.0 ORDER BY pos";
+
+    sched::set_threads(1);
+    let serial = db.explain(sql).unwrap();
+    assert!(
+        !serial.contains("[parallel:"),
+        "serial plans carry no parallel annotations\n{serial}"
+    );
+
+    sched::set_threads(4);
+    let parallel = db.explain(sql).unwrap();
+    for strategy in [
+        "[parallel: morsel scan]",
+        "[parallel: morsel filter]",
+        "[parallel: morsel project]",
+        "[parallel: morsel sort + k-way merge]",
+    ] {
+        assert!(
+            parallel.contains(strategy),
+            "missing {strategy}\n{parallel}"
+        );
+    }
+    let agg = db
+        .explain("SELECT pos, COUNT(*) AS n FROM seq GROUP BY pos")
+        .unwrap();
+    assert!(agg.contains("[parallel: partitioned aggregate]"), "{agg}");
+    let win = db
+        .explain(
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+             AND 1 FOLLOWING) AS s FROM seq",
+        )
+        .unwrap();
+    assert!(
+        win.contains("[parallel: partition-parallel window]"),
+        "{win}"
+    );
+
+    // Stripping the annotations recovers the serial text byte for byte:
+    // parallelism eligibility is the ONLY difference between the modes.
+    sched::set_threads(1);
+    let serial_again = db.explain(sql).unwrap();
+    assert_eq!(strip_parallel_annotations(&parallel), serial_again);
+}
+
 #[test]
 fn engine_explain_shows_rewrite_decision() {
     let db = Database::new();

@@ -99,6 +99,89 @@ fn explain_analyze_runs_as_a_statement() {
     );
 }
 
+/// EXPLAIN ANALYZE annotates operators that actually went parallel with
+/// their morsel and worker counts, and the serial format stays exactly
+/// as it was (so [`mask_times`] and historical goldens keep working).
+#[test]
+fn explain_analyze_annotates_parallel_morsels() {
+    // Process-wide knobs; restore them even on panic.
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            rfv_exec::sched::set_threads(0);
+            rfv_exec::sched::set_parallel_threshold(usize::MAX);
+        }
+    }
+    let _reset = Reset;
+    rfv_exec::sched::set_parallel_threshold(4);
+    rfv_exec::sched::set_threads(4);
+
+    let db = db_with_seq(64);
+    let sql = "EXPLAIN ANALYZE SELECT pos, val FROM seq ORDER BY val";
+    let masked = mask_times(&db.explain(sql).unwrap());
+    let sort_line = masked
+        .lines()
+        .find(|l| l.trim_start().starts_with("Sort"))
+        .unwrap_or_else(|| panic!("no Sort node:\n{masked}"));
+    assert!(
+        sort_line.contains("morsels=") && sort_line.contains("workers="),
+        "parallel sort must report its morsel split: {sort_line:?}"
+    );
+    assert!(
+        sort_line.contains("time=MASKED"),
+        "time masking survives the morsel annotation: {sort_line:?}"
+    );
+    assert!(
+        sort_line.contains("[parallel: morsel sort + k-way merge]"),
+        "{sort_line:?}"
+    );
+
+    // At one thread the historical annotation format returns unchanged.
+    rfv_exec::sched::set_threads(1);
+    let masked = mask_times(&db.explain(sql).unwrap());
+    assert!(!masked.contains("morsels="), "{masked}");
+    assert!(!masked.contains("[parallel:"), "{masked}");
+    assert!(masked.contains("(actual rows="), "{masked}");
+}
+
+/// The shared pool's process-wide counters are mirrored into every
+/// engine's registry, so `\metrics` / `metrics_json` expose scheduler
+/// activity without a side channel.
+#[test]
+fn scheduler_counters_are_mirrored_into_metrics() {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            rfv_exec::sched::set_threads(0);
+            rfv_exec::sched::set_parallel_threshold(usize::MAX);
+        }
+    }
+    let _reset = Reset;
+    rfv_exec::sched::set_parallel_threshold(4);
+    rfv_exec::sched::set_threads(4);
+
+    let db = db_with_seq(64);
+    db.execute("SELECT pos, val FROM seq ORDER BY val DESC")
+        .unwrap();
+    assert!(
+        db.metrics().counter_value("sched.tasks") > 0,
+        "a forced-parallel sort must schedule pool tasks"
+    );
+    assert!(db.metrics().counter_value("sched.parallel_ops") > 0);
+    let parsed = Json::parse(&db.metrics_json()).unwrap();
+    let counters = parsed.get("counters").expect("counters object");
+    for key in ["sched.tasks", "sched.steals", "sched.parallel_ops"] {
+        assert!(counters.get(key).is_some(), "missing counter {key}");
+    }
+    assert!(
+        parsed
+            .get("histograms")
+            .and_then(|h| h.get("sched.busy_ns"))
+            .is_some(),
+        "busy-time histogram is mirrored"
+    );
+}
+
 #[test]
 fn disabled_tracing_is_zero_overhead_and_identical() {
     let traced = db_with_view(20);
