@@ -1,0 +1,144 @@
+//! Self-validating benchmark of the two-level query cache.
+//!
+//! Workload: the Table 1 reporting-function query — `SUM(val) OVER
+//! (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING)` on a dense
+//! `seq(pos, val)` — run three ways:
+//!
+//! * **uncached** — result cache disabled (capacity 0), the pure
+//!   pre-cache execution path;
+//! * **cold miss** — cache enabled but invalidated before every
+//!   iteration (a base-table write bumps the generation), measuring the
+//!   overhead the cache adds to a miss;
+//! * **warm hit** — cache enabled and pre-warmed, every iteration
+//!   served from the result cache.
+//!
+//! ```sh
+//! cargo run -p rfv-bench --release --bin cache            # full size
+//! cargo run -p rfv-bench --release --bin cache -- --quick # CI smoke
+//! ```
+//!
+//! The run **fails** (exit 1) unless (a) the warm-hit p50 is at least
+//! 5× faster than uncached, and (b) every path returns bit-identical
+//! rows (FNV-1a over `f64::to_bits`). Exports `BENCH_cache.json`.
+
+use rfv_bench::harness::{percentile, sample_secs, samples_or, warmup_or, CaseStats, Report};
+use rfv_bench::{random_values, seq_database};
+use rfv_core::Database;
+
+const SQL: &str = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+                   AND 1 FOLLOWING) AS s FROM seq ORDER BY pos";
+
+/// Bit-exact fingerprint of the query's result set.
+fn fingerprint(db: &Database) -> u64 {
+    let result = db.execute(SQL).expect("bench query");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for row in result.rows() {
+        for i in 0..2 {
+            match row.get(i).as_f64() {
+                Ok(Some(v)) => eat(v.to_bits()),
+                Ok(None) => eat(u64::MAX),
+                Err(_) => eat(u64::MAX - 1),
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2_000 } else { 10_000 };
+    let iters = samples_or(if quick { 5 } else { 9 });
+    let warmup = warmup_or(1);
+    let mut report = Report::new("cache", quick);
+    println!("cache — repeated Table 1 query on seq(pos, val), n = {n}\n");
+
+    let values = random_values(n, 42);
+    let db = seq_database(&values);
+
+    // Uncached: capacity 0 is the pure pre-cache path.
+    db.set_result_cache(0);
+    let fp_uncached = fingerprint(&db);
+    let uncached = sample_secs(iters, warmup, || {
+        assert_eq!(fingerprint(&db), fp_uncached, "uncached drifted");
+    });
+    let uncached_p50 = percentile(&uncached, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("uncached/n={n}"),
+        &uncached,
+        n as u64,
+    ));
+
+    // Cold miss: enabled, but a generation bump before each iteration
+    // makes every cached entry unreachable.
+    db.set_result_cache(rfv_core::DEFAULT_CACHE_BYTES);
+    let touch = db.catalog().table("seq").expect("exists");
+    let row0 = rfv_types::row![1i64, values[0]];
+    let cold = sample_secs(iters, warmup, || {
+        // Rewrite row 0 with its own values: data unchanged, generation
+        // bumped — every cached entry becomes unreachable.
+        touch.write().update(0, row0.clone()).expect("touch");
+        assert_eq!(fingerprint(&db), fp_uncached, "cold miss drifted");
+    });
+    let cold_p50 = percentile(&cold, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("cold-miss/n={n}"),
+        &cold,
+        n as u64,
+    ));
+
+    // Warm hit: pre-warm once, then every iteration is a cache hit.
+    let hits_before = db.cache_stats().hits;
+    let fp_first = fingerprint(&db); // populates
+    let warm = sample_secs(iters, warmup, || {
+        assert_eq!(fingerprint(&db), fp_first, "warm hit drifted");
+    });
+    let warm_p50 = percentile(&warm, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("warm-hit/n={n}"),
+        &warm,
+        n as u64,
+    ));
+
+    let stats = db.cache_stats();
+    let speedup = uncached_p50 / warm_p50.max(1e-12);
+    println!("| {:>12} | {:>11} |", "case", "p50");
+    println!("|{}|", "-".repeat(30));
+    for (case, p50) in [
+        ("uncached", uncached_p50),
+        ("cold miss", cold_p50),
+        ("warm hit", warm_p50),
+    ] {
+        println!("| {case:>12} | {:>9.3}ms |", p50 * 1e3);
+    }
+    println!(
+        "\nwarm-hit speedup: {speedup:.1}x  (cache: {} hits, {} misses, {} bytes resident)",
+        stats.hits, stats.misses, stats.resident_bytes
+    );
+
+    // Self-validation.
+    if fp_first != fp_uncached {
+        eprintln!("FAIL: cached result differs from uncached (bit-exact check)");
+        std::process::exit(1);
+    }
+    if stats.hits <= hits_before {
+        eprintln!("FAIL: warm loop never hit the cache");
+        std::process::exit(1);
+    }
+    if speedup < 5.0 {
+        eprintln!("FAIL: warm-hit speedup {speedup:.1}x < 5x");
+        std::process::exit(1);
+    }
+    match report.write_and_validate() {
+        Ok(path) => println!("wrote {} ({iters} iters/case)", path.display()),
+        Err(e) => {
+            eprintln!("bench export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

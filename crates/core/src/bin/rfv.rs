@@ -15,6 +15,8 @@
 //! * `.load <table> <nrows>` — bulk-append `<nrows>` generated rows
 //!   through the batched maintenance path (one pass per view)
 //! * `.rewrite on|off` — toggle view-aware rewriting
+//! * `\cache [on|off|stats]` — toggle the plan/result cache or show its
+//!   hit/miss/byte statistics
 //! * `\timing on|off` — per-statement wall time plus the traced phase
 //!   breakdown (parse/bind/optimize/rewrite/plan/execute)
 //! * `\metrics` — dump the engine metrics registry as JSON
@@ -35,6 +37,7 @@ meta commands (.name and \\name are equivalent):
   .explain <query>      show the plan (and whether a view rewrite fired)
   .load <table> <nrows> bulk-append generated rows (batched maintenance)
   .rewrite on|off       toggle answering window queries from views
+  \\cache [on|off|stats] toggle the query cache / show hit statistics
   \\timing on|off        print per-statement time and phase breakdown
   \\metrics              dump the engine metrics registry as JSON
   \\threads [n]          show or cap the worker pool (0 = reset to
@@ -79,7 +82,9 @@ fn main() {
                 ".help" => println!("{HELP}"),
                 ".tables" => {
                     for name in db.catalog().table_names() {
-                        let t = db.catalog().table(&name).expect("listed");
+                        let Ok(t) = db.catalog().table(&name) else {
+                            continue; // dropped since listing
+                        };
                         let guard = t.read();
                         println!(
                             "  {name} {} — {} rows",
@@ -90,7 +95,9 @@ fn main() {
                 }
                 ".views" => {
                     for name in db.registry().names() {
-                        let v = db.registry().get(&name).expect("listed");
+                        let Some(v) = db.registry().get(&name) else {
+                            continue; // dropped since listing
+                        };
                         println!(
                             "  {name}: {} over {}({}, {}) window {:?}{}",
                             v.func,
@@ -159,6 +166,33 @@ fn main() {
                     }
                     _ => println!("usage: .rewrite on|off"),
                 },
+                ".cache" => match parts.next() {
+                    Some("on") => {
+                        db.set_result_cache(rfv_core::DEFAULT_CACHE_BYTES);
+                        println!("cache on ({} bytes)", rfv_core::DEFAULT_CACHE_BYTES);
+                    }
+                    Some("off") => {
+                        db.set_result_cache(0);
+                        println!("cache off");
+                    }
+                    None | Some("stats") => {
+                        let s = db.cache_stats();
+                        println!(
+                            "cache: {} — {} / {} bytes, {} results, {} plans",
+                            if s.enabled { "on" } else { "off" },
+                            s.resident_bytes,
+                            s.capacity_bytes,
+                            s.result_entries,
+                            s.plan_entries,
+                        );
+                        println!(
+                            "  results: {} hits, {} misses, {} inserts, {} evictions",
+                            s.hits, s.misses, s.inserts, s.evictions
+                        );
+                        println!("  plans:   {} hits, {} misses", s.plan_hits, s.plan_misses);
+                    }
+                    _ => println!("usage: \\cache [on|off|stats]"),
+                },
                 ".timing" => match parts.next() {
                     Some("on") => {
                         timing = true;
@@ -205,7 +239,9 @@ fn main() {
         match db.execute_script(sql) {
             Ok(results) => {
                 for r in results {
-                    if r.schema().is_empty() {
+                    if let (Some(tag), Some(n)) = (r.command_tag(), r.affected_rows()) {
+                        println!("{tag} {n}");
+                    } else if r.schema().is_empty() {
                         println!("ok");
                     } else {
                         print!("{r}");

@@ -21,7 +21,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rfv_exec::{ExecCounters, ExecProbe, PhysicalPlan, WindowMode};
+use rfv_exec::{ExecCounters, ExecProbe, WindowMode};
 use rfv_expr::AggFunc;
 use rfv_obs::{Collector, Counter, Histogram, MetricsRegistry};
 use rfv_plan::{optimize, Binder, LogicalPlan, PhysicalPlanner};
@@ -30,6 +30,10 @@ use rfv_storage::{Catalog, IndexKind};
 use rfv_types::sync::RwLock;
 use rfv_types::{DataType, Field, Result, RfvError, Row, Schema, SchemaRef, Value};
 
+use crate::cache::{
+    CacheCounters, CacheStats, PlanDep, PlanEntry, PlanKey, PlanOutcome, QueryCache, ResultKey,
+    DEFAULT_CACHE_BYTES,
+};
 use crate::maintenance::{self, BatchOp, MaintBatch, MaintenanceStats};
 use crate::patterns::PatternVariant;
 use crate::rewrite::{RewriteOutcome, RewriteReport, Rewriter};
@@ -38,17 +42,38 @@ use crate::trace::QueryTrace;
 use crate::view::{SequenceView, ViewData, ViewRegistry};
 
 /// Result of executing one statement.
+///
+/// Rows are behind an `Arc` so the result cache can hand the same
+/// materialized row set to every repeat of a query without copying.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     schema: SchemaRef,
-    rows: Vec<Row>,
+    rows: Arc<Vec<Row>>,
+    /// DML command tag: `("UPDATE", n)` etc. `None` for queries/DDL.
+    command: Option<(&'static str, u64)>,
 }
 
 impl QueryResult {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         QueryResult {
             schema: SchemaRef::new(Schema::empty()),
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
+            command: None,
+        }
+    }
+
+    fn with_rows(schema: SchemaRef, rows: Vec<Row>) -> Self {
+        QueryResult {
+            schema,
+            rows: Arc::new(rows),
+            command: None,
+        }
+    }
+
+    fn command(tag: &'static str, n: usize) -> Self {
+        QueryResult {
+            command: Some((tag, n as u64)),
+            ..QueryResult::empty()
         }
     }
 
@@ -61,7 +86,18 @@ impl QueryResult {
     }
 
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Command tag of a DML statement (`"INSERT"`, `"UPDATE"`,
+    /// `"DELETE"`), `None` for queries and DDL.
+    pub fn command_tag(&self) -> Option<&'static str> {
+        self.command.map(|(tag, _)| tag)
+    }
+
+    /// Rows affected by a DML statement, `None` for queries and DDL.
+    pub fn affected_rows(&self) -> Option<u64> {
+        self.command.map(|(_, n)| n)
     }
 
     /// Single-column convenience: all values of column `i` as f64
@@ -157,6 +193,7 @@ struct EngineCounters {
     maint_batch_fallback: Counter,
     view_created: Counter,
     view_snapshot_fallback: Counter,
+    cache: CacheCounters,
 }
 
 impl EngineCounters {
@@ -194,7 +231,33 @@ impl EngineCounters {
             maint_batch_fallback: metrics.counter("maintenance.batch_fallback"),
             view_created: metrics.counter("view.created"),
             view_snapshot_fallback: metrics.counter("view.snapshot_fallback"),
+            cache: CacheCounters::new(metrics),
         }
+    }
+}
+
+/// Packed planning-relevant config bits for the plan-cache key. The
+/// `tracing` knob is deliberately excluded: it changes what is measured,
+/// never what is planned.
+fn config_bits(config: &Config) -> u8 {
+    let mode = match config.window_mode {
+        WindowMode::Naive => 0u8,
+        WindowMode::Pipelined => 1,
+    };
+    let variant = match config.pattern_variant {
+        PatternVariant::Disjunctive => 0u8,
+        PatternVariant::UnionSimple => 1,
+        PatternVariant::UnionHash => 2,
+    };
+    u8::from(config.view_rewrite) | (mode << 1) | (variant << 2)
+}
+
+/// Result-cache capacity from `RFV_CACHE_BYTES` (`0` disables; unset or
+/// unparsable falls back to [`DEFAULT_CACHE_BYTES`]).
+fn cache_bytes_from_env() -> usize {
+    match std::env::var("RFV_CACHE_BYTES") {
+        Ok(s) => s.trim().parse().unwrap_or(DEFAULT_CACHE_BYTES),
+        Err(_) => DEFAULT_CACHE_BYTES,
     }
 }
 
@@ -206,6 +269,8 @@ pub struct Database {
     config: Arc<RwLock<Config>>,
     metrics: MetricsRegistry,
     counters: EngineCounters,
+    /// Two-level plan/result cache (see [`crate::cache`]).
+    cache: Arc<QueryCache>,
     /// Rewrite trace of the most recently planned query.
     last_rewrite: Arc<RwLock<Option<Arc<RewriteReport>>>>,
     /// Phase-span trace of the most recently traced query.
@@ -222,9 +287,14 @@ impl Database {
     pub fn new() -> Self {
         let metrics = MetricsRegistry::new();
         let counters = EngineCounters::new(&metrics);
+        let cache = Arc::new(QueryCache::new(
+            cache_bytes_from_env(),
+            counters.cache.clone(),
+        ));
         Database {
             catalog: Catalog::new(),
             registry: ViewRegistry::new(),
+            cache,
             config: Arc::new(RwLock::new(Config {
                 view_rewrite: true,
                 window_mode: WindowMode::Pipelined,
@@ -298,6 +368,20 @@ impl Database {
         self.config.write().pattern_variant = variant;
     }
 
+    /// Resize the result-cache byte budget at runtime. `0` disables both
+    /// cache levels and drops every entry (the engine then behaves
+    /// exactly as if the cache never existed); any other value is the
+    /// byte cap the LRU evicts to. The initial capacity comes from
+    /// `RFV_CACHE_BYTES` (default 64 MiB).
+    pub fn set_result_cache(&self, bytes: usize) {
+        self.cache.set_capacity(bytes);
+    }
+
+    /// Point-in-time statistics of the two-level query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Cap the shared worker pool at `n` threads (`0` resets to the
     /// `RFV_THREADS` env var / hardware default). The pool is
     /// process-wide, so this affects every engine in the process; results
@@ -345,12 +429,16 @@ impl Database {
     }
 
     fn explain_query(&self, q: &ast::Query) -> Result<String> {
-        let (logical, physical, rewritten) = self.plan_query(q)?;
+        let entry = self.plan_query(q)?;
         let mut out = format!(
             "== logical ==\n{}== physical ({}) ==\n{}",
-            logical.explain(),
-            if rewritten { "view rewrite" } else { "direct" },
-            physical.explain()
+            entry.logical.explain(),
+            if entry.from_view {
+                "view rewrite"
+            } else {
+                "direct"
+            },
+            entry.physical.explain()
         );
         if let Some(report) = self.last_rewrite_report() {
             out.push_str(&format!("== rewrite ==\n{report}"));
@@ -364,21 +452,41 @@ impl Database {
     fn explain_analyze_query(&self, q: &ast::Query) -> Result<String> {
         // ANALYZE always traces, independent of `set_tracing`.
         let collector = Collector::enabled();
-        let (_, physical, rewritten) = self.plan_query_traced(q, &collector)?;
+        let (entry, plan_key) = self.plan_query_cached(q, &collector)?;
+        // Annotate-only peek: would a plain run of this query be served
+        // from the result cache right now? Never serves from nor
+        // populates the cache — ANALYZE must measure real execution —
+        // and never perturbs recency order or the hit/miss counters.
+        let cache_hit = plan_key
+            .map(|plan| ResultKey {
+                gens: entry.dep_generations(),
+                plan,
+            })
+            .is_some_and(|key| self.cache.result_contains(&key));
         let probe = ExecProbe {
             counters: Some(self.counters.exec.clone()),
             trace: true,
         };
-        let (rows, metrics) = collector.time("execute", || physical.execute_probed(&probe))?;
+        let (rows, metrics) =
+            collector.time("execute", || entry.physical.execute_probed(&probe))?;
         self.counters.query_executed.incr();
         self.counters.exec.rows_emitted.add(rows.len() as u64);
         let metrics = metrics
             .ok_or_else(|| RfvError::internal("traced execution produced no metrics tree"))?;
-        let trace = self.store_trace(&collector, ast::Statement::Query(q.clone()), rewritten);
+        let trace = self.store_trace(
+            &collector,
+            ast::Statement::Query(q.clone()),
+            entry.from_view,
+        );
         let mut out = format!(
-            "== physical ({}) ==\n{}",
-            if rewritten { "view rewrite" } else { "direct" },
-            physical.explain_analyzed(&metrics)
+            "== physical ({}){} ==\n{}",
+            if entry.from_view {
+                "view rewrite"
+            } else {
+                "direct"
+            },
+            if cache_hit { " [cache: hit]" } else { "" },
+            entry.physical.explain_analyzed(&metrics)
         );
         out.push_str(&format!(
             "rows emitted: {}, rows scanned: {}\n",
@@ -432,22 +540,47 @@ impl Database {
     ) -> Result<QueryResult> {
         match stmt {
             ast::Statement::Query(q) => {
-                let (logical, physical, rewritten) = self.plan_query_traced(q, collector)?;
+                let (entry, plan_key) = self.plan_query_cached(q, collector)?;
+                // The result-cache key binds the plan to the *current*
+                // data generation of every table it reads.
+                let result_key = plan_key.map(|plan| ResultKey {
+                    gens: entry.dep_generations(),
+                    plan,
+                });
+                if let Some(key) = &result_key {
+                    if let Some(hit) = self.cache.result_get(key) {
+                        self.counters.cache.hits.incr();
+                        self.counters.query_executed.incr();
+                        self.counters.exec.rows_emitted.add(hit.rows().len() as u64);
+                        if collector.is_enabled() {
+                            self.counters.query_ns.record(collector.elapsed_ns());
+                            self.store_trace(collector, stmt.clone(), entry.from_view);
+                        }
+                        return Ok(hit);
+                    }
+                    self.counters.cache.misses.incr();
+                }
                 let probe = ExecProbe {
                     counters: Some(self.counters.exec.clone()),
                     trace: false,
                 };
-                let (rows, _) = collector.time("execute", || physical.execute_probed(&probe))?;
+                let (rows, _) =
+                    collector.time("execute", || entry.physical.execute_probed(&probe))?;
                 self.counters.query_executed.incr();
                 self.counters.exec.rows_emitted.add(rows.len() as u64);
                 if collector.is_enabled() {
                     self.counters.query_ns.record(collector.elapsed_ns());
-                    self.store_trace(collector, stmt.clone(), rewritten);
+                    self.store_trace(collector, stmt.clone(), entry.from_view);
                 }
-                Ok(QueryResult {
-                    schema: logical.schema(),
-                    rows,
-                })
+                let result = QueryResult::with_rows(entry.logical.schema(), rows);
+                if let Some(key) = result_key {
+                    // Validate-after: publish only if no dep mutated while
+                    // we were scanning — a torn read must never be cached.
+                    if key.gens == entry.dep_generations() {
+                        self.cache.result_put(key, result.clone());
+                    }
+                }
+                Ok(result)
             }
             ast::Statement::Explain { analyze, query } => {
                 let text = if *analyze {
@@ -455,16 +588,15 @@ impl Database {
                 } else {
                     self.explain_query(query)?
                 };
-                Ok(QueryResult {
-                    schema: SchemaRef::new(Schema::new(vec![Field::not_null(
+                Ok(QueryResult::with_rows(
+                    SchemaRef::new(Schema::new(vec![Field::not_null(
                         "plan".to_string(),
                         DataType::Str,
                     )])),
-                    rows: text
-                        .lines()
+                    text.lines()
                         .map(|l| Row::new(vec![Value::from(l)]))
                         .collect(),
-                })
+                ))
             }
             ast::Statement::CreateTable { name, columns } => {
                 let fields = columns
@@ -514,8 +646,8 @@ impl Database {
                 columns,
                 values,
             } => {
-                self.insert(table, columns, values)?;
-                Ok(QueryResult::empty())
+                let n = self.insert(table, columns, values)?;
+                Ok(QueryResult::command("INSERT", n))
             }
             ast::Statement::Update {
                 table,
@@ -523,13 +655,11 @@ impl Database {
                 selection,
             } => {
                 let n = self.update(table, assignments, selection.as_ref())?;
-                let _ = n;
-                Ok(QueryResult::empty())
+                Ok(QueryResult::command("UPDATE", n))
             }
             ast::Statement::Delete { table, selection } => {
                 let n = self.delete(table, selection.as_ref())?;
-                let _ = n;
-                Ok(QueryResult::empty())
+                Ok(QueryResult::command("DELETE", n))
             }
             ast::Statement::DropTable { name } => {
                 if !self.registry.views_for(name).is_empty() {
@@ -548,44 +678,114 @@ impl Database {
         }
     }
 
-    fn plan_query(&self, q: &ast::Query) -> Result<(LogicalPlan, PhysicalPlan, bool)> {
-        self.plan_query_traced(q, &Collector::disabled())
+    fn plan_query(&self, q: &ast::Query) -> Result<Arc<PlanEntry>> {
+        self.plan_query_cached(q, &Collector::disabled())
+            .map(|(entry, _)| entry)
     }
 
-    fn plan_query_traced(
+    /// Plan `q` through the plan cache. Returns the shared plan entry
+    /// plus the cache key when the statement is cacheable (`None` means
+    /// the cache is disabled and the result must not be cached either).
+    ///
+    /// A hit must be observationally identical to a fresh planning pass:
+    /// it bumps `query.planned`, replays the rewrite-outcome counters,
+    /// and republishes the *same* `Arc<RewriteReport>` — so
+    /// [`last_rewrite_report`](Self::last_rewrite_report) and the PR-3
+    /// counter invariants hold whether or not the cache fired.
+    fn plan_query_cached(
         &self,
         q: &ast::Query,
         collector: &Collector,
-    ) -> Result<(LogicalPlan, PhysicalPlan, bool)> {
+    ) -> Result<(Arc<PlanEntry>, Option<PlanKey>)> {
         let config = *self.config.read();
+        if !self.cache.enabled() {
+            return Ok((Arc::new(self.plan_fresh(q, config, collector)?), None));
+        }
+        let key = PlanKey {
+            sql: q.to_string(),
+            config: config_bits(&config),
+            catalog_gen: self.catalog.generation(),
+            registry_gen: self.registry.generation(),
+        };
+        if let Some(entry) = self.cache.plan_get(&key) {
+            self.counters.cache.plan_hits.incr();
+            self.counters.query_planned.incr();
+            self.replay_rewrite(&entry);
+            return Ok((entry, Some(key)));
+        }
+        self.counters.cache.plan_misses.incr();
+        let entry = Arc::new(self.plan_fresh(q, config, collector)?);
+        self.cache.plan_put(key.clone(), Arc::clone(&entry));
+        Ok((entry, Some(key)))
+    }
+
+    /// One full planning pass: bind, optimize, attempt the view rewrite,
+    /// fall back to the direct physical planner — exactly the pre-cache
+    /// pipeline, plus dependency capture for the cache.
+    fn plan_fresh(
+        &self,
+        q: &ast::Query,
+        config: Config,
+        collector: &Collector,
+    ) -> Result<PlanEntry> {
         let binder = Binder::new(&self.catalog).with_window_mode(config.window_mode);
         let bound = collector.time("bind", || binder.bind_query(q))?;
         let logical = collector.time("optimize", || optimize(bound));
         self.counters.query_planned.incr();
-        if config.view_rewrite {
+        let (physical, from_view, outcome, report) = if config.view_rewrite {
             let rewriter =
                 Rewriter::new(&self.catalog, &self.registry).with_variant(config.pattern_variant);
             let (planned, report) =
                 collector.time("rewrite", || rewriter.plan_with_views_traced(&logical))?;
-            self.record_rewrite(report);
-            if let Some(physical) = planned {
-                return Ok((logical, physical, true));
+            let outcome = if report.rewritten {
+                PlanOutcome::Rewritten
+            } else {
+                PlanOutcome::Fallback
+            };
+            let report = self.record_rewrite(report);
+            match planned {
+                Some(physical) => (physical, true, outcome, report),
+                None => {
+                    let physical = collector.time("physical-plan", || {
+                        PhysicalPlanner::new(&self.catalog).plan(&logical)
+                    })?;
+                    (physical, false, outcome, report)
+                }
             }
         } else {
             self.counters.rewrite_disabled.incr();
-            *self.last_rewrite.write() = Some(Arc::new(RewriteReport::disabled()));
-        }
-        let physical = collector.time("physical-plan", || {
-            PhysicalPlanner::new(&self.catalog).plan(&logical)
-        })?;
-        Ok((logical, physical, false))
+            let report = Arc::new(RewriteReport::disabled());
+            *self.last_rewrite.write() = Some(Arc::clone(&report));
+            let physical = collector.time("physical-plan", || {
+                PhysicalPlanner::new(&self.catalog).plan(&logical)
+            })?;
+            (physical, false, PlanOutcome::Disabled, report)
+        };
+        // Capture the data generation of every table the plan reads —
+        // the cache's invalidation dependency set.
+        let deps = physical
+            .referenced_tables()
+            .into_iter()
+            .map(|table| {
+                let generation = table.read().generation();
+                PlanDep { table, generation }
+            })
+            .collect();
+        Ok(PlanEntry {
+            logical,
+            physical,
+            from_view,
+            outcome,
+            report,
+            deps,
+        })
     }
 
     /// Store the report of one planning pass (shared via `Arc`) and fold
     /// it into the always-on counters: one report-level outcome counter,
     /// plus per-expression strategy counters that satisfy
     /// `rewrite.expressions == Σ rewrite.strategy.* + rewrite.expr_fallback`.
-    fn record_rewrite(&self, report: RewriteReport) {
+    fn record_rewrite(&self, report: RewriteReport) -> Arc<RewriteReport> {
         if report.rewritten {
             self.counters.rewrite_rewritten.incr();
         } else {
@@ -604,7 +804,34 @@ impl Database {
                 }
             }
         }
-        *self.last_rewrite.write() = Some(Arc::new(report));
+        let report = Arc::new(report);
+        *self.last_rewrite.write() = Some(Arc::clone(&report));
+        report
+    }
+
+    /// Replay what [`record_rewrite`](Self::record_rewrite) (or the
+    /// rewrite-disabled branch) did for a cached plan, so counters
+    /// advance identically on hits and misses.
+    fn replay_rewrite(&self, entry: &PlanEntry) {
+        match entry.outcome {
+            PlanOutcome::Rewritten => self.counters.rewrite_rewritten.incr(),
+            PlanOutcome::Fallback => self.counters.rewrite_fallback.incr(),
+            PlanOutcome::Disabled => self.counters.rewrite_disabled.incr(),
+        }
+        for d in &entry.report.decisions {
+            self.counters.rewrite_expressions.incr();
+            match &d.outcome {
+                RewriteOutcome::FromView { strategy, .. } => {
+                    self.metrics
+                        .counter(&format!("rewrite.strategy.{}", strategy.label()))
+                        .incr();
+                }
+                RewriteOutcome::Fallback { .. } => {
+                    self.counters.rewrite_expr_fallback.incr();
+                }
+            }
+        }
+        *self.last_rewrite.write() = Some(Arc::clone(&entry.report));
     }
 
     // -- INSERT -------------------------------------------------------------
@@ -686,7 +913,10 @@ impl Database {
                 // Single-row appends keep the per-row §2.3 path (and its
                 // maintenance.insert accounting).
                 let (pos, val) = pos_vals[0];
-                t.write().insert(rows.pop().expect("one row"))?;
+                let row = rows
+                    .pop()
+                    .ok_or_else(|| RfvError::internal("single-row INSERT lost its row"))?;
+                t.write().insert(row)?;
                 self.maintain_views(table, MaintOp::Insert { k: pos, val })?;
             } else {
                 // Multi-row appends take the batched path: pre-image read,
@@ -890,9 +1120,10 @@ impl Database {
         }
         // Fallback: CTAS-style snapshot.
         self.counters.view_snapshot_fallback.incr();
-        let (logical, physical, _) = self.plan_query(query)?;
-        let rows = physical.execute()?;
-        let fields = logical
+        let entry = self.plan_query(query)?;
+        let rows = entry.physical.execute()?;
+        let fields = entry
+            .logical
             .schema()
             .fields()
             .iter()

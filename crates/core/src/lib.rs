@@ -52,6 +52,7 @@
 //! assert_eq!(result.rows().len(), 10);
 //! ```
 
+pub mod cache;
 pub mod compute;
 pub mod derive;
 pub mod engine;
@@ -63,6 +64,7 @@ pub mod sequence;
 pub mod trace;
 pub mod view;
 
+pub use cache::{CacheStats, DEFAULT_CACHE_BYTES};
 pub use engine::{Database, QueryResult};
 pub use maintenance::{BatchOp, MaintBatch, MaintenanceStats};
 pub use rewrite::{RewriteDecision, RewriteOutcome, RewriteReport, RewriteStrategy, Rewriter};

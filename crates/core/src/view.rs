@@ -11,6 +11,7 @@
 //! (Figs. 10/13) can run against them.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rfv_expr::AggFunc;
@@ -124,11 +125,22 @@ impl SequenceView {
 #[derive(Debug, Clone, Default)]
 pub struct ViewRegistry {
     views: Arc<RwLock<Vec<SequenceView>>>,
+    /// Monotonic registry generation: bumped on every register / drop /
+    /// refresh. Rewritten plans embed view-data-derived constants (AVG
+    /// divisors, body length `n`), so any change to the registered view
+    /// set *or* any view's data must invalidate cached plans — one
+    /// counter covers both.
+    generation: Arc<AtomicU64>,
 }
 
 impl ViewRegistry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current registry generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Register a view, creating and filling its mirror table in `catalog`
@@ -161,6 +173,7 @@ impl ViewRegistry {
             }
         }
         self.views.write().push(view);
+        self.generation.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -198,6 +211,7 @@ impl ViewRegistry {
                 "sequence view `{name}` not found"
             )));
         }
+        self.generation.fetch_add(1, Ordering::AcqRel);
         catalog.drop_table(name)
     }
 
@@ -210,6 +224,10 @@ impl ViewRegistry {
             .find(|v| v.name.eq_ignore_ascii_case(name))
             .ok_or_else(|| RfvError::catalog(format!("sequence view `{name}` not found")))?;
         view.data = data;
+        // Bump before releasing the views write lock: a plan cached
+        // against the old data must be unreachable the moment the new
+        // data is visible.
+        self.generation.fetch_add(1, Ordering::AcqRel);
         let table = catalog.table(name)?;
         let mut guard = table.write();
         guard.truncate();
@@ -309,6 +327,33 @@ mod tests {
         let t = catalog.table("mv").unwrap();
         assert_eq!(t.read().stats().row_count, 3);
         assert_eq!(reg.get("mv").unwrap().n(), 3);
+    }
+
+    #[test]
+    fn registry_generation_tracks_register_refresh_drop() {
+        let catalog = Catalog::new();
+        let reg = ViewRegistry::new();
+        assert_eq!(reg.generation(), 0);
+        reg.register(&catalog, sum_view("mv", &[1.0, 2.0], 0, 0))
+            .unwrap();
+        assert_eq!(reg.generation(), 1);
+        // Failed register (duplicate name) doesn't bump.
+        assert!(reg
+            .register(&catalog, sum_view("mv", &[1.0], 0, 0))
+            .is_err());
+        assert_eq!(reg.generation(), 1);
+        let new_seq = CompleteSequence::materialize(&[5.0], 0, 0).unwrap();
+        reg.refresh(&catalog, "mv", ViewData::Sum(new_seq)).unwrap();
+        assert_eq!(reg.generation(), 2);
+        assert!(reg
+            .refresh(&catalog, "nope", sum_view("x", &[1.0], 0, 0).data)
+            .is_err());
+        assert_eq!(reg.generation(), 2);
+        reg.drop(&catalog, "mv").unwrap();
+        assert_eq!(reg.generation(), 3);
+        // Reads don't bump; clones share the counter.
+        let _ = reg.names();
+        assert_eq!(reg.clone().generation(), 3);
     }
 
     #[test]

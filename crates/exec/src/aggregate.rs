@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use rfv_expr::{Accumulator, AggFunc, Expr};
-use rfv_types::{Result, Row, Value};
+use rfv_types::{Result, RfvError, Row, Value};
 
 use crate::sched::{self, ParStats};
 
@@ -184,7 +184,11 @@ pub fn hash_aggregate_par(
         .into_iter()
         .zip(slots)
         .map(|(mut key, vals)| {
-            key.extend(vals.expect("every group folds in exactly one stratum"));
+            // Invariant: every group folds in exactly one stratum.
+            let vals = vals.ok_or_else(|| {
+                RfvError::internal("parallel aggregate produced no values for a group")
+            })?;
+            key.extend(vals);
             Ok(Row::new(key))
         })
         .collect()

@@ -138,19 +138,16 @@ pub fn sort_par(rows: Vec<Row>, keys: &[SortKey], par: &mut ParStats) -> Result<
             let Some((key, _)) = run.front() else {
                 continue;
             };
-            let better = match best {
+            let better = match best.and_then(|b| runs[b].front()) {
                 None => true,
-                Some(b) => {
-                    let (bkey, _) = runs[b].front().expect("best run is non-empty");
-                    compare_keys(key, bkey, keys) == Ordering::Less
-                }
+                Some((bkey, _)) => compare_keys(key, bkey, keys) == Ordering::Less,
             };
             if better {
                 best = Some(i);
             }
         }
-        match best {
-            Some(i) => out.push(runs[i].pop_front().expect("selected head exists").1),
+        match best.and_then(|i| runs[i].pop_front()) {
+            Some((_, row)) => out.push(row),
             None => break,
         }
     }

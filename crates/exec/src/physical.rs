@@ -1,6 +1,7 @@
 //! The physical plan algebra.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use rfv_expr::{AggFunc, Expr};
 use rfv_storage::TableRef;
@@ -542,6 +543,36 @@ impl PhysicalPlan {
     /// metrics tree zips positionally with the plan tree. Note
     /// `IndexNestedLoopJoin` has one child: its right side is a stored
     /// table probed via its index, not an executed plan.
+    /// Every stored table this plan reads, depth-first, deduplicated by
+    /// handle identity. This is the plan's *dependency set*: a result
+    /// computed by this plan is valid exactly as long as none of these
+    /// tables' generations change, which is what the engine's result
+    /// cache keys on.
+    pub fn referenced_tables(&self) -> Vec<TableRef> {
+        fn walk(plan: &PhysicalPlan, out: &mut Vec<TableRef>) {
+            match plan {
+                PhysicalPlan::TableScan { table, .. }
+                | PhysicalPlan::IndexRangeScan { table, .. } => push_unique(out, table),
+                // `explain_children` covers the left input below.
+                PhysicalPlan::IndexNestedLoopJoin { right_table, .. } => {
+                    push_unique(out, right_table)
+                }
+                _ => {}
+            }
+            for child in plan.explain_children() {
+                walk(child, out);
+            }
+        }
+        fn push_unique(out: &mut Vec<TableRef>, t: &TableRef) {
+            if !out.iter().any(|seen| Arc::ptr_eq(seen, t)) {
+                out.push(Arc::clone(t));
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     fn explain_children(&self) -> Vec<&PhysicalPlan> {
         match self {
             PhysicalPlan::TableScan { .. }

@@ -1,7 +1,7 @@
 //! Scan operators.
 
 use rfv_storage::TableRef;
-use rfv_types::{Result, Row, Value};
+use rfv_types::{Result, RfvError, Row, Value};
 
 use crate::sched::{self, ParStats};
 
@@ -50,15 +50,15 @@ pub fn index_range_scan(
 ) -> Result<Vec<Row>> {
     let guard = table.read();
     let rids = guard.index_range(column, lo, hi)?;
-    Ok(rids
-        .into_iter()
+    rids.into_iter()
         .map(|rid| {
-            guard
-                .get(rid)
-                .cloned()
-                .expect("index returned a live row id")
+            guard.get(rid).cloned().ok_or_else(|| {
+                RfvError::internal(format!(
+                    "index on column {column} returned dead row id {rid}"
+                ))
+            })
         })
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]

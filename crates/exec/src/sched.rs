@@ -388,13 +388,18 @@ where
 
     let mut out = Vec::with_capacity(n);
     for slot in results {
-        match slot.expect("every task filled its slot") {
-            TaskOut::Done(Ok(v)) => out.push(v),
-            TaskOut::Done(Err(e)) => return Err(e),
-            TaskOut::Panicked(msg) => {
+        match slot {
+            Some(TaskOut::Done(Ok(v))) => out.push(v),
+            Some(TaskOut::Done(Err(e))) => return Err(e),
+            Some(TaskOut::Panicked(msg)) => {
                 return Err(RfvError::internal(format!(
                     "parallel worker panicked: {msg}"
                 )))
+            }
+            None => {
+                return Err(RfvError::internal(
+                    "parallel task completed without filling its result slot",
+                ))
             }
         }
     }

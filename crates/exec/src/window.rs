@@ -369,7 +369,9 @@ pub fn execute_window_par(
     let mut keys_rest = order_keys;
     let mut tasks: Vec<GroupTask> = Vec::with_capacity(groups.len());
     for group in groups.into_iter().rev() {
-        let base = group.first().expect("groups are non-empty").0;
+        let Some(&(base, _)) = group.first() else {
+            continue; // chunks() never yields an empty group
+        };
         let span_rows = rows_rest.split_off(base);
         let span_keys = if need_order_keys {
             keys_rest.split_off(base)

@@ -32,6 +32,13 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Overwrite the value — gauge semantics, for metrics that track a
+    /// current level (e.g. resident cache bytes) rather than an event
+    /// total. Gauges and counters share the registry and JSON export.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -255,6 +262,9 @@ mod tests {
         b.add(2);
         assert_eq!(r.counter_value("x"), 3);
         assert_eq!(r.counter_value("missing"), 0);
+        // Gauge semantics: set overwrites through any shared handle.
+        a.set(7);
+        assert_eq!(b.get(), 7);
     }
 
     #[test]

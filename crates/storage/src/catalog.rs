@@ -1,6 +1,7 @@
 //! Thread-safe table catalog.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rfv_types::sync::RwLock;
@@ -19,6 +20,12 @@ pub type TableRef = Arc<RwLock<Table>>;
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: Arc<RwLock<BTreeMap<String, TableRef>>>,
+    /// DDL generation: bumped on every successful create / register /
+    /// drop. Per-row mutations bump the *table's* generation instead;
+    /// this one changes exactly when the set of names (or the identity
+    /// behind a name) changes, so a cached plan keyed on it can trust
+    /// every `TableRef` it captured.
+    generation: Arc<AtomicU64>,
 }
 
 impl Catalog {
@@ -30,6 +37,11 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
+    /// The current DDL generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
     /// Create a table. Fails if the name is taken.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableRef> {
         let mut tables = self.tables.write();
@@ -39,6 +51,7 @@ impl Catalog {
         }
         let table = Arc::new(RwLock::new(Table::new(name, schema)));
         tables.insert(key, Arc::clone(&table));
+        self.generation.fetch_add(1, Ordering::AcqRel);
         Ok(table)
     }
 
@@ -55,6 +68,7 @@ impl Catalog {
         let name = table.name().to_string();
         let table = Arc::new(RwLock::new(table));
         tables.insert(Self::key(&name), Arc::clone(&table));
+        self.generation.fetch_add(1, Ordering::AcqRel);
         Ok(table)
     }
 
@@ -77,6 +91,7 @@ impl Catalog {
         self.tables
             .write()
             .remove(&Self::key(name))
+            .map(|_| self.generation.fetch_add(1, Ordering::AcqRel))
             .map(|_| ())
             .ok_or_else(|| RfvError::catalog(format!("table `{name}` not found")))
     }
@@ -121,6 +136,30 @@ mod tests {
         let cat2 = cat.clone();
         cat.create_table("t", schema()).unwrap();
         assert!(cat2.contains("t"));
+    }
+
+    #[test]
+    fn ddl_generation_counts_successful_ddl_only() {
+        let cat = Catalog::new();
+        assert_eq!(cat.generation(), 0);
+        cat.create_table("t", schema()).unwrap();
+        assert_eq!(cat.generation(), 1);
+        cat.register(Table::new("u", schema())).unwrap();
+        assert_eq!(cat.generation(), 2);
+        // Failed DDL and lookups don't bump.
+        assert!(cat.create_table("t", schema()).is_err());
+        assert!(cat.drop_table("missing").is_err());
+        let _ = cat.table("t").unwrap();
+        assert_eq!(cat.generation(), 2);
+        cat.drop_table("u").unwrap();
+        assert_eq!(cat.generation(), 3);
+        // Per-row DML bumps the table's generation, not the catalog's.
+        cat.table("t").unwrap().write().insert(row![1i64]).unwrap();
+        assert_eq!(cat.generation(), 3);
+        // Clones share the counter.
+        let clone = cat.clone();
+        clone.create_table("v", schema()).unwrap();
+        assert_eq!(cat.generation(), 4);
     }
 
     #[test]

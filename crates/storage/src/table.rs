@@ -29,6 +29,13 @@ pub struct Table {
     slots: Vec<Option<Row>>,
     live: usize,
     indexes: HashMap<usize, OrderedIndex>,
+    /// Monotonic mutation counter: bumped once per successful mutating
+    /// call (insert / insert_many / update / delete / truncate /
+    /// create_index — index DDL changes plan choice, so it must
+    /// invalidate cached plans too). Read under the same lock that
+    /// guards the data, so `generation() == g` means the table holds
+    /// exactly the state it held when `g` was last observed.
+    generation: u64,
 }
 
 impl Table {
@@ -39,6 +46,7 @@ impl Table {
             slots: Vec::new(),
             live: 0,
             indexes: HashMap::new(),
+            generation: 0,
         }
     }
 
@@ -48,6 +56,12 @@ impl Table {
 
     pub fn schema(&self) -> &SchemaRef {
         &self.schema
+    }
+
+    /// The current mutation generation. Two reads returning the same
+    /// value bracket a span with no successful mutation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn stats(&self) -> TableStats {
@@ -84,6 +98,7 @@ impl Table {
             }
         }
         self.indexes.insert(col, index);
+        self.generation += 1;
         Ok(())
     }
 
@@ -140,6 +155,7 @@ impl Table {
         }
         self.slots.push(Some(row));
         self.live += 1;
+        self.generation += 1;
         Ok(rid)
     }
 
@@ -181,6 +197,7 @@ impl Table {
             self.live += 1;
             rids.push(rid);
         }
+        self.generation += 1;
         Ok(rids)
     }
 
@@ -202,6 +219,7 @@ impl Table {
         for index in self.indexes.values_mut() {
             index.remove(row.get(index.column()), rid);
         }
+        self.generation += 1;
         Ok(row)
     }
 
@@ -228,6 +246,7 @@ impl Table {
             }
         }
         self.slots[rid] = Some(new);
+        self.generation += 1;
         Ok(old)
     }
 
@@ -282,6 +301,7 @@ impl Table {
         for index in self.indexes.values_mut() {
             index.clear();
         }
+        self.generation += 1;
     }
 }
 
@@ -454,6 +474,35 @@ mod tests {
             t.create_index(5, IndexKind::NonUnique).is_err(),
             "out of range column"
         );
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_path_only() {
+        let mut t = seq_table();
+        assert_eq!(t.generation(), 0);
+        t.insert(row![1i64, 1.0]).unwrap();
+        assert_eq!(t.generation(), 1);
+        t.insert_many(vec![row![2i64, 2.0], row![3i64, 3.0]])
+            .unwrap();
+        assert_eq!(t.generation(), 2);
+        t.update(0, row![1i64, 9.0]).unwrap();
+        assert_eq!(t.generation(), 3);
+        t.delete(1).unwrap();
+        assert_eq!(t.generation(), 4);
+        t.create_index(0, IndexKind::Unique).unwrap();
+        assert_eq!(t.generation(), 5);
+        t.truncate();
+        assert_eq!(t.generation(), 6);
+        // Failed mutations leave the generation untouched: reads may
+        // keep serving cached results keyed on it.
+        assert!(t.insert(row![1i64]).is_err());
+        assert!(t.update(17, row![1i64, 1.0]).is_err());
+        assert!(t.delete(17).is_err());
+        assert_eq!(t.generation(), 6);
+        // Pure reads never bump.
+        let _ = t.scan().count();
+        let _ = t.stats();
+        assert_eq!(t.generation(), 6);
     }
 
     #[test]

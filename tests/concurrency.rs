@@ -277,3 +277,118 @@ fn parallel_queries_from_many_threads_match_serial() {
         }
     });
 }
+
+/// The cache-enabled storm: readers hammer cacheable SELECTs while the
+/// writer applies maintenance batches, with the result cache explicitly
+/// on (so this also runs on the `RFV_CACHE_BYTES=0` CI leg).
+///
+/// Staleness probe: after *every* batch the writer immediately reads
+/// back a position it just changed through the SQL surface. Generation
+/// bumps make any cached pre-batch answer unreachable, so read-your-
+/// writes must hold even while readers keep re-populating the cache
+/// concurrently. Afterwards, the accounting invariant holds: every
+/// cacheable SELECT issued during the storm was either a cache hit or a
+/// cache miss, exactly once.
+#[test]
+fn cached_reader_storm_never_serves_stale_results() {
+    let _guard = knob_guard();
+    let _reset = KnobReset;
+    sched::set_parallel_threshold(4);
+    sched::set_threads(4);
+
+    let vals: Vec<f64> = (0..N_ROWS).map(|i| (i % 13) as f64).collect();
+    let db = db_with(&vals);
+    db.set_result_cache(16 << 20);
+
+    let hits_before = db.metrics().counter_value("cache.hits");
+    let misses_before = db.metrics().counter_value("cache.misses");
+
+    std::thread::scope(|s| {
+        let writer_db = &db;
+        s.spawn(move || {
+            for b in 0..BATCHES {
+                writer_db
+                    .apply_batch("seq", &batch(b))
+                    .unwrap_or_else(|e| panic!("batch {b} failed mid-storm: {e}"));
+                // Read-your-writes through the cache: the batch's last op
+                // set position k to this exact value.
+                let j = OPS_PER_BATCH - 1;
+                let k = ((b * OPS_PER_BATCH + j) % N_ROWS) as i64 + 1;
+                let want = (b * 100 + j) as f64;
+                let got = writer_db
+                    .execute(&format!("SELECT val FROM seq WHERE pos = {k}"))
+                    .unwrap_or_else(|e| panic!("writer probe {b} failed: {e}"))
+                    .column_f64(0)
+                    .unwrap();
+                assert_eq!(
+                    got,
+                    vec![Some(want)],
+                    "stale cached read after batch {b}: position {k}"
+                );
+            }
+        });
+        for reader in 0..READERS {
+            let reader_db = &db;
+            s.spawn(move || {
+                for q in 0..QUERIES_PER_READER {
+                    let sql = match q % 3 {
+                        0 => "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS \
+                              BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS s FROM seq"
+                            .to_string(),
+                        1 => "SELECT COUNT(*) AS n, SUM(val) AS s FROM seq".to_string(),
+                        _ => "SELECT pos, val FROM mv_cum ORDER BY pos".to_string(),
+                    };
+                    let result = reader_db
+                        .execute(&sql)
+                        .unwrap_or_else(|e| panic!("reader {reader} query {q} failed: {e}"));
+                    let expect = match q % 3 {
+                        1 => 1,
+                        _ => N_ROWS,
+                    };
+                    assert_eq!(
+                        result.rows().len(),
+                        expect,
+                        "reader {reader} query {q}: row count drifted mid-storm"
+                    );
+                }
+            });
+        }
+    });
+
+    // Accounting: every cacheable SELECT in the storm (reader queries
+    // plus writer probes) is exactly one hit or one miss.
+    let hits = db.metrics().counter_value("cache.hits") - hits_before;
+    let misses = db.metrics().counter_value("cache.misses") - misses_before;
+    assert_eq!(
+        hits + misses,
+        (READERS * QUERIES_PER_READER + BATCHES) as u64,
+        "hits + misses must equal cacheable SELECTs served"
+    );
+
+    // Quiescent check: the cache now answers from the *final* state. A
+    // repeat must hit and be row-identical to a fresh rematerialization.
+    let final_raw: Vec<f64> = db
+        .execute("SELECT pos, val FROM seq ORDER BY pos")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| r.get(1).as_f64().unwrap().unwrap())
+        .collect();
+    let oracle = db_with(&final_raw);
+    let sql = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING \
+               AND 2 FOLLOWING) AS s FROM seq";
+    let first = db.execute(sql).unwrap();
+    let hits_after_first = db.metrics().counter_value("cache.hits");
+    let second = db.execute(sql).unwrap();
+    assert_eq!(
+        db.metrics().counter_value("cache.hits"),
+        hits_after_first + 1,
+        "quiescent repeat must be served from the cache"
+    );
+    assert_eq!(first.rows(), second.rows(), "cached repeat differs");
+    assert_eq!(
+        first.rows(),
+        oracle.execute(sql).unwrap().rows(),
+        "cached answer diverged from rematerialized oracle"
+    );
+}

@@ -596,7 +596,9 @@ fn sql_update_and_delete() {
     db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40)")
         .unwrap();
 
-    db.execute("UPDATE t SET v = v + 1 WHERE id >= 3").unwrap();
+    let r = db.execute("UPDATE t SET v = v + 1 WHERE id >= 3").unwrap();
+    assert_eq!(r.command_tag(), Some("UPDATE"));
+    assert_eq!(r.affected_rows(), Some(2), "UPDATE reports affected rows");
     let r = db.execute("SELECT v FROM t ORDER BY id").unwrap();
     let vals: Vec<i64> = r
         .rows()
@@ -604,19 +606,39 @@ fn sql_update_and_delete() {
         .map(|x| x.get(0).as_int().unwrap().unwrap())
         .collect();
     assert_eq!(vals, vec![10, 20, 31, 41]);
+    // Queries and DDL carry no command tag.
+    assert_eq!(r.command_tag(), None);
+    assert_eq!(r.affected_rows(), None);
 
-    db.execute("DELETE FROM t WHERE v > 30").unwrap();
-    let r = db.execute("SELECT id FROM t ORDER BY id").unwrap();
-    assert_eq!(r.rows().len(), 2, "31 and 41 both exceed 30");
+    let r = db.execute("DELETE FROM t WHERE v > 30").unwrap();
+    assert_eq!(
+        (r.command_tag(), r.affected_rows()),
+        (Some("DELETE"), Some(2)),
+        "31 and 41 both exceed 30"
+    );
+    assert_eq!(db.execute("SELECT id FROM t").unwrap().rows().len(), 2);
+
+    // A no-op UPDATE still reports (zero) affected rows.
+    let r = db.execute("UPDATE t SET v = 0 WHERE id > 999").unwrap();
+    assert_eq!(r.affected_rows(), Some(0));
 
     // UPDATE without WHERE touches everything; multi-assignment works.
-    db.execute("UPDATE t SET v = 0, id = id + 100").unwrap();
+    let r = db.execute("UPDATE t SET v = 0, id = id + 100").unwrap();
+    assert_eq!(r.affected_rows(), Some(2));
     let r = db.execute("SELECT id, v FROM t ORDER BY id").unwrap();
     assert!(r.rows().iter().all(|x| x.get(1) == &Value::Int(0)));
     assert_eq!(r.rows()[0].get(0), &Value::Int(101));
 
+    // INSERT reports how many rows landed.
+    let r = db.execute("INSERT INTO t VALUES (5, 50), (6, 60)").unwrap();
+    assert_eq!(
+        (r.command_tag(), r.affected_rows()),
+        (Some("INSERT"), Some(2))
+    );
+
     // DELETE without WHERE empties the table.
-    db.execute("DELETE FROM t").unwrap();
+    let r = db.execute("DELETE FROM t").unwrap();
+    assert_eq!(r.affected_rows(), Some(4));
     assert!(db.execute("SELECT * FROM t").unwrap().rows().is_empty());
 }
 

@@ -378,3 +378,70 @@ fn extreme_frame_offsets_never_panic_or_wrap() {
         },
     );
 }
+
+/// No statement — DDL, DML, repeated queries — may panic with the
+/// result cache explicitly enabled, and a repeat of the same query
+/// (served from the cache) must return exactly what the first run
+/// returned. The cache is enabled via `set_result_cache` so the
+/// property also holds on the `RFV_CACHE_BYTES=0` CI leg.
+#[test]
+fn no_statement_panics_with_cache_enabled() {
+    check(
+        "cache-enabled execution is panic-free and repeat-stable",
+        scenario,
+        |(vals, views, exprs, _)| {
+            if exprs.is_empty() {
+                return;
+            }
+            let db = Database::new();
+            db.set_result_cache(8 << 20);
+            db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+                .unwrap();
+            for (i, v) in vals.iter().enumerate() {
+                db.execute(&format!(
+                    "INSERT INTO seq VALUES ({}, {})",
+                    i + 1,
+                    *v as f64
+                ))
+                .unwrap();
+            }
+            for (i, (_, l, h)) in views.iter().enumerate() {
+                db.execute(&format!(
+                    "CREATE MATERIALIZED VIEW v{i} AS SELECT pos, SUM(val) OVER \
+                     (ORDER BY pos ROWS BETWEEN {l} PRECEDING AND {h} FOLLOWING) \
+                     AS s FROM seq"
+                ))
+                .unwrap_or_else(|e| panic!("view v{i} creation failed: {e}"));
+            }
+            let sql = format!(
+                "SELECT pos, {} FROM seq ORDER BY pos",
+                select_list(exprs, "")
+            );
+            let ncols = exprs.len() + 1;
+            // First run populates the cache, second must be served from it.
+            let first = run_query(&db, &sql, true, ncols);
+            let repeat = run_query(&db, &sql, true, ncols);
+            assert_eq!(first, repeat, "cached repeat differs\nsql: {sql}");
+            assert_counter_invariants(&db, &sql);
+            // DML through the non-view path invalidates; the re-run must
+            // see the new data, not the cached rows (and must not panic).
+            let n = vals.len();
+            let tail = format!("INSERT INTO seq VALUES ({}, {})", n + 1, (n + 1) as f64);
+            let outcome = catch_unwind(AssertUnwindSafe(|| db.execute(&tail)));
+            match outcome {
+                Err(_) => panic!("DML PANICKED\nsql: {tail}"),
+                // Appends at the tail position are always legal, view or no view.
+                Ok(r) => {
+                    r.unwrap_or_else(|e| panic!("tail append failed: {e}\nsql: {tail}"));
+                }
+            }
+            let after = run_query(&db, &sql, true, ncols);
+            assert_eq!(
+                after.len(),
+                first.len() + 1,
+                "stale cached result served after DML\nsql: {sql}"
+            );
+            assert_counter_invariants(&db, &sql);
+        },
+    );
+}
