@@ -1,0 +1,153 @@
+//! Self-validating benchmark of flight-recorder overhead.
+//!
+//! Workload: the Table 1 reporting-function query on a dense
+//! `seq(pos, val)`, run two ways:
+//!
+//! * **recorder off** — the default state; every event site reduces to
+//!   a single relaxed atomic load;
+//! * **recorder on** — every query emits lifecycle events (phase spans,
+//!   cache instants, rewrite decisions) into the in-memory ring.
+//!
+//! A third micro-case times the disabled `record()` fast path directly
+//! so the per-event cost of an *off* recorder is visible in absolute
+//! nanoseconds, not just buried inside query latency.
+//!
+//! ```sh
+//! cargo run -p rfv-bench --release --bin obs            # full size
+//! cargo run -p rfv-bench --release --bin obs -- --quick # CI smoke
+//! ```
+//!
+//! The run **fails** (exit 1) unless (a) the estimated disabled-recorder
+//! overhead per query — disabled-event cost × events a query would emit
+//! — is at most 1% of the recorder-off p50, (b) the recorder-on run
+//! actually captured events, and (c) the exported trace parses as valid
+//! Chrome Trace Event JSON. Exports `BENCH_obs.json`.
+
+use rfv_bench::harness::{percentile, sample_secs, samples_or, warmup_or, CaseStats, Report};
+use rfv_bench::{random_values, seq_database};
+use rfv_obs::event::recorder;
+use rfv_obs::validate_chrome_trace;
+
+const SQL: &str = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+                   AND 1 FOLLOWING) AS s FROM seq ORDER BY pos";
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2_000 } else { 10_000 };
+    let iters = samples_or(if quick { 5 } else { 9 });
+    let warmup = warmup_or(1);
+    let mut report = Report::new("obs", quick);
+    println!("obs — recorder overhead on Table 1 query, seq(pos, val), n = {n}\n");
+
+    let values = random_values(n, 42);
+    let db = seq_database(&values);
+    // Result caching would collapse the query path to a lookup and hide
+    // the instrumentation entirely; measure the full execution path.
+    db.set_result_cache(0);
+
+    // Recorder off: the shipping default.
+    db.set_recording(false);
+    db.clear_recording();
+    let expect_rows = db.execute(SQL).expect("bench query").rows().len();
+    let off = sample_secs(iters, warmup, || {
+        let got = db.execute(SQL).expect("off query").rows().len();
+        assert_eq!(got, expect_rows, "recorder-off drifted");
+    });
+    let off_p50 = percentile(&off, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("recorder-off/n={n}"),
+        &off,
+        n as u64,
+    ));
+
+    // Recorder on: full lifecycle capture into the ring.
+    db.set_recording(true);
+    let on = sample_secs(iters, warmup, || {
+        let got = db.execute(SQL).expect("on query").rows().len();
+        assert_eq!(got, expect_rows, "recorder-on drifted");
+    });
+    let on_p50 = percentile(&on, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("recorder-on/n={n}"),
+        &on,
+        n as u64,
+    ));
+    let trace = db.trace_json();
+    let summary = validate_chrome_trace(&trace);
+    let on_stats = db.recorder_stats();
+    db.set_recording(false);
+    db.clear_recording();
+
+    // Disabled record() fast path, timed directly. A query emits on the
+    // order of a dozen events; the overhead estimate below charges each
+    // one at the measured disabled-site cost.
+    const PROBE_EVENTS: u64 = 4_096;
+    const EVENTS_PER_QUERY: f64 = 12.0;
+    let rec = recorder();
+    assert!(!rec.is_enabled(), "probe must measure the disabled path");
+    let probe = sample_secs(iters, warmup, || {
+        for _ in 0..PROBE_EVENTS {
+            rec.instant("bench.probe", "bench", None);
+        }
+    });
+    let probe_p50 = percentile(&probe, 0.50);
+    let disabled_event_ns = probe_p50 / PROBE_EVENTS as f64 * 1e9;
+    report.push(CaseStats::from_samples(
+        "disabled-record/probe",
+        &probe,
+        PROBE_EVENTS,
+    ));
+
+    let on_delta = (on_p50 / off_p50.max(1e-12) - 1.0) * 100.0;
+    let overhead_frac = disabled_event_ns * EVENTS_PER_QUERY / (off_p50 * 1e9).max(1e-9);
+    println!("| {:>16} | {:>11} |", "case", "p50");
+    println!("|{}|", "-".repeat(34));
+    for (case, p50) in [("recorder off", off_p50), ("recorder on", on_p50)] {
+        println!("| {case:>16} | {:>9.3}ms |", p50 * 1e3);
+    }
+    println!(
+        "| {:>16} | {:>9.2}ns |",
+        "disabled record()", disabled_event_ns
+    );
+    println!(
+        "\nrecorder-on delta: {on_delta:+.1}%  (captured {} events, dropped {})",
+        on_stats.recorded, on_stats.dropped
+    );
+    println!(
+        "disabled-recorder overhead: {:.4}% of a query ({EVENTS_PER_QUERY:.0} events \
+         x {disabled_event_ns:.2}ns vs p50 {:.3}ms)",
+        overhead_frac * 100.0,
+        off_p50 * 1e3
+    );
+
+    // Self-validation.
+    if on_stats.recorded == 0 {
+        eprintln!("FAIL: recorder-on run captured no events");
+        std::process::exit(1);
+    }
+    match summary {
+        Ok(s) if s.complete + s.instant > 0 => {}
+        Ok(_) => {
+            eprintln!("FAIL: recorder-on trace exported no events");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("FAIL: recorder-on trace is not valid Chrome JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+    if overhead_frac > 0.01 {
+        eprintln!(
+            "FAIL: disabled-recorder overhead {:.3}% > 1% of query p50",
+            overhead_frac * 100.0
+        );
+        std::process::exit(1);
+    }
+    match report.write_and_validate() {
+        Ok(path) => println!("wrote {} ({iters} iters/case)", path.display()),
+        Err(e) => {
+            eprintln!("bench export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

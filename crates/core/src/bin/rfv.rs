@@ -19,27 +19,39 @@
 //!   hit/miss/byte statistics
 //! * `\timing on|off` — per-statement wall time plus the traced phase
 //!   breakdown (parse/bind/optimize/rewrite/plan/execute)
-//! * `\metrics` — dump the engine metrics registry as JSON
+//! * `\metrics [json]` — the engine metrics registry as an aligned table
+//!   (or raw JSON with `json`)
+//! * `\record on|off|dump <path>|stats|clear` — the flight recorder;
+//!   `dump` writes Chrome Trace Event JSON for Perfetto /
+//!   `chrome://tracing`. `RFV_TRACE_FILE=<path>` records from startup
+//!   and dumps on exit.
 //! * `.quit`
+//!
+//! System statistics are also plain SQL: `SELECT query, calls, total_ns
+//! FROM rfv_stat_statements ORDER BY total_ns DESC LIMIT 5`.
 //!
 //! Everything else is executed as SQL (`;`-separated statements allowed).
 
 use std::io::{BufRead, Write};
 
 use rfv_core::Database;
-use rfv_obs::{fmt_ns, Stopwatch};
+use rfv_obs::{fmt_ns, Json, Stopwatch};
 
 const HELP: &str = "\
 meta commands (.name and \\name are equivalent):
   .help                 this list
-  .tables               catalog contents
+  .tables               catalog contents (real tables; see also the
+                        rfv_stat_* virtual system tables)
   .views                registered materialized sequence views
   .explain <query>      show the plan (and whether a view rewrite fired)
   .load <table> <nrows> bulk-append generated rows (batched maintenance)
   .rewrite on|off       toggle answering window queries from views
   \\cache [on|off|stats] toggle the query cache / show hit statistics
   \\timing on|off        print per-statement time and phase breakdown
-  \\metrics              dump the engine metrics registry as JSON
+  \\metrics [json]       engine metrics: aligned table, or raw JSON
+  \\record on|off|dump <path>|stats|clear
+                        flight recorder; dump writes Chrome Trace Event
+                        JSON (open in Perfetto or chrome://tracing)
   \\threads [n]          show or cap the worker pool (0 = reset to
                         RFV_THREADS / hardware default)
   .quit                 exit
@@ -49,7 +61,49 @@ anything else is executed as SQL (try EXPLAIN ANALYZE <query>), e.g.:
   CREATE MATERIALIZED VIEW mv AS SELECT pos, SUM(val) OVER
     (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq;
   SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING
-    AND 1 FOLLOWING) AS s FROM seq;";
+    AND 1 FOLLOWING) AS s FROM seq;
+  SELECT query, calls, total_ns FROM rfv_stat_statements
+    ORDER BY total_ns DESC LIMIT 5;";
+
+/// Render the metrics-registry JSON as two aligned, sorted tables
+/// (counters, then histograms). The input is `Database::metrics_json`,
+/// whose keys are already sorted.
+fn render_metrics(doc: &Json) -> String {
+    let mut out = String::new();
+    if let Some(Json::Obj(counters)) = doc.get("counters") {
+        if !counters.is_empty() {
+            let w = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            out.push_str(&format!("{:<w$}  {:>12}\n", "counter", "value"));
+            for (name, v) in counters {
+                let v = v.as_i64().unwrap_or(0);
+                out.push_str(&format!("{name:<w$}  {v:>12}\n"));
+            }
+        }
+    }
+    if let Some(Json::Obj(histograms)) = doc.get("histograms") {
+        if !histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let w = histograms.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            const COLS: [&str; 6] = ["count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p95_ns"];
+            out.push_str(&format!("{:<w$}", "histogram"));
+            for c in COLS {
+                out.push_str(&format!("  {c:>12}"));
+            }
+            out.push('\n');
+            for (name, h) in histograms {
+                out.push_str(&format!("{name:<w$}"));
+                for c in COLS {
+                    let v = h.get(c).and_then(Json::as_i64).unwrap_or(0);
+                    out.push_str(&format!("  {v:>12}"));
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
 
 fn main() {
     let db = Database::new();
@@ -206,7 +260,64 @@ fn main() {
                     }
                     _ => println!("usage: \\timing on|off"),
                 },
-                ".metrics" => println!("{}", db.metrics_json()),
+                ".metrics" => match parts.next().map(str::trim) {
+                    None | Some("") => match Json::parse(&db.metrics_json()) {
+                        Ok(doc) => print!("{}", render_metrics(&doc)),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    // `json` emits the machine-readable document verbatim.
+                    Some("json") => println!("{}", db.metrics_json()),
+                    Some(_) => println!("usage: \\metrics [json]"),
+                },
+                ".record" => {
+                    let mut args = parts.next().unwrap_or("").split_whitespace();
+                    match args.next() {
+                        Some("on") => {
+                            db.set_recording(true);
+                            println!(
+                                "recording on (ring capacity {} events)",
+                                db.recorder_stats().capacity
+                            );
+                        }
+                        Some("off") => {
+                            db.set_recording(false);
+                            let s = db.recorder_stats();
+                            println!(
+                                "recording off ({} events recorded, {} dropped; \
+                                 buffer kept — \\record dump <path> still works)",
+                                s.recorded, s.dropped
+                            );
+                        }
+                        Some("clear") => {
+                            db.clear_recording();
+                            println!("recorder buffer cleared");
+                        }
+                        Some("dump") => match args.next() {
+                            Some(path) => match db.export_trace(path) {
+                                Ok(()) => println!(
+                                    "trace written to {path} \
+                                     (open in Perfetto or chrome://tracing)"
+                                ),
+                                Err(e) => println!("error: {e}"),
+                            },
+                            None => println!("usage: \\record dump <path>"),
+                        },
+                        None | Some("stats") => {
+                            let s = db.recorder_stats();
+                            println!(
+                                "recorder: {} — {} events recorded, {} dropped, \
+                                 capacity {}",
+                                if s.enabled { "on" } else { "off" },
+                                s.recorded,
+                                s.dropped,
+                                s.capacity
+                            );
+                        }
+                        Some(_) => {
+                            println!("usage: \\record on|off|dump <path>|stats|clear");
+                        }
+                    }
+                }
                 ".threads" => match parts.next() {
                     None => println!("threads: {}", db.threads()),
                     Some(arg) => match arg.trim().parse::<usize>() {
@@ -263,6 +374,13 @@ fn main() {
                 }
             }
             println!("Time: {}", fmt_ns(clock.elapsed_ns()));
+        }
+    }
+    // RFV_TRACE_FILE: the recorder ran since startup — dump on exit.
+    if let Some(path) = db.trace_file() {
+        match db.export_trace(path) {
+            Ok(()) => println!("trace written to {}", path.display()),
+            Err(e) => eprintln!("error writing trace: {e}"),
         }
     }
     println!("bye");

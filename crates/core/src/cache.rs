@@ -114,6 +114,16 @@ impl PlanEntry {
             .iter()
             .all(|d| d.table.read().generation() == d.generation)
     }
+
+    /// Whether this plan may enter the plan/result caches. Plans that
+    /// read a virtual system-table snapshot must not: the snapshot is
+    /// point-in-time telemetry that every fresh lookup rebuilds, so a
+    /// cached plan (or result) over it would serve stale statistics
+    /// forever — its captured `TableRef` is detached from the catalog
+    /// and its generation never moves again.
+    pub fn cacheable(&self) -> bool {
+        !self.deps.iter().any(|d| d.table.read().is_virtual())
+    }
 }
 
 /// Key of one cached result: the plan key plus the dep-generation

@@ -19,14 +19,16 @@
 //!   (`pos = n+1`) is maintained incrementally as well.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use rfv_exec::{ExecCounters, ExecProbe, WindowMode};
 use rfv_expr::AggFunc;
-use rfv_obs::{Collector, Counter, Histogram, MetricsRegistry};
+use rfv_obs::event::{self, EventPh};
+use rfv_obs::{Collector, Counter, Histogram, MetricsRegistry, RecorderStats, Stopwatch};
 use rfv_plan::{optimize, Binder, LogicalPlan, PhysicalPlanner};
 use rfv_sql::{self as ast, parse_statement, parse_statements};
-use rfv_storage::{Catalog, IndexKind};
+use rfv_storage::{Catalog, IndexKind, VirtualTable};
 use rfv_types::sync::RwLock;
 use rfv_types::{DataType, Field, Result, RfvError, Row, Schema, SchemaRef, Value};
 
@@ -38,6 +40,8 @@ use crate::maintenance::{self, BatchOp, MaintBatch, MaintenanceStats};
 use crate::patterns::PatternVariant;
 use crate::rewrite::{RewriteOutcome, RewriteReport, Rewriter};
 use crate::sequence::{CompleteMinMaxSequence, CompleteSequence, CumulativeSequence, WindowSpec};
+use crate::stats::{slow_ms_from_env, StatementStat, StatementStats};
+use crate::systab;
 use crate::trace::QueryTrace;
 use crate::view::{SequenceView, ViewData, ViewRegistry};
 
@@ -174,6 +178,7 @@ struct Config {
 struct EngineCounters {
     query_planned: Counter,
     query_executed: Counter,
+    query_slow: Counter,
     query_ns: Histogram,
     exec: ExecCounters,
     rewrite_rewritten: Counter,
@@ -209,6 +214,7 @@ impl EngineCounters {
         EngineCounters {
             query_planned: metrics.counter("query.planned"),
             query_executed: metrics.counter("query.executed"),
+            query_slow: metrics.counter("query.slow"),
             query_ns: metrics.histogram("query.ns"),
             exec: ExecCounters {
                 rows_scanned: metrics.counter("exec.rows_scanned"),
@@ -252,6 +258,21 @@ fn config_bits(config: &Config) -> u8 {
     u8::from(config.view_rewrite) | (mode << 1) | (variant << 2)
 }
 
+/// Bound the free-form `detail` payload of flight-recorder events so a
+/// pathological statement cannot bloat the ring (events are dropped on
+/// contention, never resized).
+fn truncate_sql(sql: &str) -> String {
+    const MAX: usize = 120;
+    if sql.len() <= MAX {
+        return sql.to_string();
+    }
+    let mut cut = MAX;
+    while !sql.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &sql[..cut])
+}
+
 /// Result-cache capacity from `RFV_CACHE_BYTES` (`0` disables; unset or
 /// unparsable falls back to [`DEFAULT_CACHE_BYTES`]).
 fn cache_bytes_from_env() -> usize {
@@ -271,6 +292,15 @@ pub struct Database {
     counters: EngineCounters,
     /// Two-level plan/result cache (see [`crate::cache`]).
     cache: Arc<QueryCache>,
+    /// Always-on cumulative per-statement statistics (see [`crate::stats`]).
+    stmt_stats: StatementStats,
+    /// Owning references to this engine's virtual system tables — the
+    /// catalog holds them weakly, so the `rfv_stat_*` names resolve
+    /// exactly as long as the engine is alive.
+    systabs: Arc<Vec<Arc<dyn VirtualTable>>>,
+    /// `RFV_TRACE_FILE`: where the shell dumps the flight-recorder
+    /// trace on exit (the env var also enables recording at startup).
+    trace_file: Arc<Option<PathBuf>>,
     /// Rewrite trace of the most recently planned query.
     last_rewrite: Arc<RwLock<Option<Arc<RewriteReport>>>>,
     /// Phase-span trace of the most recently traced query.
@@ -291,10 +321,31 @@ impl Database {
             cache_bytes_from_env(),
             counters.cache.clone(),
         ));
+        let catalog = Catalog::new();
+        let registry = ViewRegistry::new();
+        let stmt_stats = StatementStats::new();
+        let systabs = systab::standard_providers(
+            stmt_stats.clone(),
+            catalog.clone(),
+            registry.clone(),
+            Arc::clone(&cache),
+        );
+        for provider in &systabs {
+            catalog.register_virtual(provider);
+        }
+        // RFV_TRACE_FILE turns the flight recorder on for the whole
+        // process and tells the shell where to dump the trace on exit.
+        let trace_file = std::env::var_os("RFV_TRACE_FILE").map(PathBuf::from);
+        if trace_file.is_some() {
+            event::recorder().set_enabled(true);
+        }
         Database {
-            catalog: Catalog::new(),
-            registry: ViewRegistry::new(),
+            catalog,
+            registry,
             cache,
+            stmt_stats,
+            systabs: Arc::new(systabs),
+            trace_file: Arc::new(trace_file),
             config: Arc::new(RwLock::new(Config {
                 view_rewrite: true,
                 window_mode: WindowMode::Pipelined,
@@ -382,6 +433,65 @@ impl Database {
         self.cache.stats()
     }
 
+    /// Turn the process-wide flight recorder on or off (the buffer is
+    /// kept on `off`, so a dump after stopping still works).
+    pub fn set_recording(&self, on: bool) {
+        event::recorder().set_enabled(on);
+    }
+
+    /// Whether the flight recorder is currently recording.
+    pub fn recording(&self) -> bool {
+        event::recorder().is_enabled()
+    }
+
+    /// Flight-recorder state: enabled flag, ring capacity, events
+    /// accepted, events dropped under contention.
+    pub fn recorder_stats(&self) -> RecorderStats {
+        event::recorder().stats()
+    }
+
+    /// Drop all buffered flight-recorder events.
+    pub fn clear_recording(&self) {
+        event::recorder().clear();
+    }
+
+    /// The buffered flight-recorder events as a Chrome Trace Event JSON
+    /// document (open in Perfetto or `chrome://tracing`).
+    pub fn trace_json(&self) -> String {
+        event::recorder().chrome_trace().to_string()
+    }
+
+    /// Write [`trace_json`](Self::trace_json) to `path`.
+    pub fn export_trace(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.trace_json()).map_err(|e| {
+            RfvError::execution(format!("cannot write trace to {}: {e}", path.display()))
+        })
+    }
+
+    /// Where `RFV_TRACE_FILE` asked the trace to be dumped on exit
+    /// (`None` when the variable is unset).
+    pub fn trace_file(&self) -> Option<&Path> {
+        self.trace_file.as_deref()
+    }
+
+    /// Names of this engine's virtual system tables (`rfv_stat_*`),
+    /// queryable with ordinary SQL.
+    pub fn system_table_names(&self) -> Vec<String> {
+        self.systabs.iter().map(|p| p.name().to_string()).collect()
+    }
+
+    /// Snapshot of the always-on per-statement statistics, sorted by
+    /// normalized query text (also queryable as `rfv_stat_statements`).
+    pub fn statement_stats(&self) -> Vec<StatementStat> {
+        self.stmt_stats.snapshot()
+    }
+
+    /// Drop all per-statement statistics entries.
+    pub fn reset_statement_stats(&self) {
+        self.stmt_stats.reset();
+    }
+
     /// Cap the shared worker pool at `n` threads (`0` resets to the
     /// `RFV_THREADS` env var / hardware default). The pool is
     /// process-wide, so this affects every engine in the process; results
@@ -397,9 +507,17 @@ impl Database {
 
     /// Execute one SQL statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let collector = Collector::new(self.config.read().tracing);
+        let collector = self.make_collector();
         let stmt = collector.time("parse", || parse_statement(sql))?;
         self.execute_statement_traced(&stmt, &collector)
+    }
+
+    /// A span collector for one statement: enabled when tracing is on
+    /// **or** the flight recorder is recording (the recorder re-uses the
+    /// phase spans; PR-3 tracing artifacts — `query.ns`, `last_trace` —
+    /// stay gated on the `tracing` config bit alone).
+    fn make_collector(&self) -> Collector {
+        Collector::new(self.config.read().tracing || event::recorder().is_enabled())
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
@@ -528,8 +646,75 @@ impl Database {
         trace
     }
 
+    /// Post-execution observation of one query, independent of whether
+    /// it hit the result cache: fold it into the always-on statement
+    /// statistics, apply the `RFV_SLOW_MS` slow-query log, and emit the
+    /// flight-recorder events (per-phase spans re-origined onto the
+    /// process timeline plus one overall `query` span).
+    #[allow(clippy::too_many_arguments)]
+    fn observe_query(
+        &self,
+        q: &ast::Query,
+        sql_key: Option<String>,
+        collector: &Collector,
+        entry: &PlanEntry,
+        elapsed_ns: u64,
+        rows: u64,
+        cache_hit: bool,
+        rec_start: Option<u64>,
+    ) {
+        // With the cache disabled there is no PlanKey; normalize the
+        // same way it would have (`Display` of the AST).
+        let sql = sql_key.unwrap_or_else(|| q.to_string());
+        self.stmt_stats.record(
+            &sql,
+            elapsed_ns,
+            rows,
+            cache_hit,
+            entry.outcome,
+            &entry.report,
+        );
+        if let Some(ms) = slow_ms_from_env() {
+            if elapsed_ns >= ms.saturating_mul(1_000_000) {
+                self.counters.query_slow.incr();
+                eprintln!(
+                    "[rfv] slow query ({}, {} rows): {}",
+                    rfv_obs::fmt_ns(elapsed_ns),
+                    rows,
+                    sql
+                );
+                event::recorder().instant("query.slow", "engine", Some(truncate_sql(&sql)));
+            }
+        }
+        if let Some(start) = rec_start {
+            let rec = event::recorder();
+            // The collector's spans sit on its own timeline (0 = its
+            // creation); shift them onto the shared process origin.
+            let origin = event::now_ns().saturating_sub(collector.elapsed_ns());
+            let lane = event::thread_lane();
+            for s in collector.snapshot() {
+                rec.record(event::Event {
+                    name: s.name,
+                    cat: "engine",
+                    ph: EventPh::Complete,
+                    ts_ns: origin.saturating_add(s.start_ns),
+                    dur_ns: s.elapsed_ns,
+                    lane,
+                    detail: None,
+                });
+            }
+            rec.complete(
+                "query",
+                "engine",
+                start,
+                elapsed_ns,
+                Some(truncate_sql(&sql)),
+            );
+        }
+    }
+
     fn execute_statement(&self, stmt: &ast::Statement) -> Result<QueryResult> {
-        let collector = Collector::new(self.config.read().tracing);
+        let collector = self.make_collector();
         self.execute_statement_traced(stmt, &collector)
     }
 
@@ -540,7 +725,16 @@ impl Database {
     ) -> Result<QueryResult> {
         match stmt {
             ast::Statement::Query(q) => {
+                // PR-3 tracing artifacts stay gated on the config bit —
+                // the collector may be enabled for the recorder alone.
+                let tracing = self.config.read().tracing;
+                let rec = event::recorder();
+                let rec_start = rec.is_enabled().then(event::now_ns);
+                // Always-on statement-stats clock: plan + execute
+                // (parse happens before statement dispatch).
+                let clock = Stopwatch::start();
                 let (entry, plan_key) = self.plan_query_cached(q, collector)?;
+                let sql_key = plan_key.as_ref().map(|k| k.sql.clone());
                 // The result-cache key binds the plan to the *current*
                 // data generation of every table it reads.
                 let result_key = plan_key.map(|plan| ResultKey {
@@ -552,13 +746,25 @@ impl Database {
                         self.counters.cache.hits.incr();
                         self.counters.query_executed.incr();
                         self.counters.exec.rows_emitted.add(hit.rows().len() as u64);
-                        if collector.is_enabled() {
+                        rec.instant("cache.hit", "cache", None);
+                        if tracing {
                             self.counters.query_ns.record(collector.elapsed_ns());
                             self.store_trace(collector, stmt.clone(), entry.from_view);
                         }
+                        self.observe_query(
+                            q,
+                            sql_key,
+                            collector,
+                            &entry,
+                            clock.elapsed_ns(),
+                            hit.rows().len() as u64,
+                            true,
+                            rec_start,
+                        );
                         return Ok(hit);
                     }
                     self.counters.cache.misses.incr();
+                    rec.instant("cache.miss", "cache", None);
                 }
                 let probe = ExecProbe {
                     counters: Some(self.counters.exec.clone()),
@@ -568,7 +774,7 @@ impl Database {
                     collector.time("execute", || entry.physical.execute_probed(&probe))?;
                 self.counters.query_executed.incr();
                 self.counters.exec.rows_emitted.add(rows.len() as u64);
-                if collector.is_enabled() {
+                if tracing {
                     self.counters.query_ns.record(collector.elapsed_ns());
                     self.store_trace(collector, stmt.clone(), entry.from_view);
                 }
@@ -580,6 +786,16 @@ impl Database {
                         self.cache.result_put(key, result.clone());
                     }
                 }
+                self.observe_query(
+                    q,
+                    sql_key,
+                    collector,
+                    &entry,
+                    clock.elapsed_ns(),
+                    result.rows().len() as u64,
+                    false,
+                    rec_start,
+                );
                 Ok(result)
             }
             ast::Statement::Explain { analyze, query } => {
@@ -710,11 +926,19 @@ impl Database {
         if let Some(entry) = self.cache.plan_get(&key) {
             self.counters.cache.plan_hits.incr();
             self.counters.query_planned.incr();
+            event::recorder().instant("plan_cache.hit", "cache", None);
             self.replay_rewrite(&entry);
             return Ok((entry, Some(key)));
         }
         self.counters.cache.plan_misses.incr();
+        event::recorder().instant("plan_cache.miss", "cache", None);
         let entry = Arc::new(self.plan_fresh(q, config, collector)?);
+        if !entry.cacheable() {
+            // Plans over virtual system-table snapshots are throwaway:
+            // never cached at either level (a `None` key also keeps the
+            // result out of the result cache).
+            return Ok((entry, None));
+        }
         self.cache.plan_put(key.clone(), Arc::clone(&entry));
         Ok((entry, Some(key)))
     }
@@ -791,6 +1015,8 @@ impl Database {
         } else {
             self.counters.rewrite_fallback.incr();
         }
+        let rec = event::recorder();
+        let rec_on = rec.is_enabled();
         for d in &report.decisions {
             self.counters.rewrite_expressions.incr();
             match &d.outcome {
@@ -798,9 +1024,19 @@ impl Database {
                     self.metrics
                         .counter(&format!("rewrite.strategy.{}", strategy.label()))
                         .incr();
+                    if rec_on {
+                        rec.instant(
+                            "rewrite.decision",
+                            "rewrite",
+                            Some(strategy.label().to_string()),
+                        );
+                    }
                 }
                 RewriteOutcome::Fallback { .. } => {
                     self.counters.rewrite_expr_fallback.incr();
+                    if rec_on {
+                        rec.instant("rewrite.decision", "rewrite", Some("fallback".to_string()));
+                    }
                 }
             }
         }
@@ -818,6 +1054,8 @@ impl Database {
             PlanOutcome::Fallback => self.counters.rewrite_fallback.incr(),
             PlanOutcome::Disabled => self.counters.rewrite_disabled.incr(),
         }
+        let rec = event::recorder();
+        let rec_on = rec.is_enabled();
         for d in &entry.report.decisions {
             self.counters.rewrite_expressions.incr();
             match &d.outcome {
@@ -825,9 +1063,19 @@ impl Database {
                     self.metrics
                         .counter(&format!("rewrite.strategy.{}", strategy.label()))
                         .incr();
+                    if rec_on {
+                        rec.instant(
+                            "rewrite.decision",
+                            "rewrite",
+                            Some(strategy.label().to_string()),
+                        );
+                    }
                 }
                 RewriteOutcome::Fallback { .. } => {
                     self.counters.rewrite_expr_fallback.incr();
+                    if rec_on {
+                        rec.instant("rewrite.decision", "rewrite", Some("fallback".to_string()));
+                    }
                 }
             }
         }
@@ -1512,6 +1760,26 @@ impl Database {
     /// thread before the registry is refreshed sequentially (the registry
     /// holds the views write lock during refresh).
     fn maintain_views_batch(
+        &self,
+        table: &str,
+        batch: &MaintBatch,
+        raw_before: Vec<f64>,
+    ) -> Result<MaintenanceStats> {
+        let rec = event::recorder();
+        let rec_start = rec.is_enabled().then(event::now_ns);
+        let result = self.maintain_views_batch_inner(table, batch, raw_before);
+        if let Some(start) = rec_start {
+            rec.complete_since(
+                "maintenance.batch",
+                "maintenance",
+                start,
+                Some(format!("{table}: {} ops", batch.len())),
+            );
+        }
+        result
+    }
+
+    fn maintain_views_batch_inner(
         &self,
         table: &str,
         batch: &MaintBatch,

@@ -61,6 +61,8 @@ pub mod patterns;
 pub mod reporting;
 pub mod rewrite;
 pub mod sequence;
+pub mod stats;
+pub mod systab;
 pub mod trace;
 pub mod view;
 
@@ -70,4 +72,5 @@ pub use maintenance::{BatchOp, MaintBatch, MaintenanceStats};
 pub use rewrite::{RewriteDecision, RewriteOutcome, RewriteReport, RewriteStrategy, Rewriter};
 pub use rfv_obs::MetricsRegistry;
 pub use sequence::{CompleteSequence, SequenceSpec, WindowSpec};
+pub use stats::{StatementStat, StatementStats};
 pub use trace::QueryTrace;

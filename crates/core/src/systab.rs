@@ -1,0 +1,357 @@
+//! Virtual system statistics tables (`rfv_stat_*`).
+//!
+//! Five [`VirtualTable`] providers expose live engine telemetry as
+//! ordinary relations, so plain SQL — filters, joins, `ORDER BY`,
+//! `LIMIT` — works against statistics with zero binder/planner/executor
+//! changes:
+//!
+//! | table                 | one row per…       | backed by                     |
+//! |-----------------------|--------------------|-------------------------------|
+//! | `rfv_stat_statements` | normalized query   | [`StatementStats`]            |
+//! | `rfv_stat_tables`     | real catalog table | [`Catalog`] + `TableStats`    |
+//! | `rfv_stat_views`      | materialized view  | [`ViewRegistry`]              |
+//! | `rfv_stat_cache`      | *(exactly one)*    | the two-level query cache     |
+//! | `rfv_stat_workers`    | pool worker thread | `rfv_exec::sched`             |
+//!
+//! Each lookup materializes a fresh point-in-time snapshot (see
+//! [`Catalog::register_virtual`]); the snapshot is marked virtual so the
+//! plan/result caches never retain plans over it. Counters are `u64`
+//! internally and are exposed as SQL `BIGINT` via a saturating cast —
+//! `i64::MAX` is ~292 years of nanoseconds, so saturation is theoretical.
+//!
+//! The [`Database`](crate::Database) registers all five at construction;
+//! providers are owned by the engine and held weakly by the catalog, so
+//! dropping the engine retires its system tables.
+
+use std::sync::Arc;
+
+use rfv_storage::{Catalog, VirtualTable};
+use rfv_types::{row, DataType, Field, Result, Row, Schema, Value};
+
+use crate::cache::QueryCache;
+use crate::sequence::WindowSpec;
+use crate::stats::StatementStats;
+use crate::view::ViewRegistry;
+
+/// `u64` counter → SQL `BIGINT`, saturating (never wraps negative).
+fn big(n: u64) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+/// One row per distinct normalized statement, sorted by query text.
+pub struct StatStatements {
+    stats: StatementStats,
+}
+
+impl StatStatements {
+    pub fn new(stats: StatementStats) -> Self {
+        StatStatements { stats }
+    }
+}
+
+impl VirtualTable for StatStatements {
+    fn name(&self) -> &str {
+        "rfv_stat_statements"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::not_null("query", DataType::Str),
+            Field::not_null("calls", DataType::Int),
+            Field::not_null("total_ns", DataType::Int),
+            Field::not_null("min_ns", DataType::Int),
+            Field::not_null("max_ns", DataType::Int),
+            Field::not_null("p50_ns", DataType::Int),
+            Field::not_null("p95_ns", DataType::Int),
+            Field::not_null("rows", DataType::Int),
+            Field::not_null("cache_hits", DataType::Int),
+            Field::not_null("rewrites", DataType::Int),
+            Field::not_null("fallbacks", DataType::Int),
+            Field::not_null("strategies", DataType::Str),
+        ])
+    }
+
+    fn rows(&self) -> Result<Vec<Row>> {
+        Ok(self
+            .stats
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                // "label:count" pairs, comma-joined, already sorted
+                // (BTreeMap) — empty string when no rewrite fired.
+                let strategies = s
+                    .strategies
+                    .iter()
+                    .map(|(label, n)| format!("{label}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                row![
+                    s.query,
+                    big(s.calls),
+                    big(s.total_ns),
+                    big(s.min_ns),
+                    big(s.max_ns),
+                    big(s.p50_ns),
+                    big(s.p95_ns),
+                    big(s.rows),
+                    big(s.cache_hits),
+                    big(s.rewrites),
+                    big(s.fallbacks),
+                    strategies
+                ]
+            })
+            .collect())
+    }
+}
+
+/// One row per **real** catalog table (virtual tables report on real
+/// ones, never on themselves — no fixpoint), sorted by name.
+pub struct StatTables {
+    catalog: Catalog,
+}
+
+impl StatTables {
+    pub fn new(catalog: Catalog) -> Self {
+        StatTables { catalog }
+    }
+}
+
+impl VirtualTable for StatTables {
+    fn name(&self) -> &str {
+        "rfv_stat_tables"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::not_null("name", DataType::Str),
+            Field::not_null("rows", DataType::Int),
+            Field::not_null("slots", DataType::Int),
+            Field::not_null("generation", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        for name in self.catalog.table_names() {
+            // A concurrent drop between listing and lookup just skips
+            // the row — the snapshot stays best-effort, never errors.
+            let Ok(table) = self.catalog.table(&name) else {
+                continue;
+            };
+            let t = table.read();
+            let stats = t.stats();
+            out.push(row![
+                name,
+                big(stats.row_count as u64),
+                big(stats.slot_count as u64),
+                big(t.generation())
+            ]);
+        }
+        Ok(out)
+    }
+}
+
+/// One row per materialized reporting-function view, sorted by name.
+pub struct StatViews {
+    registry: ViewRegistry,
+}
+
+impl StatViews {
+    pub fn new(registry: ViewRegistry) -> Self {
+        StatViews { registry }
+    }
+}
+
+impl VirtualTable for StatViews {
+    fn name(&self) -> &str {
+        "rfv_stat_views"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::not_null("name", DataType::Str),
+            Field::not_null("base_table", DataType::Str),
+            Field::not_null("func", DataType::Str),
+            Field::not_null("window", DataType::Str),
+            Field::not_null("partition_by", DataType::Str),
+            Field::not_null("n", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> Result<Vec<Row>> {
+        let mut names = self.registry.names();
+        names.sort();
+        Ok(names
+            .into_iter()
+            .filter_map(|name| self.registry.get(&name))
+            .map(|v| {
+                let window = match v.window {
+                    WindowSpec::Cumulative => "cumulative".to_string(),
+                    WindowSpec::Sliding { l, h } => format!("sliding({l},{h})"),
+                };
+                row![
+                    v.name.clone(),
+                    v.base_table.clone(),
+                    v.func.to_string(),
+                    window,
+                    v.partition_columns.join(","),
+                    v.n()
+                ]
+            })
+            .collect())
+    }
+}
+
+/// Exactly one row: the two-level query cache's point-in-time stats.
+pub struct StatCache {
+    cache: Arc<QueryCache>,
+}
+
+impl StatCache {
+    pub(crate) fn new(cache: Arc<QueryCache>) -> Self {
+        StatCache { cache }
+    }
+}
+
+impl VirtualTable for StatCache {
+    fn name(&self) -> &str {
+        "rfv_stat_cache"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::not_null("enabled", DataType::Bool),
+            Field::not_null("capacity_bytes", DataType::Int),
+            Field::not_null("resident_bytes", DataType::Int),
+            Field::not_null("result_entries", DataType::Int),
+            Field::not_null("plan_entries", DataType::Int),
+            Field::not_null("hits", DataType::Int),
+            Field::not_null("misses", DataType::Int),
+            Field::not_null("inserts", DataType::Int),
+            Field::not_null("evictions", DataType::Int),
+            Field::not_null("plan_hits", DataType::Int),
+            Field::not_null("plan_misses", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> Result<Vec<Row>> {
+        let s = self.cache.stats();
+        Ok(vec![Row::new(vec![
+            Value::Bool(s.enabled),
+            Value::Int(big(s.capacity_bytes as u64)),
+            Value::Int(big(s.resident_bytes as u64)),
+            Value::Int(big(s.result_entries as u64)),
+            Value::Int(big(s.plan_entries as u64)),
+            Value::Int(big(s.hits)),
+            Value::Int(big(s.misses)),
+            Value::Int(big(s.inserts)),
+            Value::Int(big(s.evictions)),
+            Value::Int(big(s.plan_hits)),
+            Value::Int(big(s.plan_misses)),
+        ])])
+    }
+}
+
+/// One row per worker thread of the process-wide scheduler pool, in
+/// worker-id order. Empty until the pool first spins up (it is lazy).
+pub struct StatWorkers;
+
+impl VirtualTable for StatWorkers {
+    fn name(&self) -> &str {
+        "rfv_stat_workers"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::not_null("worker", DataType::Int),
+            Field::not_null("tasks", DataType::Int),
+            Field::not_null("steals", DataType::Int),
+            Field::not_null("busy_ns", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> Result<Vec<Row>> {
+        Ok(rfv_exec::sched::worker_stats()
+            .into_iter()
+            .map(|w| {
+                row![
+                    big(w.worker as u64),
+                    big(w.tasks),
+                    big(w.steals),
+                    big(w.busy_ns)
+                ]
+            })
+            .collect())
+    }
+}
+
+/// Build the standard provider set for one engine. The returned `Arc`s
+/// are the **owning** references (the catalog only holds weak ones) —
+/// the engine must keep them alive for the names to resolve.
+pub(crate) fn standard_providers(
+    stats: StatementStats,
+    catalog: Catalog,
+    registry: ViewRegistry,
+    cache: Arc<QueryCache>,
+) -> Vec<Arc<dyn VirtualTable>> {
+    vec![
+        Arc::new(StatStatements::new(stats)),
+        Arc::new(StatTables::new(catalog)),
+        Arc::new(StatViews::new(registry)),
+        Arc::new(StatCache::new(cache)),
+        Arc::new(StatWorkers),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn providers_have_stable_names_and_matching_row_arity() {
+        let stats = StatementStats::new();
+        stats.record(
+            "SELECT 1",
+            100,
+            1,
+            false,
+            crate::cache::PlanOutcome::Fallback,
+            &crate::rewrite::RewriteReport::default(),
+        );
+        let catalog = Catalog::new();
+        catalog
+            .create_table("t", Schema::new(vec![Field::not_null("id", DataType::Int)]))
+            .unwrap();
+        let providers = standard_providers(
+            stats,
+            catalog,
+            ViewRegistry::new(),
+            Arc::new(QueryCache::new(
+                0,
+                crate::cache::CacheCounters::new(&rfv_obs::MetricsRegistry::new()),
+            )),
+        );
+        let names: Vec<&str> = providers.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "rfv_stat_statements",
+                "rfv_stat_tables",
+                "rfv_stat_views",
+                "rfv_stat_cache",
+                "rfv_stat_workers",
+            ]
+        );
+        for p in &providers {
+            let width = p.schema().len();
+            for row in p.rows().unwrap() {
+                assert_eq!(row.values().len(), width, "{}", p.name());
+            }
+        }
+        // Statements and tables each produced their one row.
+        assert_eq!(providers[0].rows().unwrap().len(), 1);
+        assert_eq!(providers[1].rows().unwrap().len(), 1);
+        // Cache is always exactly one row.
+        assert_eq!(providers[3].rows().unwrap().len(), 1);
+    }
+}

@@ -24,7 +24,7 @@ pub mod window;
 
 pub use opmetrics::{ExecCounters, ExecProbe, OpMetrics};
 pub use physical::{JoinType, PhysicalPlan, SortKey};
-pub use sched::{ParStats, SchedMetrics, DEFAULT_PARALLEL_THRESHOLD};
+pub use sched::{ParStats, SchedMetrics, WorkerStat, DEFAULT_PARALLEL_THRESHOLD};
 pub use window::{
     FrameBound, WindowExprSpec, WindowFrame, WindowFuncKind, WindowMode, MAX_FRAME_OFFSET,
 };

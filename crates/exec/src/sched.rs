@@ -145,9 +145,51 @@ pub fn metrics() -> &'static SchedMetrics {
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// One worker's state: its own deque plus its park epoch.
+/// Per-worker counters behind the process-wide totals in
+/// [`SchedMetrics`], surfaced through [`worker_stats`] (and from there
+/// the `rfv_stat_workers` system view).
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// One worker's state: its own deque plus its counters.
 struct Worker {
     deque: Mutex<VecDeque<Task>>,
+    counters: WorkerCounters,
+}
+
+/// A snapshot of one pool worker's lifetime totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker id (index into the pool, stable for the process lifetime).
+    pub worker: usize,
+    /// Tasks this worker executed (own deque or stolen).
+    pub tasks: u64,
+    /// Tasks this worker obtained by stealing from a peer's deque.
+    pub steals: u64,
+    /// Total busy (task execution) nanoseconds on this worker.
+    pub busy_ns: u64,
+}
+
+/// Per-worker totals for every pool worker spawned so far. Empty until
+/// the first parallel execution spawns the pool (serial processes never
+/// pay for workers, so they have none to report).
+pub fn worker_stats() -> Vec<WorkerStat> {
+    Pool::global()
+        .workers
+        .read()
+        .iter()
+        .enumerate()
+        .map(|(id, w)| WorkerStat {
+            worker: id,
+            tasks: w.counters.tasks.load(Ordering::Relaxed),
+            steals: w.counters.steals.load(Ordering::Relaxed),
+            busy_ns: w.counters.busy_ns.load(Ordering::Relaxed),
+        })
+        .collect()
 }
 
 struct Pool {
@@ -171,6 +213,24 @@ thread_local! {
     /// Set inside pool workers so nested `run_ordered` calls execute
     /// inline instead of deadlocking the pool on itself.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// The executing worker, for per-worker task attribution from inside
+    /// the `run_ordered` task wrapper.
+    static CURRENT_WORKER: std::cell::RefCell<Option<Arc<Worker>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Attribute one executed task to the current pool worker (no-op on
+/// non-worker threads, i.e. the inline fallback paths).
+fn credit_current_worker(busy_ns: u64) {
+    CURRENT_WORKER.with(|w| {
+        if let Some(worker) = w.borrow().as_ref() {
+            worker.counters.tasks.fetch_add(1, Ordering::Relaxed);
+            worker
+                .counters
+                .busy_ns
+                .fetch_add(busy_ns, Ordering::Relaxed);
+        }
+    });
 }
 
 impl Pool {
@@ -193,6 +253,7 @@ impl Pool {
         while workers.len() < n {
             let worker = Arc::new(Worker {
                 deque: Mutex::new(VecDeque::new()),
+                counters: WorkerCounters::default(),
             });
             workers.push(worker.clone());
             let id = workers.len() - 1;
@@ -234,6 +295,7 @@ impl Pool {
             let peer = &workers[(id + k) % n];
             if let Some(t) = lock(&peer.deque).pop_back() {
                 metrics().steals.incr();
+                own.counters.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -242,6 +304,13 @@ impl Pool {
 
     fn worker_loop(&'static self, id: usize, own: Arc<Worker>) {
         IN_WORKER.with(|w| w.set(true));
+        CURRENT_WORKER.with(|w| *w.borrow_mut() = Some(Arc::clone(&own)));
+        // Claim a flight-recorder lane so this worker's tasks show up as
+        // their own timeline row in the Perfetto export.
+        rfv_obs::event::set_thread_lane(
+            rfv_obs::event::WORKER_LANE_BASE + id as u32,
+            &format!("worker-{id}"),
+        );
         loop {
             if let Some(task) = self.pop_or_steal(id, &own) {
                 task();
@@ -359,9 +428,18 @@ where
             let state = Arc::clone(&state);
             let f = Arc::clone(&f);
             Box::new(move || {
+                // The recorder start stamp is guarded on enablement so a
+                // disabled recorder costs one relaxed load, no clock read.
+                let rec = rfv_obs::event::recorder();
+                let rec_start = rec.is_enabled().then(rfv_obs::event::now_ns);
                 let clock = rfv_obs::Stopwatch::start();
                 let out = panic::catch_unwind(AssertUnwindSafe(|| f(i, chunk)));
-                metrics().busy_ns.record(clock.elapsed_ns());
+                let busy = clock.elapsed_ns();
+                metrics().busy_ns.record(busy);
+                credit_current_worker(busy);
+                if let Some(start) = rec_start {
+                    rec.complete("task", "sched", start, busy, None);
+                }
                 let mut slots = lock(&state.slots);
                 slots.results[i] = Some(match out {
                     Ok(r) => TaskOut::Done(r),
@@ -610,6 +688,23 @@ mod tests {
         .unwrap();
         assert_eq!(out.len(), 256);
         assert!(metrics().tasks.get() >= before + 256);
+        set_threads(0);
+    }
+
+    #[test]
+    fn worker_stats_account_for_executed_tasks() {
+        let _g = knob_guard();
+        set_threads(4);
+        let before: u64 = worker_stats().iter().map(|w| w.tasks).sum();
+        let out = run_ordered((0..64usize).collect::<Vec<_>>(), |_, c| Ok(c)).unwrap();
+        assert_eq!(out.len(), 64);
+        let stats = worker_stats();
+        assert!(!stats.is_empty(), "pool spawned workers");
+        let after: u64 = stats.iter().map(|w| w.tasks).sum();
+        assert_eq!(after, before + 64, "every task credited to a worker");
+        for (i, w) in stats.iter().enumerate() {
+            assert_eq!(w.worker, i);
+        }
         set_threads(0);
     }
 

@@ -14,19 +14,27 @@
 //!   [`Counter`] is one relaxed atomic add per event, [`Histogram`] a
 //!   fixed array of log₂ buckets, and [`MetricsRegistry`] a name → handle
 //!   map with a stable JSON text export;
+//! * [`event`] — the flight recorder: a process-wide fixed-capacity
+//!   lock-light ring buffer of lifecycle events (parse/plan/rewrite
+//!   decisions, cache hits and misses, scheduler tasks per worker,
+//!   maintenance batches) with a Chrome Trace Event ("Perfetto") JSON
+//!   exporter and validator;
 //! * [`json`] — a minimal first-party JSON value type with a serializer
-//!   and parser, used for the metrics export and the benchmark
-//!   trajectory files (`BENCH_table1.json` / `BENCH_table2.json`).
+//!   and parser, used for the metrics export, the flight-recorder trace
+//!   export, and the benchmark trajectory files (`BENCH_table1.json` /
+//!   `BENCH_table2.json`).
 //!
 //! Like the rest of the workspace this crate has **zero external
 //! dependencies** — no `tracing`, no `metrics`, no `serde`.
 
 pub mod clock;
+pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
 pub use clock::{fmt_ns, Stopwatch};
+pub use event::{recorder, validate_chrome_trace, Event, Recorder, RecorderStats, TraceSummary};
 pub use json::Json;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use span::{Collector, Span, SpanRecord};

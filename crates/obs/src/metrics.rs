@@ -58,9 +58,13 @@ struct HistogramInner {
 }
 
 /// A log₂-bucketed histogram of `u64` values (nanoseconds, by
-/// convention). Quantiles are bucket-upper-bound estimates: exact to
-/// within a factor of 2, which is all a steering metric needs — the
-/// bench harness computes exact p50/p95 from raw samples instead.
+/// convention). Quantiles are bucket-upper-bound estimates clamped to
+/// the observed `[min, max]` range: exact to within a factor of 2 (and
+/// exact outright for empty and single-valued histograms), which is all
+/// a steering metric needs — the bench harness computes exact p50/p95
+/// from raw samples instead. The top bucket saturates: values at or
+/// above `2^63` are all counted in bucket 63, so quantiles that land
+/// there report the observed maximum rather than a bucket bound.
 #[derive(Debug, Clone)]
 pub struct Histogram(Arc<HistogramInner>);
 
@@ -113,7 +117,15 @@ impl Histogram {
     }
 
     /// Estimated quantile `q ∈ [0, 1]`: the upper bound of the bucket
-    /// holding the `⌈q·count⌉`-th smallest value (0 when empty).
+    /// holding the `⌈q·count⌉`-th smallest value, clamped into the
+    /// observed `[min, max]` range.
+    ///
+    /// The clamp makes the degenerate cases exact: an **empty**
+    /// histogram returns 0 for every `q`, and a **single-sample**
+    /// histogram returns that sample exactly (min == max) instead of
+    /// its bucket's upper bound. The top bucket (63) saturates — every
+    /// value ≥ 2^63 lands there — so a quantile resolving to it clamps
+    /// to `max()` rather than reporting `u64::MAX`.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -121,14 +133,34 @@ impl Histogram {
         }
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
+        let mut estimate = self.max();
         for (i, b) in self.0.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 // Upper bound of bucket i is 2^i − 1 (bucket 0 holds 0).
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                estimate = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                break;
             }
         }
-        self.max()
+        // Manual clamp: under concurrent recording the relaxed min/max
+        // can be transiently inconsistent (min > max), which
+        // `u64::clamp` would panic on.
+        estimate.min(self.max()).max(self.min())
+    }
+
+    /// Median estimate — `quantile(0.50)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate — `quantile(0.95)`.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate — `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 
     fn to_json(&self) -> Json {
@@ -137,8 +169,8 @@ impl Histogram {
             ("sum_ns".into(), Json::Int(self.sum() as i64)),
             ("min_ns".into(), Json::Int(self.min() as i64)),
             ("max_ns".into(), Json::Int(self.max() as i64)),
-            ("p50_ns".into(), Json::Int(self.quantile(0.50) as i64)),
-            ("p95_ns".into(), Json::Int(self.quantile(0.95) as i64)),
+            ("p50_ns".into(), Json::Int(self.p50() as i64)),
+            ("p95_ns".into(), Json::Int(self.p95() as i64)),
         ])
     }
 }
@@ -284,6 +316,41 @@ mod tests {
         // Degenerate quantiles do not panic.
         let empty = Histogram::new();
         assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_sample_histograms_are_exact() {
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+        assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0, 0, 0));
+
+        // One sample: every quantile is that sample, not its bucket's
+        // upper bound (737's bucket bound would be 1023).
+        let one = Histogram::new();
+        one.record(737);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 737);
+        }
+        assert_eq!((one.p50(), one.p95(), one.p99()), (737, 737, 737));
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range_and_saturating_top_bucket() {
+        // All values in one bucket: the low quantile may not undershoot
+        // the observed minimum.
+        let h = Histogram::new();
+        h.record(520);
+        h.record(1000);
+        assert!(h.quantile(0.0) >= 520);
+        assert!(h.quantile(1.0) <= 1000);
+
+        // Values ≥ 2^63 saturate into the top bucket; the quantile
+        // reports the observed max, not u64::MAX.
+        let top = Histogram::new();
+        top.record(u64::MAX - 1);
+        assert_eq!(top.p99(), u64::MAX - 1);
     }
 
     #[test]

@@ -101,6 +101,13 @@ impl Collector {
         std::mem::take(&mut *self.spans.borrow_mut())
     }
 
+    /// Copy the recorded spans without draining them — for observers
+    /// (e.g. the flight recorder) that must not disturb a later
+    /// [`take`](Self::take).
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.spans.borrow().clone()
+    }
+
     fn record(&self, name: &'static str, span_start: &Stopwatch) {
         let Some(origin) = &self.origin else { return };
         let elapsed_ns = span_start.elapsed_ns();

@@ -1,17 +1,36 @@
-//! Thread-safe table catalog.
+//! Thread-safe table catalog, with a virtual-table hook for the system
+//! statistics views.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use rfv_types::sync::RwLock;
-use rfv_types::{Result, RfvError, Schema};
+use rfv_types::{Result, RfvError, Row, Schema};
 
 use crate::table::Table;
 
 /// Shared, lockable handle to a table. Readers (scans) take the read lock;
 /// DML takes the write lock.
 pub type TableRef = Arc<RwLock<Table>>;
+
+/// A provider backing a **virtual table**: a name that resolves, at every
+/// lookup, to a fresh point-in-time snapshot built from live engine state
+/// (metrics, statement stats, cache stats, …).
+///
+/// The snapshot is an ordinary [`Table`] marked
+/// [`Table::is_virtual`], so the binder, planner, and executor treat it
+/// exactly like user data — plain SQL (filters, joins, `ORDER BY`) works
+/// against telemetry with zero executor changes. The engine uses the
+/// marker to keep plans over snapshots out of the plan/result caches.
+pub trait VirtualTable: Send + Sync {
+    /// The table name this provider answers for (case-insensitive).
+    fn name(&self) -> &str;
+    /// The snapshot schema (stable across calls).
+    fn schema(&self) -> Schema;
+    /// The current rows, in a deterministic order.
+    fn rows(&self) -> Result<Vec<Row>>;
+}
 
 /// A named collection of tables.
 ///
@@ -26,6 +45,12 @@ pub struct Catalog {
     /// behind a name) changes, so a cached plan keyed on it can trust
     /// every `TableRef` it captured.
     generation: Arc<AtomicU64>,
+    /// Virtual-table providers, held **weakly**: the engine that
+    /// registered a provider owns it, so dropping the engine drops the
+    /// provider and the name silently stops resolving. (A strong ref
+    /// here would leak engines whose providers point back at this
+    /// catalog.) Real tables shadow virtual names on lookup.
+    virtuals: Arc<RwLock<BTreeMap<String, Weak<dyn VirtualTable>>>>,
 }
 
 impl Catalog {
@@ -72,16 +97,57 @@ impl Catalog {
         Ok(table)
     }
 
-    /// Look a table up by (case-insensitive) name.
+    /// Look a table up by (case-insensitive) name. Real tables win;
+    /// otherwise a registered virtual provider materializes a fresh
+    /// snapshot (marked [`Table::is_virtual`]) for this lookup.
     pub fn table(&self, name: &str) -> Result<TableRef> {
-        self.tables
-            .read()
-            .get(&Self::key(name))
-            .cloned()
-            .ok_or_else(|| RfvError::catalog(format!("table `{name}` not found")))
+        let key = Self::key(name);
+        if let Some(t) = self.tables.read().get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        if let Some(provider) = self.virtuals.read().get(&key).and_then(Weak::upgrade) {
+            let mut snapshot = Table::new_virtual(provider.name(), provider.schema());
+            for row in provider.rows()? {
+                snapshot.insert(row)?;
+            }
+            return Ok(Arc::new(RwLock::new(snapshot)));
+        }
+        Err(RfvError::catalog(format!("table `{name}` not found")))
     }
 
-    /// Whether `name` exists.
+    /// Register a virtual-table provider under its own name. The caller
+    /// keeps ownership (only a weak reference is stored); re-registering
+    /// a name replaces the provider. A real table with the same name
+    /// shadows it on lookup.
+    pub fn register_virtual(&self, provider: &Arc<dyn VirtualTable>) {
+        let key = Self::key(provider.name());
+        self.virtuals.write().insert(key, Arc::downgrade(provider));
+        // Name resolution changed: cached plans must not survive.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether `name` currently resolves to a live virtual provider
+    /// (regardless of shadowing by a real table).
+    pub fn is_virtual(&self, name: &str) -> bool {
+        self.virtuals
+            .read()
+            .get(&Self::key(name))
+            .is_some_and(|w| w.strong_count() > 0)
+    }
+
+    /// Sorted names of live virtual tables.
+    pub fn virtual_names(&self) -> Vec<String> {
+        self.virtuals
+            .read()
+            .iter()
+            .filter(|(_, w)| w.strong_count() > 0)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Whether `name` exists as a **real** table (virtual names resolve
+    /// through [`table`](Self::table) but are not "contained": DDL may
+    /// still claim the name, shadowing the virtual one).
     pub fn contains(&self, name: &str) -> bool {
         self.tables.read().contains_key(&Self::key(name))
     }
@@ -160,6 +226,61 @@ mod tests {
         let clone = cat.clone();
         clone.create_table("v", schema()).unwrap();
         assert_eq!(cat.generation(), 4);
+    }
+
+    struct FakeStats;
+
+    impl VirtualTable for FakeStats {
+        fn name(&self) -> &str {
+            "rfv_stat_fake"
+        }
+        fn schema(&self) -> Schema {
+            Schema::new(vec![Field::not_null("n", DataType::Int)])
+        }
+        fn rows(&self) -> Result<Vec<rfv_types::Row>> {
+            Ok(vec![row![7i64]])
+        }
+    }
+
+    #[test]
+    fn virtual_tables_resolve_shadow_and_expire() {
+        let cat = Catalog::new();
+        let provider: Arc<dyn VirtualTable> = Arc::new(FakeStats);
+        cat.register_virtual(&provider);
+        assert!(cat.is_virtual("RFV_STAT_FAKE"), "case-insensitive");
+        assert!(
+            !cat.contains("rfv_stat_fake"),
+            "virtual is not a real table"
+        );
+        assert_eq!(cat.virtual_names(), vec!["rfv_stat_fake".to_string()]);
+
+        // Every lookup is a fresh marked snapshot.
+        let a = cat.table("rfv_stat_fake").unwrap();
+        let b = cat.table("rfv_stat_fake").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(a.read().is_virtual());
+        assert_eq!(a.read().stats().row_count, 1);
+
+        // A real table with the same name shadows the provider.
+        cat.create_table("rfv_stat_fake", schema()).unwrap();
+        assert!(!cat.table("rfv_stat_fake").unwrap().read().is_virtual());
+        cat.drop_table("rfv_stat_fake").unwrap();
+        assert!(cat.table("rfv_stat_fake").unwrap().read().is_virtual());
+
+        // Dropping the owning Arc expires the name.
+        drop(provider);
+        assert!(!cat.is_virtual("rfv_stat_fake"));
+        assert!(cat.table("rfv_stat_fake").is_err());
+        assert!(cat.virtual_names().is_empty());
+    }
+
+    #[test]
+    fn registering_a_virtual_bumps_the_ddl_generation() {
+        let cat = Catalog::new();
+        let before = cat.generation();
+        let provider: Arc<dyn VirtualTable> = Arc::new(FakeStats);
+        cat.register_virtual(&provider);
+        assert_eq!(cat.generation(), before + 1);
     }
 
     #[test]

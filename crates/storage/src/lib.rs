@@ -10,6 +10,6 @@ mod catalog;
 mod index;
 mod table;
 
-pub use catalog::{Catalog, TableRef};
+pub use catalog::{Catalog, TableRef, VirtualTable};
 pub use index::{IndexKind, OrderedIndex};
 pub use table::{RowId, Table, TableStats};

@@ -36,6 +36,11 @@ pub struct Table {
     /// guards the data, so `generation() == g` means the table holds
     /// exactly the state it held when `g` was last observed.
     generation: u64,
+    /// True for throwaway snapshots materialized from a virtual system
+    /// table ([`crate::Catalog::register_virtual`]): their contents are
+    /// point-in-time telemetry, so plans that read them must never be
+    /// cached.
+    virtual_snapshot: bool,
 }
 
 impl Table {
@@ -47,7 +52,21 @@ impl Table {
             live: 0,
             indexes: HashMap::new(),
             generation: 0,
+            virtual_snapshot: false,
         }
+    }
+
+    /// A table marked as a virtual-system-table snapshot (see the
+    /// `virtual_snapshot` field).
+    pub fn new_virtual(name: impl Into<String>, schema: Schema) -> Self {
+        let mut t = Table::new(name, schema);
+        t.virtual_snapshot = true;
+        t
+    }
+
+    /// Whether this is a snapshot of a virtual system table.
+    pub fn is_virtual(&self) -> bool {
+        self.virtual_snapshot
     }
 
     pub fn name(&self) -> &str {

@@ -278,6 +278,94 @@ fn parallel_queries_from_many_threads_match_serial() {
     });
 }
 
+/// The recorded storm: the flight recorder stays on while readers and
+/// the maintenance writer race, and a dumper thread concurrently
+/// exports + validates the trace mid-storm. Recording must never block
+/// a query (writers `try_lock` and drop on contention) and never
+/// corrupt the buffer: every export — including the mid-storm ones
+/// racing active writers — must parse as valid Chrome Trace Event JSON,
+/// and the accounting `recorded + dropped == attempts` is monotone.
+#[test]
+fn recorder_never_blocks_or_corrupts_under_reader_storm() {
+    struct RecorderOff;
+    impl Drop for RecorderOff {
+        fn drop(&mut self) {
+            let rec = rfv_obs::recorder();
+            rec.set_enabled(false);
+            rec.clear();
+        }
+    }
+
+    let _guard = knob_guard();
+    let _reset = KnobReset;
+    let _rec_reset = RecorderOff;
+    sched::set_parallel_threshold(4);
+    sched::set_threads(4);
+
+    let vals: Vec<f64> = (0..N_ROWS).map(|i| (i % 11) as f64).collect();
+    let db = db_with(&vals);
+    db.clear_recording();
+    db.set_recording(true);
+
+    let executed_before = db.metrics().counter_value("query.executed");
+
+    std::thread::scope(|s| {
+        let writer_db = &db;
+        s.spawn(move || {
+            for b in 0..BATCHES {
+                writer_db
+                    .apply_batch("seq", &batch(b))
+                    .unwrap_or_else(|e| panic!("batch {b} failed mid-storm: {e}"));
+            }
+        });
+        for reader in 0..READERS {
+            let reader_db = &db;
+            s.spawn(move || {
+                for q in 0..QUERIES_PER_READER {
+                    let sql = match q % 3 {
+                        0 => {
+                            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS \
+                              BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS s FROM seq"
+                        }
+                        1 => "SELECT COUNT(*) AS n, SUM(val) AS s FROM seq",
+                        _ => "SELECT pos, val FROM mv_cum ORDER BY pos",
+                    };
+                    reader_db
+                        .execute(sql)
+                        .unwrap_or_else(|e| panic!("reader {reader} query {q} failed: {e}"));
+                }
+            });
+        }
+        // Mid-storm exports race the writers; each one must validate.
+        let dump_db = &db;
+        s.spawn(move || {
+            for i in 0..6 {
+                let text = dump_db.trace_json();
+                rfv_obs::validate_chrome_trace(&text)
+                    .unwrap_or_else(|e| panic!("mid-storm trace dump {i} invalid: {e}"));
+            }
+        });
+    });
+
+    db.set_recording(false);
+    // Every query completed (recording never blocked one into failure).
+    assert_eq!(
+        db.metrics().counter_value("query.executed") - executed_before,
+        (READERS * QUERIES_PER_READER) as u64
+    );
+    // The recorder saw traffic and its accounting is consistent: the
+    // buffer holds at most capacity events, all accepted ones counted.
+    let stats = db.recorder_stats();
+    assert!(stats.recorded > 0, "storm must have recorded events");
+    let summary =
+        rfv_obs::validate_chrome_trace(&db.trace_json()).expect("post-storm trace must validate");
+    assert!(summary.complete + summary.instant > 0);
+    assert!(
+        summary.complete + summary.instant <= stats.capacity,
+        "ring can never hold more than capacity events"
+    );
+}
+
 /// The cache-enabled storm: readers hammer cacheable SELECTs while the
 /// writer applies maintenance batches, with the result cache explicitly
 /// on (so this also runs on the `RFV_CACHE_BYTES=0` CI leg).
