@@ -1,0 +1,193 @@
+//! Self-validating benchmark of the durability layer: WAL ingest
+//! overhead and recovery (replay vs snapshot) latency.
+//!
+//! Workload: batched inserts into a dense `seq(pos, val)` carrying a
+//! cumulative materialized view, plus a sweep of sequence updates —
+//! every mutation is WAL-logged in durable mode. Cases:
+//!
+//! * **ingest/memory** — the in-memory engine, no durability;
+//! * **ingest/wal** — the same workload against `Database::open`
+//!   (per-record WAL appends; `RFV_FSYNC` honored if set);
+//! * **recover/replay** — reopening the directory with a full WAL and
+//!   no snapshot (every record replays through the engine);
+//! * **recover/snapshot** — reopening after `\persist compact`
+//!   (snapshot load, zero records replayed).
+//!
+//! ```sh
+//! cargo run -p rfv-bench --release --bin persist            # full size
+//! cargo run -p rfv-bench --release --bin persist -- --quick # CI smoke
+//! ```
+//!
+//! The run **fails** (exit 1) unless both recovery paths produce a
+//! database bit-identical (FNV-1a over `f64::to_bits`) to the
+//! never-closed durable database, and the snapshot path replays zero
+//! WAL records. Exports `BENCH_persist.json`.
+
+use std::path::PathBuf;
+
+use rfv_bench::harness::{percentile, sample_secs, samples_or, warmup_or, CaseStats, Report};
+use rfv_bench::random_values;
+use rfv_core::Database;
+
+const VIEW: &str = "CREATE MATERIALIZED VIEW mv_cum AS SELECT pos, SUM(val) OVER \
+                    (ORDER BY pos ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) \
+                    AS s FROM seq";
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfv-bench-persist-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run the ingest workload: batched inserts, then one update per 16th
+/// position (each update is an individually logged typed WAL record).
+fn ingest(db: &Database, values: &[f64]) {
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL)")
+        .expect("create");
+    db.execute(VIEW).expect("view");
+    for (start, chunk) in values.chunks(100).enumerate() {
+        let tuples: Vec<String> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("({}, {v:?})", start * 100 + i + 1))
+            .collect();
+        db.execute(&format!("INSERT INTO seq VALUES {}", tuples.join(", ")))
+            .expect("insert batch");
+    }
+    for pos in (1..=values.len() as i64).step_by(16) {
+        db.sequence_update("seq", pos, values[(pos - 1) as usize] * 0.5)
+            .expect("update");
+    }
+}
+
+/// Bit-exact fingerprint over the base table and the view body.
+fn fingerprint(db: &Database) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for table in ["seq", "mv_cum"] {
+        let r = db
+            .execute(&format!("SELECT pos, val FROM {table} ORDER BY pos"))
+            .expect("fingerprint query");
+        for row in r.rows() {
+            for i in 0..2 {
+                match row.get(i).as_f64() {
+                    Ok(Some(v)) => eat(v.to_bits()),
+                    Ok(None) => eat(u64::MAX),
+                    Err(_) => eat(u64::MAX - 1),
+                }
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2_000 } else { 10_000 };
+    let iters = samples_or(if quick { 5 } else { 9 });
+    let warmup = warmup_or(1);
+    let mut report = Report::new("persist", quick);
+    println!("persist — WAL ingest and recovery on seq(pos, val) + cumulative view, n = {n}\n");
+    let values = random_values(n, 42);
+
+    // In-memory ingest baseline.
+    let memory = sample_secs(iters, warmup, || {
+        let db = Database::new();
+        ingest(&db, &values);
+    });
+    let memory_p50 = percentile(&memory, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("ingest-memory/n={n}"),
+        &memory,
+        n as u64,
+    ));
+
+    // Durable ingest: every mutation appends a WAL record.
+    let wal = sample_secs(iters, warmup, || {
+        let dir = bench_dir("ingest");
+        let db = Database::open(&dir).expect("durable open");
+        ingest(&db, &values);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    let wal_p50 = percentile(&wal, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("ingest-wal/n={n}"),
+        &wal,
+        n as u64,
+    ));
+
+    // Fixture for the recovery cases: one durable database, closed clean.
+    let dir = bench_dir("recover");
+    let db = Database::open(&dir).expect("durable open");
+    ingest(&db, &values);
+    let fp_live = fingerprint(&db);
+    let records = db.persist_status().expect("durable").wal_records;
+    drop(db);
+
+    // Full-WAL replay (no snapshot on disk).
+    let replay = sample_secs(iters, warmup, || {
+        let db = Database::open(&dir).expect("reopen");
+        assert_eq!(fingerprint(&db), fp_live, "replay drifted");
+    });
+    let replay_p50 = percentile(&replay, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("recover-replay/n={n}"),
+        &replay,
+        n as u64,
+    ));
+
+    // Snapshot recovery: compact once, then reopens load the snapshot.
+    {
+        let db = Database::open(&dir).expect("reopen for compact");
+        db.persist_compact().expect("compact");
+    }
+    let mut snap_replayed = u64::MAX;
+    let snapshot = sample_secs(iters, warmup, || {
+        let db = Database::open(&dir).expect("reopen");
+        let status = db.persist_status().expect("durable");
+        snap_replayed = status.replayed;
+        assert_eq!(fingerprint(&db), fp_live, "snapshot recovery drifted");
+    });
+    let snapshot_p50 = percentile(&snapshot, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("recover-snapshot/n={n}"),
+        &snapshot,
+        n as u64,
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("| {:>18} | {:>11} |", "case", "p50");
+    println!("|{}|", "-".repeat(36));
+    for (case, p50) in [
+        ("ingest memory", memory_p50),
+        ("ingest wal", wal_p50),
+        ("recover replay", replay_p50),
+        ("recover snapshot", snapshot_p50),
+    ] {
+        println!("| {case:>18} | {:>9.3}ms |", p50 * 1e3);
+    }
+    println!(
+        "\nwal overhead: {:.2}x ingest; {records} records; snapshot recovery replays \
+         {snap_replayed} records vs {records} for full replay",
+        wal_p50 / memory_p50.max(1e-12)
+    );
+
+    // Self-validation: the snapshot path must actually skip the WAL.
+    if snap_replayed != 0 {
+        eprintln!("FAIL: snapshot recovery replayed {snap_replayed} records (want 0)");
+        std::process::exit(1);
+    }
+    match report.write_and_validate() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -54,6 +54,10 @@ meta commands (.name and \\name are equivalent):
                         JSON (open in Perfetto or chrome://tracing)
   \\threads [n]          show or cap the worker pool (0 = reset to
                         RFV_THREADS / hardware default)
+  \\persist status|snapshot|compact
+                        durable storage (RFV_DATA_DIR): WAL/recovery
+                        status, write a snapshot, or snapshot + rotate
+                        the WAL and prune old snapshots
   .quit                 exit
 anything else is executed as SQL (try EXPLAIN ANALYZE <query>), e.g.:
   CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL);
@@ -106,7 +110,34 @@ fn render_metrics(doc: &Json) -> String {
 }
 
 fn main() {
-    let db = Database::new();
+    // With RFV_DATA_DIR the shell opens the directory itself (stable
+    // path + crash recovery), instead of Database::new()'s fresh
+    // unique-subdirectory behavior.
+    let db = match std::env::var("RFV_DATA_DIR") {
+        Ok(dir) if !dir.is_empty() => match Database::open(&dir) {
+            Ok(db) => {
+                if let Some(s) = db.persist_status() {
+                    println!(
+                        "opened {} (lsn {}, {} records replayed{})",
+                        dir,
+                        s.last_lsn,
+                        s.replayed,
+                        if s.truncated_bytes > 0 {
+                            format!(", {} torn bytes truncated", s.truncated_bytes)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+                db
+            }
+            Err(e) => {
+                eprintln!("error: cannot open {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => Database::new(),
+    };
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     println!("rfv — reporting function views (ICDE 2002 reproduction)");
@@ -318,6 +349,41 @@ fn main() {
                         }
                     }
                 }
+                ".persist" => match parts.next().map(str::trim) {
+                    None | Some("") | Some("status") => match db.persist_status() {
+                        Some(s) => {
+                            println!("durable: {}", s.dir.display());
+                            println!(
+                                "  wal: lsn {} (base {}), {} records / {} bytes / \
+                                 {} fsyncs since open",
+                                s.last_lsn, s.base_lsn, s.wal_records, s.wal_bytes, s.wal_fsyncs
+                            );
+                            println!(
+                                "  snapshots: covering lsn {}, {} written since open",
+                                s.snapshot_lsn, s.snapshots_written
+                            );
+                            println!(
+                                "  recovery: snapshot loaded {}, {} records replayed, \
+                                 {} torn bytes truncated",
+                                s.snapshot_loaded, s.replayed, s.truncated_bytes
+                            );
+                        }
+                        None => println!("not durable — start with RFV_DATA_DIR=<dir>"),
+                    },
+                    Some("snapshot") => match db.persist_snapshot() {
+                        Ok(path) => println!("snapshot written to {}", path.display()),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    Some("compact") => match db.persist_compact() {
+                        Ok((path, removed)) => println!(
+                            "compacted: snapshot {} written, wal rotated, \
+                             {removed} old snapshots removed",
+                            path.display()
+                        ),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    Some(_) => println!("usage: \\persist status|snapshot|compact"),
+                },
                 ".threads" => match parts.next() {
                     None => println!("threads: {}", db.threads()),
                     Some(arg) => match arg.trim().parse::<usize>() {

@@ -20,7 +20,8 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, OnceLock};
 
 use rfv_exec::{ExecCounters, ExecProbe, WindowMode};
 use rfv_expr::AggFunc;
@@ -36,6 +37,7 @@ use crate::cache::{
     CacheCounters, CacheStats, PlanDep, PlanEntry, PlanKey, PlanOutcome, QueryCache, ResultKey,
     DEFAULT_CACHE_BYTES,
 };
+use crate::durability::{self, PersistStatus, Persistence, WalRecord};
 use crate::maintenance::{self, BatchOp, MaintBatch, MaintenanceStats};
 use crate::patterns::PatternVariant;
 use crate::rewrite::{RewriteOutcome, RewriteReport, Rewriter};
@@ -198,6 +200,8 @@ struct EngineCounters {
     maint_batch_fallback: Counter,
     view_created: Counter,
     view_snapshot_fallback: Counter,
+    wal_append: Counter,
+    wal_bytes: Counter,
     cache: CacheCounters,
 }
 
@@ -237,6 +241,8 @@ impl EngineCounters {
             maint_batch_fallback: metrics.counter("maintenance.batch_fallback"),
             view_created: metrics.counter("view.created"),
             view_snapshot_fallback: metrics.counter("view.snapshot_fallback"),
+            wal_append: metrics.counter("wal.appends"),
+            wal_bytes: metrics.counter("wal.bytes"),
             cache: CacheCounters::new(metrics),
         }
     }
@@ -305,6 +311,9 @@ pub struct Database {
     last_rewrite: Arc<RwLock<Option<Arc<RewriteReport>>>>,
     /// Phase-span trace of the most recently traced query.
     last_trace: Arc<RwLock<Option<Arc<QueryTrace>>>>,
+    /// Durable-storage handle; `None` keeps the engine purely in-memory.
+    /// Set once — *after* recovery replay, so replay is never re-logged.
+    persist: Arc<OnceLock<Arc<Persistence>>>,
 }
 
 impl Default for Database {
@@ -314,7 +323,98 @@ impl Default for Database {
 }
 
 impl Database {
+    /// A new engine. In-memory by default; when `RFV_DATA_DIR` is set,
+    /// the engine becomes durable in a **fresh unique subdirectory** of
+    /// it (`engine-<pid>-<n>`), so every engine in a test run gets its
+    /// own WAL without interference. Use [`Database::open`] to reopen an
+    /// existing data directory with recovery.
     pub fn new() -> Self {
+        let db = Self::build();
+        if let Some(dir) = std::env::var_os("RFV_DATA_DIR").filter(|v| !v.is_empty()) {
+            static ENGINE_SEQ: AtomicU64 = AtomicU64::new(0);
+            let sub = PathBuf::from(dir).join(format!(
+                "engine-{}-{}",
+                std::process::id(),
+                ENGINE_SEQ.fetch_add(1, AtomicOrdering::Relaxed)
+            ));
+            match Persistence::create(&sub) {
+                Ok(p) => {
+                    let _ = db.persist.set(Arc::new(p));
+                }
+                // A bad RFV_DATA_DIR degrades to in-memory rather than
+                // panicking construction paths that can't return errors;
+                // the warning keeps a misconfigured CI leg diagnosable.
+                Err(e) => eprintln!("rfv: RFV_DATA_DIR disabled: {e}"),
+            }
+        }
+        db
+    }
+
+    /// Open (or create) the durable database in `dir`, running crash
+    /// recovery: load the newest valid snapshot, replay the committed
+    /// WAL tail through the regular engine code paths, and only then
+    /// start logging. A torn or corrupt WAL tail is truncated, never
+    /// replayed and never a panic.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        let dir = dir.as_ref();
+        let db = Self::build();
+        let rec = event::recorder();
+        let total_start = rec.is_enabled().then(event::now_ns);
+        let recovered = Persistence::recover(dir)?;
+        let status = recovered.persistence.status();
+        if let Some(snap) = recovered.snapshot {
+            let span_start = rec.is_enabled().then(event::now_ns);
+            let n_tables = snap.tables.len();
+            for image in snap.tables {
+                db.catalog.register(image.restore()?)?;
+            }
+            for view in durability::decode_views(&snap.extension)? {
+                // The mirror table must have come back with the image
+                // set; a snapshot violating that is corrupt.
+                db.catalog.table(&view.name)?;
+                db.registry.restore(view)?;
+            }
+            if let Some(start) = span_start {
+                rec.complete_since(
+                    "recovery.snapshot",
+                    "recovery",
+                    start,
+                    Some(format!("lsn {}, {n_tables} tables", snap.lsn)),
+                );
+            }
+            db.metrics.counter("recovery.snapshot_loaded").incr();
+        }
+        let span_start = rec.is_enabled().then(event::now_ns);
+        for record in &recovered.tail {
+            db.apply_wal_record(record)?;
+        }
+        if let Some(start) = span_start {
+            rec.complete_since(
+                "recovery.replay",
+                "recovery",
+                start,
+                Some(format!("{} records", recovered.tail.len())),
+            );
+        }
+        db.metrics
+            .counter("recovery.replayed")
+            .add(recovered.tail.len() as u64);
+        db.metrics
+            .counter("recovery.truncated_bytes")
+            .add(status.truncated_bytes);
+        if let Some(start) = total_start {
+            rec.complete_since(
+                "recovery",
+                "recovery",
+                start,
+                Some(dir.display().to_string()),
+            );
+        }
+        let _ = db.persist.set(Arc::new(recovered.persistence));
+        Ok(db)
+    }
+
+    fn build() -> Self {
         let metrics = MetricsRegistry::new();
         let counters = EngineCounters::new(&metrics);
         let cache = Arc::new(QueryCache::new(
@@ -324,11 +424,13 @@ impl Database {
         let catalog = Catalog::new();
         let registry = ViewRegistry::new();
         let stmt_stats = StatementStats::new();
+        let persist: Arc<OnceLock<Arc<Persistence>>> = Arc::new(OnceLock::new());
         let systabs = systab::standard_providers(
             stmt_stats.clone(),
             catalog.clone(),
             registry.clone(),
             Arc::clone(&cache),
+            Arc::clone(&persist),
         );
         for provider in &systabs {
             catalog.register_virtual(provider);
@@ -356,7 +458,110 @@ impl Database {
             counters,
             last_rewrite: Arc::new(RwLock::new(None)),
             last_trace: Arc::new(RwLock::new(None)),
+            persist,
         }
+    }
+
+    /// The attached durability handle, if any.
+    fn persistence(&self) -> Option<Arc<Persistence>> {
+        self.persist.get().cloned()
+    }
+
+    /// Append one logical WAL record when durable (no-op otherwise).
+    fn wal_log(&self, persist: &Option<Arc<Persistence>>, rec: WalRecord) -> Result<()> {
+        if let Some(p) = persist {
+            let (_, bytes) = p.log(&rec)?;
+            self.counters.wal_append.incr();
+            self.counters.wal_bytes.add(bytes);
+        }
+        Ok(())
+    }
+
+    /// Redo one WAL record through the live engine code paths (recovery
+    /// replay — `persist` is not yet attached, so nothing is re-logged).
+    fn apply_wal_record(&self, rec: &WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Sql(text) => {
+                let stmt = parse_statement(text)?;
+                self.execute_statement(&stmt).map(|_| ())
+            }
+            WalRecord::InsertRows { table, rows } => {
+                self.insert_rows(table, rows.clone()).map(|_| ())
+            }
+            WalRecord::SeqUpdate { table, pos, val } => self.sequence_update(table, *pos, *val),
+            WalRecord::SeqInsert { table, pos, val } => self.sequence_insert(table, *pos, *val),
+            WalRecord::SeqDelete { table, pos } => self.sequence_delete(table, *pos),
+            WalRecord::Batch { table, ops } => {
+                let mut batch = MaintBatch::new();
+                for op in ops {
+                    batch.push(*op);
+                }
+                self.apply_batch(table, &batch).map(|_| ())
+            }
+            WalRecord::Refresh { table } => self.refresh_views(table),
+        }
+    }
+
+    /// Where this engine persists, if durable.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.persistence().map(|p| p.dir().to_path_buf())
+    }
+
+    /// Durability status (`None` for in-memory engines). Also queryable
+    /// as the `rfv_stat_wal` system table.
+    pub fn persist_status(&self) -> Option<PersistStatus> {
+        self.persistence().map(|p| p.status())
+    }
+
+    /// Write a point-in-time snapshot covering everything logged so far.
+    /// DML is frozen for the duration (the snapshot holds the commit
+    /// lock). Errors if the engine is not durable.
+    pub fn persist_snapshot(&self) -> Result<PathBuf> {
+        let p = self.require_persistence()?;
+        let _commit = p.commit_lock();
+        let (images, extension) = self.snapshot_images()?;
+        let path = p.write_snapshot(&images, &extension)?;
+        self.metrics.counter("snapshot.written").incr();
+        event::recorder().instant("snapshot.written", "recovery", None);
+        Ok(path)
+    }
+
+    /// Snapshot, rotate the WAL behind it, and prune older snapshots.
+    /// Returns the new snapshot path and how many old snapshot files
+    /// were removed.
+    pub fn persist_compact(&self) -> Result<(PathBuf, u64)> {
+        let p = self.require_persistence()?;
+        let _commit = p.commit_lock();
+        let (images, extension) = self.snapshot_images()?;
+        let out = p.compact(&images, &extension)?;
+        self.metrics.counter("snapshot.written").incr();
+        event::recorder().instant("snapshot.compact", "recovery", None);
+        Ok(out)
+    }
+
+    fn require_persistence(&self) -> Result<Arc<Persistence>> {
+        self.persistence().ok_or_else(|| {
+            RfvError::execution("engine is not durable — set RFV_DATA_DIR or use Database::open")
+        })
+    }
+
+    /// Image every real catalog table (mirrors included) plus the view
+    /// registry. Caller holds the commit lock, so the set is a
+    /// consistent cut.
+    fn snapshot_images(&self) -> Result<(Vec<rfv_storage::snapshot::TableImage>, Vec<u8>)> {
+        let mut images = Vec::new();
+        for name in self.catalog.table_names() {
+            let t = self.catalog.table(&name)?;
+            let guard = t.read();
+            images.push(rfv_storage::snapshot::TableImage::of(&guard));
+        }
+        let views: Vec<SequenceView> = self
+            .registry
+            .names()
+            .iter()
+            .filter_map(|n| self.registry.get(n))
+            .collect();
+        Ok((images, durability::encode_views(&views)))
     }
 
     /// The [`RewriteReport`] of the most recently planned query: per
@@ -815,6 +1020,8 @@ impl Database {
                 ))
             }
             ast::Statement::CreateTable { name, columns } => {
+                let persist = self.persistence();
+                let _commit = persist.as_ref().map(|p| p.commit_lock());
                 let fields = columns
                     .iter()
                     .map(|c| {
@@ -833,6 +1040,7 @@ impl Database {
                         table.write().create_index(i, IndexKind::Unique)?;
                     }
                 }
+                self.wal_log(&persist, WalRecord::Sql(stmt.to_string()))?;
                 Ok(QueryResult::empty())
             }
             ast::Statement::CreateIndex {
@@ -840,21 +1048,29 @@ impl Database {
                 column,
                 unique,
             } => {
+                let persist = self.persistence();
+                let _commit = persist.as_ref().map(|p| p.commit_lock());
                 let t = self.catalog.table(table)?;
-                let mut guard = t.write();
-                let idx = guard.schema().index_of(None, column)?;
-                guard.create_index(
-                    idx,
-                    if *unique {
-                        IndexKind::Unique
-                    } else {
-                        IndexKind::NonUnique
-                    },
-                )?;
+                {
+                    let mut guard = t.write();
+                    let idx = guard.schema().index_of(None, column)?;
+                    guard.create_index(
+                        idx,
+                        if *unique {
+                            IndexKind::Unique
+                        } else {
+                            IndexKind::NonUnique
+                        },
+                    )?;
+                }
+                self.wal_log(&persist, WalRecord::Sql(stmt.to_string()))?;
                 Ok(QueryResult::empty())
             }
             ast::Statement::CreateMaterializedView { name, query } => {
+                let persist = self.persistence();
+                let _commit = persist.as_ref().map(|p| p.commit_lock());
                 self.create_materialized_view(name, query)?;
+                self.wal_log(&persist, WalRecord::Sql(stmt.to_string()))?;
                 Ok(QueryResult::empty())
             }
             ast::Statement::Insert {
@@ -878,6 +1094,8 @@ impl Database {
                 Ok(QueryResult::command("DELETE", n))
             }
             ast::Statement::DropTable { name } => {
+                let persist = self.persistence();
+                let _commit = persist.as_ref().map(|p| p.commit_lock());
                 if !self.registry.views_for(name).is_empty() {
                     return Err(RfvError::catalog(format!(
                         "cannot drop `{name}`: materialized sequence views depend on it"
@@ -885,11 +1103,11 @@ impl Database {
                 }
                 if self.registry.get(name).is_some() {
                     self.registry.drop(&self.catalog, name)?;
-                    Ok(QueryResult::empty())
                 } else {
                     self.catalog.drop_table(name)?;
-                    Ok(QueryResult::empty())
                 }
+                self.wal_log(&persist, WalRecord::Sql(stmt.to_string()))?;
+                Ok(QueryResult::empty())
             }
         }
     }
@@ -1097,7 +1315,6 @@ impl Database {
                 .map(|c| schema.index_of(None, c))
                 .collect::<Result<_>>()?
         };
-        let dependents = self.registry.views_for(table);
         // Evaluate every tuple before touching the table: a multi-row
         // INSERT lands all-or-nothing.
         let mut rows: Vec<Row> = Vec::with_capacity(values.len());
@@ -1116,6 +1333,22 @@ impl Database {
             }
             rows.push(Row::new(row_values));
         }
+        self.insert_rows(table, rows)
+    }
+
+    /// Apply pre-evaluated rows to `table` (the post-expression half of
+    /// INSERT, and the WAL replay entry point — the log stores evaluated
+    /// rows, so replay is exact and never re-evaluates).
+    fn insert_rows(&self, table: &str, mut rows: Vec<Row>) -> Result<usize> {
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
+        let logged = persist.as_ref().map(|_| WalRecord::InsertRows {
+            table: table.to_string(),
+            rows: rows.clone(),
+        });
+        let t = self.catalog.table(table)?;
+        let schema = t.read().schema().clone();
+        let dependents = self.registry.views_for(table);
         let inserted = rows.len();
         if dependents.is_empty() {
             // One write lock for the whole statement, not one per row.
@@ -1181,6 +1414,9 @@ impl Database {
                 self.maintain_views_batch(table, &batch, raw_before)?;
             }
         }
+        if let Some(rec) = logged {
+            self.wal_log(&persist, rec)?;
+        }
         Ok(inserted)
     }
 
@@ -1206,6 +1442,8 @@ impl Database {
         assignments: &[(String, ast::Expr)],
         selection: Option<&ast::Expr>,
     ) -> Result<usize> {
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
         let has_partitioned = self.dml_view_guard(table)?;
         let t = self.catalog.table(table)?;
         let binder = Binder::new(&self.catalog);
@@ -1242,11 +1480,23 @@ impl Database {
         if has_partitioned {
             self.refresh_partitioned_views(table)?;
         }
+        if persist.is_some() {
+            // Log the statement form: assignments re-evaluate per row on
+            // replay, deterministically (parsed exprs round-trip exactly).
+            let stmt = ast::Statement::Update {
+                table: table.to_string(),
+                assignments: assignments.to_vec(),
+                selection: selection.cloned(),
+            };
+            self.wal_log(&persist, WalRecord::Sql(stmt.to_string()))?;
+        }
         Ok(updated)
     }
 
     /// `DELETE FROM table [WHERE …]`. Returns the number of deleted rows.
     pub fn delete(&self, table: &str, selection: Option<&ast::Expr>) -> Result<usize> {
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
         let has_partitioned = self.dml_view_guard(table)?;
         let t = self.catalog.table(table)?;
         let binder = Binder::new(&self.catalog);
@@ -1273,6 +1523,13 @@ impl Database {
         };
         if has_partitioned {
             self.refresh_partitioned_views(table)?;
+        }
+        if persist.is_some() {
+            let stmt = ast::Statement::Delete {
+                table: table.to_string(),
+                selection: selection.cloned(),
+            };
+            self.wal_log(&persist, WalRecord::Sql(stmt.to_string()))?;
         }
         Ok(deleted)
     }
@@ -1488,6 +1745,8 @@ impl Database {
     /// Update the raw value at position `pos` of sequence table `table`,
     /// incrementally maintaining all dependent views.
     pub fn sequence_update(&self, table: &str, pos: i64, val: f64) -> Result<()> {
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
         let t = self.catalog.table(table)?;
         let (pos_idx, val_idx) = self.sequence_columns(table)?;
         {
@@ -1506,12 +1765,22 @@ impl Database {
             new.set(val_idx, Value::Float(val));
             t.write().update(rid, new)?;
         }
-        self.maintain_views(table, MaintOp::Update { k: pos, val })
+        self.maintain_views(table, MaintOp::Update { k: pos, val })?;
+        self.wal_log(
+            &persist,
+            WalRecord::SeqUpdate {
+                table: table.to_string(),
+                pos,
+                val,
+            },
+        )
     }
 
     /// Insert a raw value *at* position `pos` (shifting later positions),
     /// incrementally maintaining all dependent views.
     pub fn sequence_insert(&self, table: &str, pos: i64, val: f64) -> Result<()> {
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
         let t = self.catalog.table(table)?;
         let (pos_idx, val_idx) = self.sequence_columns(table)?;
         {
@@ -1552,12 +1821,22 @@ impl Database {
             values[val_idx] = Value::Float(val);
             guard.insert(Row::new(values))?;
         }
-        self.maintain_views(table, MaintOp::Insert { k: pos, val })
+        self.maintain_views(table, MaintOp::Insert { k: pos, val })?;
+        self.wal_log(
+            &persist,
+            WalRecord::SeqInsert {
+                table: table.to_string(),
+                pos,
+                val,
+            },
+        )
     }
 
     /// Delete the raw value at position `pos` (shifting later positions),
     /// incrementally maintaining all dependent views.
     pub fn sequence_delete(&self, table: &str, pos: i64) -> Result<()> {
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
         let t = self.catalog.table(table)?;
         let (pos_idx, _) = self.sequence_columns(table)?;
         {
@@ -1589,7 +1868,14 @@ impl Database {
                 guard.update(rid, r)?;
             }
         }
-        self.maintain_views(table, MaintOp::Delete { k: pos })
+        self.maintain_views(table, MaintOp::Delete { k: pos })?;
+        self.wal_log(
+            &persist,
+            WalRecord::SeqDelete {
+                table: table.to_string(),
+                pos,
+            },
+        )
     }
 
     /// Append `vals` at the tail positions `n+1 ..= n+m` of sequence table
@@ -1626,6 +1912,8 @@ impl Database {
         if batch.is_empty() {
             return Ok(MaintenanceStats::default());
         }
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
         let t = self.catalog.table(table)?;
         let (pos_idx, val_idx) = self.sequence_columns(table)?;
         let views = self.registry.views_for(table);
@@ -1674,7 +1962,15 @@ impl Database {
             }
         }
 
-        self.maintain_views_batch(table, batch, raw_before)
+        let stats = self.maintain_views_batch(table, batch, raw_before)?;
+        self.wal_log(
+            &persist,
+            WalRecord::Batch {
+                table: table.to_string(),
+                ops: batch.ops().to_vec(),
+            },
+        )?;
+        Ok(stats)
     }
 
     /// Apply one batch op to the base table, `guard` already held. The
@@ -1930,6 +2226,8 @@ impl Database {
     /// rules against. Useful after bulk loads performed directly through
     /// the catalog.
     pub fn refresh_views(&self, table: &str) -> Result<()> {
+        let persist = self.persistence();
+        let _commit = persist.as_ref().map(|p| p.commit_lock());
         self.counters.maint_refresh.incr();
         self.refresh_partitioned_views(table)?;
         for view in self.registry.views_for(table) {
@@ -1955,7 +2253,12 @@ impl Database {
             };
             self.registry.refresh(&self.catalog, &view.name, data)?;
         }
-        Ok(())
+        self.wal_log(
+            &persist,
+            WalRecord::Refresh {
+                table: table.to_string(),
+            },
+        )
     }
 
     /// Rematerialize all §6 partitioned views over `table` from the

@@ -55,6 +55,7 @@
 pub mod cache;
 pub mod compute;
 pub mod derive;
+pub mod durability;
 pub mod engine;
 pub mod maintenance;
 pub mod patterns;
@@ -67,6 +68,7 @@ pub mod trace;
 pub mod view;
 
 pub use cache::{CacheStats, DEFAULT_CACHE_BYTES};
+pub use durability::PersistStatus;
 pub use engine::{Database, QueryResult};
 pub use maintenance::{BatchOp, MaintBatch, MaintenanceStats};
 pub use rewrite::{RewriteDecision, RewriteOutcome, RewriteReport, RewriteStrategy, Rewriter};

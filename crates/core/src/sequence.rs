@@ -417,6 +417,33 @@ impl CompleteMinMaxSequence {
         })
     }
 
+    /// Construct directly from stored values (e.g. read back from a
+    /// snapshot). `values` must cover positions `1−h ..= n+l`.
+    pub fn from_values(
+        l: i64,
+        h: i64,
+        n: i64,
+        max: bool,
+        values: Vec<Option<f64>>,
+    ) -> Result<Self> {
+        WindowSpec::sliding(l, h)?;
+        let expected = (n + l - (1 - h) + 1).max(0) as usize;
+        if values.len() != expected {
+            return Err(RfvError::derivation(format!(
+                "complete ({l},{h}) min/max sequence over n={n} needs {expected} \
+                 values, got {}",
+                values.len()
+            )));
+        }
+        Ok(CompleteMinMaxSequence {
+            l,
+            h,
+            n,
+            max,
+            values,
+        })
+    }
+
     pub fn l(&self) -> i64 {
         self.l
     }

@@ -1,6 +1,6 @@
 //! Virtual system statistics tables (`rfv_stat_*`).
 //!
-//! Five [`VirtualTable`] providers expose live engine telemetry as
+//! Six [`VirtualTable`] providers expose live engine telemetry as
 //! ordinary relations, so plain SQL — filters, joins, `ORDER BY`,
 //! `LIMIT` — works against statistics with zero binder/planner/executor
 //! changes:
@@ -12,6 +12,7 @@
 //! | `rfv_stat_views`      | materialized view  | [`ViewRegistry`]              |
 //! | `rfv_stat_cache`      | *(exactly one)*    | the two-level query cache     |
 //! | `rfv_stat_workers`    | pool worker thread | `rfv_exec::sched`             |
+//! | `rfv_stat_wal`        | *(exactly one)*    | [`crate::durability`]         |
 //!
 //! Each lookup materializes a fresh point-in-time snapshot (see
 //! [`Catalog::register_virtual`]); the snapshot is marked virtual so the
@@ -23,12 +24,13 @@
 //! providers are owned by the engine and held weakly by the catalog, so
 //! dropping the engine retires its system tables.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rfv_storage::{Catalog, VirtualTable};
 use rfv_types::{row, DataType, Field, Result, Row, Schema, Value};
 
 use crate::cache::QueryCache;
+use crate::durability::Persistence;
 use crate::sequence::WindowSpec;
 use crate::stats::StatementStats;
 use crate::view::ViewRegistry;
@@ -285,6 +287,79 @@ impl VirtualTable for StatWorkers {
     }
 }
 
+/// Exactly one row: WAL / snapshot / recovery state of this engine.
+/// All-zero (durable = FALSE) for in-memory engines; the persistence
+/// handle is attached after recovery, hence the shared `OnceLock`.
+pub struct StatWal {
+    persist: Arc<OnceLock<Arc<Persistence>>>,
+}
+
+impl StatWal {
+    pub(crate) fn new(persist: Arc<OnceLock<Arc<Persistence>>>) -> Self {
+        StatWal { persist }
+    }
+}
+
+impl VirtualTable for StatWal {
+    fn name(&self) -> &str {
+        "rfv_stat_wal"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::not_null("durable", DataType::Bool),
+            Field::not_null("data_dir", DataType::Str),
+            Field::not_null("base_lsn", DataType::Int),
+            Field::not_null("last_lsn", DataType::Int),
+            Field::not_null("snapshot_lsn", DataType::Int),
+            Field::not_null("wal_records", DataType::Int),
+            Field::not_null("wal_bytes", DataType::Int),
+            Field::not_null("wal_fsyncs", DataType::Int),
+            Field::not_null("snapshots_written", DataType::Int),
+            Field::not_null("snapshot_loaded", DataType::Bool),
+            Field::not_null("replayed", DataType::Int),
+            Field::not_null("truncated_bytes", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> Result<Vec<Row>> {
+        let row = match self.persist.get() {
+            Some(p) => {
+                let s = p.status();
+                Row::new(vec![
+                    Value::Bool(true),
+                    Value::from(s.dir.display().to_string()),
+                    Value::Int(big(s.base_lsn)),
+                    Value::Int(big(s.last_lsn)),
+                    Value::Int(big(s.snapshot_lsn)),
+                    Value::Int(big(s.wal_records)),
+                    Value::Int(big(s.wal_bytes)),
+                    Value::Int(big(s.wal_fsyncs)),
+                    Value::Int(big(s.snapshots_written)),
+                    Value::Bool(s.snapshot_loaded),
+                    Value::Int(big(s.replayed)),
+                    Value::Int(big(s.truncated_bytes)),
+                ])
+            }
+            None => Row::new(vec![
+                Value::Bool(false),
+                Value::from(""),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Bool(false),
+                Value::Int(0),
+                Value::Int(0),
+            ]),
+        };
+        Ok(vec![row])
+    }
+}
+
 /// Build the standard provider set for one engine. The returned `Arc`s
 /// are the **owning** references (the catalog only holds weak ones) —
 /// the engine must keep them alive for the names to resolve.
@@ -293,6 +368,7 @@ pub(crate) fn standard_providers(
     catalog: Catalog,
     registry: ViewRegistry,
     cache: Arc<QueryCache>,
+    persist: Arc<OnceLock<Arc<Persistence>>>,
 ) -> Vec<Arc<dyn VirtualTable>> {
     vec![
         Arc::new(StatStatements::new(stats)),
@@ -300,6 +376,7 @@ pub(crate) fn standard_providers(
         Arc::new(StatViews::new(registry)),
         Arc::new(StatCache::new(cache)),
         Arc::new(StatWorkers),
+        Arc::new(StatWal::new(persist)),
     ]
 }
 
@@ -330,6 +407,7 @@ mod tests {
                 0,
                 crate::cache::CacheCounters::new(&rfv_obs::MetricsRegistry::new()),
             )),
+            Arc::new(OnceLock::new()),
         );
         let names: Vec<&str> = providers.iter().map(|p| p.name()).collect();
         assert_eq!(
@@ -340,6 +418,7 @@ mod tests {
                 "rfv_stat_views",
                 "rfv_stat_cache",
                 "rfv_stat_workers",
+                "rfv_stat_wal",
             ]
         );
         for p in &providers {

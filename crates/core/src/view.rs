@@ -177,6 +177,35 @@ impl ViewRegistry {
         Ok(())
     }
 
+    /// Re-attach a view whose mirror table already exists in the catalog —
+    /// the snapshot-recovery path, where table images (mirrors included)
+    /// are restored wholesale and only the in-memory sequence metadata is
+    /// missing. Performs the same consistency checks as [`register`]
+    /// (`Self::register`) but never touches the catalog.
+    pub fn restore(&self, view: SequenceView) -> Result<()> {
+        if self
+            .views
+            .read()
+            .iter()
+            .any(|v| v.name.eq_ignore_ascii_case(&view.name))
+        {
+            return Err(RfvError::catalog(format!(
+                "sequence view `{}` already registered",
+                view.name
+            )));
+        }
+        if view.is_partitioned() == view.partition_columns.is_empty()
+            || view.partition_columns.len() != view.partition_types.len()
+        {
+            return Err(RfvError::internal(
+                "partitioned view data requires matching partition columns/types",
+            ));
+        }
+        self.views.write().push(view);
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
     /// All views over `base_table`.
     pub fn views_for(&self, base_table: &str) -> Vec<SequenceView> {
         self.views

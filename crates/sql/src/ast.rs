@@ -423,10 +423,16 @@ impl fmt::Display for Literal {
         match self {
             Literal::Int(i) => write!(f, "{i}"),
             Literal::Float(v) => {
-                if v.fract() == 0.0 && v.abs() < 1e15 {
-                    write!(f, "{v:.1}")
+                // `{v}` is Rust's shortest exact representation, but for
+                // integral values ≥ 1e15 it prints no decimal point, so a
+                // re-lex would yield an Int token (or overflow i64). Keep
+                // a `.0` suffix so the text always lexes back as a Float
+                // with identical bits.
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') || v.is_nan() || v.is_infinite() {
+                    write!(f, "{s}")
                 } else {
-                    write!(f, "{v}")
+                    write!(f, "{s}.0")
                 }
             }
             Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),

@@ -256,9 +256,10 @@ impl<'a> Lexer<'a> {
         {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("word bytes are ASCII")
-            .to_string();
+        // The loop above only accepts ASCII alphanumerics and `_`, so the
+        // slice is valid UTF-8 by construction; lossy conversion keeps
+        // this panic-free even if that invariant ever drifts.
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         match Keyword::from_str(&text) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(text),

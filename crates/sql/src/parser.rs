@@ -45,13 +45,23 @@ pub fn parse_expression(sql: &str) -> Result<Expr> {
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
+
+/// Expression nesting bound. Recursive descent consumes native stack per
+/// nesting level, so adversarial input like `((((…1` would otherwise
+/// abort with a stack overflow instead of returning a parse error. One
+/// level costs ~20 KB of stack in debug builds (the whole precedence
+/// chain of frames), so 40 levels stay safe even on a 1 MB test thread
+/// while remaining far deeper than any real query nests.
+const MAX_EXPR_DEPTH: usize = 40;
 
 impl Parser {
     pub fn new(sql: &str) -> Result<Self> {
         Ok(Parser {
             tokens: Lexer::new(sql).tokenize()?,
             pos: 0,
+            depth: 0,
         })
     }
 
@@ -549,8 +559,27 @@ impl Parser {
     // Precedence (low → high): OR, AND, NOT, {comparison, IS, IN, BETWEEN},
     // {+,-}, {*,/,%}, unary minus, primary.
 
+    /// Run one self-recursive expression production with the nesting
+    /// bound enforced. Applied at every production that can consume
+    /// unbounded stack: `parse_expr` re-entry (parens, function args,
+    /// IN lists) and the prefix chains in `parse_not`/`parse_unary`.
+    fn nested<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            let t = self.peek();
+            return Err(RfvError::parse(
+                format!("expression nests deeper than {MAX_EXPR_DEPTH} levels"),
+                t.line,
+                t.column,
+            ));
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
+    }
+
     pub fn parse_expr(&mut self) -> Result<Expr> {
-        self.parse_or()
+        self.nested(Self::parse_or)
     }
 
     fn parse_or(&mut self) -> Result<Expr> {
@@ -581,7 +610,7 @@ impl Parser {
 
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat_kw(Keyword::Not) {
-            let inner = self.parse_not()?;
+            let inner = self.nested(Self::parse_not)?;
             Ok(Expr::Unary {
                 negated: false,
                 not: true,
@@ -713,7 +742,7 @@ impl Parser {
                     return Ok(Expr::Literal(Literal::Float(-v)));
                 }
                 _ => {
-                    let inner = self.parse_unary()?;
+                    let inner = self.nested(Self::parse_unary)?;
                     return Ok(Expr::Unary {
                         negated: true,
                         not: false,

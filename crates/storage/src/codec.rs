@@ -1,0 +1,340 @@
+//! Binary encoding shared by the write-ahead log and snapshots.
+//!
+//! Hand-rolled (the workspace is dependency-free) and deliberately dumb:
+//! little-endian fixed-width integers, length-prefixed byte strings, and
+//! one tag byte per [`Value`] variant. Floats are encoded as their exact
+//! IEEE-754 bit patterns — recovery must reproduce Kahan-compensated
+//! view bodies bit for bit, so no text round-trip is ever involved.
+//!
+//! Every decode is bounds-checked and returns [`RfvError`]; a torn or
+//! corrupt input can never panic the engine.
+
+use rfv_types::{DataType, Field, Result, RfvError, Row, Schema, Value};
+
+/// CRC-32 (ISO-HDLC polynomial, reflected — the same parameters as zlib).
+/// Table-driven, built on first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// -- writers ----------------------------------------------------------------
+
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Exact bit pattern — never a decimal round-trip.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(out, 0),
+        Value::Bool(b) => {
+            put_u8(out, 1);
+            put_u8(out, *b as u8);
+        }
+        Value::Int(i) => {
+            put_u8(out, 2);
+            put_i64(out, *i);
+        }
+        Value::Float(f) => {
+            put_u8(out, 3);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            put_u8(out, 4);
+            put_str(out, s);
+        }
+        Value::Date(d) => {
+            put_u8(out, 5);
+            put_i64(out, *d as i64);
+        }
+    }
+}
+
+pub fn put_row(out: &mut Vec<u8>, row: &Row) {
+    put_u32(out, row.len() as u32);
+    for v in row.values() {
+        put_value(out, v);
+    }
+}
+
+fn data_type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+        DataType::Date => 4,
+    }
+}
+
+pub fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.len() as u32);
+    for f in schema.fields() {
+        put_str(out, &f.name);
+        put_u8(out, data_type_tag(f.data_type));
+        put_u8(out, f.nullable as u8);
+        match &f.qualifier {
+            Some(q) => {
+                put_u8(out, 1);
+                put_str(out, q);
+            }
+            None => put_u8(out, 0),
+        }
+    }
+}
+
+// -- reader -----------------------------------------------------------------
+
+/// Bounds-checked cursor over an encoded buffer. Every read either
+/// advances or returns a decode error — out-of-range input is an error,
+/// never a panic.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn bad(what: &str) -> RfvError {
+    RfvError::internal(format!("corrupt encoded record: {what}"))
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(bad("truncated input"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        // A corrupt length must not trigger a huge allocation: the
+        // payload can't be longer than the buffer that claims it.
+        if len > self.remaining() {
+            return Err(bad("byte string longer than its buffer"));
+        }
+        self.take(len)
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+    }
+
+    pub fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::from(self.str()?),
+            5 => {
+                let d = self.i64()?;
+                let d = i32::try_from(d).map_err(|_| bad("date out of range"))?;
+                Value::Date(d)
+            }
+            t => return Err(bad(&format!("unknown value tag {t}"))),
+        })
+    }
+
+    pub fn row(&mut self) -> Result<Row> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(bad("row wider than its buffer"));
+        }
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(self.value()?);
+        }
+        Ok(Row::new(values))
+    }
+
+    pub fn schema(&mut self) -> Result<Schema> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(bad("schema wider than its buffer"));
+        }
+        let mut fields = Vec::with_capacity(len);
+        for _ in 0..len {
+            let name = self.str()?;
+            let dt = match self.u8()? {
+                0 => DataType::Bool,
+                1 => DataType::Int,
+                2 => DataType::Float,
+                3 => DataType::Str,
+                4 => DataType::Date,
+                t => return Err(bad(&format!("unknown data-type tag {t}"))),
+            };
+            let nullable = self.u8()? != 0;
+            let qualifier = match self.u8()? {
+                0 => None,
+                _ => Some(self.str()?),
+            };
+            fields.push(Field {
+                name,
+                data_type: dt,
+                nullable,
+                qualifier,
+            });
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn values_round_trip_bit_exact() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Float(0.1 + 0.2), // not representable exactly in decimal
+            Value::Float(-0.0),
+            Value::from("héllo 'quoted'"),
+            Value::Date(-719162),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for v in &vals {
+            let got = r.value().unwrap();
+            match (v, &got) {
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(v, &got),
+            }
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rows_and_schemas_round_trip() {
+        let schema = Schema::new(vec![
+            Field::not_null("pos", DataType::Int),
+            Field::new("val", DataType::Float),
+        ]);
+        let row = Row::new(vec![Value::Int(3), Value::Float(1.5)]);
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &schema);
+        put_row(&mut buf, &row);
+        let mut r = Reader::new(&buf);
+        let s2 = r.schema().unwrap();
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2.field(0).name, "pos");
+        assert!(!s2.field(0).nullable);
+        assert_eq!(s2.field(1).data_type, DataType::Float);
+        assert_eq!(r.row().unwrap(), row);
+    }
+
+    #[test]
+    fn corrupt_input_errors_never_panics() {
+        // Truncated at every prefix length of a valid encoding.
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::from("hello"));
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.value().is_err(), "prefix of {cut} bytes must error");
+        }
+        // A length prefix claiming more than the buffer holds.
+        let mut huge = Vec::new();
+        put_u8(&mut huge, 4);
+        put_u32(&mut huge, u32::MAX);
+        assert!(Reader::new(&huge).value().is_err());
+        // Unknown tags.
+        assert!(Reader::new(&[9u8]).value().is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic crash injection for durability code.
+//!
+//! A test *arms* a named kill-point with a countdown; when durable-write
+//! code *hits* that point for the `countdown`-th time, the process enters
+//! a simulated-crash state: the hit (and every durable operation after
+//! it) fails with a `simulated crash` error, exactly as if the process
+//! had died mid-write. The WAL additionally asks for a *torn budget* at
+//! its append point, so a crash can land halfway through a record.
+//!
+//! The state is process-global (durable writes happen deep inside the
+//! storage layer, far from any test handle), so tests that arm faults
+//! must serialize on a lock of their own. Everything here is a no-op
+//! when nothing is armed — the hot path is one relaxed atomic load.
+//!
+//! Kill-point names used by this crate:
+//!
+//! | point                    | crash lands…                                |
+//! |--------------------------|---------------------------------------------|
+//! | `wal.append`             | mid-record (first *torn budget* bytes hit disk) |
+//! | `wal.after_append`       | record fully on disk, before the ack        |
+//! | `wal.before_fsync`       | before the (gated) fsync                    |
+//! | `snapshot.mid_write`     | halfway through the snapshot temp file      |
+//! | `snapshot.before_rename` | temp file complete, not yet renamed         |
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use rfv_types::{Result, RfvError};
+
+#[derive(Debug, Clone)]
+struct Armed {
+    /// Fires on the `countdown`-th hit (1 = the next one).
+    countdown: u32,
+    /// For `wal.append`: how many payload bytes land before the crash.
+    torn_bytes: usize,
+}
+
+struct FaultState {
+    armed: Mutex<HashMap<String, Armed>>,
+    /// Anything armed at all? Checked lock-free on every hit.
+    any_armed: AtomicBool,
+    /// Once a kill-point fires, every durable write fails until reset.
+    crashed: AtomicBool,
+}
+
+fn state() -> &'static FaultState {
+    static STATE: OnceLock<FaultState> = OnceLock::new();
+    STATE.get_or_init(|| FaultState {
+        armed: Mutex::new(HashMap::new()),
+        any_armed: AtomicBool::new(false),
+        crashed: AtomicBool::new(false),
+    })
+}
+
+/// The error every simulated crash surfaces as. Tests match on this
+/// marker to tell injected crashes from real failures.
+pub const CRASH_MARKER: &str = "simulated crash";
+
+fn crash_error(point: &str) -> RfvError {
+    RfvError::execution(format!("{CRASH_MARKER} at {point}"))
+}
+
+/// Arm `point` to fire on its `countdown`-th hit (1 = next hit).
+/// `torn_bytes` only matters for `wal.append`, where it bounds how much
+/// of the record reaches disk before the simulated crash.
+pub fn arm(point: &str, countdown: u32, torn_bytes: usize) {
+    let s = state();
+    s.armed
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(
+            point.to_string(),
+            Armed {
+                countdown: countdown.max(1),
+                torn_bytes,
+            },
+        );
+    s.any_armed.store(true, Ordering::Release);
+}
+
+/// Disarm everything and clear the crashed state.
+pub fn reset() {
+    let s = state();
+    s.armed
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+    s.any_armed.store(false, Ordering::Release);
+    s.crashed.store(false, Ordering::Release);
+}
+
+/// Whether a simulated crash has fired since the last [`reset`].
+pub fn crashed() -> bool {
+    state().crashed.load(Ordering::Acquire)
+}
+
+/// Called by durable-write code at kill-point `point`. Returns `Err`
+/// when the point fires now (or already fired); `Ok(())` otherwise.
+pub fn hit(point: &str) -> Result<()> {
+    let s = state();
+    if s.crashed.load(Ordering::Acquire) {
+        return Err(crash_error(point));
+    }
+    if !s.any_armed.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let mut armed = s.armed.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(a) = armed.get_mut(point) {
+        a.countdown -= 1;
+        if a.countdown == 0 {
+            armed.remove(point);
+            s.crashed.store(true, Ordering::Release);
+            return Err(crash_error(point));
+        }
+    }
+    Ok(())
+}
+
+/// Torn-write probe for `wal.append`: when the point fires on this hit,
+/// returns `Some(bytes_that_land)` and enters the crashed state; the
+/// caller writes that prefix and then fails. `None` means write normally
+/// (but the countdown still advanced).
+pub fn torn_budget(point: &str) -> Option<usize> {
+    let s = state();
+    if !s.any_armed.load(Ordering::Acquire) || s.crashed.load(Ordering::Acquire) {
+        return None;
+    }
+    let mut armed = s.armed.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = armed.get_mut(point)?;
+    a.countdown -= 1;
+    if a.countdown == 0 {
+        let budget = a.torn_bytes;
+        armed.remove(point);
+        s.crashed.store(true, Ordering::Release);
+        Some(budget)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Fault state is process-global; these tests must not interleave.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn countdown_fires_once_then_poisons_everything() {
+        let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        arm("wal.after_append", 3, 0);
+        assert!(hit("wal.after_append").is_ok());
+        assert!(hit("other.point").is_ok(), "unarmed points pass");
+        assert!(hit("wal.after_append").is_ok());
+        let err = hit("wal.after_append").unwrap_err();
+        assert!(err.to_string().contains(CRASH_MARKER), "{err}");
+        assert!(crashed());
+        // After the crash, *every* point fails until reset.
+        assert!(hit("other.point").is_err());
+        reset();
+        assert!(hit("wal.after_append").is_ok());
+        assert!(!crashed());
+    }
+
+    #[test]
+    fn torn_budget_reports_partial_length() {
+        let _g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        arm("wal.append", 2, 7);
+        assert_eq!(torn_budget("wal.append"), None);
+        assert_eq!(torn_budget("wal.append"), Some(7));
+        assert!(crashed());
+        reset();
+    }
+}

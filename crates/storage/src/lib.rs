@@ -6,6 +6,17 @@
 //! so indexes here support exact lookups and range scans with the same
 //! asymptotics (`O(log n + k)`).
 
+//!
+//! PR 9 adds the durability substrate: a CRC-checksummed write-ahead
+//! log ([`wal`]), atomic point-in-time snapshots ([`snapshot`]), the
+//! binary codec they share ([`codec`]), and a deterministic
+//! fault-injection harness ([`fault`]) for crash-recovery testing.
+
+pub mod codec;
+pub mod fault;
+pub mod snapshot;
+pub mod wal;
+
 mod catalog;
 mod index;
 mod table;

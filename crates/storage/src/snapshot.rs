@@ -1,0 +1,359 @@
+//! Point-in-time snapshots: full catalog images, atomically published.
+//!
+//! A snapshot is one file, `snapshot-<lsn>.rfs`, holding every real
+//! table verbatim — schema, **all slots including tombstones** (row ids
+//! and scan order must survive recovery bit for bit), and index
+//! definitions — plus an opaque *extension* blob the engine layer uses
+//! for the materialized-view registry (whose float bodies must also
+//! survive exactly; the storage crate never interprets it).
+//!
+//! Layout:
+//!
+//! ```text
+//! [magic "RFVSNAP1" 8B] [version u32] [lsn u64]
+//! [table count u32] [table images …]
+//! [extension bytes (length-prefixed)]
+//! [crc32 of everything above, u32] [magic again, as an end marker]
+//! ```
+//!
+//! Writing goes through a temp file in the same directory, `fsync`, then
+//! an atomic `rename` into place: readers only ever see absent or
+//! complete snapshots. A crash mid-write leaves a `*.tmp` file that
+//! recovery ignores (and cleans up); a crash before the rename leaves
+//! the previous snapshot in force. [`latest_valid`] walks candidates
+//! newest-first and skips any file whose checksum doesn't verify.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use rfv_types::{Result, RfvError, Row, Schema};
+
+use crate::codec::{self, crc32, Reader};
+use crate::fault;
+use crate::table::Table;
+use crate::IndexKind;
+
+const MAGIC: &[u8; 8] = b"RFVSNAP1";
+const VERSION: u32 = 1;
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> RfvError {
+    RfvError::execution(format!("snapshot: cannot {what} {}: {e}", path.display()))
+}
+
+/// A serializable image of one table, exact down to tombstoned slots.
+pub struct TableImage {
+    pub name: String,
+    pub schema: Schema,
+    pub slots: Vec<Option<Row>>,
+    pub indexes: Vec<(usize, IndexKind)>,
+}
+
+impl TableImage {
+    /// Capture `table` verbatim.
+    pub fn of(table: &Table) -> TableImage {
+        TableImage {
+            name: table.name().to_string(),
+            schema: table.schema().as_ref().clone(),
+            slots: table.slots().to_vec(),
+            indexes: table.index_defs(),
+        }
+    }
+
+    /// Rebuild a live [`Table`] from this image (indexes are rebuilt
+    /// from the slot data; the generation restarts at zero — a recovered
+    /// engine has no caches to invalidate).
+    pub fn restore(self) -> Result<Table> {
+        Table::from_parts(self.name, self.schema, self.slots, &self.indexes)
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_str(out, &self.name);
+        codec::put_schema(out, &self.schema);
+        codec::put_u32(out, self.slots.len() as u32);
+        for slot in &self.slots {
+            match slot {
+                Some(row) => {
+                    codec::put_u8(out, 1);
+                    codec::put_row(out, row);
+                }
+                None => codec::put_u8(out, 0),
+            }
+        }
+        codec::put_u32(out, self.indexes.len() as u32);
+        for (col, kind) in &self.indexes {
+            codec::put_u32(out, *col as u32);
+            codec::put_u8(out, matches!(kind, IndexKind::Unique) as u8);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<TableImage> {
+        let name = r.str()?;
+        let schema = r.schema()?;
+        let slot_count = r.u32()? as usize;
+        if slot_count > r.remaining() {
+            return Err(RfvError::internal(
+                "corrupt snapshot: more slots than bytes",
+            ));
+        }
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            slots.push(match r.u8()? {
+                0 => None,
+                _ => Some(r.row()?),
+            });
+        }
+        let index_count = r.u32()? as usize;
+        if index_count > r.remaining() {
+            return Err(RfvError::internal(
+                "corrupt snapshot: more indexes than bytes",
+            ));
+        }
+        let mut indexes = Vec::with_capacity(index_count);
+        for _ in 0..index_count {
+            let col = r.u32()? as usize;
+            let kind = if r.u8()? != 0 {
+                IndexKind::Unique
+            } else {
+                IndexKind::NonUnique
+            };
+            indexes.push((col, kind));
+        }
+        Ok(TableImage {
+            name,
+            schema,
+            slots,
+            indexes,
+        })
+    }
+}
+
+/// A decoded snapshot: the LSN it covers, every table image, and the
+/// engine-layer extension blob.
+pub struct Snapshot {
+    pub lsn: u64,
+    pub tables: Vec<TableImage>,
+    pub extension: Vec<u8>,
+}
+
+/// The canonical file name for a snapshot at `lsn` (zero-padded so the
+/// lexicographic order is the LSN order).
+pub fn file_name(lsn: u64) -> String {
+    format!("snapshot-{lsn:020}.rfs")
+}
+
+/// Write a snapshot into `dir`, atomically. Returns the final path.
+pub fn write(dir: &Path, lsn: u64, tables: &[TableImage], extension: &[u8]) -> Result<PathBuf> {
+    let mut body = Vec::new();
+    body.extend_from_slice(MAGIC);
+    body.extend_from_slice(&VERSION.to_le_bytes());
+    body.extend_from_slice(&lsn.to_le_bytes());
+    codec::put_u32(&mut body, tables.len() as u32);
+    for t in tables {
+        t.encode(&mut body);
+    }
+    codec::put_bytes(&mut body, extension);
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body.extend_from_slice(MAGIC);
+
+    let final_path = dir.join(file_name(lsn));
+    let tmp_path = dir.join(format!("{}.tmp", file_name(lsn)));
+    {
+        let mut file = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
+        // Mid-write kill-point: flush a partial prefix, then "crash".
+        if fault::hit("snapshot.mid_write").is_err() {
+            let half = body.len() / 2;
+            let _ = file.write_all(&body[..half]);
+            let _ = file.sync_all();
+            return Err(RfvError::execution(format!(
+                "{} at snapshot.mid_write",
+                fault::CRASH_MARKER
+            )));
+        }
+        file.write_all(&body)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("write", &tmp_path, e))?;
+    }
+    fault::hit("snapshot.before_rename")?;
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err("publish", &final_path, e))?;
+    Ok(final_path)
+}
+
+/// Read and fully validate one snapshot file.
+pub fn read(path: &Path) -> Result<Snapshot> {
+    let mut buf = Vec::new();
+    OpenOptions::new()
+        .read(true)
+        .open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| io_err("read", path, e))?;
+    // header + crc + end marker at minimum
+    if buf.len() < 8 + 4 + 8 + 4 + 4 + 8 || &buf[..8] != MAGIC || &buf[buf.len() - 8..] != MAGIC {
+        return Err(RfvError::execution(format!(
+            "snapshot: {} is incomplete or not a snapshot file",
+            path.display()
+        )));
+    }
+    let body_end = buf.len() - 12;
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&buf[body_end..body_end + 4]);
+    if crc32(&buf[..body_end]) != u32::from_le_bytes(crc_bytes) {
+        return Err(RfvError::execution(format!(
+            "snapshot: {} fails its checksum",
+            path.display()
+        )));
+    }
+    let mut r = Reader::new(&buf[8..body_end]);
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(RfvError::execution(format!(
+            "snapshot: {} has unsupported version {version}",
+            path.display()
+        )));
+    }
+    let lsn = r.u64()?;
+    let table_count = r.u32()? as usize;
+    if table_count > r.remaining() {
+        return Err(RfvError::internal(
+            "corrupt snapshot: more tables than bytes",
+        ));
+    }
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        tables.push(TableImage::decode(&mut r)?);
+    }
+    let extension = r.bytes()?.to_vec();
+    Ok(Snapshot {
+        lsn,
+        tables,
+        extension,
+    })
+}
+
+/// All snapshot files in `dir`, newest (highest LSN) first.
+pub fn candidates(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("snapshot-") && n.ends_with(".rfs"))
+        .collect();
+    names.sort();
+    names.reverse();
+    names.into_iter().map(|n| dir.join(n)).collect()
+}
+
+/// The newest snapshot in `dir` that fully validates, if any. Corrupt
+/// or half-written candidates are skipped, and stray `*.tmp` files from
+/// a crash mid-write are removed.
+pub fn latest_valid(dir: &Path) -> Option<Snapshot> {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.filter_map(|e| e.ok()) {
+            if e.file_name().to_string_lossy().ends_with(".tmp") {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+    candidates(dir).into_iter().find_map(|p| read(&p).ok())
+}
+
+/// Delete every snapshot older than `keep_lsn`. Returns how many files
+/// were removed.
+pub fn prune(dir: &Path, keep_lsn: u64) -> u64 {
+    let mut removed = 0;
+    for p in candidates(dir) {
+        let keep = read(&p).map(|s| s.lsn >= keep_lsn).unwrap_or(false);
+        if !keep && std::fs::remove_file(&p).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::{row, DataType, Field, Value};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rfv-snap-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::not_null("pos", DataType::Int),
+            Field::new("val", DataType::Float),
+        ]);
+        let mut t = Table::new("seq", schema);
+        t.create_index(0, IndexKind::Unique).unwrap();
+        t.insert(row![1i64, 0.1 + 0.2]).unwrap();
+        t.insert(row![2i64, 20.0]).unwrap();
+        t.insert(row![3i64, 30.0]).unwrap();
+        t.delete(1).unwrap(); // tombstone in the middle
+        t
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_slots_and_indexes() {
+        let dir = tmp_dir("roundtrip");
+        let t = sample_table();
+        let path = write(&dir, 42, &[TableImage::of(&t)], b"ext-blob").unwrap();
+        assert!(path.ends_with(file_name(42)));
+        let snap = read(&path).unwrap();
+        assert_eq!(snap.lsn, 42);
+        assert_eq!(snap.extension, b"ext-blob".to_vec());
+        let restored = snap.tables.into_iter().next().unwrap().restore().unwrap();
+        assert_eq!(restored.name(), "seq");
+        assert_eq!(restored.stats().row_count, 2);
+        assert_eq!(restored.stats().slot_count, 3, "tombstone preserved");
+        assert!(restored.get(1).is_none(), "deleted rid stays deleted");
+        // Row ids and float bits survive exactly.
+        let v = restored.get(0).unwrap().get(1);
+        assert_eq!(v, &Value::Float(0.1 + 0.2));
+        assert_eq!(restored.index_lookup(0, &Value::Int(3)).unwrap(), vec![2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_valid_skips_corrupt_and_cleans_tmp() {
+        let dir = tmp_dir("corrupt");
+        let t = sample_table();
+        write(&dir, 10, &[TableImage::of(&t)], b"old").unwrap();
+        let newest = write(&dir, 20, &[TableImage::of(&t)], b"new").unwrap();
+        // Corrupt the newest: flip a byte in the middle.
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        // Leave a stray tmp file like a crash mid-write would.
+        std::fs::write(dir.join("snapshot-x.rfs.tmp"), b"junk").unwrap();
+        let snap = latest_valid(&dir).expect("older valid snapshot found");
+        assert_eq!(snap.lsn, 10);
+        assert_eq!(snap.extension, b"old".to_vec());
+        assert!(!dir.join("snapshot-x.rfs.tmp").exists(), "tmp cleaned");
+        // An empty/garbage dir yields None, not an error.
+        let empty = tmp_dir("empty");
+        assert!(latest_valid(&empty).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn prune_keeps_only_recent() {
+        let dir = tmp_dir("prune");
+        let t = sample_table();
+        write(&dir, 1, &[TableImage::of(&t)], b"").unwrap();
+        write(&dir, 2, &[TableImage::of(&t)], b"").unwrap();
+        write(&dir, 3, &[TableImage::of(&t)], b"").unwrap();
+        assert_eq!(prune(&dir, 3), 2);
+        assert_eq!(candidates(&dir).len(), 1);
+        assert_eq!(latest_valid(&dir).unwrap().lsn, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -255,13 +255,29 @@ impl Table {
                 index.check_insertable(new.get(col))?;
             }
         }
-        for index in self.indexes.values_mut() {
-            let col = index.column();
-            if old.get(col) != new.get(col) {
-                index.remove(old.get(col), rid);
-                index
-                    .insert(new.get(col).clone(), rid)
-                    .expect("uniqueness pre-checked");
+        // The probes above make per-index failure unreachable, but a
+        // storage invariant must degrade to an error, never a panic:
+        // on the impossible failure, roll the touched indexes back so
+        // the table stays self-consistent.
+        let changed: Vec<usize> = self
+            .indexes
+            .values()
+            .map(|ix| ix.column())
+            .filter(|&col| old.get(col) != new.get(col))
+            .collect();
+        for (i, &col) in changed.iter().enumerate() {
+            let Some(index) = self.indexes.get_mut(&col) else {
+                continue;
+            };
+            index.remove(old.get(col), rid);
+            if let Err(e) = index.insert(new.get(col).clone(), rid) {
+                for &done in changed.iter().take(i + 1) {
+                    if let Some(ix) = self.indexes.get_mut(&done) {
+                        ix.remove(new.get(done), rid);
+                        let _ = ix.insert(old.get(done).clone(), rid);
+                    }
+                }
+                return Err(e);
             }
         }
         self.slots[rid] = Some(new);
@@ -311,6 +327,47 @@ impl Table {
             RfvError::execution(format!("no index on column {col} of `{}`", self.name))
         })?;
         Ok(index.range(lo, hi))
+    }
+
+    /// The raw slot array, tombstones included — the exact bytes a
+    /// snapshot must carry so row ids and scan order survive recovery.
+    pub fn slots(&self) -> &[Option<Row>] {
+        &self.slots
+    }
+
+    /// `(column, kind)` of every index, sorted by column.
+    pub fn index_defs(&self) -> Vec<(usize, IndexKind)> {
+        let mut defs: Vec<(usize, IndexKind)> = self
+            .indexes
+            .values()
+            .map(|ix| (ix.column(), ix.kind()))
+            .collect();
+        defs.sort_unstable_by_key(|(col, _)| *col);
+        defs
+    }
+
+    /// Rebuild a table from snapshot parts: the slot array verbatim
+    /// (row ids are slot positions, so tombstones must be preserved)
+    /// plus index definitions, re-derived from the live rows. Fails —
+    /// never panics — if the image is inconsistent (bad arity, duplicate
+    /// unique keys, out-of-range index column).
+    pub fn from_parts(
+        name: impl Into<String>,
+        schema: Schema,
+        slots: Vec<Option<Row>>,
+        indexes: &[(usize, IndexKind)],
+    ) -> Result<Self> {
+        let mut t = Table::new(name, schema);
+        for row in slots.iter().flatten() {
+            t.check_row(row)?;
+        }
+        t.live = slots.iter().filter(|s| s.is_some()).count();
+        t.slots = slots;
+        for &(col, kind) in indexes {
+            t.create_index(col, kind)?;
+        }
+        t.generation = 0;
+        Ok(t)
     }
 
     /// Remove all rows but keep schema and (now empty) indexes.

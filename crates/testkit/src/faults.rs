@@ -1,0 +1,81 @@
+//! Seeded kill-point schedules for crash-recovery torture tests.
+//!
+//! The storage layer's fault harness (`rfv_storage::fault`) arms named
+//! kill-points by hand; this module generates *schedules* — which point
+//! fires, after how many hits, with how many torn bytes — from a seed,
+//! so a recovery test can sweep hundreds of distinct crash locations
+//! reproducibly. The testkit stays dependency-free: it only produces
+//! plain data, and the test wires a [`FaultSchedule`] to the storage
+//! harness itself.
+
+use crate::rng::Rng;
+
+/// Every kill-point name the durability layer honors, in a fixed order
+/// (the schedule generator indexes into this).
+pub const KILL_POINTS: &[&str] = &[
+    "wal.append",
+    "wal.after_append",
+    "wal.before_fsync",
+    "snapshot.mid_write",
+    "snapshot.before_rename",
+];
+
+/// One planned crash: arm `point` to fire on its `countdown`-th hit;
+/// for `wal.append` the first `torn_bytes` of the record still land.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    pub point: &'static str,
+    pub countdown: u32,
+    pub torn_bytes: usize,
+}
+
+impl FaultSchedule {
+    /// Derive the schedule for `case` under `seed`. WAL points dominate
+    /// (they are hit far more often than snapshot points), and the
+    /// countdown is drawn from `[1, max_hits]` so crashes land anywhere
+    /// in a workload of roughly that many durable operations.
+    pub fn derive(seed: u64, case: u64, max_hits: u32) -> FaultSchedule {
+        let mut rng = Rng::new(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // 3:1 bias towards WAL points — index 0..=2 twice, then all five.
+        let idx = match rng.u64_below(8) {
+            n @ 0..=5 => (n % 3) as usize,
+            n => (n - 3) as usize,
+        };
+        let point = KILL_POINTS[idx];
+        let countdown = rng.u64_below(u64::from(max_hits.max(1))) as u32 + 1;
+        // Torn budget: usually a few bytes of the record, occasionally 0
+        // (nothing lands) — both must recover cleanly.
+        let torn_bytes = rng.u64_below(24) as usize;
+        FaultSchedule {
+            point,
+            countdown,
+            torn_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_cover_all_points() {
+        let mut seen = std::collections::HashSet::new();
+        for case in 0..200 {
+            let a = FaultSchedule::derive(42, case, 30);
+            let b = FaultSchedule::derive(42, case, 30);
+            assert_eq!(a, b, "same seed/case must derive the same schedule");
+            assert!(KILL_POINTS.contains(&a.point));
+            assert!((1..=30).contains(&a.countdown));
+            assert!(a.torn_bytes < 24);
+            seen.insert(a.point);
+        }
+        assert_eq!(seen.len(), KILL_POINTS.len(), "200 cases hit every point");
+        let other = FaultSchedule::derive(43, 0, 30);
+        let base = FaultSchedule::derive(42, 0, 30);
+        assert!(
+            other != base || FaultSchedule::derive(43, 1, 30) != FaultSchedule::derive(42, 1, 30),
+            "different seeds must differ somewhere"
+        );
+    }
+}

@@ -59,12 +59,14 @@
 //! the workspace root for the full matrix covering every path in
 //! `rfv-core`.
 
+pub mod faults;
 pub mod gen;
 pub mod oracle;
 pub mod rng;
 pub mod runner;
 pub mod shrink;
 
+pub use faults::{FaultSchedule, KILL_POINTS};
 pub use gen::{Frame, SeqOp};
 pub use oracle::DiffMatrix;
 pub use rng::{splitmix64, Rng};

@@ -373,6 +373,7 @@ fn system_table_scans_are_never_cached_and_observe_fresh_telemetry() {
             "rfv_stat_views",
             "rfv_stat_cache",
             "rfv_stat_workers",
+            "rfv_stat_wal",
         ]
     );
 }

@@ -299,3 +299,74 @@ fn empty_and_single_row_sequences() {
     .unwrap();
     assert_eq!(db.registry().get("emv").unwrap().n(), 0);
 }
+
+#[test]
+fn drop_table_invalidates_cached_plans_and_results() {
+    let db = seq_db(5);
+    // Warm the plan and result caches on both a plain scan and a
+    // windowed query.
+    let scan = "SELECT pos, val FROM seq ORDER BY pos";
+    let windowed = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN \
+                    UNBOUNDED PRECEDING AND CURRENT ROW) FROM seq";
+    let before = db.execute(scan).unwrap();
+    assert_eq!(before.rows().len(), 5);
+    db.execute(windowed).unwrap();
+    db.execute(scan).unwrap(); // second run may be served from cache
+
+    // Dropping the table must evict everything that depends on it:
+    // the same query text now errors instead of replaying stale rows.
+    db.execute("DROP TABLE seq").unwrap();
+    let err = db.execute(scan).unwrap_err();
+    assert!(err.to_string().contains("seq"), "{err}");
+    assert!(db.execute(windowed).is_err());
+
+    // Re-creating the name with a *different* schema must not resurrect
+    // the old plan: a stale plan would project the dropped `val` column
+    // or read stale pages.
+    db.execute("CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL, tag VARCHAR(8))")
+        .unwrap();
+    db.execute("INSERT INTO seq VALUES (10, 99.5, 'new')")
+        .unwrap();
+    let after = db.execute(scan).unwrap();
+    assert_eq!(after.rows().len(), 1, "only the new table's single row");
+    assert_eq!(
+        after.rows()[0].get(0),
+        &rfv_types::Value::Int(10),
+        "rows come from the re-created table, not a stale cache"
+    );
+    let wide = db.execute("SELECT pos, val, tag FROM seq").unwrap();
+    assert_eq!(wide.rows()[0].get(2), &rfv_types::Value::Str("new".into()));
+}
+
+#[test]
+fn drop_table_restricts_on_dependent_views_then_cleans_up() {
+    let db = seq_db(4);
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv_rob AS SELECT pos, SUM(val) OVER \
+         (ORDER BY pos ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS s FROM seq",
+    )
+    .unwrap();
+    assert_eq!(
+        db.execute("SELECT pos, val FROM mv_rob")
+            .unwrap()
+            .rows()
+            .len(),
+        4
+    );
+
+    // RESTRICT semantics: the base cannot vanish under its views.
+    let err = db.execute("DROP TABLE seq").unwrap_err();
+    assert!(err.to_string().contains("depend"), "{err}");
+    // The refused drop must not have invalidated anything.
+    assert_eq!(
+        db.execute("SELECT pos, val FROM seq").unwrap().rows().len(),
+        4
+    );
+
+    // Dropping the view first unblocks the base; afterwards both names
+    // error instead of serving orphaned state.
+    db.execute("DROP TABLE mv_rob").unwrap();
+    db.execute("DROP TABLE seq").unwrap();
+    assert!(db.execute("SELECT pos, val FROM seq").is_err());
+    assert!(db.execute("SELECT pos, val FROM mv_rob").is_err());
+}

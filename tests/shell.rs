@@ -1,0 +1,142 @@
+//! Shell robustness tests: drive the `rfv` binary over a pipe and check
+//! that I/O failures surface as printed shell errors (never panics or
+//! silent exits), and that the durable-storage meta-commands work
+//! end-to-end against `RFV_DATA_DIR`.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+struct ShellOutput {
+    stdout: String,
+    stderr: String,
+    success: bool,
+}
+
+fn run_shell(input: &str, data_dir: Option<&PathBuf>) -> ShellOutput {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rfv"));
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    match data_dir {
+        Some(dir) => {
+            cmd.env("RFV_DATA_DIR", dir);
+        }
+        // The surrounding test run may itself set RFV_DATA_DIR (the CI
+        // durable leg does); these cases must stay in-memory regardless.
+        None => {
+            cmd.env_remove("RFV_DATA_DIR");
+        }
+    }
+    let mut child = cmd.spawn().expect("spawn rfv shell");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write shell script");
+    let out = child.wait_with_output().expect("collect shell output");
+    ShellOutput {
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        success: out.status.success(),
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfv-shell-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn record_dump_to_unwritable_path_is_a_shell_error() {
+    let out = run_shell(
+        "\\record on\nSELECT 1;\n\\record dump /nonexistent-rfv-dir/trace.json\n.quit\n",
+        None,
+    );
+    assert!(
+        out.success,
+        "an I/O error must not kill the shell\n{}",
+        out.stderr
+    );
+    assert!(
+        out.stdout.contains("error: cannot write trace"),
+        "dump failure must be reported:\n{}",
+        out.stdout
+    );
+}
+
+#[test]
+fn persist_commands_on_non_durable_engine_report_errors() {
+    let out = run_shell(
+        "\\persist status\n\\persist snapshot\n\\persist compact\n\\persist bogus\n.quit\n",
+        None,
+    );
+    assert!(out.success, "{}", out.stderr);
+    assert!(
+        out.stdout.contains("not durable"),
+        "status must say the engine is in-memory:\n{}",
+        out.stdout
+    );
+    assert!(
+        out.stdout.matches("error: engine is not durable").count() >= 2,
+        "snapshot and compact must both surface the error:\n{}",
+        out.stdout
+    );
+    assert!(
+        out.stdout.contains("usage: \\persist"),
+        "unknown subcommand prints usage:\n{}",
+        out.stdout
+    );
+}
+
+#[test]
+fn durable_shell_session_survives_restart() {
+    let dir = tmp_dir("durable");
+
+    let out = run_shell(
+        "CREATE TABLE t (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL);\n\
+         INSERT INTO t VALUES (1, 2.5), (2, 7.25);\n\
+         \\persist status\n\
+         \\persist snapshot\n\
+         .quit\n",
+        Some(&dir),
+    );
+    assert!(out.success, "{}", out.stderr);
+    assert!(out.stdout.contains("durable:"), "{}", out.stdout);
+    assert!(out.stdout.contains("snapshot written to"), "{}", out.stdout);
+
+    // Second session over the same directory recovers the data.
+    let out = run_shell("SELECT pos, val FROM t ORDER BY pos;\n.quit\n", Some(&dir));
+    assert!(out.success, "{}", out.stderr);
+    assert!(
+        out.stdout.contains("opened"),
+        "reopen banner expected:\n{}",
+        out.stdout
+    );
+    assert!(
+        out.stdout.contains("7.25"),
+        "recovered rows must be queryable:\n{}",
+        out.stdout
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unopenable_data_dir_exits_with_an_error() {
+    // A path *under a regular file* cannot be created, whoever runs this.
+    let blocker = tmp_dir("blocker");
+    std::fs::create_dir_all(&blocker).unwrap();
+    let file = blocker.join("file");
+    std::fs::write(&file, b"x").unwrap();
+    let bogus = file.join("sub");
+    let out = run_shell(".quit\n", Some(&bogus));
+    assert!(!out.success, "opening an uncreatable dir must fail");
+    assert!(
+        out.stderr.contains("error: cannot open"),
+        "failure must be explained on stderr:\n{}",
+        out.stderr
+    );
+    let _ = std::fs::remove_dir_all(&blocker);
+}
