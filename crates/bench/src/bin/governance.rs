@@ -1,0 +1,230 @@
+//! Self-validating benchmark of the resource-governance layer.
+//!
+//! Three claims are measured and enforced:
+//!
+//! * **Cancel latency** — `Database::cancel()` fired into a long-running
+//!   nested-loop scan is acknowledged (the statement returns
+//!   `RfvError::Cancelled`) in **under 50 ms**, worst case across all
+//!   iterations. This is the checkpoint-granularity bound the executor
+//!   promises.
+//! * **Timeout latency** — a statement deadline (`set_statement_timeout`)
+//!   fires with the same bound: elapsed ≤ deadline + 50 ms.
+//! * **Idle overhead** — a governed-but-idle token (no timeout, no
+//!   budget, nobody cancelling) costs two relaxed atomic loads per
+//!   checkpoint. The disabled `check()` fast path is timed directly and
+//!   charged against the number of checkpoints a query of this size
+//!   performs; the estimate must stay at or below **1%** of the query's
+//!   recorder-off p50.
+//!
+//! ```sh
+//! cargo run -p rfv-bench --release --bin governance            # full size
+//! cargo run -p rfv-bench --release --bin governance -- --quick # CI smoke
+//! ```
+//!
+//! The run **fails** (exit 1) when any bound above is violated or a
+//! cancelled/timed-out run returns the wrong outcome. Exports
+//! `BENCH_governance.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rfv_bench::harness::{percentile, sample_secs, samples_or, warmup_or, CaseStats, Report};
+use rfv_bench::{random_values, seq_database};
+use rfv_types::governance::{CancelToken, CHECK_STRIDE};
+use rfv_types::RfvError;
+
+/// The Table 1 reporting-function query: the idle-overhead baseline.
+const WINDOW_SQL: &str = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+                          AND 1 FOLLOWING) AS s FROM seq ORDER BY pos";
+
+/// A long nested-loop scan (no equi-join key, so every pair is probed;
+/// the predicate is never true for the positive bench values, so nothing
+/// short-circuits). The cancel/timeout victim.
+const LONG_SQL: &str = "SELECT COUNT(*) AS n FROM seq a, seq b WHERE a.val + b.val < -1.0";
+
+/// Acknowledgement bound for both cancellation and deadline expiry.
+const ACK_BOUND: Duration = Duration::from_millis(50);
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2_000 } else { 10_000 };
+    // The victim only ever runs ~25 ms before being cancelled, so its
+    // table can stay large even in quick mode — it must not finish first.
+    let n_long = 12_000;
+    let iters = samples_or(if quick { 5 } else { 9 });
+    let warmup = warmup_or(1);
+    let mut report = Report::new("governance", quick);
+    println!("governance — cancel/timeout latency and idle overhead, n = {n}\n");
+
+    let db = Arc::new(seq_database(&random_values(n_long, 42)));
+    // A cached result would return before the first checkpoint and make
+    // the latency numbers meaningless; measure the full execution path.
+    db.set_result_cache(0);
+
+    // --- Cancel latency: fire cancel() into a mid-flight statement. ---
+    let mut acks: Vec<f64> = Vec::new();
+    let mut escaped = 0usize;
+    for _ in 0..iters + warmup {
+        let started = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let (db, started) = (Arc::clone(&db), Arc::clone(&started));
+            std::thread::spawn(move || {
+                started.store(true, Ordering::SeqCst);
+                let outcome = db.execute(LONG_SQL);
+                (Instant::now(), outcome)
+            })
+        };
+        while !started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        // Let the scan get deep into its pair loop before pulling the plug.
+        std::thread::sleep(Duration::from_millis(25));
+        let fired = Instant::now();
+        let signalled = db.cancel();
+        let (done, outcome) = worker.join().expect("victim thread");
+        match outcome {
+            Err(RfvError::Cancelled(_)) => acks.push((done - fired).as_secs_f64()),
+            Ok(_) => escaped += 1,
+            Err(other) => {
+                eprintln!("FAIL: cancelled statement returned wrong error: {other}");
+                std::process::exit(1);
+            }
+        }
+        let _ = signalled;
+    }
+    acks.sort_by(f64::total_cmp);
+    let ack_p50 = percentile(&acks, 0.50);
+    let ack_max = acks.iter().cloned().fold(0.0f64, f64::max);
+    report.push(CaseStats::from_samples(
+        &format!("cancel-ack/n={n_long}"),
+        &acks,
+        1,
+    ));
+
+    // --- Timeout latency: the deadline must fire within the same bound. ---
+    db.set_statement_timeout(Some(Duration::from_millis(20)));
+    let mut timeouts: Vec<f64> = Vec::new();
+    for _ in 0..iters + warmup {
+        let start = Instant::now();
+        match db.execute(LONG_SQL) {
+            Err(RfvError::Timeout(_)) => timeouts.push(start.elapsed().as_secs_f64()),
+            Ok(_) => escaped += 1,
+            Err(other) => {
+                eprintln!("FAIL: timed-out statement returned wrong error: {other}");
+                std::process::exit(1);
+            }
+        }
+    }
+    db.set_statement_timeout(None);
+    timeouts.sort_by(f64::total_cmp);
+    let timeout_p50 = percentile(&timeouts, 0.50);
+    let timeout_max = timeouts.iter().cloned().fold(0.0f64, f64::max);
+    report.push(CaseStats::from_samples(
+        &format!("timeout-ack/n={n_long}"),
+        &timeouts,
+        1,
+    ));
+
+    // --- Idle overhead: baseline query p50 vs the idle check() cost. ---
+    let qdb = seq_database(&random_values(n, 42));
+    qdb.set_result_cache(0);
+    let expect_rows = qdb.execute(WINDOW_SQL).expect("bench query").rows().len();
+    let base = sample_secs(iters, warmup, || {
+        let got = qdb.execute(WINDOW_SQL).expect("base query").rows().len();
+        assert_eq!(got, expect_rows, "baseline drifted");
+    });
+    let base_p50 = percentile(&base, 0.50);
+    report.push(CaseStats::from_samples(
+        &format!("governed-query/n={n}"),
+        &base,
+        n as u64,
+    ));
+
+    const PROBE_CHECKS: u64 = 65_536;
+    let token = CancelToken::new();
+    let probe = sample_secs(iters, warmup, || {
+        for _ in 0..PROBE_CHECKS {
+            std::hint::black_box(token.check().is_ok());
+        }
+    });
+    let check_ns = percentile(&probe, 0.50) / PROBE_CHECKS as f64 * 1e9;
+    report.push(CaseStats::from_samples(
+        "idle-check/probe",
+        &probe,
+        PROBE_CHECKS,
+    ));
+
+    // Checkpoints a query of this size performs: each of the pipeline's
+    // operators (scan, sort, window, project, sink) polls every
+    // CHECK_STRIDE rows plus once per morsel; 8 per-operator polls on top
+    // of the strided count is a generous over-estimate.
+    let checks_per_query = 8.0 * (n as f64 / CHECK_STRIDE as f64 + 8.0);
+    let overhead_frac = check_ns * checks_per_query / (base_p50 * 1e9).max(1e-9);
+
+    println!("| {:>18} | {:>11} | {:>11} |", "case", "p50", "max");
+    println!("|{}|", "-".repeat(48));
+    println!(
+        "| {:>18} | {:>9.2}ms | {:>9.2}ms |",
+        "cancel ack",
+        ack_p50 * 1e3,
+        ack_max * 1e3
+    );
+    println!(
+        "| {:>18} | {:>9.2}ms | {:>9.2}ms |",
+        "timeout (20ms) e2e",
+        timeout_p50 * 1e3,
+        timeout_max * 1e3
+    );
+    println!(
+        "| {:>18} | {:>9.3}ms | {:>11} |",
+        "governed query",
+        base_p50 * 1e3,
+        "-"
+    );
+    println!(
+        "| {:>18} | {check_ns:>9.2}ns | {:>11} |",
+        "idle check()", "-"
+    );
+    println!(
+        "\nidle-governance overhead: {:.4}% of a query ({checks_per_query:.0} checks \
+         x {check_ns:.2}ns vs p50 {:.3}ms)",
+        overhead_frac * 100.0,
+        base_p50 * 1e3
+    );
+
+    // Self-validation.
+    if escaped > 0 {
+        eprintln!("FAIL: {escaped} victim statement(s) finished before governance fired");
+        std::process::exit(1);
+    }
+    if ack_max > ACK_BOUND.as_secs_f64() {
+        eprintln!("FAIL: worst cancel ack {:.1}ms > 50ms", ack_max * 1e3);
+        std::process::exit(1);
+    }
+    if timeout_max > 0.020 + ACK_BOUND.as_secs_f64() {
+        eprintln!(
+            "FAIL: worst timeout latency {:.1}ms > deadline(20ms) + 50ms",
+            timeout_max * 1e3
+        );
+        std::process::exit(1);
+    }
+    if overhead_frac > 0.01 {
+        eprintln!(
+            "FAIL: idle-governance overhead {:.3}% > 1% of query p50",
+            overhead_frac * 100.0
+        );
+        std::process::exit(1);
+    }
+    if db.running_statements() != 0 {
+        eprintln!("FAIL: admission slots leaked after the bench");
+        std::process::exit(1);
+    }
+    match report.write_and_validate() {
+        Ok(path) => println!("wrote {} ({iters} iters/case)", path.display()),
+        Err(e) => {
+            eprintln!("bench export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -37,6 +37,57 @@ use std::io::{BufRead, Write};
 use rfv_core::Database;
 use rfv_obs::{fmt_ns, Json, Stopwatch};
 
+/// SIGINT (Ctrl-C) handling: while a query runs, the first Ctrl-C raises
+/// the process-global cooperative interrupt flag — the engine's
+/// statement token consumes it at its next operator checkpoint and the
+/// shell prints `error: query cancelled: …` and returns to the prompt.
+/// At the prompt (no query running), Ctrl-C exits with the conventional
+/// 128+SIGINT status. Everything the handler touches is
+/// async-signal-safe: one atomic load, one atomic store, `_exit`.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static QUERY_RUNNING: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        // libc is already linked by std; `signal` keeps the FFI surface
+        // to one call (glibc gives it BSD semantics — SA_RESTART — so an
+        // interrupted `read_line` at the prompt resumes cleanly).
+        fn signal(signum: i32, handler: usize) -> usize;
+        #[link_name = "_exit"]
+        fn exit_now(status: i32) -> !;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if QUERY_RUNNING.load(Ordering::Relaxed) {
+            rfv_types::governance::raise_interrupt();
+        } else {
+            unsafe { exit_now(130) }
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+
+    /// Mark the window in which Ctrl-C means "cancel the query" rather
+    /// than "exit the shell".
+    pub fn set_query_running(on: bool) {
+        QUERY_RUNNING.store(on, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn set_query_running(_on: bool) {}
+}
+
 const HELP: &str = "\
 meta commands (.name and \\name are equivalent):
   .help                 this list
@@ -59,6 +110,7 @@ meta commands (.name and \\name are equivalent):
                         status, write a snapshot, or snapshot + rotate
                         the WAL and prune old snapshots
   .quit                 exit
+Ctrl-C cancels the running query; at the prompt it exits the shell.
 anything else is executed as SQL (try EXPLAIN ANALYZE <query>), e.g.:
   CREATE TABLE seq (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL);
   INSERT INTO seq VALUES (1, 10.0), (2, 20.0), (3, 30.0);
@@ -138,6 +190,10 @@ fn main() {
         },
         _ => Database::new(),
     };
+    // Ctrl-C cancels the running query (second Ctrl-C at the prompt
+    // exits); the engine's statement tokens consume the interrupt flag.
+    sigint::install();
+    db.set_interrupt_handling(true);
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     println!("rfv — reporting function views (ICDE 2002 reproduction)");
@@ -413,7 +469,13 @@ fn main() {
         }
         let clock = timing.then(Stopwatch::start);
         let trace_before = db.last_trace();
-        match db.execute_script(sql) {
+        sigint::set_query_running(true);
+        let outcome = db.execute_script(sql);
+        sigint::set_query_running(false);
+        // A SIGINT that landed after the script already finished must
+        // not cancel the *next* statement.
+        rfv_types::governance::clear_interrupt();
+        match outcome {
             Ok(results) => {
                 for r in results {
                     if let (Some(tag), Some(n)) = (r.command_tag(), r.affected_rows()) {

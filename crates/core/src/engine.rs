@@ -22,6 +22,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use rfv_exec::{ExecCounters, ExecProbe, WindowMode};
 use rfv_expr::AggFunc;
@@ -31,13 +32,14 @@ use rfv_plan::{optimize, Binder, LogicalPlan, PhysicalPlanner};
 use rfv_sql::{self as ast, parse_statement, parse_statements};
 use rfv_storage::{Catalog, IndexKind, VirtualTable};
 use rfv_types::sync::RwLock;
-use rfv_types::{DataType, Field, Result, RfvError, Row, Schema, SchemaRef, Value};
+use rfv_types::{CancelToken, DataType, Field, Result, RfvError, Row, Schema, SchemaRef, Value};
 
 use crate::cache::{
     CacheCounters, CacheStats, PlanDep, PlanEntry, PlanKey, PlanOutcome, QueryCache, ResultKey,
     DEFAULT_CACHE_BYTES,
 };
 use crate::durability::{self, PersistStatus, Persistence, WalRecord};
+use crate::governor::Governor;
 use crate::maintenance::{self, BatchOp, MaintBatch, MaintenanceStats};
 use crate::patterns::PatternVariant;
 use crate::rewrite::{RewriteOutcome, RewriteReport, Rewriter};
@@ -181,6 +183,13 @@ struct EngineCounters {
     query_planned: Counter,
     query_executed: Counter,
     query_slow: Counter,
+    /// Statements that ended in an error of any kind (superset of the
+    /// four cause-specific governance counters below).
+    query_failed: Counter,
+    query_cancelled: Counter,
+    query_timeout: Counter,
+    query_oom: Counter,
+    query_rejected: Counter,
     query_ns: Histogram,
     exec: ExecCounters,
     rewrite_rewritten: Counter,
@@ -219,6 +228,11 @@ impl EngineCounters {
             query_planned: metrics.counter("query.planned"),
             query_executed: metrics.counter("query.executed"),
             query_slow: metrics.counter("query.slow"),
+            query_failed: metrics.counter("query.failed"),
+            query_cancelled: metrics.counter("query.cancelled"),
+            query_timeout: metrics.counter("query.timeout"),
+            query_oom: metrics.counter("query.oom"),
+            query_rejected: metrics.counter("query.rejected"),
             query_ns: metrics.histogram("query.ns"),
             exec: ExecCounters {
                 rows_scanned: metrics.counter("exec.rows_scanned"),
@@ -314,6 +328,9 @@ pub struct Database {
     /// Durable-storage handle; `None` keeps the engine purely in-memory.
     /// Set once — *after* recovery replay, so replay is never re-logged.
     persist: Arc<OnceLock<Arc<Persistence>>>,
+    /// Resource governor: statement timeouts, memory budgets, admission
+    /// control, and the in-flight token registry (see [`crate::governor`]).
+    governor: Arc<Governor>,
 }
 
 impl Default for Database {
@@ -425,12 +442,15 @@ impl Database {
         let registry = ViewRegistry::new();
         let stmt_stats = StatementStats::new();
         let persist: Arc<OnceLock<Arc<Persistence>>> = Arc::new(OnceLock::new());
+        let governor = Arc::new(Governor::from_env());
         let systabs = systab::standard_providers(
             stmt_stats.clone(),
             catalog.clone(),
             registry.clone(),
             Arc::clone(&cache),
             Arc::clone(&persist),
+            Arc::clone(&governor),
+            metrics.clone(),
         );
         for provider in &systabs {
             catalog.register_virtual(provider);
@@ -459,6 +479,7 @@ impl Database {
             last_rewrite: Arc::new(RwLock::new(None)),
             last_trace: Arc::new(RwLock::new(None)),
             persist,
+            governor,
         }
     }
 
@@ -710,6 +731,49 @@ impl Database {
         rfv_exec::sched::effective_threads()
     }
 
+    /// Cooperatively cancel every in-flight statement: each aborts at
+    /// its next operator checkpoint with [`RfvError::Cancelled`], leaving
+    /// tables, views, and caches exactly as they were. Returns how many
+    /// running statements were signalled. Safe from any thread.
+    pub fn cancel(&self) -> usize {
+        self.governor.cancel_all()
+    }
+
+    /// Per-statement wall-clock deadline for subsequently submitted
+    /// statements (`None` disables). A running statement that crosses the
+    /// deadline aborts at its next checkpoint with [`RfvError::Timeout`].
+    /// The initial value comes from `RFV_STATEMENT_TIMEOUT_MS`.
+    pub fn set_statement_timeout(&self, timeout: Option<Duration>) {
+        self.governor.set_timeout(timeout);
+    }
+
+    /// Per-statement budget for materialized intermediate bytes (`None`
+    /// or `Some(0)` disables); exceeding it aborts the statement with
+    /// [`RfvError::ResourceExhausted`]. Initial value: `RFV_MEM_BUDGET`.
+    pub fn set_mem_budget(&self, bytes: Option<u64>) {
+        self.governor.set_mem_budget(bytes);
+    }
+
+    /// Cap on concurrently executing statements (`0` = unlimited); a
+    /// statement that cannot be admitted within a bounded wait fails with
+    /// [`RfvError::Overloaded`]. Initial value: `RFV_MAX_CONCURRENT_QUERIES`.
+    pub fn set_max_concurrent(&self, n: usize) {
+        self.governor.set_max_concurrent(n);
+    }
+
+    /// Make subsequently minted statement tokens consume the
+    /// process-global interrupt flag (the shell's SIGINT handler raises
+    /// it), so Ctrl-C cancels the running query. Default off — library
+    /// embedders rarely want a process-global side channel.
+    pub fn set_interrupt_handling(&self, on: bool) {
+        self.governor.set_interrupt(on);
+    }
+
+    /// Statements currently between admission and completion.
+    pub fn running_statements(&self) -> usize {
+        self.governor.running()
+    }
+
     /// Execute one SQL statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let collector = self.make_collector();
@@ -786,9 +850,13 @@ impl Database {
                 plan,
             })
             .is_some_and(|key| self.cache.result_contains(&key));
+        // ANALYZE executes for real, so it is governed like a plain run
+        // (timeout / budget / cancel) — but not admission-gated: the
+        // `Explain` statement dispatch would double-count the slot.
         let probe = ExecProbe {
             counters: Some(self.counters.exec.clone()),
             trace: true,
+            token: Some(self.governor.statement_token()),
         };
         let (rows, metrics) =
             collector.time("execute", || entry.physical.execute_probed(&probe))?;
@@ -918,6 +986,125 @@ impl Database {
         }
     }
 
+    /// Account one **errored** statement: classify the failure into the
+    /// governance counters, fold it into the per-statement statistics
+    /// (satellite of the governance work — before PR 10 an errored
+    /// statement vanished from `rfv_stat_statements` and every `query.*`
+    /// counter), and drop a flight-recorder instant. `query.executed` is
+    /// deliberately *not* bumped: it counts completed executions.
+    fn note_query_failure(&self, q: &ast::Query, elapsed_ns: u64, err: &RfvError) {
+        self.counters.query_failed.incr();
+        let instant = match err {
+            RfvError::Cancelled(_) => {
+                self.counters.query_cancelled.incr();
+                "query.cancelled"
+            }
+            RfvError::Timeout(_) => {
+                self.counters.query_timeout.incr();
+                "query.timeout"
+            }
+            RfvError::ResourceExhausted(_) => {
+                self.counters.query_oom.incr();
+                "query.oom"
+            }
+            RfvError::Overloaded(_) => {
+                self.counters.query_rejected.incr();
+                "query.rejected"
+            }
+            _ => "query.failed",
+        };
+        // Same normalization as the success path with the cache disabled:
+        // the AST's canonical Display, so the failed and successful runs
+        // of one query share a statistics entry.
+        let sql = q.to_string();
+        self.stmt_stats.record_failure(&sql, elapsed_ns);
+        event::recorder().instant(instant, "engine", Some(truncate_sql(&sql)));
+    }
+
+    /// The governed query path: plan (cached), result-cache lookup,
+    /// execute under `token`, validate-after publish, observe. Failure
+    /// accounting lives in the caller so *every* error — plan-time or
+    /// execution-time — is recorded exactly once.
+    #[allow(clippy::too_many_arguments)]
+    fn run_query(
+        &self,
+        q: &ast::Query,
+        stmt: &ast::Statement,
+        collector: &Collector,
+        tracing: bool,
+        clock: &Stopwatch,
+        token: &Arc<CancelToken>,
+        rec_start: Option<u64>,
+    ) -> Result<QueryResult> {
+        let rec = event::recorder();
+        let (entry, plan_key) = self.plan_query_cached(q, collector)?;
+        let sql_key = plan_key.as_ref().map(|k| k.sql.clone());
+        // The result-cache key binds the plan to the *current*
+        // data generation of every table it reads.
+        let result_key = plan_key.map(|plan| ResultKey {
+            gens: entry.dep_generations(),
+            plan,
+        });
+        if let Some(key) = &result_key {
+            if let Some(hit) = self.cache.result_get(key) {
+                self.counters.cache.hits.incr();
+                self.counters.query_executed.incr();
+                self.counters.exec.rows_emitted.add(hit.rows().len() as u64);
+                rec.instant("cache.hit", "cache", None);
+                if tracing {
+                    self.counters.query_ns.record(collector.elapsed_ns());
+                    self.store_trace(collector, stmt.clone(), entry.from_view);
+                }
+                self.observe_query(
+                    q,
+                    sql_key,
+                    collector,
+                    &entry,
+                    clock.elapsed_ns(),
+                    hit.rows().len() as u64,
+                    true,
+                    rec_start,
+                );
+                return Ok(hit);
+            }
+            self.counters.cache.misses.incr();
+            rec.instant("cache.miss", "cache", None);
+        }
+        let probe = ExecProbe {
+            counters: Some(self.counters.exec.clone()),
+            trace: false,
+            token: Some(Arc::clone(token)),
+        };
+        let (rows, _) = collector.time("execute", || entry.physical.execute_probed(&probe))?;
+        self.counters.query_executed.incr();
+        self.counters.exec.rows_emitted.add(rows.len() as u64);
+        if tracing {
+            self.counters.query_ns.record(collector.elapsed_ns());
+            self.store_trace(collector, stmt.clone(), entry.from_view);
+        }
+        let result = QueryResult::with_rows(entry.logical.schema(), rows);
+        if let Some(key) = result_key {
+            // Validate-after: publish only if no dep mutated while
+            // we were scanning — a torn read must never be cached.
+            // (An aborted execution never reaches this point, so the
+            // result cache cannot observe partial results either.)
+            if key.gens == entry.dep_generations() {
+                self.cache.result_put(key, result.clone());
+            }
+        }
+        self.observe_query(
+            q,
+            sql_key,
+            collector,
+            &entry,
+            clock.elapsed_ns(),
+            result.rows().len() as u64,
+            false,
+            rec_start,
+        );
+        Ok(result)
+    }
+
     fn execute_statement(&self, stmt: &ast::Statement) -> Result<QueryResult> {
         let collector = self.make_collector();
         self.execute_statement_traced(stmt, &collector)
@@ -933,75 +1120,26 @@ impl Database {
                 // PR-3 tracing artifacts stay gated on the config bit —
                 // the collector may be enabled for the recorder alone.
                 let tracing = self.config.read().tracing;
-                let rec = event::recorder();
-                let rec_start = rec.is_enabled().then(event::now_ns);
+                let rec_start = event::recorder().is_enabled().then(event::now_ns);
                 // Always-on statement-stats clock: plan + execute
                 // (parse happens before statement dispatch).
                 let clock = Stopwatch::start();
-                let (entry, plan_key) = self.plan_query_cached(q, collector)?;
-                let sql_key = plan_key.as_ref().map(|k| k.sql.clone());
-                // The result-cache key binds the plan to the *current*
-                // data generation of every table it reads.
-                let result_key = plan_key.map(|plan| ResultKey {
-                    gens: entry.dep_generations(),
-                    plan,
-                });
-                if let Some(key) = &result_key {
-                    if let Some(hit) = self.cache.result_get(key) {
-                        self.counters.cache.hits.incr();
-                        self.counters.query_executed.incr();
-                        self.counters.exec.rows_emitted.add(hit.rows().len() as u64);
-                        rec.instant("cache.hit", "cache", None);
-                        if tracing {
-                            self.counters.query_ns.record(collector.elapsed_ns());
-                            self.store_trace(collector, stmt.clone(), entry.from_view);
-                        }
-                        self.observe_query(
-                            q,
-                            sql_key,
-                            collector,
-                            &entry,
-                            clock.elapsed_ns(),
-                            hit.rows().len() as u64,
-                            true,
-                            rec_start,
-                        );
-                        return Ok(hit);
+                // Admission first: a shed statement must not spend plan
+                // work. The guard releases its slot on any exit path,
+                // including unwinding past a governance error.
+                let _slot = match self.governor.admit() {
+                    Ok(slot) => slot,
+                    Err(e) => {
+                        self.note_query_failure(q, clock.elapsed_ns(), &e);
+                        return Err(e);
                     }
-                    self.counters.cache.misses.incr();
-                    rec.instant("cache.miss", "cache", None);
-                }
-                let probe = ExecProbe {
-                    counters: Some(self.counters.exec.clone()),
-                    trace: false,
                 };
-                let (rows, _) =
-                    collector.time("execute", || entry.physical.execute_probed(&probe))?;
-                self.counters.query_executed.incr();
-                self.counters.exec.rows_emitted.add(rows.len() as u64);
-                if tracing {
-                    self.counters.query_ns.record(collector.elapsed_ns());
-                    self.store_trace(collector, stmt.clone(), entry.from_view);
+                let token = self.governor.statement_token();
+                let result = self.run_query(q, stmt, collector, tracing, &clock, &token, rec_start);
+                if let Err(e) = &result {
+                    self.note_query_failure(q, clock.elapsed_ns(), e);
                 }
-                let result = QueryResult::with_rows(entry.logical.schema(), rows);
-                if let Some(key) = result_key {
-                    // Validate-after: publish only if no dep mutated while
-                    // we were scanning — a torn read must never be cached.
-                    if key.gens == entry.dep_generations() {
-                        self.cache.result_put(key, result.clone());
-                    }
-                }
-                self.observe_query(
-                    q,
-                    sql_key,
-                    collector,
-                    &entry,
-                    clock.elapsed_ns(),
-                    result.rows().len() as u64,
-                    false,
-                    rec_start,
-                );
-                Ok(result)
+                result
             }
             ast::Statement::Explain { analyze, query } => {
                 let text = if *analyze {

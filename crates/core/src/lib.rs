@@ -57,6 +57,7 @@ pub mod compute;
 pub mod derive;
 pub mod durability;
 pub mod engine;
+mod governor;
 pub mod maintenance;
 pub mod patterns;
 pub mod reporting;

@@ -30,6 +30,9 @@ use crate::rewrite::{RewriteOutcome, RewriteReport};
 #[derive(Debug, Default)]
 struct StmtEntry {
     calls: AtomicU64,
+    /// Calls that ended in an error (cancelled, timed out, budget
+    /// exhausted, rejected, or any execution failure). Always ≤ `calls`.
+    failures: AtomicU64,
     total_ns: AtomicU64,
     rows: AtomicU64,
     /// Calls served from the result cache.
@@ -50,6 +53,8 @@ pub struct StatementStat {
     /// Normalized SQL text (the plan-cache fingerprint).
     pub query: String,
     pub calls: u64,
+    /// Calls that ended in an error (always ≤ `calls`).
+    pub failures: u64,
     pub total_ns: u64,
     pub min_ns: u64,
     pub max_ns: u64,
@@ -125,6 +130,18 @@ impl StatementStats {
         }
     }
 
+    /// Fold one **errored** statement into its entry: the call still
+    /// counts (and its latency still lands in the histogram — an aborted
+    /// statement consumed real time), but it also bumps `failures`, so
+    /// `calls` is attempts and `calls - failures` is successes.
+    pub(crate) fn record_failure(&self, sql: &str, elapsed_ns: u64) {
+        let e = self.entry(sql);
+        e.calls.fetch_add(1, Ordering::Relaxed);
+        e.failures.fetch_add(1, Ordering::Relaxed);
+        e.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        e.ns.record(elapsed_ns);
+    }
+
     /// Snapshot every entry, sorted by normalized SQL (deterministic —
     /// the system-table scan relies on that).
     pub fn snapshot(&self) -> Vec<StatementStat> {
@@ -135,6 +152,7 @@ impl StatementStats {
             .map(|(sql, e)| StatementStat {
                 query: sql.clone(),
                 calls: e.calls.load(Ordering::Relaxed),
+                failures: e.failures.load(Ordering::Relaxed),
                 total_ns: e.total_ns.load(Ordering::Relaxed),
                 min_ns: e.ns.min(),
                 max_ns: e.ns.max(),
@@ -184,6 +202,7 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].query, "SELECT a", "sorted by query");
         assert_eq!(snap[0].calls, 2);
+        assert_eq!(snap[0].failures, 0);
         assert_eq!(snap[0].total_ns, 400);
         assert_eq!(snap[0].rows, 6);
         assert_eq!(snap[0].cache_hits, 1);
@@ -196,6 +215,20 @@ mod tests {
 
         stats.reset();
         assert!(stats.snapshot().is_empty());
+    }
+
+    #[test]
+    fn failures_count_as_calls_and_keep_their_latency() {
+        let stats = StatementStats::new();
+        let report = RewriteReport::default();
+        stats.record("q", 100, 1, false, PlanOutcome::Fallback, &report);
+        stats.record_failure("q", 300);
+        let snap = stats.snapshot();
+        assert_eq!(snap[0].calls, 2, "a failed call is still a call");
+        assert_eq!(snap[0].failures, 1);
+        assert_eq!(snap[0].total_ns, 400, "aborted time is real time");
+        assert_eq!(snap[0].max_ns, 300);
+        assert_eq!(snap[0].rows, 1, "failures return no rows");
     }
 
     #[test]

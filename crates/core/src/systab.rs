@@ -1,6 +1,6 @@
 //! Virtual system statistics tables (`rfv_stat_*`).
 //!
-//! Six [`VirtualTable`] providers expose live engine telemetry as
+//! Seven [`VirtualTable`] providers expose live engine telemetry as
 //! ordinary relations, so plain SQL — filters, joins, `ORDER BY`,
 //! `LIMIT` — works against statistics with zero binder/planner/executor
 //! changes:
@@ -13,6 +13,7 @@
 //! | `rfv_stat_cache`      | *(exactly one)*    | the two-level query cache     |
 //! | `rfv_stat_workers`    | pool worker thread | `rfv_exec::sched`             |
 //! | `rfv_stat_wal`        | *(exactly one)*    | [`crate::durability`]         |
+//! | `rfv_stat_resources`  | governance metric  | [`Governor`] + counters       |
 //!
 //! Each lookup materializes a fresh point-in-time snapshot (see
 //! [`Catalog::register_virtual`]); the snapshot is marked virtual so the
@@ -26,11 +27,14 @@
 
 use std::sync::{Arc, OnceLock};
 
+use rfv_obs::MetricsRegistry;
 use rfv_storage::{Catalog, VirtualTable};
+use rfv_types::governance::UNLIMITED;
 use rfv_types::{row, DataType, Field, Result, Row, Schema, Value};
 
 use crate::cache::QueryCache;
 use crate::durability::Persistence;
+use crate::governor::Governor;
 use crate::sequence::WindowSpec;
 use crate::stats::StatementStats;
 use crate::view::ViewRegistry;
@@ -60,6 +64,7 @@ impl VirtualTable for StatStatements {
         Schema::new(vec![
             Field::not_null("query", DataType::Str),
             Field::not_null("calls", DataType::Int),
+            Field::not_null("failures", DataType::Int),
             Field::not_null("total_ns", DataType::Int),
             Field::not_null("min_ns", DataType::Int),
             Field::not_null("max_ns", DataType::Int),
@@ -90,6 +95,7 @@ impl VirtualTable for StatStatements {
                 row![
                     s.query,
                     big(s.calls),
+                    big(s.failures),
                     big(s.total_ns),
                     big(s.min_ns),
                     big(s.max_ns),
@@ -360,6 +366,67 @@ impl VirtualTable for StatWal {
     }
 }
 
+/// One row per resource-governance metric, sorted by name. Limits that
+/// are not configured surface as SQL NULL (not `0`, which would read as
+/// "a budget of zero bytes").
+pub struct StatResources {
+    governor: Arc<Governor>,
+    metrics: MetricsRegistry,
+}
+
+impl StatResources {
+    pub(crate) fn new(governor: Arc<Governor>, metrics: MetricsRegistry) -> Self {
+        StatResources { governor, metrics }
+    }
+}
+
+impl VirtualTable for StatResources {
+    fn name(&self) -> &str {
+        "rfv_stat_resources"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::not_null("name", DataType::Str),
+            Field::new("value", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> Result<Vec<Row>> {
+        let limits = self.governor.limits();
+        let opt = |v: Option<i64>| v.map(Value::Int).unwrap_or(Value::Null);
+        let counter = |name: &str| Value::Int(big(self.metrics.counter_value(name)));
+        // Sorted by name — the scan order is part of the table's contract.
+        let rows = vec![
+            (
+                "cancel_requests",
+                Value::Int(big(self.governor.cancel_requests())),
+            ),
+            ("cancelled", counter("query.cancelled")),
+            (
+                "max_concurrent",
+                opt((limits.max_concurrent > 0).then(|| big(limits.max_concurrent as u64))),
+            ),
+            (
+                "mem_budget_bytes",
+                opt((limits.mem_budget != UNLIMITED).then(|| big(limits.mem_budget))),
+            ),
+            ("oom", counter("query.oom")),
+            ("rejected", counter("query.rejected")),
+            ("running", Value::Int(big(self.governor.running() as u64))),
+            (
+                "statement_timeout_ms",
+                opt(limits.timeout.map(|t| big(t.as_millis() as u64))),
+            ),
+            ("timeout", counter("query.timeout")),
+        ];
+        Ok(rows
+            .into_iter()
+            .map(|(name, value)| Row::new(vec![Value::from(name), value]))
+            .collect())
+    }
+}
+
 /// Build the standard provider set for one engine. The returned `Arc`s
 /// are the **owning** references (the catalog only holds weak ones) —
 /// the engine must keep them alive for the names to resolve.
@@ -369,6 +436,8 @@ pub(crate) fn standard_providers(
     registry: ViewRegistry,
     cache: Arc<QueryCache>,
     persist: Arc<OnceLock<Arc<Persistence>>>,
+    governor: Arc<Governor>,
+    metrics: MetricsRegistry,
 ) -> Vec<Arc<dyn VirtualTable>> {
     vec![
         Arc::new(StatStatements::new(stats)),
@@ -377,6 +446,7 @@ pub(crate) fn standard_providers(
         Arc::new(StatCache::new(cache)),
         Arc::new(StatWorkers),
         Arc::new(StatWal::new(persist)),
+        Arc::new(StatResources::new(governor, metrics)),
     ]
 }
 
@@ -408,6 +478,8 @@ mod tests {
                 crate::cache::CacheCounters::new(&rfv_obs::MetricsRegistry::new()),
             )),
             Arc::new(OnceLock::new()),
+            Arc::new(Governor::from_env()),
+            rfv_obs::MetricsRegistry::new(),
         );
         let names: Vec<&str> = providers.iter().map(|p| p.name()).collect();
         assert_eq!(
@@ -419,6 +491,7 @@ mod tests {
                 "rfv_stat_cache",
                 "rfv_stat_workers",
                 "rfv_stat_wal",
+                "rfv_stat_resources",
             ]
         );
         for p in &providers {

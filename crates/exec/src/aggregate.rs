@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 
 use rfv_expr::{Accumulator, AggFunc, Expr};
-use rfv_types::{Result, RfvError, Row, Value};
+use rfv_types::{Gov, Result, RfvError, Row, Value};
 
+use crate::mem::values_bytes;
 use crate::sched::{self, ParStats};
 
 /// One group: its key values plus one accumulator per aggregate.
@@ -20,6 +21,7 @@ pub fn hash_aggregate(
     rows: Vec<Row>,
     group_exprs: &[Expr],
     aggregates: &[(AggFunc, Option<Expr>)],
+    gov: &Gov,
 ) -> Result<Vec<Row>> {
     let make_accs = || -> Vec<Box<dyn Accumulator>> {
         aggregates.iter().map(|(f, _)| f.accumulator()).collect()
@@ -34,7 +36,11 @@ pub fn hash_aggregate(
         index.insert(Vec::new(), 0);
     }
 
-    for row in &rows {
+    let mut pending = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        if i & (rfv_types::governance::CHECK_STRIDE - 1) == 0 {
+            gov.charge(&mut pending)?;
+        }
         let key: Vec<Value> = group_exprs
             .iter()
             .map(|e| e.eval(row))
@@ -42,6 +48,9 @@ pub fn hash_aggregate(
         let slot = match index.get(&key) {
             Some(&i) => i,
             None => {
+                // A new group's key is resident in the hash table (plus
+                // one accumulator set) until the aggregate finishes.
+                pending += 48 + values_bytes(&key);
                 states.push((key.clone(), make_accs()));
                 index.insert(key, states.len() - 1);
                 states.len() - 1
@@ -58,6 +67,7 @@ pub fn hash_aggregate(
             acc.update(&v)?;
         }
     }
+    gov.charge(&mut pending)?;
 
     states
         .into_iter()
@@ -92,9 +102,10 @@ pub fn hash_aggregate_par(
     group_exprs: &[Expr],
     aggregates: &[(AggFunc, Option<Expr>)],
     par: &mut ParStats,
+    gov: &Gov,
 ) -> Result<Vec<Row>> {
     if group_exprs.is_empty() || !sched::should_parallelize(rows.len(), 2) {
-        return hash_aggregate(rows, group_exprs, aggregates);
+        return hash_aggregate(rows, group_exprs, aggregates, gov);
     }
     let chunks = sched::split_morsels(rows);
     if chunks.len() <= 1 {
@@ -102,6 +113,7 @@ pub fn hash_aggregate_par(
             chunks.into_iter().next().unwrap_or_default(),
             group_exprs,
             aggregates,
+            gov,
         );
     }
     par.record(chunks.len());
@@ -111,9 +123,11 @@ pub fn hash_aggregate_par(
     // serial execution reports.
     let ge = group_exprs.to_vec();
     let agg_args: Vec<Option<Expr>> = aggregates.iter().map(|(_, a)| a.clone()).collect();
+    let eval_gov = gov.clone();
     let evaluated: Vec<Vec<(Vec<Value>, Vec<Value>)>> =
-        sched::run_ordered(chunks, move |_, chunk: Vec<Row>| {
-            chunk
+        sched::run_ordered_gov(chunks, gov.clone(), move |_, chunk: Vec<Row>| {
+            let mut pending = 0u64;
+            let out: Vec<(Vec<Value>, Vec<Value>)> = chunk
                 .iter()
                 .map(|row| {
                     let key: Vec<Value> = ge.iter().map(|e| e.eval(row)).collect::<Result<_>>()?;
@@ -125,9 +139,12 @@ pub fn hash_aggregate_par(
                             None => Ok(Value::Int(1)),
                         })
                         .collect::<Result<_>>()?;
+                    pending += 48 + values_bytes(&key) + values_bytes(&args);
                     Ok((key, args))
                 })
-                .collect()
+                .collect::<Result<_>>()?;
+            eval_gov.charge(&mut pending)?;
+            Ok(out)
         })?;
 
     // Stage 2: first-seen group ids + stratum bucketing, in input order.
@@ -135,7 +152,8 @@ pub fn hash_aggregate_par(
     let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut group_keys: Vec<Vec<Value>> = Vec::new();
     let mut buckets: Vec<Vec<(usize, Vec<Value>)>> = (0..strata).map(|_| Vec::new()).collect();
-    for (key, args) in evaluated.into_iter().flatten() {
+    for (i, (key, args)) in evaluated.into_iter().flatten().enumerate() {
+        gov.checkpoint(i)?;
         let gid = match index.get(&key) {
             Some(&g) => g,
             None => {
@@ -150,8 +168,10 @@ pub fn hash_aggregate_par(
 
     // Stage 3: fold each stratum's groups in row order.
     let funcs: Vec<AggFunc> = aggregates.iter().map(|(f, _)| *f).collect();
-    let finished: Vec<Vec<(usize, Vec<Value>)>> =
-        sched::run_ordered(buckets, move |_, bucket: Vec<(usize, Vec<Value>)>| {
+    let finished: Vec<Vec<(usize, Vec<Value>)>> = sched::run_ordered_gov(
+        buckets,
+        gov.clone(),
+        move |_, bucket: Vec<(usize, Vec<Value>)>| {
             let mut local: HashMap<usize, Vec<Box<dyn Accumulator>>> = HashMap::new();
             let mut order: Vec<usize> = Vec::new();
             for (gid, args) in &bucket {
@@ -173,7 +193,8 @@ pub fn hash_aggregate_par(
                     Ok((gid, vals))
                 })
                 .collect()
-        })?;
+        },
+    )?;
 
     // Ordered merge: emit groups by first-seen id, exactly like serial.
     let mut slots: Vec<Option<Vec<Value>>> = (0..n_groups).map(|_| None).collect();
@@ -215,6 +236,7 @@ mod tests {
             sample(),
             &[Expr::col(0)],
             &[(AggFunc::Sum, Some(Expr::col(1)))],
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(out, vec![row!["a", 6i64], row!["b", 30i64]]);
@@ -231,6 +253,7 @@ mod tests {
                 (AggFunc::Max, Some(Expr::col(1))),
                 (AggFunc::Avg, Some(Expr::col(1))),
             ],
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(out[0], row!["a", 3i64, 1i64, 3i64, 2.0f64]);
@@ -245,6 +268,7 @@ mod tests {
                 (AggFunc::CountStar, None),
                 (AggFunc::Sum, Some(Expr::col(0))),
             ],
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(out.len(), 1);
@@ -253,7 +277,13 @@ mod tests {
 
     #[test]
     fn grouped_aggregate_on_empty_input_is_empty() {
-        let out = hash_aggregate(vec![], &[Expr::col(0)], &[(AggFunc::CountStar, None)]).unwrap();
+        let out = hash_aggregate(
+            vec![],
+            &[Expr::col(0)],
+            &[(AggFunc::CountStar, None)],
+            &Gov::none(),
+        )
+        .unwrap();
         assert!(out.is_empty());
     }
 
@@ -263,8 +293,13 @@ mod tests {
             Row::new(vec![Value::Null, Value::Int(1)]),
             Row::new(vec![Value::Null, Value::Int(2)]),
         ];
-        let out =
-            hash_aggregate(rows, &[Expr::col(0)], &[(AggFunc::Sum, Some(Expr::col(1)))]).unwrap();
+        let out = hash_aggregate(
+            rows,
+            &[Expr::col(0)],
+            &[(AggFunc::Sum, Some(Expr::col(1)))],
+            &Gov::none(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 1, "NULLs group together in GROUP BY");
         assert_eq!(out[0].get(1), &Value::Int(3));
     }
@@ -276,6 +311,7 @@ mod tests {
             rows,
             &[Expr::col(0).modulo(Expr::lit(2i64))],
             &[(AggFunc::CountStar, None)],
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(out.len(), 2);

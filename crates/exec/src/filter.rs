@@ -4,15 +4,19 @@ use std::cmp::Ordering;
 use std::collections::VecDeque;
 
 use rfv_expr::Expr;
-use rfv_types::{Result, Row, Value};
+use rfv_types::{Gov, Result, Row, Value};
 
+use crate::mem::{row_bytes, values_bytes};
 use crate::physical::SortKey;
 use crate::sched::{self, ParStats};
 
 /// Keep rows for which `predicate` is TRUE (NULL/unknown drops the row).
-pub fn filter(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
+/// Surviving rows are moved, not copied, so the governance hook is a
+/// cancellation checkpoint only — no memory charge.
+pub fn filter(rows: Vec<Row>, predicate: &Expr, gov: &Gov) -> Result<Vec<Row>> {
     let mut out = Vec::new();
-    for row in rows {
+    for (i, row) in rows.into_iter().enumerate() {
+        gov.checkpoint(i)?;
         if predicate.eval(&row)?.as_bool()? == Some(true) {
             out.push(row);
         }
@@ -21,48 +25,76 @@ pub fn filter(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
 }
 
 /// Evaluate one expression per output column.
-pub fn project(rows: Vec<Row>, exprs: &[Expr]) -> Result<Vec<Row>> {
-    rows.iter()
-        .map(|row| {
+pub fn project(rows: Vec<Row>, exprs: &[Expr], gov: &Gov) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    let mut pending = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        if i & (rfv_types::governance::CHECK_STRIDE - 1) == 0 {
+            gov.charge(&mut pending)?;
+        }
+        let projected = Row::new(
             exprs
                 .iter()
                 .map(|e| e.eval(row))
-                .collect::<Result<Vec<Value>>>()
-                .map(Row::new)
-        })
-        .collect()
+                .collect::<Result<Vec<Value>>>()?,
+        );
+        pending += row_bytes(&projected);
+        out.push(projected);
+    }
+    gov.charge(&mut pending)?;
+    Ok(out)
 }
 
 /// Morsel-parallel [`filter`]: contiguous input morsels are filtered
 /// independently and concatenated in morsel order — byte-identical to the
 /// serial scan order.
-pub fn filter_par(rows: Vec<Row>, predicate: &Expr, par: &mut ParStats) -> Result<Vec<Row>> {
+pub fn filter_par(
+    rows: Vec<Row>,
+    predicate: &Expr,
+    par: &mut ParStats,
+    gov: &Gov,
+) -> Result<Vec<Row>> {
     if !sched::should_parallelize(rows.len(), 2) {
-        return filter(rows, predicate);
+        return filter(rows, predicate, gov);
     }
     let chunks = sched::split_morsels(rows);
     if chunks.len() <= 1 {
-        return filter(chunks.into_iter().next().unwrap_or_default(), predicate);
+        return filter(
+            chunks.into_iter().next().unwrap_or_default(),
+            predicate,
+            gov,
+        );
     }
     par.record(chunks.len());
     let predicate = predicate.clone();
-    let outs = sched::run_ordered(chunks, move |_, chunk| filter(chunk, &predicate))?;
+    let worker_gov = gov.clone();
+    let outs = sched::run_ordered_gov(chunks, gov.clone(), move |_, chunk| {
+        filter(chunk, &predicate, &worker_gov)
+    })?;
     Ok(concat(outs))
 }
 
 /// Morsel-parallel [`project`]: per-morsel projection, order-preserving
 /// concatenation.
-pub fn project_par(rows: Vec<Row>, exprs: &[Expr], par: &mut ParStats) -> Result<Vec<Row>> {
+pub fn project_par(
+    rows: Vec<Row>,
+    exprs: &[Expr],
+    par: &mut ParStats,
+    gov: &Gov,
+) -> Result<Vec<Row>> {
     if !sched::should_parallelize(rows.len(), 2) {
-        return project(rows, exprs);
+        return project(rows, exprs, gov);
     }
     let chunks = sched::split_morsels(rows);
     if chunks.len() <= 1 {
-        return project(chunks.into_iter().next().unwrap_or_default(), exprs);
+        return project(chunks.into_iter().next().unwrap_or_default(), exprs, gov);
     }
     par.record(chunks.len());
     let exprs = exprs.to_vec();
-    let outs = sched::run_ordered(chunks, move |_, chunk| project(chunk, &exprs))?;
+    let worker_gov = gov.clone();
+    let outs = sched::run_ordered_gov(chunks, gov.clone(), move |_, chunk| {
+        project(chunk, &exprs, &worker_gov)
+    })?;
     Ok(concat(outs))
 }
 
@@ -91,12 +123,20 @@ pub(crate) fn compare_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> Orderi
     Ordering::Equal
 }
 
-/// Stable sort by the given keys.
-pub fn sort(rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>> {
-    let mut decorated: Vec<(Vec<Value>, Row)> = rows
-        .into_iter()
-        .map(|r| key_values(&r, keys).map(|k| (k, r)))
-        .collect::<Result<_>>()?;
+/// Stable sort by the given keys. The key decoration is the materialized
+/// state, charged against the budget; the `sort_by` itself is in-place.
+pub fn sort(rows: Vec<Row>, keys: &[SortKey], gov: &Gov) -> Result<Vec<Row>> {
+    let mut pending = 0u64;
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for (i, r) in rows.into_iter().enumerate() {
+        if i & (rfv_types::governance::CHECK_STRIDE - 1) == 0 {
+            gov.charge(&mut pending)?;
+        }
+        let k = key_values(&r, keys)?;
+        pending += values_bytes(&k);
+        decorated.push((k, r));
+    }
+    gov.charge(&mut pending)?;
     decorated.sort_by(|(a, _), (b, _)| compare_keys(a, b, keys));
     Ok(decorated.into_iter().map(|(_, r)| r).collect())
 }
@@ -107,23 +147,33 @@ pub fn sort(rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>> {
 /// order, so (morsel index, within-morsel position) reproduces the input
 /// order on ties — the merged output is byte-identical to the serial
 /// stable [`sort`].
-pub fn sort_par(rows: Vec<Row>, keys: &[SortKey], par: &mut ParStats) -> Result<Vec<Row>> {
+pub fn sort_par(
+    rows: Vec<Row>,
+    keys: &[SortKey],
+    par: &mut ParStats,
+    gov: &Gov,
+) -> Result<Vec<Row>> {
     if !sched::should_parallelize(rows.len(), 2) {
-        return sort(rows, keys);
+        return sort(rows, keys, gov);
     }
     let n = rows.len();
     let chunks = sched::split_morsels(rows);
     if chunks.len() <= 1 {
-        return sort(chunks.into_iter().next().unwrap_or_default(), keys);
+        return sort(chunks.into_iter().next().unwrap_or_default(), keys, gov);
     }
     par.record(chunks.len());
     let keys_owned: Vec<SortKey> = keys.to_vec();
+    let worker_gov = gov.clone();
     let mut runs: Vec<VecDeque<(Vec<Value>, Row)>> =
-        sched::run_ordered(chunks, move |_, chunk: Vec<Row>| {
-            let mut decorated: Vec<(Vec<Value>, Row)> = chunk
-                .into_iter()
-                .map(|r| key_values(&r, &keys_owned).map(|k| (k, r)))
-                .collect::<Result<_>>()?;
+        sched::run_ordered_gov(chunks, gov.clone(), move |_, chunk: Vec<Row>| {
+            let mut pending = 0u64;
+            let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(chunk.len());
+            for r in chunk {
+                let k = key_values(&r, &keys_owned)?;
+                pending += values_bytes(&k);
+                decorated.push((k, r));
+            }
+            worker_gov.charge(&mut pending)?;
             decorated.sort_by(|(a, _), (b, _)| compare_keys(a, b, &keys_owned));
             Ok(decorated.into_iter().collect::<VecDeque<_>>())
         })?;
@@ -133,6 +183,7 @@ pub fn sort_par(rows: Vec<Row>, keys: &[SortKey], par: &mut ParStats) -> Result<
     // input order because runs are contiguous input ranges.
     let mut out = Vec::with_capacity(n);
     loop {
+        gov.checkpoint(out.len())?;
         let mut best: Option<usize> = None;
         for (i, run) in runs.iter().enumerate() {
             let Some((key, _)) = run.front() else {
@@ -163,14 +214,19 @@ mod tests {
     fn filter_drops_false_and_null() {
         let rows = vec![row![1i64], row![2i64], Row::new(vec![Value::Null])];
         let pred = Expr::col(0).gt(Expr::lit(1i64));
-        let out = filter(rows, &pred).unwrap();
+        let out = filter(rows, &pred, &Gov::none()).unwrap();
         assert_eq!(out, vec![row![2i64]], "NULL > 1 is unknown, dropped");
     }
 
     #[test]
     fn project_computes_columns() {
         let rows = vec![row![2i64, 3i64]];
-        let out = project(rows, &[Expr::col(1), Expr::col(0).add(Expr::col(1))]).unwrap();
+        let out = project(
+            rows,
+            &[Expr::col(1), Expr::col(0).add(Expr::col(1))],
+            &Gov::none(),
+        )
+        .unwrap();
         assert_eq!(out, vec![row![3i64, 5i64]]);
     }
 
@@ -178,24 +234,37 @@ mod tests {
     fn sort_multi_key_directions() {
         let rows = vec![row![1i64, "b"], row![2i64, "a"], row![1i64, "a"]];
         let keys = [SortKey::asc(Expr::col(0)), SortKey::desc(Expr::col(1))];
-        let out = sort(rows, &keys).unwrap();
+        let out = sort(rows, &keys, &Gov::none()).unwrap();
         assert_eq!(out, vec![row![1i64, "b"], row![1i64, "a"], row![2i64, "a"]]);
     }
 
     #[test]
     fn sort_nulls_first_on_asc() {
         let rows = vec![row![1i64], Row::new(vec![Value::Null])];
-        let out = sort(rows, &[SortKey::asc(Expr::col(0))]).unwrap();
+        let out = sort(rows, &[SortKey::asc(Expr::col(0))], &Gov::none()).unwrap();
         assert!(out[0].get(0).is_null());
         let rows = vec![Row::new(vec![Value::Null]), row![1i64]];
-        let out = sort(rows, &[SortKey::desc(Expr::col(0))]).unwrap();
+        let out = sort(rows, &[SortKey::desc(Expr::col(0))], &Gov::none()).unwrap();
         assert!(out[1].get(0).is_null(), "NULLs last on DESC");
     }
 
     #[test]
     fn sort_is_stable() {
         let rows = vec![row![1i64, 1i64], row![1i64, 2i64], row![1i64, 3i64]];
-        let out = sort(rows.clone(), &[SortKey::asc(Expr::col(0))]).unwrap();
+        let out = sort(rows.clone(), &[SortKey::asc(Expr::col(0))], &Gov::none()).unwrap();
         assert_eq!(out, rows);
+    }
+
+    #[test]
+    fn tiny_budget_trips_projection() {
+        use rfv_types::{CancelToken, RfvError};
+        use std::sync::Arc;
+        let rows: Vec<Row> = (0..10).map(|i| row![i as i64]).collect();
+        let token = Arc::new(CancelToken::new().with_mem_budget(8));
+        let gov = Gov::new(Some(token));
+        assert!(matches!(
+            project(rows, &[Expr::col(0)], &gov),
+            Err(RfvError::ResourceExhausted(_))
+        ));
     }
 }

@@ -4,8 +4,9 @@ use std::collections::HashMap;
 
 use rfv_expr::Expr;
 use rfv_storage::TableRef;
-use rfv_types::{Result, RfvError, Row, Value};
+use rfv_types::{Gov, Result, RfvError, Row, Value};
 
+use crate::mem::{row_bytes, values_bytes};
 use crate::physical::JoinType;
 
 /// Tuple-at-a-time nested loop join. `on` is evaluated over `left ++ right`;
@@ -17,6 +18,7 @@ pub fn nested_loop_join(
     on: Option<&Expr>,
     join_type: JoinType,
     right_width: usize,
+    gov: &Gov,
 ) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     let left_width = left.first().map(|r| r.len()).unwrap_or(0);
@@ -24,12 +26,18 @@ pub fn nested_loop_join(
     // for every pair, so avoid one allocation per pair and materialize the
     // output row only on a match.
     let mut buf = Row::new(vec![Value::Null; left_width + right_width]);
+    // The pair space (|L| × |R|) dominates the runtime, so the
+    // cancellation checkpoint counts probed pairs, not left rows.
+    let mut pairs = 0usize;
+    let mut pending = 0u64;
     for l in &left {
         for (i, v) in l.values().iter().enumerate() {
             buf.set(i, v.clone());
         }
         let mut matched = false;
         for r in &right {
+            gov.checkpoint(pairs)?;
+            pairs = pairs.wrapping_add(1);
             for (i, v) in r.values().iter().enumerate() {
                 buf.set(left_width + i, v.clone());
             }
@@ -39,9 +47,11 @@ pub fn nested_loop_join(
             };
             if keep {
                 matched = true;
+                pending += row_bytes(&buf);
                 out.push(buf.clone());
             }
         }
+        gov.charge(&mut pending)?;
         if !matched && join_type == JoinType::LeftOuter {
             out.push(l.concat_nulls(right_width));
         }
@@ -66,15 +76,22 @@ pub fn index_nested_loop_join(
     residual: Option<&Expr>,
     join_type: JoinType,
     right_width: usize,
+    gov: &Gov,
 ) -> Result<Vec<Row>> {
     let guard = right_table.read();
     let mut out = Vec::new();
+    let mut probes = 0usize;
+    let mut pending = 0u64;
     for l in &left {
+        gov.checkpoint(probes)?;
+        probes = probes.wrapping_add(1);
         let lo = lo_expr.eval(l)?;
         let hi = hi_expr.eval(l)?;
         let mut matched = false;
         if !lo.is_null() && !hi.is_null() {
             for rid in guard.index_range(right_column, Some(&lo), Some(&hi))? {
+                gov.checkpoint(probes)?;
+                probes = probes.wrapping_add(1);
                 let r = guard.get(rid).ok_or_else(|| {
                     RfvError::internal(format!("join index returned stale row id {rid}"))
                 })?;
@@ -85,10 +102,12 @@ pub fn index_nested_loop_join(
                 };
                 if keep {
                     matched = true;
+                    pending += row_bytes(&combined);
                     out.push(combined);
                 }
             }
         }
+        gov.charge(&mut pending)?;
         if !matched && join_type == JoinType::LeftOuter {
             out.push(l.concat_nulls(right_width));
         }
@@ -107,11 +126,17 @@ pub fn hash_join(
     residual: Option<&Expr>,
     join_type: JoinType,
     right_width: usize,
+    gov: &Gov,
 ) -> Result<Vec<Row>> {
     debug_assert_eq!(left_keys.len(), right_keys.len());
-    // Build side: right.
+    // Build side: right. The key table is the join's resident memory;
+    // charge each key as it is built.
     let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
-    'rows: for r in &right {
+    let mut pending = 0u64;
+    'rows: for (i, r) in right.iter().enumerate() {
+        if i & (rfv_types::governance::CHECK_STRIDE - 1) == 0 {
+            gov.charge(&mut pending)?;
+        }
         let mut key = Vec::with_capacity(right_keys.len());
         for e in right_keys {
             let v = e.eval(r)?;
@@ -120,10 +145,15 @@ pub fn hash_join(
             }
             key.push(v);
         }
+        pending += 24 + values_bytes(&key);
         table.entry(key).or_default().push(r);
     }
+    gov.charge(&mut pending)?;
     let mut out = Vec::new();
-    for l in &left {
+    for (i, l) in left.iter().enumerate() {
+        if i & (rfv_types::governance::CHECK_STRIDE - 1) == 0 {
+            gov.charge(&mut pending)?;
+        }
         let mut matched = false;
         let mut key = Some(Vec::with_capacity(left_keys.len()));
         for e in left_keys {
@@ -146,6 +176,7 @@ pub fn hash_join(
                     };
                     if keep {
                         matched = true;
+                        pending += row_bytes(&combined);
                         out.push(combined);
                     }
                 }
@@ -155,6 +186,7 @@ pub fn hash_join(
             out.push(l.concat_nulls(right_width));
         }
     }
+    gov.charge(&mut pending)?;
     Ok(out)
 }
 
@@ -175,7 +207,7 @@ mod tests {
     fn nlj_inner() {
         let (l, r) = rows_lr();
         let on = Expr::col(0).eq(Expr::col(2));
-        let out = nested_loop_join(l, r, Some(&on), JoinType::Inner, 2).unwrap();
+        let out = nested_loop_join(l, r, Some(&on), JoinType::Inner, 2, &Gov::none()).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out[0], row![2i64, "b", 2i64, 20.0]);
     }
@@ -184,7 +216,7 @@ mod tests {
     fn nlj_left_outer_pads_nulls() {
         let (l, r) = rows_lr();
         let on = Expr::col(0).eq(Expr::col(2));
-        let out = nested_loop_join(l, r, Some(&on), JoinType::LeftOuter, 2).unwrap();
+        let out = nested_loop_join(l, r, Some(&on), JoinType::LeftOuter, 2, &Gov::none()).unwrap();
         assert_eq!(out.len(), 4);
         assert_eq!(out[0].get(0), &Value::Int(1));
         assert!(out[0].get(2).is_null() && out[0].get(3).is_null());
@@ -193,7 +225,7 @@ mod tests {
     #[test]
     fn nlj_cross() {
         let (l, r) = rows_lr();
-        let out = nested_loop_join(l, r, None, JoinType::Inner, 2).unwrap();
+        let out = nested_loop_join(l, r, None, JoinType::Inner, 2, &Gov::none()).unwrap();
         assert_eq!(out.len(), 9);
     }
 
@@ -201,7 +233,15 @@ mod tests {
     fn hash_join_matches_nlj() {
         let (l, r) = rows_lr();
         let on = Expr::col(0).eq(Expr::col(2));
-        let nlj = nested_loop_join(l.clone(), r.clone(), Some(&on), JoinType::Inner, 2).unwrap();
+        let nlj = nested_loop_join(
+            l.clone(),
+            r.clone(),
+            Some(&on),
+            JoinType::Inner,
+            2,
+            &Gov::none(),
+        )
+        .unwrap();
         let hj = hash_join(
             l,
             r,
@@ -210,6 +250,7 @@ mod tests {
             None,
             JoinType::Inner,
             2,
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(nlj.len(), hj.len());
@@ -227,6 +268,7 @@ mod tests {
             None,
             JoinType::Inner,
             1,
+            &Gov::none(),
         )
         .unwrap();
         assert!(out.is_empty());
@@ -238,6 +280,7 @@ mod tests {
             None,
             JoinType::LeftOuter,
             1,
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(outer.len(), 1, "outer join keeps the left row");
@@ -255,6 +298,7 @@ mod tests {
             Some(&residual),
             JoinType::Inner,
             2,
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(out.len(), 1);
@@ -291,6 +335,7 @@ mod tests {
             None,
             JoinType::Inner,
             2,
+            &Gov::none(),
         )
         .unwrap();
         // Interior rows match 3 right rows, the two edge rows match 2.
@@ -321,6 +366,7 @@ mod tests {
             None,
             JoinType::LeftOuter,
             1,
+            &Gov::none(),
         )
         .unwrap();
         assert_eq!(out.len(), 1);

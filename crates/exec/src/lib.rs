@@ -16,6 +16,7 @@
 mod aggregate;
 mod filter;
 mod join;
+mod mem;
 pub mod opmetrics;
 pub mod physical;
 mod scan;

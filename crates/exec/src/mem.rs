@@ -1,0 +1,46 @@
+//! Approximate byte accounting for materialized intermediates.
+//!
+//! The executor is materializing, so every operator's memory footprint is
+//! dominated by the row vectors it builds: scan clones, projected rows,
+//! sort decorations, join build tables and outputs, aggregate key/argument
+//! columns, window spans. These estimators price a value at its inline
+//! enum size (strings add their heap payload) and a row at a small vector
+//! header plus its values — deliberately coarse, but monotone in the real
+//! allocation size and cheap enough to run per produced row.
+
+use rfv_types::{Row, Value};
+
+/// Approximate heap + inline size of one value.
+#[inline]
+pub(crate) fn value_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Str(s) => 24 + s.len() as u64,
+        _ => 16,
+    }
+}
+
+/// Approximate size of a slice of values (no container header).
+#[inline]
+pub(crate) fn values_bytes(vals: &[Value]) -> u64 {
+    vals.iter().map(value_bytes).sum()
+}
+
+/// Approximate size of one materialized row.
+#[inline]
+pub(crate) fn row_bytes(row: &Row) -> u64 {
+    24 + values_bytes(row.values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_types::row;
+
+    #[test]
+    fn strings_cost_more_than_ints() {
+        let short = row![1i64, 2i64];
+        let stringy = row![1i64, Value::str("a long-ish string payload")];
+        assert!(row_bytes(&stringy) > row_bytes(&short));
+        assert!(row_bytes(&short) >= 24 + 32);
+    }
+}

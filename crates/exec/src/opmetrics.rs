@@ -17,7 +17,10 @@
 //! elsewhere. `rows_in` is the sum of child output cardinalities;
 //! leaves report 0 (their input is storage, tallied by `rows_scanned`).
 
+use std::sync::Arc;
+
 use rfv_obs::{fmt_ns, Counter};
+use rfv_types::{CancelToken, Gov};
 
 /// Always-on totals shared with the engine's metrics registry.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +41,10 @@ pub struct ExecProbe {
     pub counters: Option<ExecCounters>,
     /// Build an [`OpMetrics`] tree (reads the clock once per node).
     pub trace: bool,
+    /// Cooperative cancellation / deadline / memory-budget token for this
+    /// statement; operators poll it at morsel boundaries. `None` (the
+    /// default) executes ungoverned.
+    pub token: Option<Arc<CancelToken>>,
 }
 
 impl ExecProbe {
@@ -46,7 +53,13 @@ impl ExecProbe {
         ExecProbe {
             counters: None,
             trace: true,
+            token: None,
         }
+    }
+
+    /// The governance handle operators thread through their loops.
+    pub fn gov(&self) -> Gov {
+        Gov::new(self.token.clone())
     }
 }
 

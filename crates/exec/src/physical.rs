@@ -202,6 +202,7 @@ impl PhysicalPlan {
         let mut rows_in = 0u64;
         let mut batches = 0u64;
         let mut par = ParStats::default();
+        let gov = probe.gov();
         let mut run = |p: &PhysicalPlan| -> Result<Vec<Row>> {
             let (rows, m) = p.execute_probed(probe)?;
             rows_in += rows.len() as u64;
@@ -212,20 +213,20 @@ impl PhysicalPlan {
             Ok(rows)
         };
         let out = match self {
-            PhysicalPlan::TableScan { table, .. } => scan::table_scan_par(table, &mut par)?,
+            PhysicalPlan::TableScan { table, .. } => scan::table_scan_par(table, &mut par, &gov)?,
             PhysicalPlan::IndexRangeScan {
                 table,
                 column,
                 lo,
                 hi,
                 ..
-            } => scan::index_range_scan(table, *column, lo.as_ref(), hi.as_ref())?,
+            } => scan::index_range_scan(table, *column, lo.as_ref(), hi.as_ref(), &gov)?,
             PhysicalPlan::Values { rows, .. } => rows.clone(),
             PhysicalPlan::Filter { input, predicate } => {
-                filter::filter_par(run(input)?, predicate, &mut par)?
+                filter::filter_par(run(input)?, predicate, &mut par, &gov)?
             }
             PhysicalPlan::Project { input, exprs, .. } => {
-                filter::project_par(run(input)?, exprs, &mut par)?
+                filter::project_par(run(input)?, exprs, &mut par, &gov)?
             }
             PhysicalPlan::NestedLoopJoin {
                 left,
@@ -238,6 +239,7 @@ impl PhysicalPlan {
                 on.as_ref(),
                 *join_type,
                 right.schema().len(),
+                &gov,
             )?,
             PhysicalPlan::IndexNestedLoopJoin {
                 left,
@@ -257,6 +259,7 @@ impl PhysicalPlan {
                 residual.as_ref(),
                 *join_type,
                 right_schema.len(),
+                &gov,
             )?,
             PhysicalPlan::HashJoin {
                 left,
@@ -273,14 +276,19 @@ impl PhysicalPlan {
                 residual.as_ref(),
                 *join_type,
                 right.schema().len(),
+                &gov,
             )?,
-            PhysicalPlan::Sort { input, keys } => filter::sort_par(run(input)?, keys, &mut par)?,
+            PhysicalPlan::Sort { input, keys } => {
+                filter::sort_par(run(input)?, keys, &mut par, &gov)?
+            }
             PhysicalPlan::HashAggregate {
                 input,
                 group_exprs,
                 aggregates,
                 ..
-            } => aggregate::hash_aggregate_par(run(input)?, group_exprs, aggregates, &mut par)?,
+            } => {
+                aggregate::hash_aggregate_par(run(input)?, group_exprs, aggregates, &mut par, &gov)?
+            }
             PhysicalPlan::UnionAll { inputs } => {
                 let mut out = Vec::new();
                 for p in inputs {
@@ -307,6 +315,7 @@ impl PhysicalPlan {
                 window_exprs,
                 *mode,
                 &mut par,
+                &gov,
             )?,
         };
         if let Some(counters) = &probe.counters {

@@ -1,14 +1,25 @@
 //! Scan operators.
 
 use rfv_storage::TableRef;
-use rfv_types::{Result, RfvError, Row, Value};
+use rfv_types::{Gov, Result, RfvError, Row, Value};
 
+use crate::mem::row_bytes;
 use crate::sched::{self, ParStats};
 
 /// Full table scan in slot order.
-pub fn table_scan(table: &TableRef) -> Result<Vec<Row>> {
+pub fn table_scan(table: &TableRef, gov: &Gov) -> Result<Vec<Row>> {
     let guard = table.read();
-    Ok(guard.scan().map(|(_, r)| r.clone()).collect())
+    let mut out = Vec::new();
+    let mut pending = 0u64;
+    for (i, (_, r)) in guard.scan().enumerate() {
+        if i & (rfv_types::governance::CHECK_STRIDE - 1) == 0 {
+            gov.charge(&mut pending)?;
+        }
+        pending += row_bytes(r);
+        out.push(r.clone());
+    }
+    gov.charge(&mut pending)?;
+    Ok(out)
 }
 
 /// Morsel-parallel full table scan: the slot space is split into
@@ -17,22 +28,28 @@ pub fn table_scan(table: &TableRef) -> Result<Vec<Row>> {
 /// serial slot-order scan. Like every read in this engine, a scan is not
 /// snapshot-isolated against concurrent writers; each morsel sees the
 /// table as of its own read lock.
-pub fn table_scan_par(table: &TableRef, par: &mut ParStats) -> Result<Vec<Row>> {
+pub fn table_scan_par(table: &TableRef, par: &mut ParStats, gov: &Gov) -> Result<Vec<Row>> {
     let slots = table.read().stats().slot_count;
     if !sched::should_parallelize(slots, 2) {
-        return table_scan(table);
+        return table_scan(table, gov);
     }
     let ranges = sched::morsel_ranges(slots);
     if ranges.len() <= 1 {
-        return table_scan(table);
+        return table_scan(table, gov);
     }
     par.record(ranges.len());
     let t = table.clone();
-    let chunks = sched::run_ordered(ranges, move |_, (lo, hi)| {
-        Ok(t.read()
-            .scan_range(lo, hi)
-            .map(|(_, r)| r.clone())
-            .collect::<Vec<Row>>())
+    let worker_gov = gov.clone();
+    let chunks = sched::run_ordered_gov(ranges, gov.clone(), move |_, (lo, hi)| {
+        let guard = t.read();
+        let mut chunk = Vec::new();
+        let mut pending = 0u64;
+        for (_, r) in guard.scan_range(lo, hi) {
+            pending += row_bytes(r);
+            chunk.push(r.clone());
+        }
+        worker_gov.charge(&mut pending)?;
+        Ok(chunk)
     })?;
     let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
     for chunk in chunks {
@@ -47,18 +64,24 @@ pub fn index_range_scan(
     column: usize,
     lo: Option<&Value>,
     hi: Option<&Value>,
+    gov: &Gov,
 ) -> Result<Vec<Row>> {
     let guard = table.read();
     let rids = guard.index_range(column, lo, hi)?;
-    rids.into_iter()
-        .map(|rid| {
-            guard.get(rid).cloned().ok_or_else(|| {
-                RfvError::internal(format!(
-                    "index on column {column} returned dead row id {rid}"
-                ))
-            })
-        })
-        .collect()
+    let mut out = Vec::with_capacity(rids.len());
+    let mut pending = 0u64;
+    for (i, rid) in rids.into_iter().enumerate() {
+        gov.checkpoint(i)?;
+        let row = guard.get(rid).cloned().ok_or_else(|| {
+            RfvError::internal(format!(
+                "index on column {column} returned dead row id {rid}"
+            ))
+        })?;
+        pending += row_bytes(&row);
+        out.push(row);
+    }
+    gov.charge(&mut pending)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -91,13 +114,20 @@ mod tests {
     #[test]
     fn table_scan_returns_all_rows() {
         let t = setup();
-        assert_eq!(table_scan(&t).unwrap().len(), 3);
+        assert_eq!(table_scan(&t, &Gov::none()).unwrap().len(), 3);
     }
 
     #[test]
     fn index_range_scan_is_ordered_and_bounded() {
         let t = setup();
-        let rows = index_range_scan(&t, 0, Some(&Value::Int(1)), Some(&Value::Int(2))).unwrap();
+        let rows = index_range_scan(
+            &t,
+            0,
+            Some(&Value::Int(1)),
+            Some(&Value::Int(2)),
+            &Gov::none(),
+        )
+        .unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get(0), &Value::Int(1));
         assert_eq!(rows[1].get(0), &Value::Int(2));
@@ -106,6 +136,28 @@ mod tests {
     #[test]
     fn index_range_scan_without_index_errors() {
         let t = setup();
-        assert!(index_range_scan(&t, 1, None, None).is_err());
+        assert!(index_range_scan(&t, 1, None, None, &Gov::none()).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_a_scan() {
+        use rfv_types::CancelToken;
+        use std::sync::Arc;
+        let t = setup();
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let gov = Gov::new(Some(token));
+        assert!(matches!(table_scan(&t, &gov), Err(RfvError::Cancelled(_))));
+    }
+
+    #[test]
+    fn scans_account_materialized_bytes() {
+        use rfv_types::CancelToken;
+        use std::sync::Arc;
+        let t = setup();
+        let token = Arc::new(CancelToken::new());
+        let gov = Gov::new(Some(token.clone()));
+        table_scan(&t, &gov).unwrap();
+        assert!(token.mem_used() > 0, "scan must charge its clones");
     }
 }

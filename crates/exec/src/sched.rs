@@ -484,6 +484,23 @@ where
     Ok(out)
 }
 
+/// [`run_ordered`] with a governance checkpoint in the work loop: every
+/// task polls `gov` *before* doing any work, so once a statement's token
+/// trips, its queued morsels drain from the pool in microseconds instead
+/// of running to completion. This is the scheduler-level cancellation
+/// point; operators add finer-grained checks inside their own loops.
+pub fn run_ordered_gov<C, U, F>(chunks: Vec<C>, gov: rfv_types::Gov, f: F) -> Result<Vec<U>>
+where
+    C: Send + 'static,
+    U: Send + 'static,
+    F: Fn(usize, C) -> Result<U> + Send + Sync + 'static,
+{
+    run_ordered(chunks, move |i, chunk| {
+        gov.check()?;
+        f(i, chunk)
+    })
+}
+
 /// Split `len` items into contiguous morsel ranges `[lo, hi)` sized for
 /// the current pool: roughly four morsels per effective thread, but never
 /// smaller than an eighth of the parallel threshold (so tiny overridden

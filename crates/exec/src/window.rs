@@ -21,9 +21,10 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use rfv_expr::{AggFunc, Expr};
-use rfv_types::{Result, RfvError, Row, Value};
+use rfv_types::{Gov, Result, RfvError, Row, Value};
 
 use crate::filter::compare_keys;
+use crate::mem::{row_bytes, values_bytes};
 use crate::physical::SortKey;
 use crate::sched::{self, ParStats};
 
@@ -251,6 +252,7 @@ pub fn execute_window(
         window_exprs,
         mode,
         &mut ParStats::default(),
+        &Gov::none(),
     )
 }
 
@@ -260,6 +262,7 @@ pub fn execute_window(
 /// sorted rows and stitches its own output rows; group outputs concatenate
 /// in partition order, so the result is byte-identical to serial
 /// evaluation at every thread count.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_window_par(
     rows: Vec<Row>,
     partition_by: &[Expr],
@@ -267,6 +270,7 @@ pub fn execute_window_par(
     window_exprs: &[WindowExprSpec],
     mode: WindowMode,
     par: &mut ParStats,
+    gov: &Gov,
 ) -> Result<Vec<Row>> {
     // Sort by (partition keys ASC, order keys as specified).
     let mut keys: Vec<SortKey> = partition_by
@@ -274,18 +278,23 @@ pub fn execute_window_par(
         .map(|e| SortKey::asc(e.clone()))
         .collect();
     keys.extend(order_by.iter().cloned());
-    let sorted = crate::filter::sort(rows, &keys)?;
+    let sorted = crate::filter::sort(rows, &keys, gov)?;
 
     // Partition boundaries: runs of equal partition-key vectors.
-    let part_keys: Vec<Vec<Value>> = sorted
-        .iter()
-        .map(|r| {
-            partition_by
-                .iter()
-                .map(|e| e.eval(r))
-                .collect::<Result<Vec<Value>>>()
-        })
-        .collect::<Result<_>>()?;
+    let mut pending = 0u64;
+    let mut part_keys: Vec<Vec<Value>> = Vec::with_capacity(sorted.len());
+    for (i, r) in sorted.iter().enumerate() {
+        if i & (rfv_types::governance::CHECK_STRIDE - 1) == 0 {
+            gov.charge(&mut pending)?;
+        }
+        let pk = partition_by
+            .iter()
+            .map(|e| e.eval(r))
+            .collect::<Result<Vec<Value>>>()?;
+        pending += values_bytes(&pk);
+        part_keys.push(pk);
+    }
+    gov.charge(&mut pending)?;
     let part_sort_keys: Vec<SortKey> = partition_by
         .iter()
         .map(|e| SortKey::asc(e.clone()))
@@ -335,20 +344,25 @@ pub fn execute_window_par(
                 };
                 window_exprs
                     .iter()
-                    .map(|spec| eval_window_expr(part, keys, spec, mode))
+                    .map(|spec| eval_window_expr(part, keys, spec, mode, gov))
                     .collect()
             })
             .collect::<Result<_>>()?;
         let mut out = Vec::with_capacity(sorted.len());
+        let mut pending = 0u64;
         for (range, cols) in ranges.iter().zip(per_range) {
             for i in range.0..range.1 {
+                gov.checkpoint(out.len())?;
                 let mut values = sorted[i].values().to_vec();
                 for col in &cols {
                     values.push(col[i - range.0].clone());
                 }
-                out.push(Row::new(values));
+                let row = Row::new(values);
+                pending += row_bytes(&row);
+                out.push(row);
             }
         }
+        gov.charge(&mut pending)?;
         return Ok(out);
     }
 
@@ -383,30 +397,39 @@ pub fn execute_window_par(
     tasks.reverse();
 
     let specs = window_exprs.to_vec();
-    let outs = sched::run_ordered(tasks, move |_, (base, span_rows, span_keys, group)| {
-        let mut out = Vec::with_capacity(span_rows.len());
-        for &(lo, hi) in &group {
-            let (l, h) = (lo - base, hi - base);
-            let part = &span_rows[l..h];
-            let keys = if span_keys.is_empty() {
-                &[][..]
-            } else {
-                &span_keys[l..h]
-            };
-            let cols = specs
-                .iter()
-                .map(|spec| eval_window_expr(part, keys, spec, mode))
-                .collect::<Result<Vec<Vec<Value>>>>()?;
-            for i in l..h {
-                let mut values = span_rows[i].values().to_vec();
-                for col in &cols {
-                    values.push(col[i - l].clone());
+    let task_gov = gov.clone();
+    let outs = sched::run_ordered_gov(
+        tasks,
+        gov.clone(),
+        move |_, (base, span_rows, span_keys, group)| {
+            let mut out = Vec::with_capacity(span_rows.len());
+            let mut pending = 0u64;
+            for &(lo, hi) in &group {
+                let (l, h) = (lo - base, hi - base);
+                let part = &span_rows[l..h];
+                let keys = if span_keys.is_empty() {
+                    &[][..]
+                } else {
+                    &span_keys[l..h]
+                };
+                let cols = specs
+                    .iter()
+                    .map(|spec| eval_window_expr(part, keys, spec, mode, &task_gov))
+                    .collect::<Result<Vec<Vec<Value>>>>()?;
+                for i in l..h {
+                    let mut values = span_rows[i].values().to_vec();
+                    for col in &cols {
+                        values.push(col[i - l].clone());
+                    }
+                    let row = Row::new(values);
+                    pending += row_bytes(&row);
+                    out.push(row);
                 }
-                out.push(Row::new(values));
+                task_gov.charge(&mut pending)?;
             }
-        }
-        Ok(out)
-    })?;
+            Ok(out)
+        },
+    )?;
     let mut out = Vec::with_capacity(outs.iter().map(Vec::len).sum());
     for chunk in outs {
         out.extend(chunk);
@@ -420,24 +443,27 @@ fn eval_window_expr(
     order_keys: &[Vec<Value>],
     spec: &WindowExprSpec,
     mode: WindowMode,
+    gov: &Gov,
 ) -> Result<Vec<Value>> {
     let func = match spec.func {
         WindowFuncKind::Agg(f) => f,
         ranking => return eval_ranking(part.len(), order_keys, ranking),
     };
-    // Pre-evaluate the argument once per row.
+    // Pre-evaluate the argument once per row. The argument span is the
+    // window's materialized state; charge it before the frame walk.
     let args: Vec<Value> = match &spec.arg {
         Some(e) => part.iter().map(|r| e.eval(r)).collect::<Result<_>>()?,
         // COUNT(*) counts rows; feed a non-null dummy.
         None => vec![Value::Int(1); part.len()],
     };
+    gov.reserve(values_bytes(&args))?;
     match mode {
-        WindowMode::Naive => eval_naive(&args, func, spec),
+        WindowMode::Naive => eval_naive(&args, func, spec, gov),
         WindowMode::Pipelined => {
             if func.is_retractable() {
-                eval_pipelined(&args, func, spec)
+                eval_pipelined(&args, func, spec, gov)
             } else {
-                eval_minmax_deque(&args, func, spec)
+                eval_minmax_deque(&args, func, spec, gov)
             }
         }
     }
@@ -468,11 +494,19 @@ fn eval_ranking(len: usize, order_keys: &[Vec<Value>], func: WindowFuncKind) -> 
     Ok(out)
 }
 
-fn eval_naive(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Result<Vec<Value>> {
+fn eval_naive(
+    args: &[Value],
+    func: AggFunc,
+    spec: &WindowExprSpec,
+    gov: &Gov,
+) -> Result<Vec<Value>> {
     let len = args.len();
     let mut out = Vec::with_capacity(len);
     let mut acc = func.accumulator();
     for i in 0..len {
+        // O(n·W): a wide frame makes this the longest uninterruptible
+        // stretch in the engine, so poll every row, not every stride.
+        gov.check()?;
         acc.reset();
         let (lo, hi) = spec.frame.indices(i, len);
         for arg in &args[lo..hi] {
@@ -486,12 +520,18 @@ fn eval_naive(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Result<Ve
 /// Incremental evaluation with a retractable accumulator: both frame ends
 /// move monotonically with the row index, so each value is added and
 /// retracted at most once (the paper's three-operations-per-position claim).
-fn eval_pipelined(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Result<Vec<Value>> {
+fn eval_pipelined(
+    args: &[Value],
+    func: AggFunc,
+    spec: &WindowExprSpec,
+    gov: &Gov,
+) -> Result<Vec<Value>> {
     let len = args.len();
     let mut out = Vec::with_capacity(len);
     let mut acc = func.retract_accumulator()?;
     let (mut cur_lo, mut cur_hi) = (0usize, 0usize);
     for i in 0..len {
+        gov.checkpoint(i)?;
         let (lo, hi) = spec.frame.indices(i, len);
         while cur_hi < hi {
             acc.update(&args[cur_hi])?;
@@ -509,7 +549,12 @@ fn eval_pipelined(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Resul
 
 /// Sliding MIN/MAX via a monotonic deque of candidate indices. NULLs are
 /// skipped on entry (SQL aggregates ignore NULL).
-fn eval_minmax_deque(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Result<Vec<Value>> {
+fn eval_minmax_deque(
+    args: &[Value],
+    func: AggFunc,
+    spec: &WindowExprSpec,
+    gov: &Gov,
+) -> Result<Vec<Value>> {
     let want = match func {
         AggFunc::Min => std::cmp::Ordering::Less,
         AggFunc::Max => std::cmp::Ordering::Greater,
@@ -524,6 +569,7 @@ fn eval_minmax_deque(args: &[Value], func: AggFunc, spec: &WindowExprSpec) -> Re
     let mut deque: VecDeque<usize> = VecDeque::new();
     let mut cur_hi = 0usize;
     for i in 0..len {
+        gov.checkpoint(i)?;
         let (lo, hi) = spec.frame.indices(i, len);
         while cur_hi < hi {
             let v = &args[cur_hi];

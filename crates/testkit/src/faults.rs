@@ -54,9 +54,53 @@ impl FaultSchedule {
     }
 }
 
+/// One planned cancellation: cancel the running statement at its
+/// `checkpoint`-th governance check (see
+/// `rfv_types::governance::arm_cancel_after`). Log-uniform over
+/// `[1, max_checkpoints]`, so schedules land both in the first morsel and
+/// deep inside long operators — checkpoint counts grow with data size,
+/// and a uniform draw would almost never hit the early checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CancelSchedule {
+    pub checkpoint: u64,
+}
+
+impl CancelSchedule {
+    /// Derive the schedule for `case` under `seed`.
+    pub fn derive(seed: u64, case: u64, max_checkpoints: u64) -> CancelSchedule {
+        let mut rng = Rng::new(seed ^ case.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let max = max_checkpoints.max(1);
+        // Log-uniform: draw an exponent first, then a value below 2^exp.
+        let bits = 64 - max.leading_zeros() as u64;
+        let exp = rng.u64_below(bits.max(1)) + 1;
+        let checkpoint = rng.u64_below(1u64 << exp.min(63)).min(max - 1) + 1;
+        CancelSchedule { checkpoint }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cancel_schedules_are_deterministic_and_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for case in 0..200 {
+            let a = CancelSchedule::derive(7, case, 10_000);
+            assert_eq!(a, CancelSchedule::derive(7, case, 10_000));
+            assert!((1..=10_000).contains(&a.checkpoint));
+            seen.insert(a.checkpoint);
+        }
+        assert!(seen.len() > 50, "schedules must spread: {}", seen.len());
+        assert!(
+            seen.iter().any(|&c| c <= 8),
+            "log-uniform draw must cover the earliest checks"
+        );
+        assert!(
+            seen.iter().any(|&c| c > 1000),
+            "…and the deep ones: {seen:?}"
+        );
+    }
 
     #[test]
     fn schedules_are_deterministic_and_cover_all_points() {

@@ -66,7 +66,7 @@ pub mod rng;
 pub mod runner;
 pub mod shrink;
 
-pub use faults::{FaultSchedule, KILL_POINTS};
+pub use faults::{CancelSchedule, FaultSchedule, KILL_POINTS};
 pub use gen::{Frame, SeqOp};
 pub use oracle::DiffMatrix;
 pub use rng::{splitmix64, Rng};

@@ -30,6 +30,16 @@ pub enum RfvError {
     Derivation(String),
     /// Internal invariant violation; indicates a bug in rfv itself.
     Internal(String),
+    /// The statement was cancelled cooperatively (`Database::cancel()`,
+    /// shell Ctrl-C, or a test cancellation schedule).
+    Cancelled(String),
+    /// The statement ran past its deadline (`RFV_STATEMENT_TIMEOUT_MS`).
+    Timeout(String),
+    /// The statement exceeded its memory budget (`RFV_MEM_BUDGET`).
+    ResourceExhausted(String),
+    /// The admission controller refused the statement because too many
+    /// queries are already running (`RFV_MAX_CONCURRENT_QUERIES`).
+    Overloaded(String),
 }
 
 impl RfvError {
@@ -71,6 +81,39 @@ impl RfvError {
     pub fn internal(message: impl Into<String>) -> Self {
         RfvError::Internal(message.into())
     }
+
+    /// Build a cancellation error.
+    pub fn cancelled(message: impl Into<String>) -> Self {
+        RfvError::Cancelled(message.into())
+    }
+
+    /// Build a statement-timeout error.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        RfvError::Timeout(message.into())
+    }
+
+    /// Build a memory-budget error.
+    pub fn resource_exhausted(message: impl Into<String>) -> Self {
+        RfvError::ResourceExhausted(message.into())
+    }
+
+    /// Build an admission-control rejection.
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        RfvError::Overloaded(message.into())
+    }
+
+    /// Whether this error came from the resource-governance layer
+    /// (cancellation, timeout, memory budget, or admission control) rather
+    /// than from the statement itself being wrong.
+    pub fn is_governance(&self) -> bool {
+        matches!(
+            self,
+            RfvError::Cancelled(_)
+                | RfvError::Timeout(_)
+                | RfvError::ResourceExhausted(_)
+                | RfvError::Overloaded(_)
+        )
+    }
 }
 
 impl fmt::Display for RfvError {
@@ -89,6 +132,10 @@ impl fmt::Display for RfvError {
             RfvError::Execution(m) => write!(f, "execution error: {m}"),
             RfvError::Derivation(m) => write!(f, "derivation error: {m}"),
             RfvError::Internal(m) => write!(f, "internal error: {m}"),
+            RfvError::Cancelled(m) => write!(f, "query cancelled: {m}"),
+            RfvError::Timeout(m) => write!(f, "statement timeout: {m}"),
+            RfvError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            RfvError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -123,6 +170,28 @@ mod tests {
         assert!(RfvError::internal("x")
             .to_string()
             .starts_with("internal error"));
+        assert!(RfvError::cancelled("x")
+            .to_string()
+            .starts_with("query cancelled"));
+        assert!(RfvError::timeout("x")
+            .to_string()
+            .starts_with("statement timeout"));
+        assert!(RfvError::resource_exhausted("x")
+            .to_string()
+            .starts_with("resource exhausted"));
+        assert!(RfvError::overloaded("x")
+            .to_string()
+            .starts_with("overloaded"));
+    }
+
+    #[test]
+    fn governance_errors_are_classified() {
+        assert!(RfvError::cancelled("x").is_governance());
+        assert!(RfvError::timeout("x").is_governance());
+        assert!(RfvError::resource_exhausted("x").is_governance());
+        assert!(RfvError::overloaded("x").is_governance());
+        assert!(!RfvError::execution("x").is_governance());
+        assert!(!RfvError::plan("x").is_governance());
     }
 
     #[test]

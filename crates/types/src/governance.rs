@@ -1,0 +1,418 @@
+//! Cooperative resource governance: per-statement cancellation tokens.
+//!
+//! A [`CancelToken`] is created once per statement by the engine and
+//! threaded through the executor inside `ExecProbe`. Operators call
+//! [`Gov::checkpoint`] at morsel boundaries and every ~1 Ki rows of tight
+//! loops, and [`Gov::charge`] whenever they materialize rows, so a running
+//! query observes cancellation, deadline expiry, or memory-budget
+//! exhaustion within a bounded amount of work and unwinds with a clean
+//! typed error ([`RfvError::Cancelled`] / [`RfvError::Timeout`] /
+//! [`RfvError::ResourceExhausted`]).
+//!
+//! Everything here is lock-free: the token is a handful of atomics plus an
+//! immutable deadline, so an *idle* token (no timeout, unlimited budget,
+//! nobody cancelling) costs two relaxed loads per checkpoint.
+//!
+//! The module also hosts two process-global hooks that must be visible to
+//! both the engine and the shell binary without a shared allocation:
+//!
+//! * a cooperative **interrupt flag** ([`raise_interrupt`]) that a SIGINT
+//!   handler can set from async-signal context (plain atomic store) and
+//!   that interrupt-honoring tokens consume at the next checkpoint;
+//! * a deterministic **cancellation-point injector**
+//!   ([`arm_cancel_after`]) mirroring the storage layer's crash
+//!   kill-points: tests arm a countdown of checkpoints after which the
+//!   checking token cancels itself, making "cancelled mid-operator"
+//!   reproducible from a seed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{Result, RfvError};
+
+/// Sentinel for "no memory budget".
+pub const UNLIMITED: u64 = u64::MAX;
+
+/// Checkpoint stride: tight per-row loops consult the token every
+/// `CHECK_STRIDE` rows (power of two so the test is a mask).
+pub const CHECK_STRIDE: usize = 1024;
+
+const RUNNING: u8 = 0;
+const CANCELLED: u8 = 1;
+const TIMED_OUT: u8 = 2;
+const EXHAUSTED: u8 = 3;
+
+/// Shared cancellation / deadline / memory-budget state for one statement.
+///
+/// Cheap to share (`Arc`) and cheap to poll; once a token trips it stays
+/// tripped, and every subsequent check returns the same error kind.
+#[derive(Debug)]
+pub struct CancelToken {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+    mem_budget: u64,
+    mem_used: AtomicU64,
+    honor_interrupt: bool,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline, no budget, and no interrupt handling.
+    pub fn new() -> Self {
+        CancelToken {
+            state: AtomicU8::new(RUNNING),
+            deadline: None,
+            mem_budget: UNLIMITED,
+            mem_used: AtomicU64::new(0),
+            honor_interrupt: false,
+        }
+    }
+
+    /// Trip the token after `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Enforce a memory budget of `bytes` ([`UNLIMITED`] disables it).
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = bytes;
+        self
+    }
+
+    /// Consume the process-global interrupt flag (shell Ctrl-C) at
+    /// checkpoints.
+    pub fn with_interrupt(mut self, honor: bool) -> Self {
+        self.honor_interrupt = honor;
+        self
+    }
+
+    /// Request cooperative cancellation. Idempotent; a token that already
+    /// timed out or exhausted its budget keeps its original cause.
+    pub fn cancel(&self) {
+        let _ =
+            self.state
+                .compare_exchange(RUNNING, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Whether the token has tripped (for any cause).
+    pub fn is_tripped(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != RUNNING
+    }
+
+    /// Approximate bytes reserved against this token so far.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// The configured budget ([`UNLIMITED`] when unenforced).
+    pub fn mem_budget(&self) -> u64 {
+        self.mem_budget
+    }
+
+    fn tripped_error(&self, state: u8) -> RfvError {
+        match state {
+            CANCELLED => RfvError::cancelled("statement aborted by cancellation request"),
+            TIMED_OUT => RfvError::timeout("statement exceeded its deadline"),
+            _ => RfvError::resource_exhausted(format!(
+                "statement memory {} bytes exceeds budget {} bytes",
+                self.mem_used(),
+                self.mem_budget
+            )),
+        }
+    }
+
+    /// Poll the token: returns `Err` once cancellation was requested, the
+    /// deadline passed, or the budget tripped. Called at morsel
+    /// boundaries; an idle token reduces to two relaxed atomic loads.
+    pub fn check(&self) -> Result<()> {
+        if inject_hit() {
+            self.cancel();
+        }
+        let state = self.state.load(Ordering::Relaxed);
+        if state != RUNNING {
+            return Err(self.tripped_error(state));
+        }
+        if self.honor_interrupt && take_interrupt() {
+            self.cancel();
+            return Err(RfvError::cancelled("interrupted"));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                let _ = self.state.compare_exchange(
+                    RUNNING,
+                    TIMED_OUT,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return Err(self.tripped_error(self.state.load(Ordering::Relaxed)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Account `bytes` of materialized intermediate state against the
+    /// budget. Accounting is cumulative per statement (reservations are
+    /// never released), which over-approximates the peak but keeps the
+    /// model deterministic and the hot path to one `fetch_add`.
+    pub fn reserve(&self, bytes: u64) -> Result<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let used = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if used > self.mem_budget {
+            let _ = self.state.compare_exchange(
+                RUNNING,
+                EXHAUSTED,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            return Err(RfvError::resource_exhausted(format!(
+                "statement memory {used} bytes exceeds budget {} bytes",
+                self.mem_budget
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Borrowed-or-absent token handle the executor threads through operators.
+///
+/// `Gov::none()` (the default) turns every call into a no-op so plan
+/// execution outside the governed engine path (view maintenance, unit
+/// tests, direct `PhysicalPlan::execute`) needs no special casing.
+#[derive(Debug, Clone, Default)]
+pub struct Gov(Option<Arc<CancelToken>>);
+
+impl Gov {
+    /// A handle that never trips.
+    pub fn none() -> Gov {
+        Gov(None)
+    }
+
+    /// Wrap an optional token.
+    pub fn new(token: Option<Arc<CancelToken>>) -> Gov {
+        Gov(token)
+    }
+
+    /// The wrapped token, if any.
+    pub fn token(&self) -> Option<&Arc<CancelToken>> {
+        self.0.as_ref()
+    }
+
+    /// Poll for cancellation/timeout (no-op without a token).
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        match &self.0 {
+            Some(t) => t.check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Strided poll for per-row loops: checks on every
+    /// [`CHECK_STRIDE`]-th index (including 0).
+    #[inline]
+    pub fn checkpoint(&self, i: usize) -> Result<()> {
+        if i & (CHECK_STRIDE - 1) == 0 {
+            self.check()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reserve `bytes` against the memory budget.
+    #[inline]
+    pub fn reserve(&self, bytes: u64) -> Result<()> {
+        match &self.0 {
+            Some(t) => t.reserve(bytes),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush `pending` accumulated bytes into the budget and poll for
+    /// cancellation in one call; operators accumulate an approximate byte
+    /// count per produced row and charge it at each checkpoint.
+    #[inline]
+    pub fn charge(&self, pending: &mut u64) -> Result<()> {
+        let bytes = std::mem::take(pending);
+        match &self.0 {
+            Some(t) => {
+                t.reserve(bytes)?;
+                t.check()
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global cooperative interrupt flag (shell Ctrl-C).
+// ---------------------------------------------------------------------------
+
+static INTERRUPT: AtomicBool = AtomicBool::new(false);
+
+/// Raise the interrupt flag. Async-signal-safe (a single atomic store), so
+/// the shell's SIGINT handler may call it directly.
+pub fn raise_interrupt() {
+    INTERRUPT.store(true, Ordering::Relaxed);
+}
+
+/// Clear a raised-but-unconsumed interrupt (e.g. the signal landed after
+/// the query already finished).
+pub fn clear_interrupt() {
+    INTERRUPT.store(false, Ordering::Relaxed);
+}
+
+/// Consume the interrupt flag: returns `true` at most once per raise.
+pub fn take_interrupt() -> bool {
+    INTERRUPT.swap(false, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cancellation-point injection (tests only).
+// ---------------------------------------------------------------------------
+
+static INJECT_ARMED: AtomicBool = AtomicBool::new(false);
+static INJECT_COUNTDOWN: AtomicU64 = AtomicU64::new(0);
+
+/// Arm the injector: after `checkpoints` more token checks
+/// (process-wide), the token performing the fatal check cancels itself.
+/// Mirrors the storage layer's crash kill-points; tests that arm this
+/// must serialize and [`reset_injection`] afterwards.
+pub fn arm_cancel_after(checkpoints: u64) {
+    INJECT_COUNTDOWN.store(checkpoints, Ordering::SeqCst);
+    INJECT_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarm the injector.
+pub fn reset_injection() {
+    INJECT_ARMED.store(false, Ordering::SeqCst);
+    INJECT_COUNTDOWN.store(0, Ordering::SeqCst);
+}
+
+/// Decrement the armed countdown; `true` exactly when it fires.
+fn inject_hit() -> bool {
+    if !INJECT_ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut cur = INJECT_COUNTDOWN.load(Ordering::SeqCst);
+    loop {
+        if cur == 0 {
+            // Already fired; keep cancelling so every thread of the
+            // statement observes it promptly.
+            return true;
+        }
+        match INJECT_COUNTDOWN.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return cur == 1,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The injector and interrupt flag are process-global; unit tests
+    /// touching them serialize here.
+    static GLOBALS: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(!t.is_tripped());
+    }
+
+    #[test]
+    fn cancel_trips_with_typed_error() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(t.check(), Err(RfvError::Cancelled(_))));
+        // Sticky: the cause survives repeated checks.
+        assert!(matches!(t.check(), Err(RfvError::Cancelled(_))));
+    }
+
+    #[test]
+    fn elapsed_deadline_times_out() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let t = CancelToken::new().with_timeout(Duration::ZERO);
+        assert!(matches!(t.check(), Err(RfvError::Timeout(_))));
+        // A later cancel() does not rewrite the cause.
+        t.cancel();
+        assert!(matches!(t.check(), Err(RfvError::Timeout(_))));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_cumulative() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let t = CancelToken::new().with_mem_budget(100);
+        assert!(t.reserve(60).is_ok());
+        assert!(matches!(t.reserve(60), Err(RfvError::ResourceExhausted(_))));
+        assert!(matches!(t.check(), Err(RfvError::ResourceExhausted(_))));
+        assert_eq!(t.mem_used(), 120);
+    }
+
+    #[test]
+    fn gov_none_is_a_no_op() {
+        let g = Gov::none();
+        assert!(g.check().is_ok());
+        assert!(g.reserve(u64::MAX).is_ok());
+        let mut pending = u64::MAX;
+        assert!(g.charge(&mut pending).is_ok());
+        assert_eq!(pending, 0);
+    }
+
+    #[test]
+    fn charge_flushes_pending_and_polls() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let t = Arc::new(CancelToken::new().with_mem_budget(1000));
+        let g = Gov::new(Some(t.clone()));
+        let mut pending = 400;
+        assert!(g.charge(&mut pending).is_ok());
+        assert_eq!(pending, 0);
+        assert_eq!(t.mem_used(), 400);
+        let mut pending = 700;
+        assert!(matches!(
+            g.charge(&mut pending),
+            Err(RfvError::ResourceExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn interrupt_flag_cancels_honoring_tokens_only() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        clear_interrupt();
+        let deaf = CancelToken::new();
+        let aware = CancelToken::new().with_interrupt(true);
+        raise_interrupt();
+        assert!(deaf.check().is_ok(), "non-honoring token ignores the flag");
+        assert!(matches!(aware.check(), Err(RfvError::Cancelled(_))));
+        // Consumed: the flag is one-shot.
+        let aware2 = CancelToken::new().with_interrupt(true);
+        assert!(aware2.check().is_ok());
+        clear_interrupt();
+    }
+
+    #[test]
+    fn injection_fires_after_exact_countdown() {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let t = CancelToken::new();
+        arm_cancel_after(3);
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert!(matches!(t.check(), Err(RfvError::Cancelled(_))));
+        reset_injection();
+        let fresh = CancelToken::new();
+        assert!(fresh.check().is_ok(), "disarmed injector must be inert");
+    }
+}

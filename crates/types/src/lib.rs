@@ -8,15 +8,18 @@
 //! * [`DataType`] / [`Field`] / [`Schema`] — relational schemas,
 //! * [`Row`] — a materialized tuple,
 //! * [`RfvError`] / [`Result`] — the workspace error type,
-//! * [`sync`] — first-party lock wrappers (no external deps).
+//! * [`sync`] — first-party lock wrappers (no external deps),
+//! * [`governance`] — cooperative cancellation tokens and memory budgets.
 
 mod error;
+pub mod governance;
 mod row;
 mod schema;
 pub mod sync;
 mod value;
 
 pub use error::{Result, RfvError};
+pub use governance::{CancelToken, Gov};
 pub use row::Row;
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use value::{days_to_ymd, ymd_to_days, Value};

@@ -218,6 +218,7 @@ fn stat_statements_has_golden_shape_and_matches_the_metrics_registry() {
             vec![
                 "query",
                 "calls",
+                "failures",
                 "total_ns",
                 "min_ns",
                 "max_ns",
@@ -236,6 +237,7 @@ fn stat_statements_has_golden_shape_and_matches_the_metrics_registry() {
                 "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING \
                  AND 1 FOLLOWING) AS s FROM seq",
                 "1",
+                "0",
                 "<ns>",
                 "<ns>",
                 "<ns>",
@@ -253,6 +255,7 @@ fn stat_statements_has_golden_shape_and_matches_the_metrics_registry() {
             vec![
                 "SELECT pos, val FROM seq ORDER BY pos",
                 "2",
+                "0",
                 "<ns>",
                 "<ns>",
                 "<ns>",
@@ -374,6 +377,7 @@ fn system_table_scans_are_never_cached_and_observe_fresh_telemetry() {
             "rfv_stat_cache",
             "rfv_stat_workers",
             "rfv_stat_wal",
+            "rfv_stat_resources",
         ]
     );
 }

@@ -276,6 +276,60 @@ fn metrics_json_round_trips_and_is_stable() {
 }
 
 #[test]
+fn failed_statements_are_accounted_calls_equals_successes_plus_failures() {
+    use rfv_types::RfvError;
+    let db = db_with_seq(8);
+    // Two successful runs of one statement (the second is a cache hit).
+    db.execute("SELECT pos FROM seq ORDER BY pos").unwrap();
+    db.execute("SELECT pos FROM seq ORDER BY pos").unwrap();
+    // The same statement aborted by a tiny memory budget.
+    db.set_mem_budget(Some(16));
+    // A fresh engine-level budget never serves from the result cache of
+    // a *different* statement — use new SQL text to dodge the cache.
+    let err = db
+        .execute("SELECT pos FROM seq ORDER BY pos DESC")
+        .unwrap_err();
+    assert!(matches!(err, RfvError::ResourceExhausted(_)), "{err}");
+    db.set_mem_budget(None);
+    // An expired deadline trips at the first operator checkpoint.
+    db.set_statement_timeout(Some(std::time::Duration::ZERO));
+    let err = db.execute("SELECT val FROM seq").unwrap_err();
+    assert!(matches!(err, RfvError::Timeout(_)), "{err}");
+    db.set_statement_timeout(None);
+    // Plan-time failures (unknown table) are recorded too.
+    assert!(db.execute("SELECT x FROM no_such_table").is_err());
+
+    let executed = db.metrics().counter_value("query.executed");
+    let failed = db.metrics().counter_value("query.failed");
+    assert_eq!(executed, 2, "only completed executions count as executed");
+    assert_eq!(failed, 3);
+    assert_eq!(db.metrics().counter_value("query.oom"), 1);
+    assert_eq!(db.metrics().counter_value("query.timeout"), 1);
+
+    // The PR-10 accounting invariant: every attempt is exactly one of
+    // executed or failed, and the per-statement stats agree with the
+    // engine counters.
+    let stats = db.statement_stats();
+    let calls: u64 = stats.iter().map(|s| s.calls).sum();
+    let failures: u64 = stats.iter().map(|s| s.failures).sum();
+    assert_eq!(calls, executed + failed);
+    assert_eq!(failures, failed);
+    for s in &stats {
+        assert!(s.failures <= s.calls, "{}: failures exceed calls", s.query);
+        assert!(s.total_ns >= s.max_ns, "failed calls still carry latency");
+    }
+
+    // The failures column is queryable through the system table.
+    let rows = db
+        .execute(
+            "SELECT query, calls, failures FROM rfv_stat_statements \
+             WHERE failures > 0 ORDER BY query",
+        )
+        .unwrap();
+    assert_eq!(rows.rows().len(), 3, "each failed statement has an entry");
+}
+
+#[test]
 fn rewrite_report_is_shared_not_cloned() {
     let db = db_with_view(10);
     db.execute(SLIDING_SQL).unwrap();

@@ -123,6 +123,86 @@ fn durable_shell_session_survives_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Deliver SIGINT to `pid` (what the terminal does on Ctrl-C).
+#[cfg(unix)]
+fn send_sigint(pid: u32) {
+    let status = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -INT {pid}"))
+        .status()
+        .expect("send SIGINT");
+    assert!(status.success(), "kill -INT {pid} failed");
+}
+
+#[test]
+#[cfg(unix)]
+fn ctrl_c_cancels_the_running_query_and_returns_to_the_prompt() {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rfv"));
+    cmd.env_remove("RFV_DATA_DIR")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn rfv shell");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    // A cross join whose pair space (16M pairs, never matching) takes
+    // long enough that the SIGINT below lands mid-execution.
+    stdin
+        .write_all(
+            b"CREATE TABLE t (pos BIGINT PRIMARY KEY, val DOUBLE NOT NULL);\n\
+              .load t 4000\n\
+              SELECT a.pos FROM t a, t b WHERE a.val + b.val < -1.0;\n",
+        )
+        .expect("write long query");
+    stdin.flush().unwrap();
+    // Let the shell get past CREATE/.load and into the join.
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    send_sigint(child.id());
+    // The cancelled query must surface as a printed error and the shell
+    // must keep serving statements on the same connection.
+    stdin
+        .write_all(b"SELECT 19 + 23;\n.quit\n")
+        .expect("write follow-up");
+    drop(stdin);
+    let out = child.wait_with_output().expect("collect shell output");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "Ctrl-C during a query must not kill the shell\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("error: query cancelled"),
+        "the interrupted query must report cancellation:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("42"),
+        "the next statement must run normally after cancellation:\n{stdout}"
+    );
+}
+
+#[test]
+#[cfg(unix)]
+fn ctrl_c_at_the_prompt_exits_the_shell() {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rfv"));
+    cmd.env_remove("RFV_DATA_DIR")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn rfv shell");
+    // Keep stdin open so the shell is parked in read_line at the prompt.
+    let stdin = child.stdin.take().expect("piped stdin");
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    send_sigint(child.id());
+    let out = child.wait_with_output().expect("collect shell output");
+    drop(stdin);
+    assert_eq!(
+        out.status.code(),
+        Some(130),
+        "Ctrl-C at the prompt exits with 128+SIGINT\nstdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
 #[test]
 fn unopenable_data_dir_exits_with_an_error() {
     // A path *under a regular file* cannot be created, whoever runs this.
